@@ -1,0 +1,119 @@
+// Ablation: physiological drift vs deployment strategy.
+//
+// The paper trains once offline and flashes the model. This sweep drifts
+// the wearer's physiology (physio/drift.hpp) over simulated months and
+// compares three deployments at each severity:
+//   * static            — the paper's train-once model
+//   * adapted           — OnlineAdapter fed a few confirmed-genuine
+//                         sessions at each drift step (with attack replay)
+//   * adapted, no replay — ablates the forgetting guard
+// reporting the false-alarm rate on the drifted-but-genuine wearer and the
+// miss rate under a substitution attack at the same drift level.
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "attack/scenario.hpp"
+#include "core/online.hpp"
+#include "core/windows.hpp"
+#include "physio/drift.hpp"
+
+namespace {
+
+using namespace sift;
+
+double false_alarm_rate(const core::Detector& detector,
+                        const physio::Record& genuine) {
+  const auto verdicts = detector.classify_record(genuine);
+  std::size_t alerts = 0;
+  for (const auto& v : verdicts) alerts += v.altered ? 1 : 0;
+  return static_cast<double>(alerts) / static_cast<double>(verdicts.size());
+}
+
+double miss_rate(const core::Detector& detector,
+                 const physio::Record& genuine,
+                 const std::vector<physio::Record>& donors,
+                 std::uint64_t seed) {
+  attack::SubstitutionAttack attack;
+  const auto attacked =
+      attack::corrupt_windows(genuine, donors, attack, 0.5, 1080, seed);
+  const auto verdicts = detector.classify_record(attacked.record);
+  std::size_t missed = 0;
+  std::size_t positives = 0;
+  for (std::size_t w = 0; w < verdicts.size(); ++w) {
+    if (!attacked.window_altered[w]) continue;
+    ++positives;
+    if (!verdicts[w].altered) ++missed;
+  }
+  return positives == 0
+             ? 0.0
+             : static_cast<double>(missed) / static_cast<double>(positives);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABLATION: physiological drift vs deployment strategy\n");
+  std::printf("(FP on drifted genuine wearer | FN under substitution)\n\n");
+
+  const auto cohort = physio::synthetic_cohort(4, 2017);
+  const auto training = physio::generate_cohort_records(cohort, 300.0);
+  core::SiftConfig config;
+  const core::UserModel model = core::train_user_model(
+      training[0], std::span(training).subspan(1), config);
+  const auto reservoir = core::OnlineAdapter::make_positive_reservoir(
+      training[0], std::span(training).subspan(1), config, 50);
+
+  core::OnlineAdapter adapted(model, reservoir);
+  core::OnlineAdapter no_replay(model, {});
+
+  std::printf("%-8s | %-17s | %-17s | %-17s\n", "", "static (paper)",
+              "adapted +replay", "adapted -replay");
+  std::printf("%-8s | %8s %8s | %8s %8s | %8s %8s\n", "drift", "FP", "FN",
+              "FP", "FN", "FP", "FN");
+  std::printf("%s\n", std::string(68, '-').c_str());
+
+  std::uint64_t salt = 1000;
+  for (double severity : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const auto drifted_profile = physio::drift_profile(cohort[0], severity);
+
+    // Between evaluations, both adapters assimilate two confirmed-genuine
+    // minutes at the current physiology (the recalibration sessions).
+    for (int session = 0; session < 2; ++session) {
+      const auto confirmed = physio::generate_record(
+          drifted_profile, 60.0, physio::kDefaultRateHz, ++salt);
+      for (std::size_t start = 0; start + 1080 <= confirmed.ecg.size();
+           start += 1080) {
+        const auto portrait = core::make_window_portrait(confirmed, start,
+                                                         1080);
+        adapted.assimilate_genuine(portrait);
+        no_replay.assimilate_genuine(portrait);
+      }
+    }
+
+    const auto genuine = physio::generate_record(
+        drifted_profile, 120.0, physio::kDefaultRateHz, 9);
+    std::vector<physio::Record> donors{physio::generate_record(
+        cohort[2], 120.0, physio::kDefaultRateHz, 9)};
+
+    const core::Detector static_det(model);
+    std::printf(
+        "%7.2f | %7.1f%% %7.1f%% | %7.1f%% %7.1f%% | %7.1f%% %7.1f%%\n",
+        severity, 100 * false_alarm_rate(static_det, genuine),
+        100 * miss_rate(static_det, genuine, donors, 7),
+        100 * false_alarm_rate(adapted.detector(), genuine),
+        100 * miss_rate(adapted.detector(), genuine, donors, 7),
+        100 * false_alarm_rate(no_replay.detector(), genuine),
+        100 * miss_rate(no_replay.detector(), genuine, donors, 7));
+  }
+
+  std::printf(
+      "\nReading: the static model ends up alerting on nearly every genuine\n"
+      "window of its own wearer (its 0%% FN at high drift is vacuous — it\n"
+      "alerts on everything). Online adaptation keeps false alarms near\n"
+      "zero at the cost of a moderate FN increase at extreme drift; the\n"
+      "attack-replay reservoir bounds that increase (see the\n"
+      "ReplayPreservesAttackDetection test for the guarantee it enforces).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation: decision-threshold analysis (ROC) per detector version.
+//
+// The deployed MLClassifier thresholds the SVM margin at 0. Sweeping that
+// threshold over the pooled test margins shows the whole FP/FN frontier,
+// the AUC of each version, and what an alert-budget deployment (e.g.
+// "at most 2% false alarms") would pick instead of the default.
+#include <cstdio>
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "attack/scenario.hpp"
+#include "core/detector.hpp"
+#include "core/experiment.hpp"
+#include "ml/roc.hpp"
+
+int main() {
+  using namespace sift;
+  std::printf("ABLATION: decision threshold (ROC) per detector version\n");
+  std::printf("(6 subjects, 10 min training, substitution attack)\n\n");
+
+  core::ExperimentConfig config;
+  config.n_users = 6;
+  config.train_duration_s = 10 * 60.0;
+  const auto data = core::generate_experiment_data(config);
+  attack::SubstitutionAttack attack;
+  const std::size_t window = 1080;
+
+  std::printf("%-11s %8s | %22s | %28s\n", "Version", "AUC",
+              "default threshold (0)", "best at FPR <= 2% budget");
+  for (auto version : {core::DetectorVersion::kOriginal,
+                       core::DetectorVersion::kSimplified,
+                       core::DetectorVersion::kReduced}) {
+    std::vector<ml::ScoredLabel> pooled;
+    for (std::size_t u = 0; u < data.cohort.size(); ++u) {
+      std::vector<physio::Record> train_donors;
+      std::vector<physio::Record> test_donors;
+      for (std::size_t v = 0; v < data.cohort.size(); ++v) {
+        if (v == u) continue;
+        train_donors.push_back(data.training[v]);
+        test_donors.push_back(data.testing[v]);
+      }
+      core::SiftConfig sift = config.sift;
+      sift.version = version;
+      const core::Detector detector(
+          core::train_user_model(data.training[u], train_donors, sift));
+      const auto attacked = attack::corrupt_windows(
+          data.testing[u], test_donors, attack, 0.5, window, 55 + u);
+      const auto verdicts = detector.classify_record(attacked.record);
+      for (std::size_t w = 0; w < verdicts.size(); ++w) {
+        pooled.push_back({verdicts[w].decision_value,
+                          attacked.window_altered[w] ? +1 : -1});
+      }
+    }
+
+    const double auc = ml::roc_auc(pooled);
+    // Metrics at the deployed threshold 0.
+    std::size_t tp = 0;
+    std::size_t fp = 0;
+    std::size_t pos = 0;
+    std::size_t neg = 0;
+    for (const auto& s : pooled) {
+      if (s.label == +1) {
+        ++pos;
+        if (s.score >= 0.0) ++tp;
+      } else {
+        ++neg;
+        if (s.score >= 0.0) ++fp;
+      }
+    }
+    const auto budget = ml::best_under_fpr_budget(pooled, 0.02);
+    std::printf(
+        "%-11s %8.4f | TPR %6.1f%% FPR %5.1f%% | thr %+6.2f TPR %6.1f%% "
+        "FPR %5.1f%%\n",
+        core::to_string(version), auc,
+        100.0 * static_cast<double>(tp) / static_cast<double>(pos),
+        100.0 * static_cast<double>(fp) / static_cast<double>(neg),
+        budget.threshold, budget.tpr * 100.0, budget.fpr * 100.0);
+  }
+
+  std::printf(
+      "\nReading: the margin distributions are well separated (AUC near 1);\n"
+      "the default threshold 0 is conservative (low FPR, higher FN). An\n"
+      "alert-budget deployment can buy back missed detections by shifting\n"
+      "the threshold — with zero device cost, since only the bias changes.\n");
+  return 0;
+}

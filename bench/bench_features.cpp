@@ -1,0 +1,89 @@
+// Microbenchmarks for the feature-extraction pipeline (google-benchmark).
+//
+// Quantifies the paper's central trade-off at host scale: what the three
+// versions and three arithmetic backends cost per 3-second window, broken
+// into portrait construction, count-matrix binning, and feature math.
+// (The on-device cost model lives in bench/table3_resources; these numbers
+// validate its *relative* shape on real hardware.)
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/count_matrix.hpp"
+#include "core/features.hpp"
+#include "core/portrait.hpp"
+#include "core/windows.hpp"
+#include "physio/dataset.hpp"
+#include "physio/user_profile.hpp"
+
+namespace {
+
+using namespace sift;
+
+// One realistic 3-second window from the synthetic generator.
+const physio::Record& window_record() {
+  static const physio::Record rec = [] {
+    const auto cohort = physio::synthetic_cohort(1, 7);
+    return physio::generate_record(cohort[0], 3.0);
+  }();
+  return rec;
+}
+
+core::Portrait make_portrait() {
+  const auto& rec = window_record();
+  return core::make_window_portrait(rec, 0, rec.ecg.size());
+}
+
+void BM_PortraitConstruction(benchmark::State& state) {
+  const auto& rec = window_record();
+  for (auto _ : state) {
+    core::Portrait p = core::make_window_portrait(rec, 0, rec.ecg.size());
+    benchmark::DoNotOptimize(p.points().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PortraitConstruction);
+
+void BM_CountMatrix(benchmark::State& state) {
+  const core::Portrait p = make_portrait();
+  const auto grid = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::CountMatrix m(p, grid);
+    benchmark::DoNotOptimize(m.total_points());
+  }
+}
+BENCHMARK(BM_CountMatrix)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_ExtractFeatures(benchmark::State& state) {
+  const core::Portrait p = make_portrait();
+  const core::CountMatrix m(p, core::kDefaultGridSize);
+  const auto version = static_cast<core::DetectorVersion>(state.range(0));
+  const auto arith = static_cast<core::Arithmetic>(state.range(1));
+  for (auto _ : state) {
+    auto f = core::extract_features(p, m, version, arith);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetLabel(std::string(core::to_string(version)) + "/" +
+                 core::to_string(arith));
+}
+BENCHMARK(BM_ExtractFeatures)
+    ->ArgsProduct({{0, 1, 2} /* version */, {0, 1, 2} /* arithmetic */});
+
+void BM_FullWindowClassificationPath(benchmark::State& state) {
+  // Portrait + matrix + features: what FeatureExtraction costs per window.
+  const auto& rec = window_record();
+  const auto version = static_cast<core::DetectorVersion>(state.range(0));
+  for (auto _ : state) {
+    const core::Portrait p =
+        core::make_window_portrait(rec, 0, rec.ecg.size());
+    auto f = core::extract_features(p, version, core::Arithmetic::kDouble);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetLabel(core::to_string(version));
+}
+BENCHMARK(BM_FullWindowClassificationPath)->DenseRange(0, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

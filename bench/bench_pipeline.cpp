@@ -1,0 +1,89 @@
+// Microbenchmarks for the end-to-end pipeline (google-benchmark): training
+// a user model, classifying one window, and streaming through the WIoT
+// base station.
+#include <benchmark/benchmark.h>
+
+#include <span>
+
+#include "core/detector.hpp"
+#include "core/trainer.hpp"
+#include "core/windows.hpp"
+#include "physio/dataset.hpp"
+#include "wiot/scenario.hpp"
+
+namespace {
+
+using namespace sift;
+
+struct SharedData {
+  std::vector<physio::Record> training;
+  physio::Record test{};
+  core::UserModel model;
+
+  SharedData() {
+    const auto cohort = physio::synthetic_cohort(4, 11);
+    training = physio::generate_cohort_records(cohort, 120.0);
+    test = physio::generate_record(cohort[0], 60.0, physio::kDefaultRateHz, 3);
+    core::SiftConfig config;
+    model = core::train_user_model(training[0],
+                                   std::span(training).subspan(1), config);
+  }
+};
+
+const SharedData& shared() {
+  static const SharedData data;
+  return data;
+}
+
+void BM_TrainUserModel(benchmark::State& state) {
+  const auto& d = shared();
+  core::SiftConfig config;
+  config.version = static_cast<core::DetectorVersion>(state.range(0));
+  for (auto _ : state) {
+    auto model = core::train_user_model(
+        d.training[0], std::span(d.training).subspan(1), config);
+    benchmark::DoNotOptimize(model.svm.b);
+  }
+  state.SetLabel(core::to_string(config.version));
+}
+BENCHMARK(BM_TrainUserModel)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+void BM_ClassifyWindow(benchmark::State& state) {
+  const auto& d = shared();
+  const core::Detector detector(d.model);
+  const auto portrait = core::make_window_portrait(d.test, 0, 1080);
+  for (auto _ : state) {
+    auto r = detector.classify(portrait);
+    benchmark::DoNotOptimize(r.decision_value);
+  }
+}
+BENCHMARK(BM_ClassifyWindow);
+
+void BM_ClassifyRecord(benchmark::State& state) {
+  const auto& d = shared();
+  const core::Detector detector(d.model);
+  for (auto _ : state) {
+    auto verdicts = detector.classify_record(d.test);
+    benchmark::DoNotOptimize(verdicts.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 20);
+}
+BENCHMARK(BM_ClassifyRecord)->Unit(benchmark::kMillisecond);
+
+void BM_WiotScenario(benchmark::State& state) {
+  const auto& d = shared();
+  const core::Detector detector(d.model);
+  wiot::ScenarioConfig config;
+  config.ecg_channel = {0.02, 0.01, 5};
+  config.abp_channel = {0.02, 0.01, 6};
+  for (auto _ : state) {
+    auto result = wiot::run_scenario(detector, d.test, {}, config);
+    benchmark::DoNotOptimize(result.sink.total_windows());
+  }
+  state.SetLabel("60s trace, 2% loss");
+}
+BENCHMARK(BM_WiotScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

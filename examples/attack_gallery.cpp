@@ -1,0 +1,63 @@
+// The sensor-hijacking attack gallery.
+//
+// The paper defines sensor-hijacking broadly ("attacks that prevent sensors
+// from accurately collecting or reporting their measurements") and tests
+// one instance. This example runs a model trained only on substitution
+// positives against every attack in sift::attack and reports how each
+// manifestation fares — the attack-agnosticism claim, demonstrated.
+//
+// Build & run:  cmake --build build && ./build/examples/attack_gallery
+#include <cstdio>
+#include <span>
+
+#include "attack/attack.hpp"
+#include "attack/scenario.hpp"
+#include "core/detector.hpp"
+#include "core/trainer.hpp"
+#include "ml/metrics.hpp"
+#include "physio/dataset.hpp"
+
+int main() {
+  using namespace sift;
+
+  const auto cohort = physio::synthetic_cohort(4, 42);
+  const auto training = physio::generate_cohort_records(cohort, 5 * 60.0);
+  const auto testing = physio::generate_cohort_records(
+      cohort, 120.0, physio::kDefaultRateHz, /*salt=*/17);
+
+  core::SiftConfig config;
+  config.version = core::DetectorVersion::kOriginal;
+  const core::UserModel model = core::train_user_model(
+      training[0], std::span(training).subspan(1), config);
+  const core::Detector detector(model);
+  std::printf("Model trained on substitution-style positives only.\n\n");
+  std::printf("%-13s %8s %8s %10s   %s\n", "Attack", "Acc", "FP", "FN",
+              "notes");
+
+  for (const auto& attack : attack::make_all_attacks()) {
+    const auto attacked = attack::corrupt_windows(
+        testing[0], std::span(testing).subspan(1), *attack, 0.5, 1080, 7);
+    const auto verdicts = detector.classify_record(attacked.record);
+    ml::ConfusionMatrix cm;
+    for (std::size_t w = 0; w < verdicts.size(); ++w) {
+      cm.add(verdicts[w].altered ? +1 : -1,
+             attacked.window_altered[w] ? +1 : -1);
+    }
+    const char* note =
+        attack->name() == "substitution" ? "(the paper's attack)" : "";
+    std::printf("%-13s %7.1f%% %7.1f%% %9.1f%%   %s\n",
+                std::string(attack->name()).c_str(), cm.accuracy() * 100.0,
+                cm.false_positive_rate() * 100.0,
+                cm.false_negative_rate() * 100.0, note);
+  }
+
+  std::printf(
+      "\nSubstitution, replay and time-shift desynchronise the ECG-ABP\n"
+      "coupling the portrait captures, so the single trained model flags\n"
+      "them (SIFT's attack-agnostic design). Flatline windows carry no\n"
+      "heartbeat at all and are caught by the PeaksDataCheck validation.\n"
+      "Noise injection is the hard case: the peak annotations survive and\n"
+      "noise-like positives were never trained — see bench/ablation_attacks\n"
+      "for how augmenting the training positives closes that gap.\n");
+  return 0;
+}

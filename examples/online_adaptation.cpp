@@ -1,0 +1,96 @@
+// Online adaptation under physiological drift.
+//
+// Month by month, the wearer's physiology drifts away from what the model
+// was trained on (T-wave flattening, arterial stiffening — see
+// physio/drift.hpp). The paper's train-once-flash-once deployment starts
+// false-alarming on its own user; the OnlineAdapter assimilates a couple of
+// confirmed-genuine minutes per month and follows the wearer, while its
+// attack-replay reservoir keeps substitution attacks detected.
+//
+// Build & run:  cmake --build build && ./build/examples/online_adaptation
+#include <cstdio>
+#include <span>
+
+#include "attack/attack.hpp"
+#include "attack/scenario.hpp"
+#include "core/online.hpp"
+#include "core/windows.hpp"
+#include "physio/drift.hpp"
+
+int main() {
+  using namespace sift;
+
+  const auto cohort = physio::synthetic_cohort(4, 2017);
+  const auto training = physio::generate_cohort_records(cohort, 5 * 60.0);
+  core::SiftConfig config;
+  const core::UserModel model = core::train_user_model(
+      training[0], std::span(training).subspan(1), config);
+  const auto reservoir = core::OnlineAdapter::make_positive_reservoir(
+      training[0], std::span(training).subspan(1), config, 40);
+  core::OnlineAdapter adapter(model, reservoir);
+
+  std::printf("Deployed at month 0; physiology drifts ~8%%/month.\n\n");
+  std::printf("%-7s %22s %22s\n", "", "--- static model ---",
+              "-- adapted model --");
+  std::printf("%-7s %10s %10s %10s %10s\n", "month", "false", "missed",
+              "false", "missed");
+  std::printf("%-7s %10s %10s %10s %10s\n", "", "alarms", "attacks",
+              "alarms", "attacks");
+
+  std::uint64_t salt = 500;
+  for (int month = 0; month <= 12; month += 2) {
+    const double severity = month / 12.0 * 0.9;
+    const auto profile = physio::drift_profile(cohort[0], severity);
+
+    // The monthly check-in: one confirmed-genuine minute assimilated.
+    const auto confirmed = physio::generate_record(
+        profile, 60.0, physio::kDefaultRateHz, ++salt);
+    for (std::size_t s = 0; s + 1080 <= confirmed.ecg.size(); s += 1080) {
+      adapter.assimilate_genuine(core::make_window_portrait(confirmed, s,
+                                                            1080));
+    }
+
+    // Evaluate this month: a clean trace and an attacked trace.
+    const auto genuine = physio::generate_record(
+        profile, 120.0, physio::kDefaultRateHz, 9);
+    std::vector<physio::Record> donors{physio::generate_record(
+        cohort[2], 120.0, physio::kDefaultRateHz, 9)};
+    attack::SubstitutionAttack attack;
+    const auto attacked =
+        attack::corrupt_windows(genuine, donors, attack, 0.5, 1080, 3);
+
+    auto rates = [&](const core::Detector& d, double& fp, double& fn) {
+      std::size_t alerts = 0;
+      const auto clean_verdicts = d.classify_record(genuine);
+      for (const auto& v : clean_verdicts) alerts += v.altered ? 1 : 0;
+      fp = 100.0 * static_cast<double>(alerts) /
+           static_cast<double>(clean_verdicts.size());
+      const auto verdicts = d.classify_record(attacked.record);
+      std::size_t missed = 0;
+      std::size_t pos = 0;
+      for (std::size_t w = 0; w < verdicts.size(); ++w) {
+        if (!attacked.window_altered[w]) continue;
+        ++pos;
+        missed += verdicts[w].altered ? 0 : 1;
+      }
+      fn = pos ? 100.0 * static_cast<double>(missed) /
+                     static_cast<double>(pos)
+               : 0.0;
+    };
+
+    double sfp;
+    double sfn;
+    double afp;
+    double afn;
+    rates(core::Detector(model), sfp, sfn);
+    rates(adapter.detector(), afp, afn);
+    std::printf("%-7d %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", month, sfp, sfn,
+                afp, afn);
+  }
+
+  std::printf(
+      "\nThe static deployment drowns the user in false alarms within a few\n"
+      "months of drift; one confirmed-genuine minute per month keeps the\n"
+      "adapted model quiet on the wearer and sharp on attacks.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "adaptive/decision_engine.hpp"
+
+#include <stdexcept>
+
+namespace sift::adaptive {
+namespace {
+
+using core::DetectorVersion;
+
+// Preference order: feature-richest first (Table II's accuracy ordering).
+constexpr DetectorVersion kByRichness[] = {DetectorVersion::kOriginal,
+                                           DetectorVersion::kSimplified,
+                                           DetectorVersion::kReduced};
+
+bool needs_libm(DetectorVersion v) {
+  return v == DetectorVersion::kOriginal;
+}
+
+}  // namespace
+
+DecisionEngine::DecisionEngine(Policy policy, StaticConstraints constraints)
+    : policy_(policy), constraints_(constraints) {}
+
+bool DecisionEngine::is_feasible(DetectorVersion version) const {
+  const amulet::MemoryFootprint m = amulet::estimate_memory(version);
+  const double fram_needed_b =
+      (m.fram_system_kb + m.fram_detector_kb) * 1024.0;
+  const unsigned long sram_needed_b = m.sram_system_b + m.sram_detector_b;
+  if (fram_needed_b > static_cast<double>(constraints_.fram_available_b)) {
+    return false;
+  }
+  if (sram_needed_b > constraints_.sram_available_b) return false;
+  if (needs_libm(version) && !constraints_.libm_available) return false;
+  return true;
+}
+
+std::vector<DetectorVersion> DecisionEngine::feasible_versions() const {
+  std::vector<DetectorVersion> out;
+  for (DetectorVersion v : kByRichness) {
+    if (is_feasible(v)) out.push_back(v);
+  }
+  return out;
+}
+
+DetectorVersion DecisionEngine::decide(const DynamicState& state) {
+  const auto feasible = feasible_versions();
+  if (feasible.empty()) {
+    throw std::logic_error(
+        "DecisionEngine: no detector version fits the static constraints");
+  }
+
+  // Dynamic tier from battery (with hysteresis around the thresholds) and
+  // CPU headroom. Tier 0 = richest allowed, 2 = Reduced only.
+  int tier;
+  if (state.battery_fraction >= policy_.battery_high) {
+    tier = 0;
+  } else if (state.battery_fraction >= policy_.battery_low) {
+    tier = 1;
+  } else {
+    tier = 2;
+  }
+  if (tier == 0 && state.cpu_headroom < policy_.min_headroom_full) tier = 1;
+
+  // Hysteresis: only move toward a *richer* version when clearly above the
+  // high-water mark; the tier computation above already encodes that by
+  // using battery_high as the richer-version gate. Moving to a leaner
+  // version happens immediately (safety first — never brown out).
+  DetectorVersion wanted = feasible.back();
+  for (DetectorVersion v : feasible) {
+    const int cost_rank = v == DetectorVersion::kOriginal   ? 0
+                          : v == DetectorVersion::kSimplified ? 1
+                                                              : 2;
+    if (cost_rank >= tier) {
+      wanted = v;
+      break;
+    }
+  }
+
+  if (decided_once_ && wanted == current_) {
+    rationale_ = "steady: keeping " + std::string(core::to_string(current_));
+    return current_;
+  }
+  rationale_ = std::string(decided_once_ ? "switch" : "initial") + " to " +
+               core::to_string(wanted) + " (battery " +
+               std::to_string(static_cast<int>(state.battery_fraction * 100)) +
+               "%, headroom " +
+               std::to_string(static_cast<int>(state.cpu_headroom * 100)) +
+               "%)";
+  current_ = wanted;
+  decided_once_ = true;
+  return current_;
+}
+
+}  // namespace sift::adaptive

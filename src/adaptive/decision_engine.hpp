@@ -1,0 +1,73 @@
+// Adaptive security (the paper's Insight #4, built out).
+//
+// "we envision an adaptive security model with the ability to automatically
+//  adjust the security level by switching between different versions of one
+//  security app based on the available resources. This model considers two
+//  types of resource constraints: 1) static constraints, which exist[] in
+//  the compile time ... 2) dynamic constraints, which exist[] in the
+//  runtime ... The core of this model is a decision engine".
+//
+// The DecisionEngine answers the paper's two open questions concretely:
+//  (1) static constraints are checked against the memory model (does the
+//      version's image fit FRAM/SRAM? is libm present?);
+//  (2) dynamic constraints use battery level and CPU headroom, preferring
+//      the most accurate *feasible* version and degrading gracefully.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "amulet/memory_model.hpp"
+#include "core/features.hpp"
+
+namespace sift::adaptive {
+
+/// Compile-time resource constraints of the deployment target.
+struct StaticConstraints {
+  unsigned long fram_available_b = 128UL * 1024;
+  unsigned long sram_available_b = 2UL * 1024;
+  bool libm_available = true;  ///< early Amulet builds lacked the C math lib
+};
+
+/// Run-time resource state sampled by the engine.
+struct DynamicState {
+  double battery_fraction = 1.0;  ///< 0 (empty) .. 1 (full)
+  double cpu_headroom = 1.0;      ///< fraction of duty cycle still available
+};
+
+/// Switching thresholds. Hysteresis (separate up/down thresholds) prevents
+/// oscillating between versions near a boundary.
+struct Policy {
+  double battery_high = 0.60;  ///< above: richest feasible version
+  double battery_low = 0.30;   ///< below: Reduced only
+  double min_headroom_full = 0.15;  ///< Original needs this much CPU slack
+};
+
+class DecisionEngine {
+ public:
+  DecisionEngine(Policy policy, StaticConstraints constraints);
+
+  /// True if @p version passes every static constraint.
+  bool is_feasible(core::DetectorVersion version) const;
+
+  /// Best version for the current dynamic state: the most accurate feasible
+  /// version the battery/CPU state permits. Sticky: repeated calls with the
+  /// same state return the same version; transitions obey hysteresis.
+  /// @throws std::logic_error if no version is statically feasible.
+  core::DetectorVersion decide(const DynamicState& state);
+
+  /// Human-readable rationale for the last decision.
+  const std::string& last_rationale() const noexcept { return rationale_; }
+
+  /// Statically feasible versions, best (most features) first.
+  std::vector<core::DetectorVersion> feasible_versions() const;
+
+ private:
+  Policy policy_;
+  StaticConstraints constraints_;
+  core::DetectorVersion current_ = core::DetectorVersion::kReduced;
+  bool decided_once_ = false;
+  std::string rationale_;
+};
+
+}  // namespace sift::adaptive

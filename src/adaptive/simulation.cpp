@@ -1,0 +1,77 @@
+#include "adaptive/simulation.hpp"
+
+#include <stdexcept>
+
+namespace sift::adaptive {
+namespace {
+
+using core::DetectorVersion;
+
+const VersionOperatingPoint& point_for(
+    const std::map<DetectorVersion, VersionOperatingPoint>& points,
+    DetectorVersion v) {
+  const auto it = points.find(v);
+  if (it == points.end()) {
+    throw std::invalid_argument(
+        "simulate: missing operating point for a detector version");
+  }
+  return it->second;
+}
+
+template <typename PickVersion>
+SimulationResult simulate(
+    PickVersion pick,
+    const std::map<DetectorVersion, VersionOperatingPoint>& points,
+    const SimulationConfig& config) {
+  if (config.step_days <= 0.0 || config.battery_mah <= 0.0) {
+    throw std::invalid_argument("simulate: bad config");
+  }
+
+  SimulationResult result;
+  double charge_mah = config.battery_mah;
+  double accuracy_days = 0.0;
+
+  for (double day = 0.0; day < config.horizon_days && charge_mah > 0.0;
+       day += config.step_days) {
+    const double battery_fraction = charge_mah / config.battery_mah;
+    const DetectorVersion active = pick(battery_fraction);
+    const VersionOperatingPoint& op = point_for(points, active);
+
+    result.timeline.push_back({day, battery_fraction, active});
+    const double drain_mah =
+        op.total_current_ua / 1000.0 * config.step_days * 24.0;
+    const double step = charge_mah >= drain_mah
+                            ? config.step_days
+                            : config.step_days * charge_mah / drain_mah;
+    charge_mah -= drain_mah;
+    result.lifetime_days += step;
+    result.days_per_version[active] += step;
+    accuracy_days += op.accuracy * step;
+  }
+
+  result.time_weighted_accuracy =
+      result.lifetime_days > 0.0 ? accuracy_days / result.lifetime_days : 0.0;
+  return result;
+}
+
+}  // namespace
+
+SimulationResult simulate_adaptive(
+    DecisionEngine& engine,
+    const std::map<DetectorVersion, VersionOperatingPoint>& points,
+    const SimulationConfig& config) {
+  return simulate(
+      [&engine](double battery_fraction) {
+        return engine.decide({battery_fraction, /*cpu_headroom=*/1.0});
+      },
+      points, config);
+}
+
+SimulationResult simulate_static(
+    DetectorVersion version,
+    const std::map<DetectorVersion, VersionOperatingPoint>& points,
+    const SimulationConfig& config) {
+  return simulate([version](double) { return version; }, points, config);
+}
+
+}  // namespace sift::adaptive

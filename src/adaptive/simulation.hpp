@@ -1,0 +1,56 @@
+// Battery-lifetime simulation comparing adaptive switching against the
+// paper's status quo (one version flashed for the device's whole life).
+//
+// Drives the DecisionEngine over simulated days: the active version drains
+// the battery at the current predicted by the Amulet energy model, the
+// engine re-decides each step, and the simulation records which version ran
+// when. Output feeds bench/ablation_adaptive: total lifetime and time-
+// weighted detection accuracy for adaptive vs. each static deployment.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "adaptive/decision_engine.hpp"
+#include "core/features.hpp"
+
+namespace sift::adaptive {
+
+/// Per-version operating point (from the Amulet profiler + Table II runs).
+struct VersionOperatingPoint {
+  double total_current_ua = 0.0;  ///< average draw while this version runs
+  double accuracy = 0.0;          ///< detection accuracy (0..1)
+};
+
+struct TimelinePoint {
+  double day = 0.0;
+  double battery_fraction = 0.0;
+  core::DetectorVersion active{};
+};
+
+struct SimulationResult {
+  std::vector<TimelinePoint> timeline;
+  double lifetime_days = 0.0;           ///< until the battery is empty
+  double time_weighted_accuracy = 0.0;  ///< mean accuracy over the lifetime
+  std::map<core::DetectorVersion, double> days_per_version;
+};
+
+struct SimulationConfig {
+  double battery_mah = 110.0;
+  double step_days = 0.25;
+  double horizon_days = 365.0;  ///< safety stop
+};
+
+/// Adaptive deployment: the engine picks the version each step.
+SimulationResult simulate_adaptive(
+    DecisionEngine& engine,
+    const std::map<core::DetectorVersion, VersionOperatingPoint>& points,
+    const SimulationConfig& config);
+
+/// Static deployment of a single version (the paper's "manually flashed").
+SimulationResult simulate_static(
+    core::DetectorVersion version,
+    const std::map<core::DetectorVersion, VersionOperatingPoint>& points,
+    const SimulationConfig& config);
+
+}  // namespace sift::adaptive

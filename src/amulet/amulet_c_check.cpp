@@ -1,0 +1,218 @@
+#include "amulet/amulet_c_check.hpp"
+
+#include <cctype>
+#include <regex>
+
+namespace sift::amulet {
+namespace {
+
+// Replaces comments and string/char literals with spaces (preserving line
+// structure) so banned tokens inside them are ignored.
+std::string strip_comments_and_strings(std::string_view src) {
+  std::string out(src);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && out[i + 1] != '\n') out[++i] = ' ';
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && out[i + 1] != '\n') out[++i] = ' ';
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+// Function definitions and their body line ranges, for the recursion check.
+struct FunctionBody {
+  std::string name;
+  std::size_t first_line;
+  std::size_t last_line;
+};
+
+std::vector<FunctionBody> find_function_bodies(
+    const std::vector<std::string>& lines) {
+  static const std::regex def_re(
+      R"(\b([A-Za-z_]\w*)\s*\([^;{}]*\)\s*\{)");
+  std::vector<FunctionBody> out;
+  int depth = 0;
+  FunctionBody current;
+  bool in_function = false;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    std::smatch m;
+    if (!in_function && std::regex_search(line, m, def_re)) {
+      static const std::regex keyword_re(
+          "^(if|for|while|switch|return|sizeof)$");
+      const std::string name = m[1].str();
+      if (!std::regex_match(name, keyword_re)) {
+        in_function = true;
+        current = {name, li, li};
+        depth = 0;
+      }
+    }
+    if (in_function) {
+      for (char c : line) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      if (depth <= 0 && line.find('}') != std::string::npos) {
+        current.last_line = li;
+        out.push_back(current);
+        in_function = false;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(AmuletCRule rule) noexcept {
+  switch (rule) {
+    case AmuletCRule::kNoPointers:
+      return "no-pointers";
+    case AmuletCRule::kNoGoto:
+      return "no-goto";
+    case AmuletCRule::kNoRecursion:
+      return "no-recursion";
+    case AmuletCRule::kNoInlineAssembly:
+      return "no-inline-assembly";
+    case AmuletCRule::kNoHeapAllocation:
+      return "no-heap-allocation";
+    case AmuletCRule::kNoMathLibrary:
+      return "no-math-library";
+  }
+  return "?";
+}
+
+std::vector<AmuletCViolation> check_amulet_c(
+    std::string_view source, const AmuletCCheckOptions& options) {
+  const std::string clean = strip_comments_and_strings(source);
+  const auto lines = split_lines(clean);
+  std::vector<AmuletCViolation> violations;
+
+  auto flag = [&](AmuletCRule rule, std::size_t li) {
+    violations.push_back({rule, li + 1, trimmed(lines[li])});
+  };
+
+  static const std::regex goto_re(R"(\bgoto\b)");
+  static const std::regex asm_re(R"(\b(asm|__asm__)\b)");
+  static const std::regex heap_re(R"(\b(malloc|calloc|realloc|free)\s*\()");
+  static const std::regex math_re(R"(#\s*include\s*<\s*math\.h\s*>)");
+  // Pointer declaration: a type keyword followed by '*'.
+  static const std::regex ptr_decl_re(
+      R"(\b(void|char|short|int|long|float|double|unsigned|signed|struct\s+\w+|const)\s*\*)");
+  static const std::regex arrow_re(R"(->)");
+  // Unary dereference at the start of an expression.
+  static const std::regex deref_re(R"((^|[=(,;&|])\s*\*\s*[A-Za-z_])");
+  // Address-of an lvalue (ignores && by requiring a non-& before).
+  static const std::regex addrof_re(R"([(,=]\s*&\s*[A-Za-z_])");
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    if (std::regex_search(line, goto_re)) flag(AmuletCRule::kNoGoto, li);
+    if (std::regex_search(line, asm_re)) {
+      flag(AmuletCRule::kNoInlineAssembly, li);
+    }
+    if (std::regex_search(line, heap_re)) {
+      flag(AmuletCRule::kNoHeapAllocation, li);
+    }
+    if (!options.allow_math_library && std::regex_search(line, math_re)) {
+      flag(AmuletCRule::kNoMathLibrary, li);
+    }
+    if (std::regex_search(line, ptr_decl_re) ||
+        std::regex_search(line, arrow_re) ||
+        std::regex_search(line, deref_re) ||
+        std::regex_search(line, addrof_re)) {
+      flag(AmuletCRule::kNoPointers, li);
+    }
+  }
+
+  // Direct recursion: a function body that names itself in a call.
+  for (const FunctionBody& fn : find_function_bodies(lines)) {
+    const std::regex self_call(R"(\b)" + fn.name + R"(\s*\()");
+    for (std::size_t li = fn.first_line; li <= fn.last_line; ++li) {
+      auto begin = std::sregex_iterator(lines[li].begin(), lines[li].end(),
+                                        self_call);
+      auto count = std::distance(begin, std::sregex_iterator());
+      // The definition line's first match is the signature itself.
+      const auto self_uses = li == fn.first_line ? count - 1 : count;
+      if (self_uses > 0) flag(AmuletCRule::kNoRecursion, li);
+    }
+  }
+  return violations;
+}
+
+}  // namespace sift::amulet

@@ -1,0 +1,51 @@
+// Static checker for the Amulet dialect of C.
+//
+// "Applications are written in a custom variant of C that removes many of
+//  C['s] riskier features: access to arbitrary memory locations (pointers),
+//  arbitrary control flows (goto statements), recursive function calls, and
+//  in-line assembly." The Amulet Firmware Toolchain "ensures that ...
+//  programming techniques such as recursion, goto statements, and pointers
+//  are not employed."
+//
+// This is a lightweight line-oriented analyser in that spirit: it scans C
+// source for the banned constructs and reports violations. It is the gate
+// our own app code generator (amulet/app_codegen.hpp) must pass.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sift::amulet {
+
+enum class AmuletCRule {
+  kNoPointers,        ///< pointer declarations, dereference, address-of
+  kNoGoto,
+  kNoRecursion,       ///< direct self-call
+  kNoInlineAssembly,
+  kNoHeapAllocation,  ///< malloc/calloc/realloc/free
+  kNoMathLibrary,     ///< math.h (only allowed when the build links libm)
+};
+
+const char* to_string(AmuletCRule rule) noexcept;
+
+struct AmuletCViolation {
+  AmuletCRule rule;
+  std::size_t line;  ///< 1-based source line
+  std::string excerpt;
+};
+
+struct AmuletCCheckOptions {
+  /// The Original detector build links the C math library; Simplified and
+  /// Reduced builds must not reference it (the paper's motivating
+  /// constraint for the simplified features).
+  bool allow_math_library = true;
+};
+
+/// Scans @p source; returns every violation found (empty == compliant).
+/// Comments and string literals are stripped before matching, so banned
+/// words inside documentation do not trip the checker.
+std::vector<AmuletCViolation> check_amulet_c(
+    std::string_view source, const AmuletCCheckOptions& options = {});
+
+}  // namespace sift::amulet

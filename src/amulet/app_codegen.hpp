@@ -1,0 +1,50 @@
+// The Amulet Firmware Toolchain, modelled: full C code generation for the
+// on-device detector.
+//
+// The paper's pipeline: app logic is drawn in QM (state machine + handlers
+// in Amulet-C), "applications are merged together in a single QM file,
+// which is then converted to C using QM. This code is compiled and linked
+// using Texas Instrument open-source GCC for MSP430."
+//
+// We mechanise the part the authors did by hand — translating the trained
+// detector into device code. emit_amulet_app_c() produces a complete,
+// self-contained, Amulet-C-compliant translation unit implementing the
+// window pipeline (normalise -> count matrix -> version-specific features
+// -> folded linear classifier, plus the PeaksDataCheck guard), numerically
+// identical to the host detector in double arithmetic. Tests compile it
+// with the system C compiler and diff its verdicts against core::Detector
+// window by window. emit_qm_model_xml() produces the QM model file the
+// toolchain would consume.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/trainer.hpp"
+
+namespace sift::amulet {
+
+struct AppCodegenOptions {
+  std::string function_name = "sift_process_window";
+  std::size_t max_peaks = 32;  ///< capacity of the peak-index arrays
+};
+
+/// Emits the full C source for @p model (version, window length, grid size
+/// and sample rate are taken from model.config). The entry point is
+///   int <name>(const double ecg[W], const double abp[W],
+///              const int r_peaks[P], int n_r,
+///              const int sys_peaks[P], int n_s);
+/// returning 1 = altered / 0 = unaltered. Only the Original version
+/// includes <math.h>; Simplified/Reduced output is libm-free and passes
+/// check_amulet_c with allow_math_library = false.
+/// @throws std::invalid_argument on an unfitted model.
+std::string emit_amulet_app_c(const core::UserModel& model,
+                              const AppCodegenOptions& options = {});
+
+/// Emits the QM model XML describing the three-state detector app
+/// (PeaksDataCheck -> FeatureExtraction -> MLClassifier), as the QM
+/// framework's file format sketches it.
+std::string emit_qm_model_xml(const std::string& app_name,
+                              core::DetectorVersion version);
+
+}  // namespace sift::amulet

@@ -1,0 +1,34 @@
+// Hardware model of the Amulet wearable prototype.
+//
+// "Texas Instruments (TI) MSP430FR5989 micro-controller with 2 KB of SRAM
+//  and 128 KB of integrated FRAM serves as the main computational device"
+// with a 110 mAh battery (Table III). Electrical constants come from the
+// MSP430FR59xx datasheet family (active ~100 uA/MHz at 3 V plus FRAM
+// access overhead; LPM3.5 with RTC well under 1 uA); the display constant
+// models the Amulet's memory-in-pixel LCD.
+#pragma once
+
+namespace sift::amulet {
+
+struct BoardSpec {
+  // Memory.
+  unsigned long sram_bytes = 2UL * 1024;
+  unsigned long fram_bytes = 128UL * 1024;
+
+  // Compute.
+  double cpu_hz = 8e6;             ///< Amulet runs the MSP430 at 8 MHz
+  double active_current_ma = 0.8;  ///< CPU+FRAM active at 8 MHz, 3 V
+  double sleep_current_ma = 0.0008;
+
+  // Power source.
+  double battery_mah = 110.0;  ///< Table III's battery
+  double supply_v = 3.0;
+
+  // Peripherals (modeled as charge per use).
+  double display_update_uc = 18.0;  ///< uC per LCD refresh (snippet/alert)
+};
+
+/// The board the paper deployed on.
+constexpr BoardSpec msp430fr5989_amulet() { return BoardSpec{}; }
+
+}  // namespace sift::amulet

@@ -1,0 +1,57 @@
+// LED-display emulation (the paper's Insight #3).
+//
+// "platform developers need to provide good debugging tools, for instance
+//  ... providing a desktop based simulator that emulates the screen
+//  writing." The authors had to flash the device repeatedly just to see a
+//  variable on the LED screen; this class is the desktop emulation they
+//  asked for: apps write lines to it exactly as they would to the Amulet's
+//  memory-in-pixel LCD, and tests/examples can assert on or render the
+//  screen contents without hardware.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sift::amulet {
+
+class LedDisplay {
+ public:
+  struct Entry {
+    std::size_t sequence = 0;  ///< monotonically increasing write counter
+    std::string text;
+  };
+
+  /// @param visible_lines how many lines the emulated panel shows at once
+  explicit LedDisplay(std::size_t visible_lines = 4)
+      : visible_lines_(visible_lines == 0 ? 1 : visible_lines) {}
+
+  /// One screen write (costed by the energy model as a display update).
+  void show(std::string text) {
+    log_.push_back({log_.size(), std::move(text)});
+  }
+
+  std::size_t updates() const noexcept { return log_.size(); }
+  const std::vector<Entry>& log() const noexcept { return log_; }
+
+  /// The panel as a user would see it now: the most recent writes, one per
+  /// line, oldest first.
+  std::string render() const {
+    const std::size_t n = log_.size() < visible_lines_ ? log_.size()
+                                                       : visible_lines_;
+    std::string out;
+    for (std::size_t i = log_.size() - n; i < log_.size(); ++i) {
+      out += log_[i].text;
+      out += '\n';
+    }
+    return out;
+  }
+
+  void clear() noexcept { log_.clear(); }
+
+ private:
+  std::size_t visible_lines_;
+  std::vector<Entry> log_;
+};
+
+}  // namespace sift::amulet

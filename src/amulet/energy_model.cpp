@@ -1,0 +1,81 @@
+#include "amulet/energy_model.hpp"
+
+namespace sift::amulet {
+
+double cycles_for(const core::OpCounts& ops, const SoftFloatCosts& costs) {
+  return static_cast<double>(ops.add) * costs.add +
+         static_cast<double>(ops.mul) * costs.mul +
+         static_cast<double>(ops.div) * costs.div +
+         static_cast<double>(ops.sqrt_calls) * costs.sqrt_call +
+         static_cast<double>(ops.atan2_calls) * costs.atan2_call +
+         static_cast<double>(ops.int_ops) * costs.int_op;
+}
+
+core::OpCounts fetch_ops(std::size_t window_samples) {
+  // FRAM reads into the staging arrays: both channels, ~2 ALU/move ops per
+  // 32-bit sample (2 words), plus peak-index bookkeeping (negligible).
+  core::OpCounts ops;
+  ops.int_ops = 4 * static_cast<std::uint64_t>(window_samples);
+  return ops;
+}
+
+core::OpCounts portrait_ops(std::size_t window_samples,
+                            core::DetectorVersion version,
+                            std::size_t peak_count) {
+  const auto n = static_cast<std::uint64_t>(window_samples);
+  core::OpCounts ops;
+  // Min/max scan of both channels: ~1.5 comparisons per sample per channel
+  // (minmax_element), modeled in the add cost class (soft-float compare).
+  ops.add += 3 * n;
+  if (version == core::DetectorVersion::kReduced) {
+    // Only peak coordinates are normalised (subtract + divide each of the
+    // two coordinates per peak).
+    ops.add += 2 * peak_count;
+    ops.div += 2 * peak_count;
+  } else {
+    // Full-trajectory normalisation: subtract + divide per sample, both
+    // channels (the matrix features need every point).
+    ops.add += 2 * n;
+    ops.div += 2 * n;
+  }
+  return ops;
+}
+
+core::OpCounts binning_ops(std::size_t window_samples,
+                           core::DetectorVersion version) {
+  core::OpCounts ops;
+  if (version == core::DetectorVersion::kReduced) return ops;  // no matrix
+  const auto n = static_cast<std::uint64_t>(window_samples);
+  ops.mul += 2 * n;  // x*g, y*g per point
+  ops.add += 2 * n;  // float->int conversions (soft-float class)
+  return ops;
+}
+
+core::OpCounts classifier_ops(std::size_t feature_dim) {
+  core::OpCounts ops;
+  ops.mul += feature_dim;
+  ops.add += feature_dim + 1;  // accumulate + threshold compare
+  return ops;
+}
+
+double EnergyModel::duty_current_ua(double cycles, double period_s) const {
+  const double busy_s = cycles / board.cpu_hz;
+  return busy_s / period_s * board.active_current_ma * 1000.0;
+}
+
+double EnergyModel::display_current_ua(double updates_per_window,
+                                       double period_s) const {
+  return updates_per_window * board.display_update_uc / period_s;
+}
+
+double EnergyModel::system_current_ua(double fram_system_kb) const {
+  return idle_current_ua + system_ua_per_fram_kb * fram_system_kb;
+}
+
+double EnergyModel::lifetime_days(double total_current_ua) const {
+  if (total_current_ua <= 0.0) return 0.0;
+  const double hours = board.battery_mah / (total_current_ua / 1000.0);
+  return hours / 24.0;
+}
+
+}  // namespace sift::amulet

@@ -1,0 +1,80 @@
+// ARP-style parameterised energy model.
+//
+// "To profile energy, Amulet Resource Profiler builds a parameterized model
+//  of the app's energy consumption." Ours works from first principles where
+// it can and is calibrated where it must:
+//
+//  * Detector compute: exact arithmetic-operation counts (measured by
+//    running the real extractors on an instrumented scalar — see
+//    core::extract_features_counted) times MSP430 software-floating-point
+//    cycle costs (no FPU on the FR5989; costs are typical of the msp430-gcc
+//    soft-float routines). Cycles -> seconds at the 8 MHz clock -> charge
+//    at the active-mode current.
+//  * Display: charge per LCD update (PeaksDataCheck shows each snippet;
+//    MLClassifier shows alerts).
+//  * System baseline: idle current plus a per-kilobyte surcharge on the
+//    system FRAM image — a larger linked OS image implies more services
+//    waking the MCU. The two constants are calibrated so the three
+//    per-version lifetimes land near Table III (23 / 26 / 55 days).
+#pragma once
+
+#include <cstdint>
+
+#include "amulet/board.hpp"
+#include "core/features.hpp"
+
+namespace sift::amulet {
+
+/// MSP430 software-float cycle costs (per operation).
+struct SoftFloatCosts {
+  double add = 184.0;    ///< __mspabi_addd-class
+  double mul = 395.0;
+  double div = 405.0;
+  double sqrt_call = 1320.0;
+  double atan2_call = 3850.0;
+  double int_op = 3.0;   ///< 16-bit integer ALU op (grid bookkeeping)
+};
+
+/// Cycles for a measured operation mix.
+double cycles_for(const core::OpCounts& ops, const SoftFloatCosts& costs);
+
+/// Analytic operation counts of the pipeline stages that precede feature
+/// extraction (the instrumented extractor only sees the feature math):
+/// min-max normalisation of both channels, and count-matrix binning.
+/// The Reduced version skips binning entirely and — as its device build
+/// would — normalises only the handful of peak coordinates it needs, so
+/// its per-window cost collapses to the min/max scan.
+core::OpCounts portrait_ops(std::size_t window_samples,
+                            core::DetectorVersion version,
+                            std::size_t peak_count);
+core::OpCounts binning_ops(std::size_t window_samples,
+                           core::DetectorVersion version);
+
+/// Classifier cost: dot product over d features (folded scaler).
+core::OpCounts classifier_ops(std::size_t feature_dim);
+
+/// PeaksDataCheck cost: copying both channel windows out of FRAM into the
+/// staging arrays plus annotation bookkeeping (integer ops only).
+core::OpCounts fetch_ops(std::size_t window_samples);
+
+struct EnergyModel {
+  BoardSpec board{};
+  SoftFloatCosts costs{};
+  double idle_current_ua = 2.0;       ///< RTC + sensor wake-ups
+  double system_ua_per_fram_kb = 1.1; ///< calibrated (see header comment)
+
+  /// Average current (uA) of compute that spends @p cycles every
+  /// @p period_s seconds.
+  double duty_current_ua(double cycles, double period_s) const;
+
+  /// Average current (uA) of @p updates_per_window display refreshes.
+  double display_current_ua(double updates_per_window, double period_s) const;
+
+  /// System baseline (uA) for a build whose OS image is @p fram_system_kb.
+  double system_current_ua(double fram_system_kb) const;
+
+  /// Battery life in days at @p total_current_ua average draw.
+  double lifetime_days(double total_current_ua) const;
+};
+
+}  // namespace sift::amulet

@@ -1,0 +1,67 @@
+#include "amulet/memory_model.hpp"
+
+namespace sift::amulet {
+namespace {
+
+using core::DetectorVersion;
+
+// --- FRAM system image components (KB) --------------------------------------
+// Calibrated so the three per-version sums reproduce Table III's system
+// column (77.03 / 71.58 / 56.29 KB).
+constexpr double kOsBaseKb = 56.29;        // AmuletOS + services every app needs
+constexpr double kMatrixSupportKb = 15.29; // display/format/array support the
+                                           // matrix-feature builds pull in
+constexpr double kLibmKb = 5.45;           // C math library (Original only)
+
+// --- FRAM detector components (KB) ------------------------------------------
+// Shared across versions.
+constexpr double kStateGlueKb = 0.70;   // QM state machine + event plumbing
+constexpr double kPeaksCheckKb = 0.50;  // PeaksDataCheck state
+constexpr double kClassifierKb = 0.34;  // MLClassifier state (dot product)
+constexpr double kModelDataKb = 0.10;   // folded weights + bias (25 floats)
+// Feature-extraction code, per version.
+constexpr double kMatrixCodeOriginalKb = 0.98;   // trapezoid + stddev via libm
+constexpr double kMatrixCodeSimplifiedKb = 1.46; // hand-inlined, no libm
+constexpr double kGeomCodeOriginalKb = 0.87;     // compact libm calls
+constexpr double kGeomCodeSimplifiedKb = 0.92;   // slopes/squared distances
+constexpr double kLibmStubsKb = 1.30;            // sqrt/atan2 glue + tables
+
+// --- SRAM (bytes) ------------------------------------------------------------
+constexpr std::size_t kOsSramB = 694;       // AmuletOS peak RAM
+constexpr std::size_t kOsSramLibmExtraB = 2;// libm statics (Original build)
+constexpr std::size_t kDetectorLocalsB = 59;   // scalars + loop state
+constexpr std::size_t kReducedLocalsB = 69;    // keeps peak-pair locals live
+
+}  // namespace
+
+MemoryFootprint estimate_memory(core::DetectorVersion version,
+                                std::size_t grid_n) {
+  const bool matrix = version != DetectorVersion::kReduced;
+  const bool libm = version == DetectorVersion::kOriginal;
+
+  MemoryFootprint m;
+  m.fram_system_kb = kOsBaseKb + (matrix ? kMatrixSupportKb : 0.0) +
+                     (libm ? kLibmKb : 0.0);
+
+  m.fram_detector_kb = kStateGlueKb + kPeaksCheckKb + kClassifierKb +
+                       kModelDataKb;
+  switch (version) {
+    case DetectorVersion::kOriginal:
+      m.fram_detector_kb +=
+          kMatrixCodeOriginalKb + kGeomCodeOriginalKb + kLibmStubsKb;
+      break;
+    case DetectorVersion::kSimplified:
+      m.fram_detector_kb += kMatrixCodeSimplifiedKb + kGeomCodeSimplifiedKb;
+      break;
+    case DetectorVersion::kReduced:
+      m.fram_detector_kb += kGeomCodeSimplifiedKb;
+      break;
+  }
+
+  m.sram_system_b = kOsSramB + (libm ? kOsSramLibmExtraB : 0);
+  m.sram_detector_b =
+      matrix ? grid_n * sizeof(float) + kDetectorLocalsB : kReducedLocalsB;
+  return m;
+}
+
+}  // namespace sift::amulet

@@ -1,0 +1,90 @@
+#include "amulet/profiler.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sift::amulet {
+namespace {
+
+StateBreakdown breakdown_for(const std::string& name,
+                             const SiftApp::StateStats& stats,
+                             std::size_t windows, const EnergyModel& model,
+                             double window_s) {
+  StateBreakdown b;
+  b.state = name;
+  if (windows == 0) return b;
+  const double per_window =
+      cycles_for(stats.ops, model.costs) / static_cast<double>(windows);
+  b.cycles_per_window = per_window;
+  b.compute_current_ua = model.duty_current_ua(per_window, window_s);
+  b.display_current_ua = model.display_current_ua(
+      static_cast<double>(stats.display_updates) /
+          static_cast<double>(windows),
+      window_s);
+  return b;
+}
+
+}  // namespace
+
+ResourceProfile profile_app(const SiftApp& app, const EnergyModel& model,
+                            double window_s) {
+  const auto& stats = app.stats();
+  if (stats.windows_processed == 0) {
+    throw std::invalid_argument("profile_app: app has not processed windows");
+  }
+  const auto version = app.model().config.version;
+
+  ResourceProfile p;
+  p.version = version;
+  p.memory = estimate_memory(version, app.model().config.grid_n);
+
+  p.states.push_back(breakdown_for("PeaksDataCheck", stats.peaks_check,
+                                   stats.windows_processed, model, window_s));
+  p.states.push_back(breakdown_for("FeatureExtraction",
+                                   stats.feature_extraction,
+                                   stats.windows_processed, model, window_s));
+  p.states.push_back(breakdown_for("MLClassifier", stats.ml_classifier,
+                                   stats.windows_processed, model, window_s));
+
+  for (const auto& s : p.states) {
+    p.detector_current_ua += s.compute_current_ua + s.display_current_ua;
+  }
+  p.system_current_ua = model.system_current_ua(p.memory.fram_system_kb);
+  p.total_current_ua = p.detector_current_ua + p.system_current_ua;
+  p.expected_lifetime_days = model.lifetime_days(p.total_current_ua);
+
+  for (auto& s : p.states) {
+    const double own = s.compute_current_ua + s.display_current_ua;
+    s.share = p.detector_current_ua > 0.0 ? own / p.detector_current_ua : 0.0;
+  }
+  return p;
+}
+
+std::string format_arp_view(const ResourceProfile& p) {
+  std::ostringstream os;
+  os << std::fixed;
+  os << "=== ARP-view: SIFT detector (" << core::to_string(p.version)
+     << " version) ===\n";
+  os << std::setprecision(2);
+  os << "Memory Use (FRAM):  " << p.memory.fram_system_kb << " KB system + "
+     << p.memory.fram_detector_kb << " KB detector\n";
+  os << "Max RAM Use (SRAM): " << p.memory.sram_system_b << " B system + "
+     << p.memory.sram_detector_b << " B detector\n";
+  os << "Per-state energy profile:\n";
+  for (const auto& s : p.states) {
+    os << "  " << std::left << std::setw(18) << s.state << std::right
+       << std::setw(10) << std::setprecision(0) << s.cycles_per_window
+       << " cycles/window  " << std::setw(7) << std::setprecision(2)
+       << s.compute_current_ua + s.display_current_ua << " uA  ("
+       << std::setprecision(1) << s.share * 100.0 << "% of app)\n";
+  }
+  os << std::setprecision(2);
+  os << "Detector avg current: " << p.detector_current_ua << " uA\n";
+  os << "System avg current:   " << p.system_current_ua << " uA\n";
+  os << "Expected lifetime:    " << std::setprecision(1)
+     << p.expected_lifetime_days << " days (110 mAh)\n";
+  return os.str();
+}
+
+}  // namespace sift::amulet

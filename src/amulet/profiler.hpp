@@ -1,0 +1,46 @@
+// The Amulet Resource Profiler (ARP) — produces Table III and the
+// Fig 3-style per-state resource breakdown.
+//
+// Combines the static memory model (amulet/memory_model.hpp) with the
+// parameterised energy model (amulet/energy_model.hpp) applied to the
+// measured per-state operation counts of a SiftApp run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "amulet/energy_model.hpp"
+#include "amulet/memory_model.hpp"
+#include "amulet/sift_app.hpp"
+
+namespace sift::amulet {
+
+/// One row of the ARP-view breakdown (Fig 3).
+struct StateBreakdown {
+  std::string state;
+  double cycles_per_window = 0.0;
+  double compute_current_ua = 0.0;  ///< averaged over the window period
+  double display_current_ua = 0.0;
+  double share = 0.0;  ///< fraction of total detector current
+};
+
+/// Full resource profile of one detector version (Table III row + Fig 3).
+struct ResourceProfile {
+  core::DetectorVersion version{};
+  MemoryFootprint memory;
+  std::vector<StateBreakdown> states;
+  double detector_current_ua = 0.0;  ///< compute + display, all states
+  double system_current_ua = 0.0;    ///< OS baseline for this build
+  double total_current_ua = 0.0;
+  double expected_lifetime_days = 0.0;
+};
+
+/// Profiles a completed app run. @p window_s is the detection period (the
+/// app runs once per window, 3 s in the paper).
+ResourceProfile profile_app(const SiftApp& app, const EnergyModel& model,
+                            double window_s);
+
+/// Renders the profile as an ARP-view-style text panel.
+std::string format_arp_view(const ResourceProfile& profile);
+
+}  // namespace sift::amulet

@@ -1,0 +1,39 @@
+#include "amulet/qm.hpp"
+
+#include <algorithm>
+
+namespace sift::amulet {
+
+void Scheduler::add_app(App& app) {
+  if (std::find(apps_.begin(), apps_.end(), &app) != apps_.end()) return;
+  apps_.push_back(&app);
+  queue_.push_back({&app, Event{kInitSignal, {}}});
+}
+
+void Scheduler::post(App& app, Event event) {
+  if (std::find(apps_.begin(), apps_.end(), &app) == apps_.end()) {
+    throw std::invalid_argument("Scheduler::post: app '" + app.name() +
+                                "' is not registered");
+  }
+  queue_.push_back({&app, std::move(event)});
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  Pending p = std::move(queue_.front());
+  queue_.pop_front();
+  p.app->on_event(p.event);  // run to completion
+  return true;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t dispatched = 0;
+  while (step()) {
+    if (++dispatched > max_events) {
+      throw std::runtime_error("Scheduler::run: event storm (runaway app?)");
+    }
+  }
+  return dispatched;
+}
+
+}  // namespace sift::amulet

@@ -1,0 +1,86 @@
+// QM-style run-to-completion event framework (the AmuletOS app model).
+//
+// "AmuletOS is implemented on top of the QM event-based programming
+//  framework ... Each application is represented as a state machine with
+//  memory. Therefore, there are no processes or threads, all application
+//  code runs to completion without context-switching overhead."
+//
+// This module reproduces that execution model in miniature: apps are state
+// machines, the scheduler owns one FIFO event queue, and each event handler
+// runs to completion before the next event is dispatched (handlers may post
+// further events, which queue behind everything already pending). There is
+// intentionally no preemption and no threading.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sift::amulet {
+
+using Signal = int;
+
+/// Framework-reserved signals; apps define their own from kUserSignal up.
+inline constexpr Signal kInitSignal = 0;
+inline constexpr Signal kUserSignal = 16;
+
+struct Event {
+  Signal signal = kInitSignal;
+  std::any payload;
+};
+
+/// Base class for an Amulet application (a state machine with memory).
+class App {
+ public:
+  explicit App(std::string name) : name_(std::move(name)) {}
+  virtual ~App() = default;
+
+  App(const App&) = delete;
+  App& operator=(const App&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Run-to-completion event handler. Must not block; may post events via
+  /// the scheduler passed at registration.
+  virtual void on_event(const Event& event) = 0;
+
+ private:
+  std::string name_;
+};
+
+/// Cooperative FIFO dispatcher over registered apps.
+class Scheduler {
+ public:
+  /// Registers @p app (non-owning; the app must outlive the scheduler) and
+  /// immediately queues its kInitSignal.
+  void add_app(App& app);
+
+  /// Queues @p event for @p app.
+  /// @throws std::invalid_argument if the app was never registered.
+  void post(App& app, Event event);
+
+  /// Dispatches exactly one queued event (run to completion).
+  /// Returns false when the queue is empty.
+  bool step();
+
+  /// Drains the queue; returns the number of events dispatched.
+  /// @throws std::runtime_error after @p max_events dispatches (runaway
+  /// posting guard — a correct Amulet app quiesces).
+  std::size_t run(std::size_t max_events = 1'000'000);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Pending {
+    App* app;
+    Event event;
+  };
+
+  std::vector<App*> apps_;
+  std::deque<Pending> queue_;
+};
+
+}  // namespace sift::amulet

@@ -1,0 +1,106 @@
+// The SIFT detector as an Amulet application.
+//
+// "each version of our detector consists of three states: (1) PeaksDataCheck
+//  state; (2) FeatureExtraction state; (3) and MLClassifier state."
+//
+//  * PeaksDataCheck — fetches the pre-stored 3-second ECG/ABP snippet and
+//    its peak indexes from memory and shows it on the LED screen.
+//  * FeatureExtraction — builds the portrait (and, for the matrix
+//    versions, the count matrix) and extracts the version's features.
+//  * MLClassifier — evaluates the folded linear model (the on-device form
+//    produced by ml::fold_scaler) and raises an alert on a positive.
+//
+// The app runs under the QM-style Scheduler; the host harness posts one
+// kSigWindowReady per w-second window, mirroring the paper's setup where
+// 2 minutes of test data were pre-stored and consumed window by window.
+// Every state records its activation count, display updates, and exact
+// arithmetic-operation counts (measured feature math + analytic costs of
+// normalisation/binning/classification), which the ResourceProfiler turns
+// into Table III / Fig 3.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "amulet/display.hpp"
+#include "amulet/qm.hpp"
+#include "core/detector.hpp"
+#include "core/features.hpp"
+#include "core/trainer.hpp"
+#include "ml/codegen.hpp"
+#include "physio/dataset.hpp"
+
+namespace sift::amulet {
+
+inline constexpr Signal kSigWindowReady = kUserSignal + 0;
+inline constexpr Signal kSigPeaksChecked = kUserSignal + 1;
+inline constexpr Signal kSigFeaturesReady = kUserSignal + 2;
+
+struct WindowVerdict {
+  std::size_t window_index = 0;
+  bool altered = false;
+  double decision_value = 0.0;
+};
+
+class SiftApp final : public App {
+ public:
+  struct StateStats {
+    core::OpCounts ops;
+    std::size_t activations = 0;
+    std::size_t display_updates = 0;
+  };
+
+  struct RunStats {
+    StateStats peaks_check;
+    StateStats feature_extraction;
+    StateStats ml_classifier;
+    std::vector<WindowVerdict> verdicts;
+    std::size_t alerts = 0;
+    std::size_t windows_processed = 0;
+  };
+
+  /// @param model      the offline-trained user model (version/arithmetic
+  ///                   from model.config; on-device arithmetic should be
+  ///                   Arithmetic::kFloat32 to mirror the MSP430 build)
+  /// @param prestored  the test trace pre-stored in device memory (must
+  ///                   outlive the app)
+  /// @param display    optional LED-screen emulation (Insight #3); when
+  ///                   set, snippet fetches and alerts are written to it
+  ///                   (must outlive the app)
+  SiftApp(core::UserModel model, const physio::Record& prestored,
+          Scheduler& scheduler, LedDisplay* display = nullptr);
+
+  void on_event(const Event& event) override;
+
+  const RunStats& stats() const noexcept { return stats_; }
+  const core::UserModel& model() const noexcept { return model_; }
+  std::size_t window_samples() const noexcept { return window_samples_; }
+  std::size_t window_count() const noexcept;
+
+ private:
+  void on_peaks_data_check(std::size_t window_index);
+  void on_feature_extraction(std::size_t window_index);
+  void on_ml_classifier(std::size_t window_index);
+
+  core::UserModel model_;
+  ml::LinearSvmModel folded_;  ///< scaler folded into weights (device form)
+  const physio::Record& prestored_;
+  Scheduler& scheduler_;
+  LedDisplay* display_;  ///< optional, non-owning
+  std::size_t window_samples_;
+
+  // "App code, state, and variables are kept in persistent storage" — the
+  // staged per-window data the states hand to each other.
+  std::vector<double> staged_features_;
+  std::size_t staged_peak_count_ = 0;
+  bool staged_peaks_ok_ = true;  ///< PeaksDataCheck verdict for the window
+
+  RunStats stats_;
+};
+
+/// Drives the app over every non-overlapping window of its pre-stored
+/// trace: posts kSigWindowReady per window and drains the scheduler.
+/// Returns the final run stats.
+const SiftApp::RunStats& run_app_over_trace(SiftApp& app, Scheduler& scheduler);
+
+}  // namespace sift::amulet

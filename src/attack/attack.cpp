@@ -1,0 +1,140 @@
+#include "attack/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sift::attack {
+namespace {
+
+void check_range(const signal::Series& ecg, std::size_t start,
+                 std::size_t len, const char* who) {
+  if (len == 0 || start + len > ecg.size()) {
+    throw std::invalid_argument(std::string(who) + ": invalid range");
+  }
+}
+
+// Removes r_peaks annotations falling inside [start, start+len).
+void erase_peaks_in_range(std::vector<std::size_t>& r_peaks, std::size_t start,
+                          std::size_t len) {
+  std::erase_if(r_peaks, [start, len](std::size_t p) {
+    return p >= start && p < start + len;
+  });
+}
+
+void insert_peaks_sorted(std::vector<std::size_t>& r_peaks,
+                         const std::vector<std::size_t>& add) {
+  r_peaks.insert(r_peaks.end(), add.begin(), add.end());
+  std::sort(r_peaks.begin(), r_peaks.end());
+  r_peaks.erase(std::unique(r_peaks.begin(), r_peaks.end()), r_peaks.end());
+}
+
+}  // namespace
+
+void SubstitutionAttack::alter(signal::Series& ecg,
+                               std::vector<std::size_t>& r_peaks,
+                               std::size_t start, std::size_t len,
+                               const physio::Record& donor,
+                               std::mt19937_64& /*rng*/) {
+  check_range(ecg, start, len, "SubstitutionAttack");
+  if (start + len > donor.ecg.size()) {
+    throw std::invalid_argument("SubstitutionAttack: donor trace too short");
+  }
+  for (std::size_t i = 0; i < len; ++i) ecg[start + i] = donor.ecg[start + i];
+
+  erase_peaks_in_range(r_peaks, start, len);
+  std::vector<std::size_t> donor_peaks;
+  for (std::size_t p : donor.r_peaks) {
+    if (p >= start && p < start + len) donor_peaks.push_back(p);
+  }
+  insert_peaks_sorted(r_peaks, donor_peaks);
+}
+
+void ReplayAttack::alter(signal::Series& ecg,
+                         std::vector<std::size_t>& r_peaks, std::size_t start,
+                         std::size_t len, const physio::Record& donor,
+                         std::mt19937_64& /*rng*/) {
+  check_range(ecg, start, len, "ReplayAttack");
+  auto lag = static_cast<std::size_t>(lag_s_ * ecg.sample_rate_hz());
+  if (lag > start) lag = start;  // clamp: replay the earliest data we have
+  if (lag == 0) return;          // nothing older to replay
+
+  // Capture stale peaks *before* overwriting (source range is pre-attack
+  // victim signal — use the donor record, which for replay is the victim's
+  // own clean record, so the source is never itself altered).
+  std::vector<std::size_t> stale_peaks;
+  for (std::size_t p : donor.r_peaks) {
+    if (p >= start - lag && p < start - lag + len) stale_peaks.push_back(p + lag);
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    ecg[start + i] = donor.ecg[start - lag + i];
+  }
+  erase_peaks_in_range(r_peaks, start, len);
+  insert_peaks_sorted(r_peaks, stale_peaks);
+}
+
+void FlatlineAttack::alter(signal::Series& ecg,
+                           std::vector<std::size_t>& r_peaks,
+                           std::size_t start, std::size_t len,
+                           const physio::Record& /*donor*/,
+                           std::mt19937_64& /*rng*/) {
+  check_range(ecg, start, len, "FlatlineAttack");
+  const double hold = start > 0 ? ecg[start - 1] : ecg[start];
+  for (std::size_t i = 0; i < len; ++i) ecg[start + i] = hold;
+  erase_peaks_in_range(r_peaks, start, len);
+}
+
+void NoiseInjectionAttack::alter(signal::Series& ecg,
+                                 std::vector<std::size_t>& /*r_peaks*/,
+                                 std::size_t start, std::size_t len,
+                                 const physio::Record& /*donor*/,
+                                 std::mt19937_64& rng) {
+  check_range(ecg, start, len, "NoiseInjectionAttack");
+  auto window = ecg.samples().subspan(start, len);
+  const auto [mn, mx] = std::minmax_element(window.begin(), window.end());
+  const double sd = relative_sd_ * std::max(1e-9, *mx - *mn);
+  std::normal_distribution<double> noise(0.0, sd);
+  for (double& v : window) v += noise(rng);
+  // Peaks become unreliable under heavy noise; a run-time detector would
+  // fire spuriously. Keep existing annotations (locations still roughly
+  // valid) — classification must rely on the degraded morphology.
+}
+
+void TimeShiftAttack::alter(signal::Series& ecg,
+                            std::vector<std::size_t>& r_peaks,
+                            std::size_t start, std::size_t len,
+                            const physio::Record& /*donor*/,
+                            std::mt19937_64& rng) {
+  check_range(ecg, start, len, "TimeShiftAttack");
+  std::uniform_real_distribution<double> pick(min_shift_s_, max_shift_s_);
+  auto shift = static_cast<std::size_t>(pick(rng) * ecg.sample_rate_hz());
+  shift %= len;
+  if (shift == 0) shift = len / 2;
+
+  std::vector<double> rotated(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    rotated[(i + shift) % len] = ecg[start + i];
+  }
+  for (std::size_t i = 0; i < len; ++i) ecg[start + i] = rotated[i];
+
+  std::vector<std::size_t> shifted;
+  for (std::size_t p : r_peaks) {
+    if (p >= start && p < start + len) {
+      shifted.push_back(start + (p - start + shift) % len);
+    }
+  }
+  erase_peaks_in_range(r_peaks, start, len);
+  insert_peaks_sorted(r_peaks, shifted);
+}
+
+std::vector<std::unique_ptr<Attack>> make_all_attacks() {
+  std::vector<std::unique_ptr<Attack>> out;
+  out.push_back(std::make_unique<SubstitutionAttack>());
+  out.push_back(std::make_unique<ReplayAttack>());
+  out.push_back(std::make_unique<FlatlineAttack>());
+  out.push_back(std::make_unique<NoiseInjectionAttack>());
+  out.push_back(std::make_unique<TimeShiftAttack>());
+  return out;
+}
+
+}  // namespace sift::attack

@@ -1,0 +1,112 @@
+// Sensor-hijacking attack models.
+//
+// The paper defines sensor-hijacking as attacks that "prevent sensors from
+// accurately collecting or reporting their measurements" and evaluates the
+// detector against one instance: replacing the user's ECG with someone
+// else's (SubstitutionAttack). SIFT is attack-agnostic, so we also model the
+// other manifestations the definition covers — replayed (old) data,
+// flatlines, injected noise, and time shifts — and benchmark detector
+// generalisation across them (bench/ablation_attacks).
+//
+// Attacks alter only the ECG channel; the paper's threat model treats ABP as
+// trustworthy. Alterations also rewrite the R-peak annotations for the
+// altered range, mirroring what on-device run-time peak detection would see.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "physio/dataset.hpp"
+#include "signal/series.hpp"
+
+namespace sift::attack {
+
+/// Interface for one ECG-channel alteration primitive.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Alters @p len samples of @p ecg starting at @p start, updating
+  /// @p r_peaks so annotations match the altered waveform. @p donor supplies
+  /// foreign signal material where the attack needs it (substitution).
+  /// Preconditions: start + len <= ecg.size() and <= donor.ecg.size().
+  virtual void alter(signal::Series& ecg, std::vector<std::size_t>& r_peaks,
+                     std::size_t start, std::size_t len,
+                     const physio::Record& donor, std::mt19937_64& rng) = 0;
+};
+
+/// Replaces the range with the donor user's ECG — the paper's evaluation
+/// attack ("replacing a user's ECG with someone else's").
+class SubstitutionAttack final : public Attack {
+ public:
+  std::string_view name() const noexcept override { return "substitution"; }
+  void alter(signal::Series& ecg, std::vector<std::size_t>& r_peaks,
+             std::size_t start, std::size_t len, const physio::Record& donor,
+             std::mt19937_64& rng) override;
+};
+
+/// Replaces the range with the *victim's own* ECG from @p lag_s earlier —
+/// "reporting old ... physiological measurements". Stale data desynchronises
+/// the ECG from the live ABP even though the morphology is the user's own.
+class ReplayAttack final : public Attack {
+ public:
+  explicit ReplayAttack(double lag_s = 30.0) : lag_s_(lag_s) {}
+  std::string_view name() const noexcept override { return "replay"; }
+  void alter(signal::Series& ecg, std::vector<std::size_t>& r_peaks,
+             std::size_t start, std::size_t len, const physio::Record& donor,
+             std::mt19937_64& rng) override;
+
+ private:
+  double lag_s_;
+};
+
+/// Holds the channel at its last pre-attack value (sensor disabled/stuck).
+class FlatlineAttack final : public Attack {
+ public:
+  std::string_view name() const noexcept override { return "flatline"; }
+  void alter(signal::Series& ecg, std::vector<std::size_t>& r_peaks,
+             std::size_t start, std::size_t len, const physio::Record& donor,
+             std::mt19937_64& rng) override;
+};
+
+/// Adds Gaussian noise scaled to a fraction of the window's dynamic range
+/// (EMI-style injection, cf. Foo Kune et al. "Ghost Talk").
+class NoiseInjectionAttack final : public Attack {
+ public:
+  explicit NoiseInjectionAttack(double relative_sd = 0.5)
+      : relative_sd_(relative_sd) {}
+  std::string_view name() const noexcept override { return "noise"; }
+  void alter(signal::Series& ecg, std::vector<std::size_t>& r_peaks,
+             std::size_t start, std::size_t len, const physio::Record& donor,
+             std::mt19937_64& rng) override;
+
+ private:
+  double relative_sd_;
+};
+
+/// Circularly shifts the range by a random offset (desynchronising ECG from
+/// ABP without changing the victim's morphology).
+class TimeShiftAttack final : public Attack {
+ public:
+  explicit TimeShiftAttack(double min_shift_s = 0.3, double max_shift_s = 1.2)
+      : min_shift_s_(min_shift_s), max_shift_s_(max_shift_s) {}
+  std::string_view name() const noexcept override { return "time-shift"; }
+  void alter(signal::Series& ecg, std::vector<std::size_t>& r_peaks,
+             std::size_t start, std::size_t len, const physio::Record& donor,
+             std::mt19937_64& rng) override;
+
+ private:
+  double min_shift_s_;
+  double max_shift_s_;
+};
+
+/// Factory for every attack in the gallery (used by the generalisation
+/// ablation and the attack_gallery example).
+std::vector<std::unique_ptr<Attack>> make_all_attacks();
+
+}  // namespace sift::attack

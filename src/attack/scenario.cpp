@@ -1,0 +1,55 @@
+#include "attack/scenario.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace sift::attack {
+
+AttackedRecord corrupt_windows(const physio::Record& victim,
+                               std::span<const physio::Record> donors,
+                               Attack& attack, double altered_fraction,
+                               std::size_t window_samples,
+                               std::uint64_t seed) {
+  if (window_samples == 0 || window_samples > victim.ecg.size()) {
+    throw std::invalid_argument("corrupt_windows: bad window size");
+  }
+  if (!(altered_fraction >= 0.0 && altered_fraction <= 1.0)) {
+    throw std::invalid_argument("corrupt_windows: fraction must be in [0,1]");
+  }
+
+  AttackedRecord out;
+  out.record = victim;
+  out.window_samples = window_samples;
+  const std::size_t n_windows = victim.ecg.size() / window_samples;
+  out.window_altered.assign(n_windows, false);
+
+  const auto n_altered =
+      static_cast<std::size_t>(altered_fraction * static_cast<double>(n_windows));
+  if (n_altered == 0) return out;
+
+  std::mt19937_64 rng(seed);
+  std::vector<std::size_t> order(n_windows);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  // Attacks that need no donor material (flatline, noise, shift, replay of
+  // the victim's own past) fall back to the victim's clean record; replay
+  // specifically documents that contract.
+  const bool have_donors = !donors.empty();
+  std::uniform_int_distribution<std::size_t> pick_donor(
+      0, have_donors ? donors.size() - 1 : 0);
+
+  for (std::size_t k = 0; k < n_altered; ++k) {
+    const std::size_t w = order[k];
+    const physio::Record& donor =
+        have_donors ? donors[pick_donor(rng)] : victim;
+    attack.alter(out.record.ecg, out.record.r_peaks, w * window_samples,
+                 window_samples, donor, rng);
+    out.window_altered[w] = true;
+  }
+  return out;
+}
+
+}  // namespace sift::attack

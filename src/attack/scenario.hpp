@@ -1,0 +1,38 @@
+// Attack scheduler: corrupts random windows of a test trace.
+//
+// Reproduces the paper's test protocol: "Within these 2 minutes of unseen
+// ECG measurements, about 1 minute worth (i.e., 50%) of measurement were
+// altered ... The alteration was done in random locations within the
+// 2 minute snippet", at the detector's window granularity (w = 3 s), giving
+// 40 labelled test windows per subject.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "physio/dataset.hpp"
+
+namespace sift::attack {
+
+/// A test trace with per-window ground truth.
+struct AttackedRecord {
+  physio::Record record;             ///< ECG altered in place; ABP intact
+  std::vector<bool> window_altered;  ///< ground truth, one flag per window
+  std::size_t window_samples = 0;    ///< non-overlapping window length
+};
+
+/// Alters @p altered_fraction of the non-overlapping @p window_samples
+/// windows of @p victim (rounded down, chosen uniformly without
+/// replacement). Each altered window draws a donor uniformly from
+/// @p donors (which must exclude the victim and be at least as long).
+///
+/// @throws std::invalid_argument if donors is empty while @p attack needs
+///         donor material, or window_samples is 0 or exceeds the trace.
+AttackedRecord corrupt_windows(const physio::Record& victim,
+                               std::span<const physio::Record> donors,
+                               Attack& attack, double altered_fraction,
+                               std::size_t window_samples, std::uint64_t seed);
+
+}  // namespace sift::attack

@@ -1,0 +1,44 @@
+#include "core/count_matrix.hpp"
+
+#include <stdexcept>
+
+namespace sift::core {
+
+CountMatrix::CountMatrix(const Portrait& portrait, std::size_t n) : n_(n) {
+  if (n_ == 0) throw std::invalid_argument("CountMatrix: n must be positive");
+  counts_.assign(n_ * n_, 0);
+  for (const Point& p : portrait.points()) {
+    auto i = static_cast<std::size_t>(p.x * static_cast<double>(n_));
+    auto j = static_cast<std::size_t>(p.y * static_cast<double>(n_));
+    if (i >= n_) i = n_ - 1;  // x == 1.0 lands in the last column
+    if (j >= n_) j = n_ - 1;
+    ++counts_[i * n_ + j];
+    ++total_;
+  }
+}
+
+std::vector<double> CountMatrix::column_averages() const {
+  std::vector<double> avg(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::uint64_t sum = 0;
+    for (std::size_t j = 0; j < n_; ++j) sum += counts_[i * n_ + j];
+    avg[i] = static_cast<double>(sum) / static_cast<double>(n_);
+  }
+  return avg;
+}
+
+std::uint64_t CountMatrix::sum_squared_counts() const noexcept {
+  std::uint64_t s = 0;
+  for (std::uint32_t c : counts_) {
+    s += static_cast<std::uint64_t>(c) * c;
+  }
+  return s;
+}
+
+double CountMatrix::spatial_filling_index() const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(sum_squared_counts()) /
+         (static_cast<double>(total_) * static_cast<double>(total_));
+}
+
+}  // namespace sift::core

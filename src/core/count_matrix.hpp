@@ -1,0 +1,60 @@
+// The n x n count matrix C over the portrait grid.
+//
+// "Matrix features are generated based on viewing the portrait as an n x n
+//  grid and counting the number of points from the portrait that fall into
+//  each element in the grid ... each element c(i, j) is the number of
+//  points in the corresponding grid element (i, j) ... We chose n = 50."
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/portrait.hpp"
+
+namespace sift::core {
+
+/// Paper's grid resolution.
+inline constexpr std::size_t kDefaultGridSize = 50;
+
+class CountMatrix {
+ public:
+  /// Bins the portrait's trajectory points into an n x n grid over the unit
+  /// square (coordinates exactly 1.0 fall into the last cell).
+  /// @throws std::invalid_argument if n == 0.
+  explicit CountMatrix(const Portrait& portrait,
+                       std::size_t n = kDefaultGridSize);
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t total_points() const noexcept { return total_; }
+
+  /// Count in grid cell (i=column along ABP axis, j=row along ECG axis).
+  std::uint32_t at(std::size_t i, std::size_t j) const {
+    return counts_.at(i * n_ + j);
+  }
+
+  /// Column averages: mean count of column i over its n cells — the curve
+  /// whose standard deviation / variance / AUC form the matrix features.
+  std::vector<double> column_averages() const;
+
+  /// Spatial Filling Index: with p(i,j) = c(i,j)/total, the occupancy
+  /// concentration  SFI = sum_ij p(i,j)^2.
+  /// A portrait spread over many cells minimises it (lower bound 1/total);
+  /// a portrait concentrated in one cell attains the maximum 1. Literature
+  /// variants divide by the constant n^2; that affine rescale is absorbed
+  /// by the feature scaler, and omitting it keeps the value representable
+  /// in Q16.16 for the constrained-arithmetic backend. Computed in exact
+  /// integer arithmetic with a single final division.
+  double spatial_filling_index() const noexcept;
+
+  /// Raw integer sums used by constrained-arithmetic feature backends:
+  /// sum of squared counts (fits 64 bits for any realistic window).
+  std::uint64_t sum_squared_counts() const noexcept;
+
+ private:
+  std::size_t n_;
+  std::size_t total_ = 0;
+  std::vector<std::uint32_t> counts_;  // row-major, n_ * n_
+};
+
+}  // namespace sift::core

@@ -1,0 +1,55 @@
+// On-line detection (the paper's "Detection step").
+//
+// "For every newly received w time-units ECG and ABP signals from the user,
+//  it generates a portrait and extracts the ... feature point from this
+//  portrait. Then, this feature point is fed into the user-specific model
+//  ... If the feature point is deemed to be positive, then this w second
+//  ECG signal snippet is considered to be altered and an alert will be
+//  generated."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/portrait.hpp"
+#include "core/trainer.hpp"
+#include "physio/dataset.hpp"
+
+namespace sift::core {
+
+struct DetectionResult {
+  bool altered = false;        ///< positive-class verdict (alert)
+  double decision_value = 0.0; ///< signed SVM margin (>= 0 -> altered)
+  /// PeaksDataCheck data validation: a w-second window from a living
+  /// subject always contains at least one heartbeat (w = 3 s covers >= 1.5
+  /// beats even at 30 bpm). A window with no R peaks or no systolic peaks
+  /// cannot be genuine — it is flagged altered regardless of the SVM margin
+  /// (this is what catches flatline-style hijacking).
+  bool peak_check_failed = false;
+  std::vector<double> features;
+};
+
+/// Wraps a trained UserModel for per-window classification.
+class Detector {
+ public:
+  explicit Detector(UserModel model) : model_(std::move(model)) {}
+
+  const UserModel& model() const noexcept { return model_; }
+  DetectorVersion version() const noexcept { return model_.config.version; }
+
+  /// Classifies one window given raw samples plus window-relative peaks.
+  DetectionResult classify(const PortraitInput& window) const;
+
+  /// Classifies an already-built portrait (lets callers reuse portraits
+  /// across detector versions, as the version-sweep benchmarks do).
+  DetectionResult classify(const Portrait& portrait) const;
+
+  /// Classifies every non-overlapping w-second window of @p rec — the
+  /// paper's test protocol over a 2-minute trace yields 40 verdicts.
+  std::vector<DetectionResult> classify_record(const physio::Record& rec) const;
+
+ private:
+  UserModel model_;
+};
+
+}  // namespace sift::core

@@ -1,0 +1,103 @@
+#include "core/experiment.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "attack/scenario.hpp"
+
+namespace sift::core {
+
+ExperimentData generate_experiment_data(const ExperimentConfig& config) {
+  if (config.n_users < 2) {
+    throw std::invalid_argument(
+        "generate_experiment_data: need >= 2 users (donors required)");
+  }
+  ExperimentData data;
+  data.cohort = physio::synthetic_cohort(config.n_users, config.cohort_seed);
+  data.training = physio::generate_cohort_records(
+      data.cohort, config.train_duration_s, physio::kDefaultRateHz, /*salt=*/0);
+  data.testing = physio::generate_cohort_records(
+      data.cohort, config.test_duration_s, physio::kDefaultRateHz, /*salt=*/1);
+  return data;
+}
+
+ExperimentResult run_detection_experiment(const ExperimentConfig& config,
+                                          const ExperimentData& data,
+                                          attack::Attack& attack) {
+  const double rate = physio::kDefaultRateHz;
+  const auto window =
+      static_cast<std::size_t>(config.sift.window_s * rate + 0.5);
+
+  const std::size_t n_users = data.cohort.size();
+
+  // Phase 1 (sequential): corrupt every subject's test trace. Attack
+  // implementations are not required to be thread-safe, so all shared-
+  // attack use happens here; determinism is per-user seeded regardless.
+  std::vector<attack::AttackedRecord> attacked(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    std::vector<physio::Record> test_donors;
+    for (std::size_t v = 0; v < n_users; ++v) {
+      if (v != u) test_donors.push_back(data.testing[v]);
+    }
+    attacked[u] = attack::corrupt_windows(
+        data.testing[u], test_donors, attack, config.altered_fraction, window,
+        /*seed=*/config.cohort_seed * 131 + u);
+  }
+
+  // Phase 2 (parallel): per-subject training + classification, which is
+  // where nearly all the time goes. Subjects are fully independent.
+  std::vector<SubjectResult> subjects(n_users);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (std::size_t u = next.fetch_add(1); u < n_users;
+         u = next.fetch_add(1)) {
+      std::vector<physio::Record> train_donors;
+      for (std::size_t v = 0; v < n_users; ++v) {
+        if (v != u) train_donors.push_back(data.training[v]);
+      }
+      const UserModel model =
+          train_user_model(data.training[u], train_donors, config.sift);
+      const Detector detector(model);
+      const auto verdicts = detector.classify_record(attacked[u].record);
+
+      SubjectResult sr;
+      sr.user_id = data.cohort[u].user_id;
+      for (std::size_t w = 0; w < verdicts.size(); ++w) {
+        sr.confusion.add(verdicts[w].altered ? +1 : -1,
+                         attacked[u].window_altered[w] ? +1 : -1);
+      }
+      subjects[u] = sr;
+    }
+  };
+
+  const std::size_t n_threads = std::min<std::size_t>(
+      n_users, std::max(1u, std::thread::hardware_concurrency()));
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  }
+
+  ExperimentResult result;
+  result.subjects = std::move(subjects);
+
+  std::vector<ml::ConfusionMatrix> matrices;
+  for (const auto& s : result.subjects) matrices.push_back(s.confusion);
+  result.summary = ml::average_metrics(matrices);
+  return result;
+}
+
+ExperimentResult run_detection_experiment(const ExperimentConfig& config,
+                                          attack::Attack& attack) {
+  const ExperimentData data = generate_experiment_data(config);
+  return run_detection_experiment(config, data, attack);
+}
+
+ExperimentResult run_detection_experiment(const ExperimentConfig& config) {
+  attack::SubstitutionAttack substitution;
+  return run_detection_experiment(config, substitution);
+}
+
+}  // namespace sift::core

@@ -1,0 +1,53 @@
+#include "core/fixed_point.hpp"
+
+namespace sift::core {
+
+Q16_16 Q16_16::sqrt() const {
+  if (raw_ <= 0) return Q16_16{};
+  // sqrt(raw / 2^16) = sqrt(raw * 2^16) / 2^16, so take the integer square
+  // root of raw << 16 — a standard bit-by-bit method, no division.
+  auto v = static_cast<std::uint64_t>(raw_) << 16;
+  std::uint64_t res = 0;
+  std::uint64_t bit = 1ULL << 46;  // highest power-of-4 <= v's range
+  while (bit > v) bit >>= 2;
+  while (bit != 0) {
+    if (v >= res + bit) {
+      v -= res + bit;
+      res = (res >> 1) + bit;
+    } else {
+      res >>= 1;
+    }
+    bit >>= 2;
+  }
+  return from_raw(saturate(static_cast<std::int64_t>(res)));
+}
+
+Q16_16 Q16_16::atan2(Q16_16 y, Q16_16 x) {
+  // atan(z) ~ z * (pi/4 + 0.273 * (1 - |z|)) for |z| <= 1, then quadrant
+  // fix-up; the classic fast embedded approximation (max error ~0.0038 rad).
+  const Q16_16 zero;
+  const Q16_16 pi = from_double(3.14159265358979);
+  const Q16_16 pi_2 = from_double(1.57079632679490);
+  const Q16_16 quarter_pi = from_double(0.78539816339745);
+  const Q16_16 k = from_double(0.273);
+  const Q16_16 one = from_double(1.0);
+
+  if (x.raw() == 0 && y.raw() == 0) return zero;
+  if (x.raw() == 0) return y > zero ? pi_2 : -pi_2;
+
+  const Q16_16 ax = x > zero ? x : -x;
+  const Q16_16 ay = y > zero ? y : -y;
+  Q16_16 angle;
+  if (ax >= ay) {
+    const Q16_16 z = ay / ax;  // |z| <= 1
+    angle = z * (quarter_pi + k * (one - z));
+  } else {
+    const Q16_16 z = ax / ay;
+    angle = pi_2 - z * (quarter_pi + k * (one - z));
+  }
+  if (x < zero) angle = pi - angle;
+  if (y < zero) angle = -angle;
+  return angle;
+}
+
+}  // namespace sift::core

@@ -1,0 +1,89 @@
+// Q16.16 fixed-point scalar — the constrained-arithmetic model.
+//
+// The MSP430FR5989 has no FPU; floating point on the Amulet is software-
+// emulated and the Simplified detector version was explicitly designed to
+// avoid libm. Q16_16 models the cheapest arithmetic an MSP430-class build
+// could use: 32-bit fixed point with 16 fractional bits, integer sqrt, and
+// a polynomial atan2. The arithmetic ablation (bench/ablation_arithmetic)
+// quantifies what this costs in detection accuracy versus float and double.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace sift::core {
+
+/// Signed Q16.16: range (-32768, 32768), resolution 2^-16 ~ 1.5e-5.
+/// Arithmetic saturates instead of wrapping, matching what careful embedded
+/// code does on overflow.
+class Q16_16 {
+ public:
+  constexpr Q16_16() = default;
+
+  static constexpr Q16_16 from_raw(std::int32_t raw) {
+    Q16_16 q;
+    q.raw_ = raw;
+    return q;
+  }
+
+  static Q16_16 from_double(double v) {
+    return from_raw(saturate(std::llround(v * kOne)));
+  }
+
+  constexpr double to_double() const {
+    return static_cast<double>(raw_) / kOne;
+  }
+
+  constexpr std::int32_t raw() const { return raw_; }
+
+  friend Q16_16 operator+(Q16_16 a, Q16_16 b) {
+    return from_raw(saturate(static_cast<std::int64_t>(a.raw_) + b.raw_));
+  }
+  friend Q16_16 operator-(Q16_16 a, Q16_16 b) {
+    return from_raw(saturate(static_cast<std::int64_t>(a.raw_) - b.raw_));
+  }
+  friend Q16_16 operator-(Q16_16 a) { return from_raw(-a.raw_); }
+  friend Q16_16 operator*(Q16_16 a, Q16_16 b) {
+    const auto p = static_cast<std::int64_t>(a.raw_) * b.raw_;
+    return from_raw(saturate(p >> 16));
+  }
+  /// Division by zero saturates to the representable extreme (embedded code
+  /// would guard this; Amulet's toolchain statically rejects /0 patterns).
+  friend Q16_16 operator/(Q16_16 a, Q16_16 b) {
+    if (b.raw_ == 0) {
+      return from_raw(a.raw_ >= 0 ? kMaxRaw : kMinRaw);
+    }
+    const auto q = (static_cast<std::int64_t>(a.raw_) << 16) / b.raw_;
+    return from_raw(saturate(q));
+  }
+  Q16_16& operator+=(Q16_16 b) { return *this = *this + b; }
+  Q16_16& operator-=(Q16_16 b) { return *this = *this - b; }
+  Q16_16& operator*=(Q16_16 b) { return *this = *this * b; }
+  Q16_16& operator/=(Q16_16 b) { return *this = *this / b; }
+
+  friend constexpr auto operator<=>(Q16_16 a, Q16_16 b) = default;
+
+  /// Integer (binary) square root of the fixed-point value; negative input
+  /// returns 0 (domain guard, like a checked embedded sqrt).
+  Q16_16 sqrt() const;
+
+  /// Four-quadrant arctangent via a max-|err|~0.005 rad polynomial — the
+  /// kind of approximation an MSP430 build ships instead of libm atan2.
+  static Q16_16 atan2(Q16_16 y, Q16_16 x);
+
+ private:
+  static constexpr std::int64_t kOne = 1 << 16;
+  static constexpr std::int32_t kMaxRaw = 0x7FFFFFFF;
+  static constexpr std::int32_t kMinRaw = -kMaxRaw - 1;
+
+  static constexpr std::int32_t saturate(std::int64_t v) {
+    return static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(v, kMinRaw, kMaxRaw));
+  }
+
+  std::int32_t raw_ = 0;
+};
+
+}  // namespace sift::core

@@ -1,0 +1,97 @@
+#include "core/online.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "core/windows.hpp"
+
+namespace sift::core {
+
+OnlineAdapter::OnlineAdapter(UserModel model,
+                             std::vector<std::vector<double>> positive_reservoir,
+                             OnlineConfig config)
+    : model_(std::move(model)),
+      reservoir_(std::move(positive_reservoir)),
+      config_(config) {
+  if (!model_.scaler.fitted()) {
+    throw std::invalid_argument("OnlineAdapter: model not fitted");
+  }
+  for (const auto& x : reservoir_) {
+    if (x.size() != model_.svm.w.size()) {
+      throw std::invalid_argument(
+          "OnlineAdapter: reservoir dimension mismatch");
+    }
+  }
+}
+
+void OnlineAdapter::sgd_step(const std::vector<double>& scaled, int label) {
+  // Pegasos-style hinge SGD: decay, then step if the margin is violated.
+  const double y = label;
+  auto& w = model_.svm.w;
+  const double margin = y * model_.svm.decision_value(scaled);
+  const double eta = config_.learning_rate;
+  for (double& wj : w) wj *= 1.0 - eta * config_.lambda;
+  if (margin < 1.0) {
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      w[j] += eta * y * scaled[j];
+    }
+    model_.svm.b += eta * y;
+  }
+  ++updates_;
+}
+
+void OnlineAdapter::assimilate(const std::vector<double>& raw_features,
+                               int label) {
+  if (label != +1 && label != -1) {
+    throw std::invalid_argument("OnlineAdapter: label must be +1/-1");
+  }
+  sgd_step(model_.scaler.transform(raw_features), label);
+  // Replay attack exemplars so the boundary cannot slide across the
+  // positive class while chasing the wearer's drift.
+  if (label == -1 && !reservoir_.empty()) {
+    for (std::size_t r = 0; r < config_.replay_per_update; ++r) {
+      const auto& exemplar = reservoir_[replay_cursor_ % reservoir_.size()];
+      ++replay_cursor_;
+      sgd_step(model_.scaler.transform(exemplar), +1);
+    }
+  }
+}
+
+void OnlineAdapter::assimilate_genuine(const Portrait& portrait) {
+  assimilate(extract_features(portrait, model_.config.version,
+                              model_.config.arithmetic, model_.config.grid_n),
+             -1);
+}
+
+std::vector<std::vector<double>> OnlineAdapter::make_positive_reservoir(
+    const physio::Record& wearer, std::span<const physio::Record> donors,
+    const SiftConfig& config, std::size_t count) {
+  const double rate = wearer.ecg.sample_rate_hz();
+  const auto window = static_cast<std::size_t>(config.window_s * rate + 0.5);
+  std::vector<std::vector<double>> out;
+  for (const physio::Record& donor : donors) {
+    const std::size_t len = std::min(wearer.ecg.size(), donor.ecg.size());
+    physio::Record hybrid;
+    hybrid.user_id = wearer.user_id;
+    hybrid.ecg = donor.ecg.slice(0, len);
+    hybrid.abp = wearer.abp.slice(0, len);
+    for (std::size_t p : donor.r_peaks) {
+      if (p < len) hybrid.r_peaks.push_back(p);
+    }
+    for (std::size_t p : wearer.systolic_peaks) {
+      if (p < len) hybrid.systolic_peaks.push_back(p);
+    }
+    for (auto& x : extract_window_features(hybrid, window, window,
+                                           config.version, config.arithmetic,
+                                           config.grid_n)) {
+      out.push_back(std::move(x));
+    }
+  }
+  std::mt19937_64 rng(config.seed);
+  std::shuffle(out.begin(), out.end(), rng);
+  if (out.size() > count) out.resize(count);
+  return out;
+}
+
+}  // namespace sift::core

@@ -1,0 +1,44 @@
+#include "core/portrait.hpp"
+
+#include "peaks/pairing.hpp"
+#include "signal/normalize.hpp"
+
+namespace sift::core {
+
+Portrait::Portrait(const PortraitInput& in) : rate_(in.sample_rate_hz) {
+  if (in.ecg.empty() || in.ecg.size() != in.abp.size()) {
+    throw std::invalid_argument("Portrait: ECG/ABP windows must match");
+  }
+  if (!(rate_ > 0.0)) {
+    throw std::invalid_argument("Portrait: sample rate must be positive");
+  }
+  for (std::size_t p : in.r_peaks) {
+    if (p >= in.ecg.size()) {
+      throw std::invalid_argument("Portrait: R-peak index out of range");
+    }
+  }
+  for (std::size_t p : in.sys_peaks) {
+    if (p >= in.abp.size()) {
+      throw std::invalid_argument("Portrait: systolic index out of range");
+    }
+  }
+
+  const std::vector<double> e = signal::min_max_normalize(in.ecg);
+  const std::vector<double> a = signal::min_max_normalize(in.abp);
+
+  points_.reserve(e.size());
+  for (std::size_t t = 0; t < e.size(); ++t) points_.push_back({a[t], e[t]});
+
+  r_pts_.reserve(in.r_peaks.size());
+  for (std::size_t p : in.r_peaks) r_pts_.push_back(points_[p]);
+  sys_pts_.reserve(in.sys_peaks.size());
+  for (std::size_t p : in.sys_peaks) sys_pts_.push_back(points_[p]);
+
+  const std::vector<std::size_t> rv(in.r_peaks.begin(), in.r_peaks.end());
+  const std::vector<std::size_t> sv(in.sys_peaks.begin(), in.sys_peaks.end());
+  for (const auto& pr : peaks::pair_peaks(rv, sv, rate_)) {
+    pairs_.push_back({points_[pr.r_index], points_[pr.sys_index]});
+  }
+}
+
+}  // namespace sift::core

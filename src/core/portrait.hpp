@@ -1,0 +1,69 @@
+// The SIFT portrait: a 2-D normalised ABP x ECG trajectory.
+//
+// "w time-units synchronously measured ECG and ABP signals are first
+//  transformed into a two-dimensional normalized form called a portrait.
+//  ... a 2-dimensional portrait P is generated through the function
+//  f(t) = (a(t), e(t))" — x is the normalised ABP sample, y the normalised
+// ECG sample at the same instant. Characteristic points (R peaks, systolic
+// peaks) are carried along as portrait coordinates so the geometric
+// features can be computed without re-touching the raw signals.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sift::core {
+
+struct Point {
+  double x = 0.0;  ///< normalised ABP value a(t)
+  double y = 0.0;  ///< normalised ECG value e(t)
+};
+
+/// A matched R-peak / systolic-peak pair as portrait coordinates.
+struct PeakPairPoints {
+  Point r;
+  Point systolic;
+};
+
+/// Inputs for one window's portrait. Peak indexes are window-relative.
+struct PortraitInput {
+  std::span<const double> ecg;             ///< raw ECG window (w seconds)
+  std::span<const double> abp;             ///< raw ABP window, same length
+  std::span<const std::size_t> r_peaks;    ///< R-peak indexes into the window
+  std::span<const std::size_t> sys_peaks;  ///< systolic indexes into window
+  double sample_rate_hz = 360.0;
+};
+
+/// Immutable portrait with its annotated characteristic points.
+class Portrait {
+ public:
+  /// Normalises both channels to [0,1] (min-max, per window) and records
+  /// portrait coordinates of every trajectory sample and peak.
+  /// @throws std::invalid_argument on mismatched lengths, empty windows, or
+  ///         out-of-range peak indexes.
+  explicit Portrait(const PortraitInput& in);
+
+  const std::vector<Point>& points() const noexcept { return points_; }
+  const std::vector<Point>& r_peak_points() const noexcept { return r_pts_; }
+  const std::vector<Point>& systolic_peak_points() const noexcept {
+    return sys_pts_;
+  }
+  /// R->systolic pairs (each systolic peak used once, physiological-delay
+  /// window of 0.6 s, cf. sift::peaks::pair_peaks).
+  const std::vector<PeakPairPoints>& peak_pairs() const noexcept {
+    return pairs_;
+  }
+
+  double sample_rate_hz() const noexcept { return rate_; }
+
+ private:
+  std::vector<Point> points_;
+  std::vector<Point> r_pts_;
+  std::vector<Point> sys_pts_;
+  std::vector<PeakPairPoints> pairs_;
+  double rate_;
+};
+
+}  // namespace sift::core

@@ -1,0 +1,30 @@
+// Window slicing helpers shared by the trainer, detector and experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/portrait.hpp"
+#include "physio/dataset.hpp"
+
+namespace sift::core {
+
+/// Peaks falling in [start, start+len), rebased to window-relative indexes.
+/// @p peaks must be ascending.
+std::vector<std::size_t> peaks_in_range(const std::vector<std::size_t>& peaks,
+                                        std::size_t start, std::size_t len);
+
+/// Builds the portrait of one window of @p rec starting at sample @p start.
+/// Uses the record's peak annotations (the paper pre-stored peak indexes;
+/// run-time detection is exercised separately via sift::peaks).
+Portrait make_window_portrait(const physio::Record& rec, std::size_t start,
+                              std::size_t len);
+
+/// Extracts one feature point per stride-spaced window of @p rec.
+std::vector<std::vector<double>> extract_window_features(
+    const physio::Record& rec, std::size_t window_samples,
+    std::size_t stride_samples, DetectorVersion version, Arithmetic arithmetic,
+    std::size_t grid_n = kDefaultGridSize);
+
+}  // namespace sift::core

@@ -1,0 +1,126 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sift::io {
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+double parse_double(const std::string& s, std::size_t line_no) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("csv: bad number '" + s + "' at line " +
+                             std::to_string(line_no));
+  }
+}
+
+}  // namespace
+
+void write_record_csv(std::ostream& os, const physio::Record& record) {
+  os.precision(10);
+  os << "# sample_rate_hz=" << record.ecg.sample_rate_hz() << '\n';
+  os << "sample,ecg,abp,r_peak,systolic_peak\n";
+  std::size_t ri = 0;
+  std::size_t si = 0;
+  for (std::size_t i = 0; i < record.ecg.size(); ++i) {
+    const bool is_r = ri < record.r_peaks.size() && record.r_peaks[ri] == i;
+    const bool is_s =
+        si < record.systolic_peaks.size() && record.systolic_peaks[si] == i;
+    if (is_r) ++ri;
+    if (is_s) ++si;
+    os << i << ',' << record.ecg[i] << ',' << record.abp[i] << ','
+       << (is_r ? 1 : 0) << ',' << (is_s ? 1 : 0) << '\n';
+  }
+}
+
+void save_record_csv(const std::string& path, const physio::Record& record) {
+  std::ofstream os(path);
+  if (!os.good()) throw std::runtime_error("csv: cannot open " + path);
+  write_record_csv(os, record);
+}
+
+physio::Record read_record_csv(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  // Header comment with the sampling rate.
+  double rate = 0.0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.rfind("# sample_rate_hz=", 0) == 0) {
+      rate = parse_double(line.substr(17), line_no);
+      break;
+    }
+    throw std::runtime_error("csv: expected '# sample_rate_hz=' header");
+  }
+  if (!(rate > 0.0)) {
+    throw std::runtime_error("csv: missing or invalid sample rate");
+  }
+
+  // Column header.
+  if (!std::getline(is, line) ||
+      line != "sample,ecg,abp,r_peak,systolic_peak") {
+    throw std::runtime_error("csv: bad column header");
+  }
+  ++line_no;
+
+  physio::Record rec;
+  rec.ecg = signal::Series(rate);
+  rec.abp = signal::Series(rate);
+  std::size_t expected_index = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto cells = split(line, ',');
+    if (cells.size() != 5) {
+      throw std::runtime_error("csv: expected 5 columns at line " +
+                               std::to_string(line_no));
+    }
+    const auto idx =
+        static_cast<std::size_t>(parse_double(cells[0], line_no));
+    if (idx != expected_index) {
+      throw std::runtime_error("csv: non-contiguous sample index at line " +
+                               std::to_string(line_no));
+    }
+    rec.ecg.push_back(parse_double(cells[1], line_no));
+    rec.abp.push_back(parse_double(cells[2], line_no));
+    if (parse_double(cells[3], line_no) != 0.0) {
+      rec.r_peaks.push_back(idx);
+    }
+    if (parse_double(cells[4], line_no) != 0.0) {
+      rec.systolic_peaks.push_back(idx);
+    }
+    ++expected_index;
+  }
+  return rec;
+}
+
+physio::Record load_record_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) throw std::runtime_error("csv: cannot open " + path);
+  return read_record_csv(is);
+}
+
+}  // namespace sift::io

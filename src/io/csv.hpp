@@ -1,0 +1,37 @@
+// CSV import/export of synchronised recordings.
+//
+// Interchange format so traces can move between this library, the CLI
+// (tools/siftctl), plotting scripts, and anyone replacing the synthetic
+// generator with real exports (e.g. PhysioNet's own CSV dumps):
+//
+//   # sample_rate_hz=360
+//   sample,ecg,abp,r_peak,systolic_peak
+//   0,0.012,81.2,0,0
+//   1,0.013,81.0,1,0        <- r_peak/systolic_peak are 0/1 annotations
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "physio/dataset.hpp"
+
+namespace sift::io {
+
+/// Writes @p record in the documented CSV format.
+void write_record_csv(std::ostream& os, const physio::Record& record);
+
+/// Saves to @p path. @throws std::runtime_error if the file cannot be
+/// opened.
+void save_record_csv(const std::string& path, const physio::Record& record);
+
+/// Parses the documented format (header comment with the sampling rate,
+/// column header, then rows). @throws std::runtime_error on malformed
+/// input: missing/invalid rate, bad column count, non-numeric cells, or
+/// mismatched sample indexes.
+physio::Record read_record_csv(std::istream& is);
+
+/// Loads from @p path. @throws std::runtime_error if unreadable.
+physio::Record load_record_csv(const std::string& path);
+
+}  // namespace sift::io

@@ -1,0 +1,101 @@
+#include "io/model_file.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ml/serialize.hpp"
+
+namespace sift::io {
+namespace {
+
+constexpr const char* kMagic = "sift-user-model v1";
+
+core::DetectorVersion version_from(const std::string& s) {
+  if (s == "Original") return core::DetectorVersion::kOriginal;
+  if (s == "Simplified") return core::DetectorVersion::kSimplified;
+  if (s == "Reduced") return core::DetectorVersion::kReduced;
+  throw std::runtime_error("model file: unknown version '" + s + "'");
+}
+
+core::Arithmetic arithmetic_from(const std::string& s) {
+  if (s == "double") return core::Arithmetic::kDouble;
+  if (s == "float32") return core::Arithmetic::kFloat32;
+  if (s == "Q16.16") return core::Arithmetic::kFixedQ16;
+  throw std::runtime_error("model file: unknown arithmetic '" + s + "'");
+}
+
+std::string expect_field(std::istream& is, const std::string& key) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string k;
+    std::string v;
+    ss >> k >> v;
+    if (k != key || v.empty()) {
+      throw std::runtime_error("model file: expected '" + key + "', got '" +
+                               line + "'");
+    }
+    return v;
+  }
+  throw std::runtime_error("model file: unexpected end (wanted " + key + ")");
+}
+
+}  // namespace
+
+void write_user_model(std::ostream& os, const core::UserModel& model) {
+  os << kMagic << '\n';
+  os << "user_id " << model.user_id << '\n';
+  os << "version " << core::to_string(model.config.version) << '\n';
+  os << "arithmetic " << core::to_string(model.config.arithmetic) << '\n';
+  os.precision(17);
+  os << "window_s " << model.config.window_s << '\n';
+  os << "grid_n " << model.config.grid_n << '\n';
+  ml::save_model(os, {model.scaler, model.svm});
+}
+
+void save_user_model(const std::string& path, const core::UserModel& model) {
+  std::ofstream os(path);
+  if (!os.good()) throw std::runtime_error("model file: cannot open " + path);
+  write_user_model(os, model);
+}
+
+core::UserModel read_user_model(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line != kMagic) {
+      throw std::runtime_error("model file: bad magic '" + line + "'");
+    }
+    break;
+  }
+
+  core::UserModel model;
+  model.user_id = std::stoi(expect_field(is, "user_id"));
+  model.config.version = version_from(expect_field(is, "version"));
+  model.config.arithmetic = arithmetic_from(expect_field(is, "arithmetic"));
+  model.config.window_s = std::stod(expect_field(is, "window_s"));
+  model.config.grid_n =
+      static_cast<std::size_t>(std::stoul(expect_field(is, "grid_n")));
+  if (!(model.config.window_s > 0.0) || model.config.grid_n == 0) {
+    throw std::runtime_error("model file: implausible pipeline parameters");
+  }
+
+  ml::ModelArtifact artifact = ml::load_model(is);
+  if (artifact.svm.w.size() != core::feature_count(model.config.version)) {
+    throw std::runtime_error(
+        "model file: weight count does not match the detector version");
+  }
+  model.scaler = std::move(artifact.scaler);
+  model.svm = std::move(artifact.svm);
+  return model;
+}
+
+core::UserModel load_user_model(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) throw std::runtime_error("model file: cannot open " + path);
+  return read_user_model(is);
+}
+
+}  // namespace sift::io

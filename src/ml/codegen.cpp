@@ -1,0 +1,44 @@
+#include "ml/codegen.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sift::ml {
+
+LinearSvmModel fold_scaler(const StandardScaler& scaler,
+                           const LinearSvmModel& model) {
+  if (!scaler.fitted() || scaler.mean().size() != model.w.size()) {
+    throw std::invalid_argument("fold_scaler: scaler/model mismatch");
+  }
+  LinearSvmModel out;
+  out.w.resize(model.w.size());
+  out.b = model.b;
+  for (std::size_t j = 0; j < model.w.size(); ++j) {
+    out.w[j] = model.w[j] / scaler.scale()[j];
+    out.b -= model.w[j] * scaler.mean()[j] / scaler.scale()[j];
+  }
+  return out;
+}
+
+std::string emit_c_prediction_function(const std::string& function_name,
+                                       const StandardScaler& scaler,
+                                       const LinearSvmModel& model) {
+  const LinearSvmModel folded = fold_scaler(scaler, model);
+  const std::size_t d = folded.w.size();
+
+  std::ostringstream os;
+  os.precision(17);
+  os << "/* Auto-generated SIFT prediction function (linear SVM, scaler\n"
+     << " * folded into the weights). Amulet-C safe: no pointers, no libm,\n"
+     << " * no recursion. Returns 1 = altered, 0 = unaltered. */\n";
+  os << "int " << function_name << "(const double features[" << d << "]) {\n";
+  os << "  double acc = " << folded.b << ";\n";
+  for (std::size_t j = 0; j < d; ++j) {
+    os << "  acc += " << folded.w[j] << " * features[" << j << "];\n";
+  }
+  os << "  return acc >= 0.0 ? 1 : 0;\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sift::ml

@@ -1,0 +1,34 @@
+// Emit the trained prediction function as freestanding C.
+//
+// The paper: "we then translate the prediction function of the trained
+// model into C code and implemented the MLClassifier state." This module
+// performs that translation mechanically: given a fitted scaler and linear
+// SVM it emits a self-contained, pointer-free, libm-free C function in the
+// restricted Amulet dialect (no pointers, no recursion, fixed-size arrays),
+// ready to paste into a QM event handler.
+#pragma once
+
+#include <string>
+
+#include "ml/scaler.hpp"
+#include "ml/svm.hpp"
+
+namespace sift::ml {
+
+/// Generates e.g.
+///   int sift_predict_user3(const double features[8]) { ... }
+/// returning 1 for altered, 0 for unaltered. Scaling is folded into the
+/// weights (w'_j = w_j / s_j, b' = b - sum_j w_j m_j / s_j) so the device
+/// performs a single dot product — no per-feature divide at run time.
+/// @throws std::invalid_argument on scaler/model dimension mismatch.
+std::string emit_c_prediction_function(const std::string& function_name,
+                                       const StandardScaler& scaler,
+                                       const LinearSvmModel& model);
+
+/// Folds the scaler into the model so predict(x_raw) on the result equals
+/// predict(scaler.transform(x_raw)) on the original — this is the form that
+/// ships to the device.
+LinearSvmModel fold_scaler(const StandardScaler& scaler,
+                           const LinearSvmModel& model);
+
+}  // namespace sift::ml

@@ -1,0 +1,57 @@
+#include "ml/crossval.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "ml/scaler.hpp"
+
+namespace sift::ml {
+
+CrossValResult cross_validate(const Dataset& data, const SvmTrainer& trainer,
+                              const TrainConfig& cfg, std::size_t k,
+                              std::uint64_t seed) {
+  if (k < 2) throw std::invalid_argument("cross_validate: k must be >= 2");
+
+  std::vector<std::size_t> pos;
+  std::vector<std::size_t> neg;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (data[i].y == +1 ? pos : neg).push_back(i);
+  }
+  if (pos.size() < k || neg.size() < k) {
+    throw std::invalid_argument(
+        "cross_validate: each class needs at least k points");
+  }
+
+  std::mt19937_64 rng(seed);
+  std::shuffle(pos.begin(), pos.end(), rng);
+  std::shuffle(neg.begin(), neg.end(), rng);
+
+  // fold_of[i] assigns each point a fold, stratified round-robin.
+  std::vector<std::size_t> fold_of(data.size(), 0);
+  for (std::size_t i = 0; i < pos.size(); ++i) fold_of[pos[i]] = i % k;
+  for (std::size_t i = 0; i < neg.size(); ++i) fold_of[neg[i]] = i % k;
+
+  std::vector<ConfusionMatrix> fold_metrics;
+  for (std::size_t f = 0; f < k; ++f) {
+    Dataset train;
+    Dataset test;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (fold_of[i] == f ? test : train).push_back(data[i]);
+    }
+    StandardScaler scaler;
+    scaler.fit(train);
+    const LinearSvmModel model = trainer.train(scaler.transform(train), cfg);
+
+    ConfusionMatrix cm;
+    for (const auto& p : test) {
+      cm.add(model.predict(scaler.transform(p.x)), p.y);
+    }
+    fold_metrics.push_back(cm);
+  }
+
+  return {average_metrics(fold_metrics), k};
+}
+
+}  // namespace sift::ml

@@ -1,0 +1,28 @@
+// Stratified k-fold cross-validation over a labeled dataset.
+//
+// Used by the model-selection ablation (choice of C, trainer comparison);
+// the paper's own protocol is a fixed train/test split per subject, which
+// the experiment harness in sift::core implements directly.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/dataset.hpp"
+#include "ml/metrics.hpp"
+#include "ml/svm.hpp"
+
+namespace sift::ml {
+
+struct CrossValResult {
+  MetricSummary mean;        ///< metrics averaged over folds
+  std::size_t folds = 0;
+};
+
+/// Runs stratified k-fold CV: each fold preserves the class ratio; a scaler
+/// is fitted on each training fold only (no leakage).
+/// @throws std::invalid_argument if k < 2 or either class has < k points.
+CrossValResult cross_validate(const Dataset& data, const SvmTrainer& trainer,
+                              const TrainConfig& cfg, std::size_t k,
+                              std::uint64_t seed);
+
+}  // namespace sift::ml

@@ -1,0 +1,35 @@
+// Labeled feature points for the SIFT classifier.
+//
+// Convention throughout sift::ml (matching the paper's wording): the
+// POSITIVE class (+1) means "altered" — the feature point came from a
+// portrait whose ECG does not belong to the model's user — and the NEGATIVE
+// class (-1) means "unaltered" (the user's genuine ECG+ABP).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace sift::ml {
+
+struct LabeledPoint {
+  std::vector<double> x;
+  int y = 0;  ///< +1 altered (positive class), -1 unaltered (negative class)
+};
+
+using Dataset = std::vector<LabeledPoint>;
+
+/// Feature dimensionality of a non-empty dataset.
+/// @throws std::invalid_argument if empty or ragged.
+inline std::size_t feature_dim(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("feature_dim: empty dataset");
+  const std::size_t d = data.front().x.size();
+  for (const auto& p : data) {
+    if (p.x.size() != d) {
+      throw std::invalid_argument("feature_dim: ragged dataset");
+    }
+  }
+  return d;
+}
+
+}  // namespace sift::ml

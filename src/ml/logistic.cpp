@@ -1,0 +1,82 @@
+#include "ml/logistic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sift::ml {
+namespace {
+
+double sigmoid(double z) {
+  // Split by sign for numerical stability at large |z|.
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+void validate(const Dataset& data) {
+  feature_dim(data);
+  bool pos = false;
+  bool neg = false;
+  for (const auto& p : data) {
+    if (p.y == +1) {
+      pos = true;
+    } else if (p.y == -1) {
+      neg = true;
+    } else {
+      throw std::invalid_argument("train_logistic: labels must be +1/-1");
+    }
+  }
+  if (!pos || !neg) {
+    throw std::invalid_argument("train_logistic: need both classes");
+  }
+}
+
+}  // namespace
+
+double LogisticModel::decision_value(const std::vector<double>& x) const {
+  if (x.size() != w.size()) {
+    throw std::invalid_argument("LogisticModel: dimension mismatch");
+  }
+  double s = b;
+  for (std::size_t j = 0; j < w.size(); ++j) s += w[j] * x[j];
+  return s;
+}
+
+double LogisticModel::probability(const std::vector<double>& x) const {
+  return sigmoid(decision_value(x));
+}
+
+LogisticModel train_logistic(const Dataset& data,
+                             const LogisticTrainConfig& config) {
+  validate(data);
+  const std::size_t d = data.front().x.size();
+  const auto n = static_cast<double>(data.size());
+
+  LogisticModel model;
+  model.w.assign(d, 0.0);
+  std::vector<double> grad_w(d);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    std::fill(grad_w.begin(), grad_w.end(), 0.0);
+    double grad_b = 0.0;
+    for (const auto& p : data) {
+      // d/dz of -log sigmoid(y z) is -y * sigmoid(-y z).
+      const double z = model.decision_value(p.x);
+      const double coeff =
+          -static_cast<double>(p.y) * sigmoid(-static_cast<double>(p.y) * z);
+      for (std::size_t j = 0; j < d; ++j) grad_w[j] += coeff * p.x[j];
+      grad_b += coeff;
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      grad_w[j] = grad_w[j] / n + config.l2 * model.w[j];
+      model.w[j] -= config.learning_rate * grad_w[j];
+    }
+    model.b -= config.learning_rate * grad_b / n;
+  }
+  return model;
+}
+
+}  // namespace sift::ml

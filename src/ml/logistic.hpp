@@ -1,0 +1,44 @@
+// Logistic regression — the obvious alternative classifier baseline.
+//
+// The paper "chose SVM as it performed the best among the algorithms we
+// tried". We reproduce that model-selection step: logistic regression is
+// the same linear decision surface fitted with a different loss, and the
+// classifier ablation (bench/ablation_classifiers) compares them on the
+// full detection protocol. Deployment cost on the device is identical —
+// one dot product.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace sift::ml {
+
+struct LogisticModel {
+  std::vector<double> w;
+  double b = 0.0;
+
+  /// w·x + b. @throws std::invalid_argument on dimension mismatch.
+  double decision_value(const std::vector<double>& x) const;
+  /// P(y = +1 | x) via the logistic link.
+  double probability(const std::vector<double>& x) const;
+  /// +1 when probability >= 0.5 (decision value >= 0).
+  int predict(const std::vector<double>& x) const {
+    return decision_value(x) >= 0.0 ? +1 : -1;
+  }
+};
+
+struct LogisticTrainConfig {
+  double learning_rate = 0.5;
+  double l2 = 1e-4;          ///< ridge penalty on w (not on b)
+  std::size_t epochs = 500;  ///< full-batch gradient steps
+};
+
+/// Deterministic full-batch gradient descent on the regularised negative
+/// log-likelihood. Input expectations match the SVM trainers (labels in
+/// {-1,+1}, both classes present); throws std::invalid_argument otherwise.
+LogisticModel train_logistic(const Dataset& data,
+                             const LogisticTrainConfig& config = {});
+
+}  // namespace sift::ml

@@ -1,0 +1,37 @@
+#include "ml/metrics.hpp"
+
+namespace sift::ml {
+namespace {
+
+double ratio(std::size_t num, std::size_t den) noexcept {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+double ConfusionMatrix::false_positive_rate() const noexcept {
+  return ratio(fp_, fp_ + tn_);
+}
+
+double ConfusionMatrix::false_negative_rate() const noexcept {
+  return ratio(fn_, fn_ + tp_);
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  return ratio(tp_ + tn_, total());
+}
+
+double ConfusionMatrix::precision() const noexcept {
+  return ratio(tp_, tp_ + fp_);
+}
+
+double ConfusionMatrix::recall() const noexcept { return ratio(tp_, tp_ + fn_); }
+
+double ConfusionMatrix::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+}  // namespace sift::ml

@@ -1,0 +1,87 @@
+// Detection metrics as the paper defines them.
+//
+// "false positive rate (FP): the fraction of the cases in which an
+//  unaltered ECG sensor measurement is misclassified as altered" — i.e.
+//  FP / (FP + TN), conditioned on the negative (unaltered) class.
+// "false negative rate (FN): the fraction of the cases where an altered
+//  ECG sensor measurement is misclassified as unaltered" — FN / (FN + TP).
+// Accuracy is overall fraction classified correctly; F1 is the harmonic
+// mean of precision and recall on the positive (altered) class.
+#pragma once
+
+#include <cstddef>
+
+namespace sift::ml {
+
+class ConfusionMatrix {
+ public:
+  /// @param predicted +1 altered / -1 unaltered; @param actual likewise.
+  void add(int predicted, int actual) noexcept {
+    if (actual == +1) {
+      (predicted == +1 ? tp_ : fn_)++;
+    } else {
+      (predicted == +1 ? fp_ : tn_)++;
+    }
+  }
+
+  void merge(const ConfusionMatrix& o) noexcept {
+    tp_ += o.tp_;
+    fp_ += o.fp_;
+    tn_ += o.tn_;
+    fn_ += o.fn_;
+  }
+
+  std::size_t tp() const noexcept { return tp_; }
+  std::size_t fp() const noexcept { return fp_; }
+  std::size_t tn() const noexcept { return tn_; }
+  std::size_t fn() const noexcept { return fn_; }
+  std::size_t total() const noexcept { return tp_ + fp_ + tn_ + fn_; }
+
+  /// FP / (FP + TN); 0 when no negatives were seen.
+  double false_positive_rate() const noexcept;
+  /// FN / (FN + TP); 0 when no positives were seen.
+  double false_negative_rate() const noexcept;
+  /// (TP + TN) / total; 0 when empty.
+  double accuracy() const noexcept;
+  /// TP / (TP + FP); 0 when nothing was predicted positive.
+  double precision() const noexcept;
+  /// TP / (TP + FN); 0 when no positives were seen.
+  double recall() const noexcept;
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  double f1() const noexcept;
+
+ private:
+  std::size_t tp_ = 0, fp_ = 0, tn_ = 0, fn_ = 0;
+};
+
+/// Average of per-subject metrics (the paper reports per-version averages
+/// over the 12 subjects, not a pooled confusion matrix).
+struct MetricSummary {
+  double fp_rate = 0.0;
+  double fn_rate = 0.0;
+  double accuracy = 0.0;
+  double f1 = 0.0;
+};
+
+template <typename Range>
+MetricSummary average_metrics(const Range& matrices) {
+  MetricSummary s;
+  std::size_t n = 0;
+  for (const ConfusionMatrix& m : matrices) {
+    s.fp_rate += m.false_positive_rate();
+    s.fn_rate += m.false_negative_rate();
+    s.accuracy += m.accuracy();
+    s.f1 += m.f1();
+    ++n;
+  }
+  if (n > 0) {
+    const auto dn = static_cast<double>(n);
+    s.fp_rate /= dn;
+    s.fn_rate /= dn;
+    s.accuracy /= dn;
+    s.f1 /= dn;
+  }
+  return s;
+}
+
+}  // namespace sift::ml

@@ -1,0 +1,65 @@
+#include "ml/one_class.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sift::ml {
+
+OneClassGaussian OneClassGaussian::fit(const Dataset& data, double quantile) {
+  if (!(quantile > 0.0 && quantile <= 1.0)) {
+    throw std::invalid_argument("OneClassGaussian: quantile in (0, 1]");
+  }
+  Dataset negatives;
+  for (const auto& p : data) {
+    if (p.y == -1) negatives.push_back(p);
+  }
+  if (negatives.size() < 2) {
+    throw std::invalid_argument(
+        "OneClassGaussian: need >= 2 genuine (negative) points");
+  }
+  const std::size_t d = feature_dim(negatives);
+
+  OneClassGaussian model;
+  model.mean_.assign(d, 0.0);
+  model.inv_sd_.assign(d, 0.0);
+  const auto n = static_cast<double>(negatives.size());
+  for (const auto& p : negatives) {
+    for (std::size_t j = 0; j < d; ++j) model.mean_[j] += p.x[j];
+  }
+  for (double& m : model.mean_) m /= n;
+  for (const auto& p : negatives) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dx = p.x[j] - model.mean_[j];
+      model.inv_sd_[j] += dx * dx;
+    }
+  }
+  for (double& v : model.inv_sd_) {
+    const double sd = std::sqrt(v / n);
+    v = sd > 0.0 ? 1.0 / sd : 1.0;  // constant dimensions contribute raw diff
+  }
+
+  std::vector<double> distances;
+  distances.reserve(negatives.size());
+  for (const auto& p : negatives) distances.push_back(model.distance(p.x));
+  std::sort(distances.begin(), distances.end());
+  const auto idx = std::min(
+      distances.size() - 1,
+      static_cast<std::size_t>(quantile * static_cast<double>(distances.size())));
+  model.threshold_ = distances[idx];
+  return model;
+}
+
+double OneClassGaussian::distance(const std::vector<double>& x) const {
+  if (x.size() != mean_.size()) {
+    throw std::invalid_argument("OneClassGaussian: dimension mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double z = (x[j] - mean_[j]) * inv_sd_[j];
+    sum += z * z;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace sift::ml

@@ -1,0 +1,46 @@
+// One-class Gaussian anomaly detector — the no-attack-data baseline.
+//
+// SIFT's training step needs positive examples (other users' ECG over the
+// wearer's ABP). A deployment that cannot assume donor data would fall back
+// to pure anomaly detection: model the wearer's *genuine* feature
+// distribution only, and alert when a window's Mahalanobis distance exceeds
+// a quantile of the training distances. The classifier ablation measures
+// what that convenience costs in detection quality.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace sift::ml {
+
+class OneClassGaussian {
+ public:
+  /// Fits mean and per-dimension variance on the NEGATIVE (y == -1) points
+  /// of @p data; positives are ignored, so the same datasets used for the
+  /// SVM drive this baseline without attack knowledge leaking in. The
+  /// alert threshold is the @p quantile of the training points' own
+  /// distances (e.g. 0.975 targets a 2.5% training false-positive rate).
+  /// @throws std::invalid_argument without at least 2 negative points or a
+  ///         quantile outside (0, 1].
+  static OneClassGaussian fit(const Dataset& data, double quantile = 0.975);
+
+  /// Diagonal Mahalanobis distance of @p x from the genuine distribution.
+  double distance(const std::vector<double>& x) const;
+
+  /// +1 (altered) when distance exceeds the fitted threshold.
+  int predict(const std::vector<double>& x) const {
+    return distance(x) > threshold_ ? +1 : -1;
+  }
+
+  double threshold() const noexcept { return threshold_; }
+  const std::vector<double>& mean() const noexcept { return mean_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_sd_;  ///< 1 / per-dimension standard deviation
+  double threshold_ = 0.0;
+};
+
+}  // namespace sift::ml

@@ -1,0 +1,84 @@
+#include "ml/roc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sift::ml {
+namespace {
+
+void count_classes(const std::vector<ScoredLabel>& scored, std::size_t& pos,
+                   std::size_t& neg) {
+  pos = 0;
+  neg = 0;
+  for (const auto& s : scored) {
+    if (s.label == +1) {
+      ++pos;
+    } else if (s.label == -1) {
+      ++neg;
+    } else {
+      throw std::invalid_argument("roc: labels must be +1/-1");
+    }
+  }
+  if (pos == 0 || neg == 0) {
+    throw std::invalid_argument("roc: need both classes");
+  }
+}
+
+}  // namespace
+
+std::vector<RocPoint> roc_curve(std::vector<ScoredLabel> scored) {
+  std::size_t n_pos = 0;
+  std::size_t n_neg = 0;
+  count_classes(scored, n_pos, n_neg);
+
+  // Descending by score: lowering the threshold admits items in order.
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredLabel& a, const ScoredLabel& b) {
+              return a.score > b.score;
+            });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({scored.front().score + 1.0, 0.0, 0.0});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    if (scored[i].label == +1) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    // Emit a point only after consuming all items tied at this score.
+    if (i + 1 < scored.size() && scored[i + 1].score == scored[i].score) {
+      continue;
+    }
+    curve.push_back({scored[i].score,
+                     static_cast<double>(tp) / static_cast<double>(n_pos),
+                     static_cast<double>(fp) / static_cast<double>(n_neg)});
+  }
+  return curve;
+}
+
+double roc_auc(std::vector<ScoredLabel> scored) {
+  const auto curve = roc_curve(std::move(scored));
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    auc += (curve[i].fpr - curve[i - 1].fpr) *
+           (curve[i].tpr + curve[i - 1].tpr) / 2.0;
+  }
+  return auc;
+}
+
+RocPoint best_under_fpr_budget(std::vector<ScoredLabel> scored,
+                               double max_fpr) {
+  if (max_fpr < 0.0) {
+    throw std::invalid_argument("roc: max_fpr must be >= 0");
+  }
+  const auto curve = roc_curve(std::move(scored));
+  RocPoint best = curve.front();  // FPR 0, TPR 0 always qualifies
+  for (const auto& p : curve) {
+    if (p.fpr <= max_fpr && p.tpr >= best.tpr) best = p;
+  }
+  return best;
+}
+
+}  // namespace sift::ml

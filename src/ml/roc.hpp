@@ -1,0 +1,42 @@
+// ROC analysis over continuous decision values.
+//
+// The deployed detector thresholds the SVM margin at 0, but the margin is
+// a continuous score: sweeping the threshold traces the FP/FN trade-off,
+// and the area under the ROC curve summarises separability independent of
+// any single operating point. Used by bench/ablation_threshold to show
+// where the paper's fixed threshold sits on each version's curve — and
+// what an alert-budget-aware deployment could pick instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sift::ml {
+
+struct ScoredLabel {
+  double score = 0.0;  ///< higher = more likely positive (altered)
+  int label = 0;       ///< +1 altered, -1 unaltered
+};
+
+struct RocPoint {
+  double threshold = 0.0;  ///< predict +1 when score >= threshold
+  double tpr = 0.0;        ///< true-positive rate (1 - FN rate)
+  double fpr = 0.0;        ///< false-positive rate
+};
+
+/// The full ROC curve: one point per distinct score threshold, plus the
+/// (0,0) and (1,1) endpoints, ordered by increasing FPR.
+/// @throws std::invalid_argument if either class is absent.
+std::vector<RocPoint> roc_curve(std::vector<ScoredLabel> scored);
+
+/// Area under the ROC curve via trapezoid over roc_curve(); 0.5 = chance,
+/// 1.0 = perfectly separable.
+double roc_auc(std::vector<ScoredLabel> scored);
+
+/// The curve point whose threshold keeps FPR <= @p max_fpr while maximising
+/// TPR — the "alert budget" operating-point picker.
+/// @throws std::invalid_argument as roc_curve, or if max_fpr < 0.
+RocPoint best_under_fpr_budget(std::vector<ScoredLabel> scored,
+                               double max_fpr);
+
+}  // namespace sift::ml

@@ -1,0 +1,66 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sift::ml {
+
+void StandardScaler::fit(const Dataset& data) {
+  const std::size_t d = feature_dim(data);
+  mean_.assign(d, 0.0);
+  scale_.assign(d, 0.0);
+  const auto n = static_cast<double>(data.size());
+  for (const auto& p : data) {
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += p.x[j];
+  }
+  for (double& m : mean_) m /= n;
+  for (const auto& p : data) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dx = p.x[j] - mean_[j];
+      scale_[j] += dx * dx;
+    }
+  }
+  for (double& s : scale_) {
+    s = std::sqrt(s / n);
+    if (s <= 0.0) s = 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::transform(
+    const std::vector<double>& x) const {
+  if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
+  if (x.size() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: dimension mismatch");
+  }
+  std::vector<double> out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    out[j] = (x[j] - mean_[j]) / scale_[j];
+  }
+  return out;
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+  Dataset out;
+  out.reserve(data.size());
+  for (const auto& p : data) out.push_back({transform(p.x), p.y});
+  return out;
+}
+
+StandardScaler StandardScaler::from_params(std::vector<double> mean,
+                                           std::vector<double> scale) {
+  if (mean.size() != scale.size()) {
+    throw std::invalid_argument("StandardScaler::from_params: size mismatch");
+  }
+  for (double s : scale) {
+    if (s <= 0.0) {
+      throw std::invalid_argument(
+          "StandardScaler::from_params: scales must be positive");
+    }
+  }
+  StandardScaler sc;
+  sc.mean_ = std::move(mean);
+  sc.scale_ = std::move(scale);
+  return sc;
+}
+
+}  // namespace sift::ml

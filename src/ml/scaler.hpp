@@ -1,0 +1,42 @@
+// Per-dimension standardisation (z-score) fitted on training data.
+//
+// SIFT's eight features span wildly different scales (a spatial filling
+// index near 1e-3 next to squared distances near 1); a linear SVM needs
+// them standardised. The fitted parameters ship to the device together with
+// the SVM weights — scaling is part of the deployed prediction function.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace sift::ml {
+
+class StandardScaler {
+ public:
+  /// Fits mean/SD per dimension. Dimensions with zero variance get SD 1 so
+  /// transform leaves them centred at 0.
+  /// @throws std::invalid_argument on empty/ragged data.
+  void fit(const Dataset& data);
+
+  /// @throws std::logic_error if not fitted; std::invalid_argument on a
+  /// dimension mismatch.
+  std::vector<double> transform(const std::vector<double>& x) const;
+
+  Dataset transform(const Dataset& data) const;
+
+  bool fitted() const noexcept { return !mean_.empty(); }
+  const std::vector<double>& mean() const noexcept { return mean_; }
+  const std::vector<double>& scale() const noexcept { return scale_; }
+
+  /// Reconstructs a scaler from persisted parameters (device deployment).
+  static StandardScaler from_params(std::vector<double> mean,
+                                    std::vector<double> scale);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace sift::ml

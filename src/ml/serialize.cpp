@@ -1,0 +1,135 @@
+#include "ml/serialize.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sift::ml {
+namespace {
+
+constexpr const char* kMagic = "sift-model";
+constexpr const char* kVersion = "v1";
+
+// Hexadecimal float formatting: exact round trip, locale-independent.
+std::string to_hex(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+double from_hex(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::runtime_error("load_model: bad number '" + s + "'");
+  }
+  return v;
+}
+
+void write_vector(std::ostream& os, const char* key,
+                  const std::vector<double>& xs) {
+  os << key;
+  for (double x : xs) os << ' ' << to_hex(x);
+  os << '\n';
+}
+
+// Reads the next non-comment, non-blank line.
+std::string next_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    return line;
+  }
+  throw std::runtime_error("load_model: unexpected end of input");
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::istringstream ss(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (ss >> tok) out.push_back(tok);
+  return out;
+}
+
+std::vector<double> read_vector(std::istream& is, const std::string& key,
+                                std::size_t expected) {
+  const auto toks = tokens_of(next_line(is));
+  if (toks.empty() || toks[0] != key) {
+    throw std::runtime_error("load_model: expected '" + key + "'");
+  }
+  if (toks.size() != expected + 1) {
+    throw std::runtime_error("load_model: '" + key + "' wants " +
+                             std::to_string(expected) + " values");
+  }
+  std::vector<double> out;
+  out.reserve(expected);
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    out.push_back(from_hex(toks[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_model(std::ostream& os, const ModelArtifact& artifact) {
+  if (!artifact.scaler.fitted() ||
+      artifact.scaler.mean().size() != artifact.svm.w.size()) {
+    throw std::invalid_argument("save_model: scaler/model mismatch");
+  }
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "dim " << artifact.svm.w.size() << '\n';
+  write_vector(os, "scaler_mean", artifact.scaler.mean());
+  write_vector(os, "scaler_scale", artifact.scaler.scale());
+  write_vector(os, "svm_w", artifact.svm.w);
+  os << "svm_b " << to_hex(artifact.svm.b) << '\n';
+}
+
+std::string save_model_string(const ModelArtifact& artifact) {
+  std::ostringstream os;
+  save_model(os, artifact);
+  return os.str();
+}
+
+ModelArtifact load_model(std::istream& is) {
+  const auto header = tokens_of(next_line(is));
+  if (header.size() != 2 || header[0] != kMagic) {
+    throw std::runtime_error("load_model: not a sift-model file");
+  }
+  if (header[1] != kVersion) {
+    throw std::runtime_error("load_model: unsupported version " + header[1]);
+  }
+
+  const auto dim_line = tokens_of(next_line(is));
+  if (dim_line.size() != 2 || dim_line[0] != "dim") {
+    throw std::runtime_error("load_model: expected 'dim'");
+  }
+  const auto d = static_cast<std::size_t>(std::stoul(dim_line[1]));
+  if (d == 0 || d > 1024) {
+    throw std::runtime_error("load_model: implausible dimension");
+  }
+
+  auto mean = read_vector(is, "scaler_mean", d);
+  auto scale = read_vector(is, "scaler_scale", d);
+  auto w = read_vector(is, "svm_w", d);
+
+  const auto b_line = tokens_of(next_line(is));
+  if (b_line.size() != 2 || b_line[0] != "svm_b") {
+    throw std::runtime_error("load_model: expected 'svm_b'");
+  }
+
+  ModelArtifact out;
+  out.scaler = StandardScaler::from_params(std::move(mean), std::move(scale));
+  out.svm.w = std::move(w);
+  out.svm.b = from_hex(b_line[1]);
+  return out;
+}
+
+ModelArtifact load_model_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_model(is);
+}
+
+}  // namespace sift::ml

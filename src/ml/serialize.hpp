@@ -1,0 +1,40 @@
+// Text serialisation of deployable model artefacts.
+//
+// The per-user artefact that ships to a device is (scaler, SVM weights,
+// pipeline parameters). This module persists and restores them in a small
+// line-oriented text format — versioned, human-diffable, and independent of
+// host endianness, the properties a fleet of wearables actually needs when
+// models are provisioned over the air.
+//
+// Format (one logical value per line, '#' comments ignored):
+//   sift-model v1
+//   dim <d>
+//   scaler_mean <d doubles>
+//   scaler_scale <d doubles>
+//   svm_w <d doubles>
+//   svm_b <double>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/scaler.hpp"
+#include "ml/svm.hpp"
+
+namespace sift::ml {
+
+struct ModelArtifact {
+  StandardScaler scaler;
+  LinearSvmModel svm;
+};
+
+/// Serialises with round-trip-exact (hex float) precision.
+void save_model(std::ostream& os, const ModelArtifact& artifact);
+std::string save_model_string(const ModelArtifact& artifact);
+
+/// @throws std::runtime_error on malformed input, wrong magic/version,
+///         or inconsistent dimensions.
+ModelArtifact load_model(std::istream& is);
+ModelArtifact load_model_string(const std::string& text);
+
+}  // namespace sift::ml

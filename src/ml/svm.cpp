@@ -1,0 +1,183 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace sift::ml {
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void validate(const Dataset& data) {
+  feature_dim(data);  // throws on empty/ragged
+  bool has_pos = false;
+  bool has_neg = false;
+  for (const auto& p : data) {
+    if (p.y == +1) {
+      has_pos = true;
+    } else if (p.y == -1) {
+      has_neg = true;
+    } else {
+      throw std::invalid_argument("SVM: labels must be +1 or -1");
+    }
+  }
+  if (!has_pos || !has_neg) {
+    throw std::invalid_argument("SVM: training data needs both classes");
+  }
+}
+
+}  // namespace
+
+double LinearSvmModel::decision_value(const std::vector<double>& x) const {
+  if (x.size() != w.size()) {
+    throw std::invalid_argument("LinearSvmModel: dimension mismatch");
+  }
+  return dot(w, x) + b;
+}
+
+LinearSvmModel SmoTrainer::train(const Dataset& data,
+                                 const TrainConfig& cfg) const {
+  validate(data);
+  const std::size_t n = data.size();
+  const std::size_t d = data.front().x.size();
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> w(d, 0.0);
+  double b = 0.0;
+
+  // Cache the diagonal; off-diagonal kernel values are cheap (linear).
+  std::vector<double> kdiag(n);
+  for (std::size_t i = 0; i < n; ++i) kdiag[i] = dot(data[i].x, data[i].x);
+
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+
+  auto error = [&](std::size_t i) {
+    return dot(w, data[i].x) + b - static_cast<double>(data[i].y);
+  };
+
+  constexpr std::size_t kMaxQuietPasses = 5;
+  std::size_t quiet_passes = 0;
+  for (std::size_t epoch = 0;
+       epoch < cfg.max_iterations && quiet_passes < kMaxQuietPasses; ++epoch) {
+    std::size_t num_changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double yi = data[i].y;
+      const double ei = error(i);
+      const bool violates = (yi * ei < -cfg.tolerance && alpha[i] < cfg.c) ||
+                            (yi * ei > cfg.tolerance && alpha[i] > 0.0);
+      if (!violates) continue;
+
+      std::size_t j = pick(rng);
+      while (j == i) j = pick(rng);
+      const double yj = data[j].y;
+      const double ej = error(j);
+      const double ai_old = alpha[i];
+      const double aj_old = alpha[j];
+
+      double lo;
+      double hi;
+      if (data[i].y != data[j].y) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(cfg.c, cfg.c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - cfg.c);
+        hi = std::min(cfg.c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+
+      const double kij = dot(data[i].x, data[j].x);
+      const double eta = 2.0 * kij - kdiag[i] - kdiag[j];
+      if (eta >= 0.0) continue;
+
+      double aj_new = std::clamp(aj_old - yj * (ei - ej) / eta, lo, hi);
+      if (std::abs(aj_new - aj_old) < 1e-5) continue;
+      const double ai_new = ai_old + yi * yj * (aj_old - aj_new);
+
+      const double b1 = b - ei - yi * (ai_new - ai_old) * kdiag[i] -
+                        yj * (aj_new - aj_old) * kij;
+      const double b2 = b - ej - yi * (ai_new - ai_old) * kij -
+                        yj * (aj_new - aj_old) * kdiag[j];
+      if (ai_new > 0.0 && ai_new < cfg.c) {
+        b = b1;
+      } else if (aj_new > 0.0 && aj_new < cfg.c) {
+        b = b2;
+      } else {
+        b = (b1 + b2) / 2.0;
+      }
+
+      for (std::size_t k = 0; k < d; ++k) {
+        w[k] += yi * (ai_new - ai_old) * data[i].x[k] +
+                yj * (aj_new - aj_old) * data[j].x[k];
+      }
+      alpha[i] = ai_new;
+      alpha[j] = aj_new;
+      ++num_changed;
+    }
+    quiet_passes = num_changed == 0 ? quiet_passes + 1 : 0;
+  }
+  return {std::move(w), b};
+}
+
+LinearSvmModel DcdTrainer::train(const Dataset& data,
+                                 const TrainConfig& cfg) const {
+  validate(data);
+  const std::size_t n = data.size();
+  const std::size_t d = data.front().x.size();
+
+  // The bias is folded in as an augmented constant feature of value 1;
+  // w_aug[d] becomes the model bias on extraction.
+  std::vector<double> w(d + 1, 0.0);
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> qii(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    qii[i] = dot(data[i].x, data[i].x) + 1.0;
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937_64 rng(cfg.seed);
+
+  for (std::size_t epoch = 0; epoch < cfg.max_iterations; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double max_pg = 0.0;
+    for (std::size_t i : order) {
+      const auto& x = data[i].x;
+      const double yi = data[i].y;
+      double wx = w[d];  // augmented constant feature
+      for (std::size_t k = 0; k < d; ++k) wx += w[k] * x[k];
+      const double g = yi * wx - 1.0;
+
+      double pg = g;  // projected gradient
+      if (alpha[i] <= 0.0) {
+        pg = std::min(g, 0.0);
+      } else if (alpha[i] >= cfg.c) {
+        pg = std::max(g, 0.0);
+      }
+      max_pg = std::max(max_pg, std::abs(pg));
+      if (std::abs(pg) < 1e-12) continue;
+
+      const double old = alpha[i];
+      alpha[i] = std::clamp(old - g / qii[i], 0.0, cfg.c);
+      const double delta = (alpha[i] - old) * yi;
+      if (delta == 0.0) continue;
+      for (std::size_t k = 0; k < d; ++k) w[k] += delta * x[k];
+      w[d] += delta;
+    }
+    if (max_pg < cfg.tolerance) break;
+  }
+
+  LinearSvmModel model;
+  model.b = w[d];
+  w.pop_back();
+  model.w = std::move(w);
+  return model;
+}
+
+}  // namespace sift::ml

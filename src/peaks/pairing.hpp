@@ -1,0 +1,27 @@
+// R-peak <-> systolic-peak pairing.
+//
+// SIFT's fifth geometric feature needs, for each R peak, "the corresponding
+// Systolic peak": the pressure pulse launched by that heartbeat, which
+// arrives one pulse-transit time later. Pairing matches each R peak with the
+// first systolic peak inside a physiological delay window.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sift::peaks {
+
+struct PeakPair {
+  std::size_t r_index;    ///< ECG R-peak sample index
+  std::size_t sys_index;  ///< matching ABP systolic-peak sample index
+};
+
+/// Pairs each R peak with the first systolic peak in
+/// (r, r + max_delay_s]; unmatched R peaks are dropped. Each systolic peak
+/// is used at most once. Inputs must be ascending.
+/// @param rate_hz  shared sampling rate of both index lists
+std::vector<PeakPair> pair_peaks(const std::vector<std::size_t>& r_peaks,
+                                 const std::vector<std::size_t>& systolic_peaks,
+                                 double rate_hz, double max_delay_s = 0.6);
+
+}  // namespace sift::peaks

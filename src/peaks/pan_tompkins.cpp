@@ -1,0 +1,88 @@
+#include "peaks/pan_tompkins.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/filters.hpp"
+
+namespace sift::peaks {
+namespace {
+
+// Local maxima of xs that exceed their immediate neighbours.
+std::vector<std::size_t> local_maxima(std::span<const double> xs) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 1; i + 1 < xs.size(); ++i) {
+    if (xs[i] > xs[i - 1] && xs[i] >= xs[i + 1]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> detect_r_peaks(const signal::Series& ecg,
+                                        const PanTompkinsConfig& cfg) {
+  const double rate = ecg.sample_rate_hz();
+  const auto mwi_n =
+      static_cast<std::size_t>(std::max(1.0, cfg.integration_window_s * rate));
+  if (ecg.size() < mwi_n || ecg.size() < 8) return {};
+
+  // Classic chain: band-pass -> derivative -> square -> moving integration.
+  const auto bp = signal::band_pass(ecg.samples(), cfg.band_lo_hz,
+                                    cfg.band_hi_hz, rate);
+  const auto deriv = signal::five_point_derivative(bp);
+  const auto sq = signal::square(deriv);
+  const auto mwi = signal::moving_window_integral(sq, mwi_n);
+
+  // Adaptive dual-threshold peak picking on the integrated signal.
+  const auto candidates = local_maxima(mwi);
+  if (candidates.empty()) return {};
+
+  // Initialise running estimates from the first two seconds of signal.
+  const auto init_n = std::min<std::size_t>(
+      mwi.size(), static_cast<std::size_t>(2.0 * rate));
+  double spki = 0.0;  // running signal-peak estimate
+  for (std::size_t i = 0; i < init_n; ++i) spki = std::max(spki, mwi[i]);
+  spki *= 0.6;
+  double npki = spki * 0.1;  // running noise-peak estimate
+
+  const auto refractory =
+      static_cast<std::size_t>(cfg.refractory_s * rate);
+  std::vector<std::size_t> peaks;
+  std::size_t last_peak = 0;
+  bool have_peak = false;
+
+  for (std::size_t c : candidates) {
+    const double v = mwi[c];
+    const double threshold = npki + cfg.threshold_fraction * (spki - npki);
+    if (v >= threshold &&
+        (!have_peak || c >= last_peak + refractory)) {
+      peaks.push_back(c);
+      last_peak = c;
+      have_peak = true;
+      spki = 0.125 * v + 0.875 * spki;
+    } else {
+      npki = 0.125 * v + 0.875 * npki;
+    }
+  }
+
+  // Refine each detection to the raw-ECG apex near the integrated peak.
+  // The MWI peak lags the QRS by roughly the integration window, so search
+  // a window extending one MWI width back plus the refine radius forward.
+  const auto radius = static_cast<std::size_t>(cfg.refine_radius_s * rate);
+  std::vector<std::size_t> refined;
+  refined.reserve(peaks.size());
+  for (std::size_t p : peaks) {
+    const std::size_t lo = p > mwi_n + radius ? p - mwi_n - radius : 0;
+    const std::size_t hi = std::min(ecg.size() - 1, p + radius);
+    std::size_t best = lo;
+    for (std::size_t i = lo; i <= hi; ++i) {
+      if (ecg[i] > ecg[best]) best = i;
+    }
+    if (refined.empty() || best > refined.back() + refractory / 2) {
+      refined.push_back(best);
+    }
+  }
+  return refined;
+}
+
+}  // namespace sift::peaks

@@ -1,0 +1,35 @@
+// Pan-Tompkins-style R-peak detector.
+//
+// The paper pre-stored peak indexes on the Amulet "for ease of testing" and
+// notes that computing them at run time "is a simple extension". This module
+// is that extension: the classic Pan-Tompkins chain (band-pass -> five-point
+// derivative -> squaring -> moving-window integration -> adaptive dual
+// thresholds with a refractory period), with the final peak location refined
+// to the raw-signal local maximum.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "signal/series.hpp"
+
+namespace sift::peaks {
+
+struct PanTompkinsConfig {
+  double band_lo_hz = 5.0;            ///< QRS energy band lower edge
+  double band_hi_hz = 15.0;           ///< QRS energy band upper edge
+  double integration_window_s = 0.15; ///< MWI width (~QRS duration)
+  double refractory_s = 0.20;         ///< minimum R-R separation
+  double refine_radius_s = 0.05;      ///< raw-signal search radius for apex
+  double threshold_fraction = 0.5;    ///< signal/noise threshold blend
+};
+
+/// Detects R-peak sample indexes in @p ecg (ascending, de-duplicated).
+///
+/// Works on any sampling rate above ~60 Hz; returns an empty vector for
+/// traces shorter than one integration window.
+/// @throws std::invalid_argument if the config band is invalid for the rate.
+std::vector<std::size_t> detect_r_peaks(const signal::Series& ecg,
+                                        const PanTompkinsConfig& cfg = {});
+
+}  // namespace sift::peaks

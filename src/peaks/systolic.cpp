@@ -1,0 +1,51 @@
+#include "peaks/systolic.hpp"
+
+#include <algorithm>
+
+#include "signal/filters.hpp"
+#include "signal/stats.hpp"
+
+namespace sift::peaks {
+
+std::vector<std::size_t> detect_systolic_peaks(const signal::Series& abp,
+                                               const SystolicConfig& cfg) {
+  const double rate = abp.sample_rate_hz();
+  if (abp.duration_s() < 0.5) return {};
+
+  auto lp = signal::Biquad::low_pass(cfg.smooth_cutoff_hz, rate);
+  const auto smooth = lp.apply(abp.samples());
+
+  const double lo = signal::min_value(smooth);
+  const double hi = signal::max_value(smooth);
+  const double range = hi - lo;
+  if (range <= 0.0) return {};
+  const double threshold = lo + cfg.min_prominence * range;
+
+  const auto refractory = static_cast<std::size_t>(cfg.refractory_s * rate);
+  std::vector<std::size_t> peaks;
+  for (std::size_t i = 1; i + 1 < smooth.size(); ++i) {
+    if (smooth[i] <= smooth[i - 1] || smooth[i] < smooth[i + 1]) continue;
+    if (smooth[i] < threshold) continue;
+    if (!peaks.empty() && i < peaks.back() + refractory) {
+      // Keep the taller of the two competing candidates.
+      if (smooth[i] > smooth[peaks.back()]) peaks.back() = i;
+      continue;
+    }
+    peaks.push_back(i);
+  }
+
+  // Refine to the raw-signal apex (the low-pass shifts peaks slightly).
+  const auto radius = static_cast<std::size_t>(0.03 * rate);
+  for (std::size_t& p : peaks) {
+    const std::size_t a = p > radius ? p - radius : 0;
+    const std::size_t b = std::min(abp.size() - 1, p + radius);
+    std::size_t best = a;
+    for (std::size_t i = a; i <= b; ++i) {
+      if (abp[i] > abp[best]) best = i;
+    }
+    p = best;
+  }
+  return peaks;
+}
+
+}  // namespace sift::peaks

@@ -1,0 +1,29 @@
+// Systolic-peak detector for arterial blood pressure waveforms.
+//
+// ABP is far smoother than ECG: after mild low-pass smoothing, systolic
+// peaks are prominent local maxima separated by at least a refractory
+// period and rising above an adaptive (rolling percentile-style) threshold.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "signal/series.hpp"
+
+namespace sift::peaks {
+
+struct SystolicConfig {
+  double smooth_cutoff_hz = 10.0;  ///< low-pass to remove sensor noise
+  /// Minimum peak separation. Must cover the systolic-peak-to-dicrotic-
+  /// rebound interval (~0.38 s) or the reflected wave double-counts every
+  /// beat; 0.42 s still admits heart rates up to ~140 bpm.
+  double refractory_s = 0.42;
+  double min_prominence = 0.40;    ///< fraction of the trace's dynamic range
+};
+
+/// Detects systolic-peak sample indexes in @p abp (ascending).
+/// Returns an empty vector for traces shorter than ~half a second.
+std::vector<std::size_t> detect_systolic_peaks(const signal::Series& abp,
+                                               const SystolicConfig& cfg = {});
+
+}  // namespace sift::peaks

@@ -1,0 +1,41 @@
+// Synthetic arterial blood pressure (ABP) generator.
+//
+// Shares the beat sequence with the ECG synthesiser: each R instant launches
+// a pressure pulse after the user's pulse-transit time, with a fast systolic
+// upstroke, exponential diastolic decay, and a dicrotic notch. This is the
+// second manifestation of the cardiac process that SIFT correlates against
+// the (attackable) ECG channel; the paper treats ABP as trustworthy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "signal/series.hpp"
+
+namespace sift::physio {
+
+/// Per-user ABP morphology. Defaults approximate 120/80 mmHg in a healthy
+/// adult with a 0.20 s pulse-transit delay from the R instant.
+struct AbpMorphology {
+  double diastolic_mmhg = 80.0;
+  double pulse_pressure_mmhg = 40.0;  ///< systolic - diastolic
+  double transit_time_s = 0.20;       ///< R instant -> pressure foot
+  double upstroke_s = 0.10;           ///< foot -> systolic peak
+  double decay_tau_s = 0.45;          ///< diastolic exponential time constant
+  double notch_depth_mmhg = 6.0;      ///< dicrotic notch dip
+  double notch_time_s = 0.30;         ///< systolic peak -> notch
+  double noise_sd_mmhg = 0.3;
+};
+
+/// Synthesised trace plus ground-truth annotations.
+struct AbpTrace {
+  signal::Series abp;
+  std::vector<std::size_t> systolic_peak_indices;
+};
+
+/// Renders an ABP waveform for the given beat sequence (same contract as
+/// synthesize_ecg; pass the identical beat vector to couple the channels).
+AbpTrace synthesize_abp(const AbpMorphology& m, const std::vector<double>& beats,
+                        double duration_s, double rate_hz, std::uint64_t seed);
+
+}  // namespace sift::physio

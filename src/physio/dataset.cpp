@@ -1,0 +1,34 @@
+#include "physio/dataset.hpp"
+
+namespace sift::physio {
+
+Record generate_record(const UserProfile& user, double duration_s,
+                       double rate_hz, std::uint64_t salt) {
+  const std::uint64_t base = user.seed ^ (salt * 0x9E3779B97F4A7C15ULL);
+  RrProcess rr(user.rr, base);
+  const std::vector<double> beats = rr.generate(duration_s);
+
+  EcgTrace ecg = synthesize_ecg(user.ecg, beats, duration_s, rate_hz, base + 1);
+  AbpTrace abp = synthesize_abp(user.abp, beats, duration_s, rate_hz, base + 2);
+
+  Record rec;
+  rec.user_id = user.user_id;
+  rec.ecg = std::move(ecg.ecg);
+  rec.abp = std::move(abp.abp);
+  rec.r_peaks = std::move(ecg.r_peak_indices);
+  rec.systolic_peaks = std::move(abp.systolic_peak_indices);
+  return rec;
+}
+
+std::vector<Record> generate_cohort_records(
+    const std::vector<UserProfile>& cohort, double duration_s, double rate_hz,
+    std::uint64_t salt) {
+  std::vector<Record> out;
+  out.reserve(cohort.size());
+  for (const UserProfile& u : cohort) {
+    out.push_back(generate_record(u, duration_s, rate_hz, salt));
+  }
+  return out;
+}
+
+}  // namespace sift::physio

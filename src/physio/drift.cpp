@@ -1,0 +1,26 @@
+#include "physio/drift.hpp"
+
+#include <stdexcept>
+
+namespace sift::physio {
+
+UserProfile drift_profile(const UserProfile& user, double severity) {
+  if (!(severity >= 0.0 && severity <= 1.0)) {
+    throw std::invalid_argument("drift_profile: severity must be in [0, 1]");
+  }
+  UserProfile drifted = user;
+  const double f = severity;
+  // Cardiac morphology.
+  drifted.ecg.t.amplitude_mv *= 1.0 - 0.6 * f;  // T-wave flattening
+  drifted.ecg.r.amplitude_mv *= 1.0 - 0.3 * f;  // R attenuation
+  drifted.ecg.s.amplitude_mv *= 1.0 + 0.5 * f;  // deeper S
+  // Vascular dynamics.
+  drifted.abp.notch_depth_mmhg *= 1.0 - 0.7 * f;     // weaker dicrotic notch
+  drifted.abp.pulse_pressure_mmhg *= 1.0 + 0.4 * f;  // arterial stiffening
+  drifted.abp.transit_time_s *= 1.0 - 0.2 * f;       // faster pulse wave
+  // Rate.
+  drifted.rr.mean_hr_bpm *= 1.0 + 0.15 * f;
+  return drifted;
+}
+
+}  // namespace sift::physio

@@ -1,0 +1,25 @@
+// Physiological drift model.
+//
+// A user-specific model trained once (the paper trains offline and flashes
+// the device) silently assumes the wearer's physiology is stationary. It
+// is not: medication, ageing, and cardiac events change ECG morphology
+// (T-wave flattening, R attenuation, deeper S) and vascular dynamics
+// (higher pulse pressure, weaker dicrotic notch, shorter transit time).
+// drift_profile() applies a graded version of those changes to a user
+// profile; the drift ablation (bench/ablation_drift) shows a static model
+// false-alarming on the drifted-but-genuine wearer and online adaptation
+// (core/online.hpp) recovering.
+#pragma once
+
+#include "physio/user_profile.hpp"
+
+namespace sift::physio {
+
+/// Returns @p user with morphology/vascular drift of @p severity applied.
+/// severity 0 = unchanged; 1 = the full drift bundle (T-wave -60%,
+/// R -30%, S +50%, notch -70%, pulse pressure +40%, transit -20%,
+/// HR +15%) — severe but physiologically plausible over months.
+/// @throws std::invalid_argument outside [0, 1].
+UserProfile drift_profile(const UserProfile& user, double severity);
+
+}  // namespace sift::physio

@@ -1,0 +1,53 @@
+// Synthetic ECG generator (sum-of-Gaussians PQRST morphology).
+//
+// Follows the spirit of the McSharry et al. dynamical ECG model: each beat
+// contributes five Gaussian bumps (P, Q, R, S, T) positioned relative to the
+// R instant. Per-user morphology (amplitudes, widths, offsets) makes traces
+// user-distinctive — the property that lets SIFT detect substitution of one
+// user's ECG by another's.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "signal/series.hpp"
+
+namespace sift::physio {
+
+/// One Gaussian wave component of the PQRST complex.
+struct Wave {
+  double amplitude_mv;  ///< signed peak amplitude (mV)
+  double center_s;      ///< offset from the R instant (s); scaled with RR
+  double width_s;       ///< Gaussian sigma (s)
+};
+
+/// Per-user ECG morphology. Defaults approximate a healthy adult lead-II.
+struct EcgMorphology {
+  Wave p{0.15, -0.21, 0.025};
+  Wave q{-0.12, -0.040, 0.010};
+  Wave r{1.10, 0.0, 0.011};
+  Wave s{-0.25, 0.035, 0.012};
+  Wave t{0.30, 0.26, 0.045};
+  double baseline_mv = 0.0;
+  double baseline_wander_mv = 0.02;  ///< slow (resp-rate) baseline drift
+  double noise_sd_mv = 0.01;         ///< additive measurement noise
+};
+
+/// Synthesised trace plus ground-truth annotations.
+struct EcgTrace {
+  signal::Series ecg;
+  std::vector<std::size_t> r_peak_indices;  ///< sample index of each R peak
+};
+
+/// Renders an ECG for the given beat sequence.
+///
+/// @param beats      beat (R-instant) times in seconds, ascending
+/// @param duration_s total trace length
+/// @param rate_hz    sampling rate (360 Hz to mirror the paper's 1080-sample
+///                   3-second windows)
+/// @param seed       noise RNG seed (deterministic traces for tests)
+EcgTrace synthesize_ecg(const EcgMorphology& m, const std::vector<double>& beats,
+                        double duration_s, double rate_hz, std::uint64_t seed);
+
+}  // namespace sift::physio

@@ -1,0 +1,54 @@
+#include "physio/hrv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sift::physio {
+
+HrvStats hrv_from_peaks(const std::vector<std::size_t>& peak_indexes,
+                        double rate_hz) {
+  if (!(rate_hz > 0.0)) {
+    throw std::invalid_argument("hrv_from_peaks: rate must be positive");
+  }
+  for (std::size_t i = 1; i < peak_indexes.size(); ++i) {
+    if (peak_indexes[i] <= peak_indexes[i - 1]) {
+      throw std::invalid_argument("hrv_from_peaks: indexes must ascend");
+    }
+  }
+  HrvStats stats;
+  stats.beat_count = peak_indexes.size();
+  if (peak_indexes.size() < 3) return stats;
+
+  std::vector<double> rr;
+  rr.reserve(peak_indexes.size() - 1);
+  for (std::size_t i = 1; i < peak_indexes.size(); ++i) {
+    rr.push_back(static_cast<double>(peak_indexes[i] - peak_indexes[i - 1]) /
+                 rate_hz);
+  }
+
+  double sum = 0.0;
+  for (double x : rr) sum += x;
+  stats.mean_rr_s = sum / static_cast<double>(rr.size());
+  stats.mean_hr_bpm = 60.0 / stats.mean_rr_s;
+
+  double var = 0.0;
+  for (double x : rr) {
+    const double d = x - stats.mean_rr_s;
+    var += d * d;
+  }
+  stats.sdnn_s = std::sqrt(var / static_cast<double>(rr.size()));
+
+  double ss = 0.0;
+  std::size_t nn50 = 0;
+  for (std::size_t i = 1; i < rr.size(); ++i) {
+    const double d = rr[i] - rr[i - 1];
+    ss += d * d;
+    if (std::abs(d) > 0.050) ++nn50;
+  }
+  stats.rmssd_s = std::sqrt(ss / static_cast<double>(rr.size() - 1));
+  stats.pnn50 =
+      static_cast<double>(nn50) / static_cast<double>(rr.size() - 1);
+  return stats;
+}
+
+}  // namespace sift::physio

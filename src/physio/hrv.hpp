@@ -1,0 +1,31 @@
+// Heart-rate-variability statistics over a beat sequence.
+//
+// Standard time-domain HRV measures computed from R-peak (or systolic-peak)
+// indexes. Two uses here: (1) physiological validation of the synthetic
+// cohort — Fantasia's young subjects have markedly higher HRV than the
+// elderly group, and our generator must reproduce that for the
+// user-distinctiveness argument to hold; (2) a cheap plausibility signal a
+// base station can compute from peaks alone.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sift::physio {
+
+struct HrvStats {
+  std::size_t beat_count = 0;
+  double mean_rr_s = 0.0;   ///< mean inter-beat interval
+  double mean_hr_bpm = 0.0; ///< 60 / mean_rr
+  double sdnn_s = 0.0;      ///< SD of the RR intervals
+  double rmssd_s = 0.0;     ///< RMS of successive RR differences
+  double pnn50 = 0.0;       ///< fraction of successive diffs > 50 ms
+};
+
+/// Computes the statistics from ascending peak sample indexes.
+/// Needs at least 3 peaks (2 intervals); returns a zeroed struct otherwise.
+/// @throws std::invalid_argument if rate_hz <= 0 or indexes not ascending.
+HrvStats hrv_from_peaks(const std::vector<std::size_t>& peak_indexes,
+                        double rate_hz);
+
+}  // namespace sift::physio

@@ -1,0 +1,27 @@
+#include "physio/rr_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace sift::physio {
+
+std::vector<double> RrProcess::generate(double duration_s) {
+  std::vector<double> beats;
+  if (duration_s <= 0.0) return beats;
+  std::normal_distribution<double> jitter(0.0, params_.hrv_sd_s);
+  const double base_rr = 60.0 / params_.mean_hr_bpm;
+  double t = 0.0;
+  while (t < duration_s) {
+    beats.push_back(t);
+    const double rsa =
+        params_.rsa_depth *
+        std::sin(2.0 * std::numbers::pi * params_.resp_rate_hz * t);
+    double rr = base_rr * (1.0 + rsa) + jitter(rng_);
+    rr = std::clamp(rr, 0.33, 2.0);
+    t += rr;
+  }
+  return beats;
+}
+
+}  // namespace sift::physio

@@ -1,0 +1,43 @@
+// Beat-to-beat (RR) interval process.
+//
+// Both the ECG and ABP synthesisers consume one shared beat sequence — that
+// shared cardiac timing is exactly the physiological coupling SIFT exploits
+// ("multiple physiological signals of the same underlying physiological
+// process are inherently related"). The process models a subject's mean
+// heart rate, short-term heart-rate variability, and respiratory sinus
+// arrhythmia (HR modulation at the breathing frequency).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sift::physio {
+
+/// Parameters of a subject's beat-timing process.
+struct RrParams {
+  double mean_hr_bpm = 70.0;      ///< resting heart rate
+  double hrv_sd_s = 0.02;         ///< SD of white beat-to-beat jitter
+  double rsa_depth = 0.05;        ///< fractional RR modulation by breathing
+  double resp_rate_hz = 0.25;     ///< respiratory frequency (~15 breaths/min)
+};
+
+/// Generates beat onset times (seconds) for a requested duration.
+class RrProcess {
+ public:
+  RrProcess(RrParams params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  /// Beat times in [0, duration_s); the first beat is at t = 0.
+  /// RR intervals are clamped to [0.33 s, 2.0 s] (180…30 bpm) so pathological
+  /// parameter draws can never produce a degenerate beat sequence.
+  std::vector<double> generate(double duration_s);
+
+  const RrParams& params() const noexcept { return params_; }
+
+ private:
+  RrParams params_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace sift::physio

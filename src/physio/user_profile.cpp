@@ -1,0 +1,72 @@
+#include "physio/user_profile.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace sift::physio {
+namespace {
+
+double uniform(std::mt19937_64& rng, double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng);
+}
+
+}  // namespace
+
+std::vector<UserProfile> synthetic_cohort(std::size_t n, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("synthetic_cohort: n must be > 0");
+  std::mt19937_64 rng(seed);
+  std::vector<UserProfile> cohort;
+  cohort.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool young = i < (n + 1) / 2;
+    UserProfile u;
+    u.user_id = static_cast<int>(i);
+    u.name = (young ? "young-" : "elderly-") + std::to_string(i);
+    u.seed = seed * 1000003ULL + i * 7919ULL + 1ULL;
+
+    if (young) {
+      u.age_years = uniform(rng, 21.0, 35.0);
+      u.rr.mean_hr_bpm = uniform(rng, 62.0, 88.0);
+      u.rr.hrv_sd_s = uniform(rng, 0.02, 0.05);   // healthy HRV
+      u.rr.rsa_depth = uniform(rng, 0.05, 0.12);  // strong resp. coupling
+    } else {
+      u.age_years = uniform(rng, 68.0, 85.0);
+      u.rr.mean_hr_bpm = uniform(rng, 55.0, 75.0);
+      u.rr.hrv_sd_s = uniform(rng, 0.008, 0.02);  // reduced HRV with age
+      u.rr.rsa_depth = uniform(rng, 0.01, 0.04);
+    }
+    u.rr.resp_rate_hz = uniform(rng, 0.18, 0.30);
+
+    // User-distinctive ECG morphology (lead-II-like ranges).
+    u.ecg.p = {uniform(rng, 0.08, 0.22), uniform(rng, -0.24, -0.18),
+               uniform(rng, 0.020, 0.032)};
+    u.ecg.q = {uniform(rng, -0.18, -0.06), uniform(rng, -0.048, -0.034),
+               uniform(rng, 0.008, 0.013)};
+    u.ecg.r = {uniform(rng, 0.8, 1.5), 0.0, uniform(rng, 0.009, 0.014)};
+    u.ecg.s = {uniform(rng, -0.38, -0.15), uniform(rng, 0.030, 0.042),
+               uniform(rng, 0.010, 0.015)};
+    const double t_amp = young ? uniform(rng, 0.25, 0.42)    // crisper T
+                               : uniform(rng, 0.12, 0.28);   // flatter T
+    u.ecg.t = {t_amp, uniform(rng, 0.22, 0.30), uniform(rng, 0.038, 0.055)};
+    u.ecg.baseline_wander_mv = uniform(rng, 0.01, 0.04);
+    u.ecg.noise_sd_mv = uniform(rng, 0.005, 0.015);
+
+    // User-distinctive ABP morphology; elderly vasculature is stiffer.
+    u.abp.diastolic_mmhg = uniform(rng, 68.0, 88.0);
+    u.abp.pulse_pressure_mmhg =
+        young ? uniform(rng, 34.0, 46.0) : uniform(rng, 46.0, 64.0);
+    u.abp.transit_time_s =
+        young ? uniform(rng, 0.20, 0.26) : uniform(rng, 0.14, 0.20);
+    u.abp.upstroke_s = uniform(rng, 0.08, 0.13);
+    u.abp.decay_tau_s = uniform(rng, 0.35, 0.55);
+    u.abp.notch_depth_mmhg =
+        young ? uniform(rng, 5.0, 9.0) : uniform(rng, 1.5, 5.0);
+    u.abp.notch_time_s = uniform(rng, 0.24, 0.34);
+    u.abp.noise_sd_mmhg = uniform(rng, 0.2, 0.5);
+
+    cohort.push_back(u);
+  }
+  return cohort;
+}
+
+}  // namespace sift::physio

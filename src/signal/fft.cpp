@@ -1,0 +1,122 @@
+#include "signal/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "signal/filters.hpp"
+#include "signal/stats.hpp"
+
+namespace sift::signal {
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_core(std::span<std::complex<double>> a, bool inverse) {
+  const std::size_t n = a.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<std::complex<double>> data) {
+  fft_core(data, /*inverse=*/false);
+}
+
+void ifft_inplace(std::span<std::complex<double>> data) {
+  fft_core(data, /*inverse=*/true);
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> xs) {
+  const std::size_t n = next_power_of_two(std::max<std::size_t>(1, xs.size()));
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < xs.size(); ++i) data[i] = xs[i];
+  fft_inplace(data);
+  return data;
+}
+
+std::vector<double> power_spectrum(std::span<const double> xs) {
+  const auto spectrum = fft_real(xs);
+  std::vector<double> power(spectrum.size() / 2 + 1);
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    power[k] = std::norm(spectrum[k]);
+  }
+  return power;
+}
+
+double dominant_frequency(const Series& s, double lo_hz, double hi_hz) {
+  if (s.size() < 2 || !(lo_hz < hi_hz)) return 0.0;
+  // Mean-remove so DC leakage cannot dominate the band edges.
+  std::vector<double> centred(s.data());
+  const double m = mean(centred);
+  for (double& x : centred) x -= m;
+
+  const auto power = power_spectrum(centred);
+  const auto n_padded = (power.size() - 1) * 2;
+  const double bin_hz = s.sample_rate_hz() / static_cast<double>(n_padded);
+
+  std::size_t best = 0;
+  double best_power = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    const double f = static_cast<double>(k) * bin_hz;
+    if (f < lo_hz || f > hi_hz) continue;
+    if (power[k] > best_power) {
+      best_power = power[k];
+      best = k;
+    }
+  }
+  if (best == 0 || best_power <= 0.0) return 0.0;
+  return static_cast<double>(best) * bin_hz;
+}
+
+double spectral_heart_rate_bpm(const Series& s) {
+  // A raw ECG is spiky: its QRS harmonics can out-power the fundamental,
+  // so the naive dominant frequency lands on 2-3x the heart rate. The
+  // energy envelope (mean-removed, squared, smoothed over ~0.15 s) beats
+  // once per cardiac cycle with most power at the fundamental — the same
+  // trick Pan-Tompkins uses for detection, applied spectrally.
+  if (s.size() < 4) return 0.0;
+  std::vector<double> centred(s.data());
+  const double m = mean(centred);
+  for (double& x : centred) x = (x - m) * (x - m);
+  const auto smooth_n = static_cast<std::size_t>(
+      std::max(1.0, 0.15 * s.sample_rate_hz()));
+  Series envelope(s.sample_rate_hz(), moving_average(centred, smooth_n));
+  return dominant_frequency(envelope, 0.5, 3.5) * 60.0;
+}
+
+}  // namespace sift::signal

@@ -1,0 +1,45 @@
+// Radix-2 FFT and spectral utilities.
+//
+// Insight #2 of the paper asks WIoT platforms to ship "built-in support for
+// FFT or audio processing API[s], mathematical operations". This module is
+// that capability for our stack: an allocation-light iterative radix-2 FFT,
+// power-spectrum helper, and a spectral heart-rate estimator the base
+// station can use as an independent plausibility cross-check on incoming
+// channels (a hijacked ECG whose spectral HR disagrees with the ABP pulse
+// rate is suspicious before any portrait is built).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "signal/series.hpp"
+
+namespace sift::signal {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+/// @throws std::invalid_argument unless size is a power of two (>= 1).
+void fft_inplace(std::span<std::complex<double>> data);
+
+/// Inverse FFT (normalised by 1/N). Same size contract as fft_inplace.
+void ifft_inplace(std::span<std::complex<double>> data);
+
+/// FFT of a real signal, zero-padded to the next power of two.
+std::vector<std::complex<double>> fft_real(std::span<const double> xs);
+
+/// One-sided power spectrum |X[k]|^2 for k = 0..N/2 of the zero-padded
+/// input; bin k corresponds to frequency k * rate / N_padded.
+std::vector<double> power_spectrum(std::span<const double> xs);
+
+/// Frequency (Hz) of the dominant spectral peak of @p s within
+/// [lo_hz, hi_hz]. Returns 0 when the band is empty or the signal is flat.
+/// The input is mean-removed first so the DC bin cannot win.
+double dominant_frequency(const Series& s, double lo_hz, double hi_hz);
+
+/// Heart rate (bpm) estimated from the signal's dominant frequency in the
+/// physiological band [0.5 Hz, 3.5 Hz] (30..210 bpm). Works on ECG and ABP
+/// alike — both are periodic at the cardiac rate.
+double spectral_heart_rate_bpm(const Series& s);
+
+}  // namespace sift::signal

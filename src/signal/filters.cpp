@@ -1,0 +1,130 @@
+#include "signal/filters.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sift::signal {
+namespace {
+
+void check_cutoff(double cutoff_hz, double sample_rate_hz, const char* what) {
+  if (!(cutoff_hz > 0.0) || !(cutoff_hz < sample_rate_hz / 2.0)) {
+    throw std::invalid_argument(std::string(what) +
+                                ": cutoff must be in (0, rate/2)");
+  }
+}
+
+}  // namespace
+
+Biquad Biquad::low_pass(double cutoff_hz, double sample_rate_hz) {
+  check_cutoff(cutoff_hz, sample_rate_hz, "Biquad::low_pass");
+  const double w0 = 2.0 * std::numbers::pi * cutoff_hz / sample_rate_hz;
+  const double cw = std::cos(w0);
+  const double alpha = std::sin(w0) / std::numbers::sqrt2;  // Q = 1/sqrt(2)
+  const double a0 = 1.0 + alpha;
+  return Biquad((1.0 - cw) / 2.0 / a0, (1.0 - cw) / a0, (1.0 - cw) / 2.0 / a0,
+                -2.0 * cw / a0, (1.0 - alpha) / a0);
+}
+
+Biquad Biquad::high_pass(double cutoff_hz, double sample_rate_hz) {
+  check_cutoff(cutoff_hz, sample_rate_hz, "Biquad::high_pass");
+  const double w0 = 2.0 * std::numbers::pi * cutoff_hz / sample_rate_hz;
+  const double cw = std::cos(w0);
+  const double alpha = std::sin(w0) / std::numbers::sqrt2;
+  const double a0 = 1.0 + alpha;
+  return Biquad((1.0 + cw) / 2.0 / a0, -(1.0 + cw) / a0, (1.0 + cw) / 2.0 / a0,
+                -2.0 * cw / a0, (1.0 - alpha) / a0);
+}
+
+std::vector<double> Biquad::apply(std::span<const double> xs) {
+  reset();
+  if (!xs.empty()) prime(xs.front(), xs.front());
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(step(x));
+  return out;
+}
+
+std::vector<double> band_pass(std::span<const double> xs, double lo_hz,
+                              double hi_hz, double sample_rate_hz) {
+  if (!(lo_hz < hi_hz)) {
+    throw std::invalid_argument("band_pass: require lo < hi");
+  }
+  Biquad hp = Biquad::high_pass(lo_hz, sample_rate_hz);
+  Biquad lp = Biquad::low_pass(hi_hz, sample_rate_hz);
+  // Prime the high-pass at its DC steady state (output 0 for constant
+  // input) so a trace that begins mid-signal doesn't open with a step
+  // transient the peak detectors would mistake for a QRS complex.
+  std::vector<double> mid;
+  mid.reserve(xs.size());
+  if (!xs.empty()) hp.prime(xs.front(), 0.0);
+  for (double x : xs) mid.push_back(hp.step(x));
+  return lp.apply(mid);
+}
+
+std::vector<double> five_point_derivative(std::span<const double> xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty()) return out;
+  auto tap = [&xs](std::ptrdiff_t i) {
+    return xs[i < 0 ? 0 : static_cast<std::size_t>(i)];
+  };
+  for (std::size_t n = 0; n < xs.size(); ++n) {
+    const auto i = static_cast<std::ptrdiff_t>(n);
+    out[n] = (2.0 * tap(i) + tap(i - 1) - tap(i - 3) - 2.0 * tap(i - 4)) / 8.0;
+  }
+  return out;
+}
+
+std::vector<double> square(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(x * x);
+  return out;
+}
+
+std::vector<double> moving_window_integral(std::span<const double> xs,
+                                           std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("moving_window_integral: window must be > 0");
+  }
+  std::vector<double> out(xs.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+    if (i >= n) acc -= xs[i - n];
+    const auto denom = static_cast<double>(i + 1 < n ? i + 1 : n);
+    out[i] = acc / denom;
+  }
+  return out;
+}
+
+std::vector<double> moving_average(std::span<const double> xs, std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("moving_average: window must be > 0");
+  }
+  if (n % 2 == 0) ++n;
+  const auto half = static_cast<std::ptrdiff_t>(n / 2);
+  std::vector<double> out(xs.size(), 0.0);
+  const auto sz = static_cast<std::ptrdiff_t>(xs.size());
+  for (std::ptrdiff_t i = 0; i < sz; ++i) {
+    const std::ptrdiff_t lo = i - half < 0 ? 0 : i - half;
+    const std::ptrdiff_t hi = i + half >= sz ? sz - 1 : i + half;
+    double sum = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) {
+      sum += xs[static_cast<std::size_t>(j)];
+    }
+    out[static_cast<std::size_t>(i)] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+Series band_pass(const Series& s, double lo_hz, double hi_hz) {
+  return Series(s.sample_rate_hz(),
+                band_pass(s.samples(), lo_hz, hi_hz, s.sample_rate_hz()));
+}
+
+Series moving_average(const Series& s, std::size_t n) {
+  return Series(s.sample_rate_hz(), moving_average(s.samples(), n));
+}
+
+}  // namespace sift::signal

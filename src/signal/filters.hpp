@@ -1,0 +1,87 @@
+// Digital filters used by the peak detectors.
+//
+// The Pan-Tompkins R-peak detector (sift::peaks) needs a band-pass stage,
+// a five-point derivative, and a moving-window integrator; the ABP systolic
+// detector needs low-pass smoothing. All are implemented as small
+// stateless-over-Series transforms plus a streaming biquad for online use.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "signal/series.hpp"
+
+namespace sift::signal {
+
+/// Direct-form-I biquad section: y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2]
+///                                      - a1 y[n-1] - a2 y[n-2].
+/// Coefficients are normalised (a0 == 1).
+class Biquad {
+ public:
+  Biquad(double b0, double b1, double b2, double a1, double a2) noexcept
+      : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+  /// Second-order Butterworth low-pass at @p cutoff_hz.
+  /// @throws std::invalid_argument unless 0 < cutoff_hz < rate/2.
+  static Biquad low_pass(double cutoff_hz, double sample_rate_hz);
+
+  /// Second-order Butterworth high-pass at @p cutoff_hz.
+  static Biquad high_pass(double cutoff_hz, double sample_rate_hz);
+
+  double step(double x) noexcept {
+    const double y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
+    x2_ = x1_;
+    x1_ = x;
+    y2_ = y1_;
+    y1_ = y;
+    return y;
+  }
+
+  void reset() noexcept { x1_ = x2_ = y1_ = y2_ = 0.0; }
+
+  /// Seeds the delay line as if the filter had been running forever on the
+  /// steady state (x_ss in, y_ss out). Priming a low-pass with
+  /// (x0, x0) — or a high-pass with (x0, 0) — removes the startup
+  /// transient, which otherwise fabricates peaks at the head of a trace.
+  void prime(double x_ss, double y_ss) noexcept {
+    x1_ = x2_ = x_ss;
+    y1_ = y2_ = y_ss;
+  }
+
+  /// Filters a whole span (resets state first, then primes from the first
+  /// sample assuming unity DC gain — right for low-pass sections; callers
+  /// needing high-pass semantics should prime(x0, 0) and step manually).
+  std::vector<double> apply(std::span<const double> xs);
+
+ private:
+  double b0_, b1_, b2_, a1_, a2_;
+  double x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+/// Band-pass built as cascaded high-pass then low-pass Butterworth biquads.
+/// @throws std::invalid_argument unless 0 < lo < hi < rate/2.
+std::vector<double> band_pass(std::span<const double> xs, double lo_hz,
+                              double hi_hz, double sample_rate_hz);
+
+/// Pan-Tompkins five-point derivative:
+///   y[n] = (2x[n] + x[n-1] - x[n-3] - 2x[n-4]) / 8.
+/// Out-of-range taps are treated as the first sample (edge clamp).
+std::vector<double> five_point_derivative(std::span<const double> xs);
+
+/// Element-wise square.
+std::vector<double> square(std::span<const double> xs);
+
+/// Moving-window integral (moving average) with window of @p n samples.
+/// @throws std::invalid_argument if n == 0.
+std::vector<double> moving_window_integral(std::span<const double> xs,
+                                           std::size_t n);
+
+/// Centered moving-average smoother of odd width @p n (even n rounds up).
+std::vector<double> moving_average(std::span<const double> xs, std::size_t n);
+
+/// Convenience overloads preserving sample rates.
+Series band_pass(const Series& s, double lo_hz, double hi_hz);
+Series moving_average(const Series& s, std::size_t n);
+
+}  // namespace sift::signal

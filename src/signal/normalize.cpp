@@ -1,0 +1,45 @@
+#include "signal/normalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/stats.hpp"
+
+namespace sift::signal {
+
+void min_max_normalize_inplace(std::span<double> xs) noexcept {
+  if (xs.empty()) return;
+  const auto [mn_it, mx_it] = std::minmax_element(xs.begin(), xs.end());
+  const double mn = *mn_it;
+  const double range = *mx_it - mn;
+  if (range <= 0.0) {
+    std::fill(xs.begin(), xs.end(), 0.5);
+    return;
+  }
+  for (double& x : xs) x = (x - mn) / range;
+}
+
+std::vector<double> min_max_normalize(std::span<const double> xs) {
+  std::vector<double> out(xs.begin(), xs.end());
+  min_max_normalize_inplace(out);
+  return out;
+}
+
+std::vector<double> z_score_normalize(std::span<const double> xs) {
+  std::vector<double> out(xs.begin(), xs.end());
+  if (out.empty()) return out;
+  const double m = mean(xs);
+  const double sd = stddev(xs);
+  if (sd <= 0.0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  for (double& x : out) x = (x - m) / sd;
+  return out;
+}
+
+Series min_max_normalize(const Series& s) {
+  return Series(s.sample_rate_hz(), min_max_normalize(s.samples()));
+}
+
+}  // namespace sift::signal

@@ -1,0 +1,31 @@
+// Signal normalisation.
+//
+// SIFT portraits are built from *normalised* ABP and ECG windows: each
+// 3-second snippet is independently rescaled so the portrait lives in the
+// unit square regardless of sensor gain or baseline. Min-max normalisation
+// is what the SIFT/DCOSS'16 pipeline uses; z-score is provided for the
+// feature scaler in sift::ml.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "signal/series.hpp"
+
+namespace sift::signal {
+
+/// Rescales @p xs into [0, 1] by (x - min) / (max - min).
+/// A constant signal maps to all-0.5 (midpoint) so downstream geometry stays
+/// finite — this matters for flatline attack windows.
+std::vector<double> min_max_normalize(std::span<const double> xs);
+
+/// In-place variant of min_max_normalize.
+void min_max_normalize_inplace(std::span<double> xs) noexcept;
+
+/// Standardises to zero mean / unit variance; constant signals map to all-0.
+std::vector<double> z_score_normalize(std::span<const double> xs);
+
+/// Convenience: normalised copy of a Series (same sampling rate).
+Series min_max_normalize(const Series& s);
+
+}  // namespace sift::signal

@@ -1,0 +1,36 @@
+#include "signal/resample.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace sift::signal {
+
+Series resample_linear(const Series& s, double target_rate_hz) {
+  if (!(target_rate_hz > 0.0)) {
+    throw std::invalid_argument("resample_linear: rate must be positive");
+  }
+  Series out(target_rate_hz);
+  if (s.empty()) return out;
+  if (s.size() == 1) {
+    out.push_back(s[0]);
+    return out;
+  }
+  const auto n_out = static_cast<std::size_t>(
+      std::floor(s.duration_s() * target_rate_hz));
+  out.reserve(n_out);
+  const double ratio = s.sample_rate_hz() / target_rate_hz;
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const double src = static_cast<double>(i) * ratio;
+    const auto i0 = static_cast<std::size_t>(src);
+    if (i0 + 1 >= s.size()) {
+      out.push_back(s[s.size() - 1]);
+      continue;
+    }
+    const double frac = src - static_cast<double>(i0);
+    out.push_back(s[i0] * (1.0 - frac) + s[i0 + 1] * frac);
+  }
+  return out;
+}
+
+}  // namespace sift::signal

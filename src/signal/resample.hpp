@@ -1,0 +1,17 @@
+// Linear-interpolation resampler.
+//
+// Sensor nodes in the WIoT environment may sample at their native rates;
+// the base station resamples both channels to the detector's common rate
+// (360 Hz in this reproduction, giving the paper's 1080-sample 3 s arrays).
+#pragma once
+
+#include "signal/series.hpp"
+
+namespace sift::signal {
+
+/// Resamples @p s to @p target_rate_hz by linear interpolation.
+/// The output covers the same time span (endpoint clamped).
+/// @throws std::invalid_argument if target_rate_hz <= 0.
+Series resample_linear(const Series& s, double target_rate_hz);
+
+}  // namespace sift::signal

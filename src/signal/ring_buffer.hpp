@@ -1,0 +1,93 @@
+// Fixed-capacity ring buffer.
+//
+// The Amulet insight #1 ("have efficient sensor data pipelines") motivates a
+// bounded buffer for staging live sensor samples on a memory-constrained
+// base station; the WIoT base-station model stages incoming ECG/ABP packets
+// through one of these before handing 3-second windows to the detector.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace sift::signal {
+
+/// Bounded FIFO over contiguous storage. Pushing into a full buffer either
+/// throws (push) or evicts the oldest element (push_evict), which is the
+/// behaviour a streaming sensor pipeline wants.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : storage_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("RingBuffer: capacity must be positive");
+    }
+  }
+
+  std::size_t capacity() const noexcept { return storage_.size(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == storage_.size(); }
+
+  /// @throws std::overflow_error when full.
+  void push(const T& v) {
+    if (full()) throw std::overflow_error("RingBuffer::push: buffer full");
+    storage_[(head_ + size_) % storage_.size()] = v;
+    ++size_;
+  }
+
+  /// Pushes, evicting the oldest element when full. Returns true if an
+  /// eviction happened (useful for drop accounting in the sensor pipeline).
+  bool push_evict(const T& v) {
+    bool evicted = false;
+    if (full()) {
+      head_ = (head_ + 1) % storage_.size();
+      --size_;
+      evicted = true;
+    }
+    push(v);
+    return evicted;
+  }
+
+  /// @throws std::underflow_error when empty.
+  T pop() {
+    if (empty()) throw std::underflow_error("RingBuffer::pop: buffer empty");
+    T v = std::move(storage_[head_]);
+    head_ = (head_ + 1) % storage_.size();
+    --size_;
+    return v;
+  }
+
+  /// Oldest element. @throws std::underflow_error when empty.
+  const T& front() const {
+    if (empty()) throw std::underflow_error("RingBuffer::front: buffer empty");
+    return storage_[head_];
+  }
+
+  /// i-th oldest element (0 == front). @throws std::out_of_range.
+  const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer::at");
+    return storage_[(head_ + i) % storage_.size()];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copies the buffered elements, oldest first.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sift::signal

@@ -1,0 +1,113 @@
+// Sampled time-series container used throughout the SIFT reproduction.
+//
+// A Series is an immutable-sample-rate, growable sequence of uniformly
+// sampled values. Physiological signals (ECG, ABP) are represented as
+// Series at a fixed sampling rate (the paper's windows of 3 s at 360 Hz
+// are 1080-sample Series slices).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sift::signal {
+
+/// Uniformly sampled scalar time series.
+///
+/// Invariants: sample_rate_hz() > 0; samples are contiguous in time, the
+/// i-th sample occurring at time i / sample_rate_hz() seconds.
+class Series {
+ public:
+  /// Creates an empty series at the given sampling rate.
+  /// @throws std::invalid_argument if @p sample_rate_hz is not positive.
+  explicit Series(double sample_rate_hz) : Series(sample_rate_hz, {}) {}
+
+  /// Creates a series from existing samples.
+  Series(double sample_rate_hz, std::vector<double> samples)
+      : rate_(sample_rate_hz), samples_(std::move(samples)) {
+    if (!(rate_ > 0.0)) {
+      throw std::invalid_argument("Series: sample rate must be positive, got " +
+                                  std::to_string(sample_rate_hz));
+    }
+  }
+
+  double sample_rate_hz() const noexcept { return rate_; }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// Duration covered by the samples, in seconds.
+  double duration_s() const noexcept {
+    return static_cast<double>(samples_.size()) / rate_;
+  }
+
+  double operator[](std::size_t i) const noexcept { return samples_[i]; }
+  double& operator[](std::size_t i) noexcept { return samples_[i]; }
+
+  /// Bounds-checked access.
+  double at(std::size_t i) const { return samples_.at(i); }
+
+  /// Time (seconds) of the i-th sample.
+  double time_of(std::size_t i) const noexcept {
+    return static_cast<double>(i) / rate_;
+  }
+
+  /// Index of the sample nearest to time @p t_s (clamped to valid range).
+  std::size_t index_at(double t_s) const noexcept {
+    if (samples_.empty() || t_s <= 0.0) return 0;
+    auto idx = static_cast<std::size_t>(t_s * rate_ + 0.5);
+    return idx >= samples_.size() ? samples_.size() - 1 : idx;
+  }
+
+  void push_back(double v) { samples_.push_back(v); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void clear() noexcept { samples_.clear(); }
+
+  std::span<const double> samples() const noexcept { return samples_; }
+  std::span<double> samples() noexcept { return samples_; }
+  const std::vector<double>& data() const noexcept { return samples_; }
+
+  /// Appends all samples of @p other (must share this sampling rate).
+  /// @throws std::invalid_argument on sampling-rate mismatch.
+  void append(const Series& other) {
+    if (other.rate_ != rate_) {
+      throw std::invalid_argument("Series::append: sample-rate mismatch");
+    }
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  /// Copies the half-open sample range [first, last) into a new Series.
+  /// @throws std::out_of_range if the range is invalid.
+  Series slice(std::size_t first, std::size_t last) const {
+    if (first > last || last > samples_.size()) {
+      throw std::out_of_range("Series::slice: invalid range [" +
+                              std::to_string(first) + ", " +
+                              std::to_string(last) + ") of " +
+                              std::to_string(samples_.size()));
+    }
+    return Series(rate_, std::vector<double>(samples_.begin() + static_cast<std::ptrdiff_t>(first),
+                                             samples_.begin() + static_cast<std::ptrdiff_t>(last)));
+  }
+
+  /// Slice expressed in seconds; rounds to the nearest sample boundary.
+  Series slice_time(double t0_s, double t1_s) const {
+    if (t0_s < 0.0 || t1_s < t0_s) {
+      throw std::out_of_range("Series::slice_time: invalid time range");
+    }
+    auto first = static_cast<std::size_t>(t0_s * rate_ + 0.5);
+    auto last = static_cast<std::size_t>(t1_s * rate_ + 0.5);
+    if (last > samples_.size()) last = samples_.size();
+    if (first > last) first = last;
+    return slice(first, last);
+  }
+
+  bool operator==(const Series& other) const noexcept = default;
+
+ private:
+  double rate_;
+  std::vector<double> samples_;
+};
+
+}  // namespace sift::signal

@@ -1,0 +1,51 @@
+#include "signal/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sift::signal {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 1) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double trapezoid_auc(std::span<const double> f, double a, double b) noexcept {
+  if (f.size() < 2) return 0.0;
+  const auto n = f.size() - 1;  // number of intervals
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += f[i] + f[i + 1];
+  return (b - a) / (2.0 * static_cast<double>(n)) * sum;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace sift::signal

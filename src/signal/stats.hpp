@@ -1,0 +1,64 @@
+// Scalar statistics and numeric-integration helpers.
+//
+// The SIFT matrix features are built from column averages of the portrait
+// count matrix: standard deviation (Original version), variance (Simplified
+// version, avoiding sqrt), and area under the column-average curve computed
+// by the trapezoidal rule (Original) or the paper's simplified summation
+// (Simplified). These primitives live here so both the gold-standard and
+// the constrained detector share one audited implementation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace sift::signal {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Population variance (divides by N). Returns 0 for spans of size < 1.
+double variance(std::span<const double> xs) noexcept;
+
+/// Population standard deviation. Returns 0 for spans of size < 1.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Minimum element. @throws std::invalid_argument on empty input.
+double min_value(std::span<const double> xs);
+
+/// Maximum element. @throws std::invalid_argument on empty input.
+double max_value(std::span<const double> xs);
+
+/// Trapezoidal-rule integral of f sampled at N+1 uniformly spaced points
+/// over [a, b]:  (b-a)/(2N) * sum_{n=1..N} (f(x_n) + f(x_{n+1})).
+/// This is the paper's "simplified" closed form, which is algebraically the
+/// trapezoid rule — the Original and Simplified detectors therefore share
+/// this routine. Returns 0 when fewer than two samples are given.
+double trapezoid_auc(std::span<const double> f, double a, double b) noexcept;
+
+/// Running (Welford) mean/variance accumulator for streaming statistics.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+
+  /// Population variance; 0 until at least one sample was added.
+  double variance() const noexcept {
+    return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace sift::signal

@@ -1,0 +1,86 @@
+// Sliding-window cursor over synchronously sampled signal pairs.
+//
+// SIFT's training step slides a window of w time-units over Δ time-units of
+// synchronised ECG+ABP to produce one portrait (and one feature point) per
+// window; the detection step consumes non-overlapping w-second windows of
+// the live stream. WindowCursor implements both policies (stride == window
+// for detection, stride < window for denser training sets).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+
+#include "signal/series.hpp"
+
+namespace sift::signal {
+
+/// One synchronised window of ECG and ABP samples.
+struct SignalWindow {
+  Series ecg;
+  Series abp;
+  std::size_t start_index = 0;  ///< index into the source series
+  double start_time_s = 0.0;    ///< time of the first sample
+};
+
+/// Iterates aligned windows over an (ECG, ABP) pair.
+///
+/// Invariants: both series share one sampling rate and length; window and
+/// stride are positive sample counts.
+class WindowCursor {
+ public:
+  /// @param window_samples  samples per window (w * rate; 1080 in the paper)
+  /// @param stride_samples  advance per step; equal to window_samples for
+  ///                        the paper's non-overlapping detection windows
+  /// @throws std::invalid_argument on mismatched series or zero sizes.
+  WindowCursor(const Series& ecg, const Series& abp,
+               std::size_t window_samples, std::size_t stride_samples)
+      : ecg_(ecg),
+        abp_(abp),
+        window_(window_samples),
+        stride_(stride_samples) {
+    if (ecg.sample_rate_hz() != abp.sample_rate_hz()) {
+      throw std::invalid_argument("WindowCursor: sample-rate mismatch");
+    }
+    if (ecg.size() != abp.size()) {
+      throw std::invalid_argument("WindowCursor: length mismatch");
+    }
+    if (window_ == 0 || stride_ == 0) {
+      throw std::invalid_argument("WindowCursor: window/stride must be > 0");
+    }
+  }
+
+  /// Number of complete windows available.
+  std::size_t count() const noexcept {
+    if (ecg_.size() < window_) return 0;
+    return (ecg_.size() - window_) / stride_ + 1;
+  }
+
+  /// Returns the next window, or nullopt when exhausted.
+  std::optional<SignalWindow> next() {
+    if (pos_ + window_ > ecg_.size()) return std::nullopt;
+    SignalWindow w{ecg_.slice(pos_, pos_ + window_),
+                   abp_.slice(pos_, pos_ + window_), pos_, ecg_.time_of(pos_)};
+    pos_ += stride_;
+    return w;
+  }
+
+  /// Random access to the i-th window. @throws std::out_of_range.
+  SignalWindow window_at(std::size_t i) const {
+    if (i >= count()) throw std::out_of_range("WindowCursor::window_at");
+    const std::size_t p = i * stride_;
+    return {ecg_.slice(p, p + window_), abp_.slice(p, p + window_), p,
+            ecg_.time_of(p)};
+  }
+
+  void reset() noexcept { pos_ = 0; }
+
+ private:
+  const Series& ecg_;
+  const Series& abp_;
+  std::size_t window_;
+  std::size_t stride_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sift::signal

@@ -1,0 +1,133 @@
+#include "wiot/base_station.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "signal/fft.hpp"
+
+namespace sift::wiot {
+
+BaseStation::BaseStation(core::Detector detector, Config config)
+    : detector_(std::move(detector)), config_(config) {
+  if (config_.window_samples == 0 || config_.samples_per_packet == 0 ||
+      config_.window_samples % config_.samples_per_packet != 0) {
+    throw std::invalid_argument(
+        "BaseStation: window must be a positive multiple of the packet size");
+  }
+}
+
+void BaseStation::append(Stream& s, const Packet& p, bool as_gap_fill) {
+  const std::size_t base = s.samples.size();
+  if (as_gap_fill) {
+    // Sample-and-hold reconstruction: repeat the last known value (or 0 at
+    // stream start). No peaks are invented for the missing span.
+    const double hold = base > 0 ? s.samples.back() : 0.0;
+    s.samples.insert(s.samples.end(), config_.samples_per_packet, hold);
+    s.filled.insert(s.filled.end(), config_.samples_per_packet, 1);
+    ++stats_.gaps_filled;
+    return;
+  }
+  s.samples.insert(s.samples.end(), p.samples.begin(), p.samples.end());
+  s.filled.insert(s.filled.end(), p.samples.size(), 0);
+  for (std::size_t rel : p.peaks) s.peaks.push_back(base + rel);
+}
+
+void BaseStation::receive(const Packet& packet) {
+  ++stats_.packets_received;
+  // A payload of the wrong size would silently shear the two streams out
+  // of alignment — the exact failure mode the gap-filling protects
+  // against. Reject it; the sequence gap will be reconstructed instead.
+  if (packet.samples.size() != config_.samples_per_packet) {
+    ++stats_.malformed_rejected;
+    return;
+  }
+  for (std::size_t rel : packet.peaks) {
+    if (rel >= packet.samples.size()) {
+      ++stats_.malformed_rejected;
+      return;
+    }
+  }
+  Stream& s = stream_for(packet.kind);
+
+  if (packet.seq < s.next_seq) {
+    ++stats_.duplicates_ignored;
+    return;
+  }
+  // Reconstruct any skipped packets so the two streams stay aligned.
+  while (s.next_seq < packet.seq) {
+    append(s, packet, /*as_gap_fill=*/true);
+    ++s.next_seq;
+  }
+  append(s, packet, /*as_gap_fill=*/false);
+  ++s.next_seq;
+
+  classify_ready_windows();
+}
+
+void BaseStation::classify_ready_windows() {
+  const std::size_t w = config_.window_samples;
+  while (ecg_.samples.size() >= w && abp_.samples.size() >= w) {
+    core::PortraitInput in;
+    in.ecg = std::span<const double>(ecg_.samples.data(), w);
+    in.abp = std::span<const double>(abp_.samples.data(), w);
+
+    std::vector<std::size_t> r;
+    for (std::size_t p : ecg_.peaks) {
+      if (p < w) r.push_back(p);
+    }
+    std::vector<std::size_t> sys;
+    for (std::size_t p : abp_.peaks) {
+      if (p < w) sys.push_back(p);
+    }
+    in.r_peaks = r;
+    in.sys_peaks = sys;
+    in.sample_rate_hz = physio::kDefaultRateHz;
+
+    const core::DetectionResult verdict = detector_.classify(in);
+
+    WindowReport report;
+    report.window_index = stats_.windows_classified;
+    report.altered = verdict.altered;
+    report.decision_value = verdict.decision_value;
+    if (config_.spectral_cross_check) {
+      const double rate = physio::kDefaultRateHz;
+      const double hr_ecg = signal::spectral_heart_rate_bpm(
+          signal::Series(rate, std::vector<double>(ecg_.samples.begin(),
+                                                   ecg_.samples.begin() +
+                                                       static_cast<std::ptrdiff_t>(w))));
+      const double hr_abp = signal::spectral_heart_rate_bpm(
+          signal::Series(rate, std::vector<double>(abp_.samples.begin(),
+                                                   abp_.samples.begin() +
+                                                       static_cast<std::ptrdiff_t>(w))));
+      if (hr_ecg > 0.0 && hr_abp > 0.0 &&
+          std::abs(hr_ecg - hr_abp) > config_.hr_mismatch_bpm) {
+        report.hr_mismatch = true;
+        report.altered = true;
+      }
+    }
+    for (std::size_t i = 0; i < w; ++i) {
+      if (ecg_.filled[i] || abp_.filled[i]) {
+        report.degraded = true;
+        break;
+      }
+    }
+    reports_.push_back(report);
+    ++stats_.windows_classified;
+    if (report.altered) ++stats_.alerts;
+
+    // Consume the window from both streams.
+    for (Stream* s : {&ecg_, &abp_}) {
+      s->samples.erase(s->samples.begin(),
+                       s->samples.begin() + static_cast<std::ptrdiff_t>(w));
+      s->filled.erase(s->filled.begin(),
+                      s->filled.begin() + static_cast<std::ptrdiff_t>(w));
+      std::vector<std::size_t> kept;
+      for (std::size_t p : s->peaks) {
+        if (p >= w) kept.push_back(p - w);
+      }
+      s->peaks = std::move(kept);
+    }
+  }
+}
+
+}  // namespace sift::wiot

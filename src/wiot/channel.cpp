@@ -1,0 +1,31 @@
+#include "wiot/channel.hpp"
+
+#include <stdexcept>
+
+namespace sift::wiot {
+
+LossyChannel::LossyChannel(ChannelParams params)
+    : params_(params), rng_(params.seed) {
+  const auto valid = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!valid(params_.drop_probability) ||
+      !valid(params_.duplicate_probability)) {
+    throw std::invalid_argument("LossyChannel: probabilities must be in [0,1]");
+  }
+}
+
+std::vector<Packet> LossyChannel::transmit(const Packet& packet) {
+  ++in_;
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  if (coin(rng_) < params_.drop_probability) {
+    ++dropped_;
+    return {};
+  }
+  std::vector<Packet> out{packet};
+  if (coin(rng_) < params_.duplicate_probability) {
+    ++duplicated_;
+    out.push_back(packet);
+  }
+  return out;
+}
+
+}  // namespace sift::wiot

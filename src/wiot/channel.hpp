@@ -1,0 +1,45 @@
+// Lossy wireless hop between a sensor and the base station.
+//
+// Body-area links drop and duplicate frames; the base station must tolerate
+// both without desynchronising the two channels it correlates (a dropped
+// ECG packet that silently shifted the stream would look exactly like a
+// time-shift attack). The channel model is Bernoulli drop + duplicate with
+// a deterministic seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "wiot/packet.hpp"
+
+namespace sift::wiot {
+
+struct ChannelParams {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class LossyChannel {
+ public:
+  explicit LossyChannel(ChannelParams params);
+
+  /// Delivers 0, 1, or 2 copies of @p packet.
+  /// @throws std::invalid_argument at construction for probabilities
+  ///         outside [0, 1].
+  std::vector<Packet> transmit(const Packet& packet);
+
+  std::size_t packets_in() const noexcept { return in_; }
+  std::size_t packets_dropped() const noexcept { return dropped_; }
+  std::size_t packets_duplicated() const noexcept { return duplicated_; }
+
+ private:
+  ChannelParams params_;
+  std::mt19937_64 rng_;
+  std::size_t in_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t duplicated_ = 0;
+};
+
+}  // namespace sift::wiot

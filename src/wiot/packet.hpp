@@ -1,0 +1,27 @@
+// Wire format of the WIoT body-area network (Fig 1).
+//
+// Sensors batch samples into fixed-size packets and piggyback their peak
+// annotations (the paper pre-stored peak indexes beside the signals; a
+// sensor-side annotation stream is the run-time equivalent, and is also the
+// direction Insight #1 points at — push processing toward the sensor).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sift::wiot {
+
+enum class ChannelKind { kEcg, kAbp };
+
+const char* to_string(ChannelKind k) noexcept;
+
+struct Packet {
+  ChannelKind kind = ChannelKind::kEcg;
+  std::uint32_t seq = 0;            ///< per-channel sequence number
+  double sample_rate_hz = 360.0;
+  std::vector<double> samples;
+  std::vector<std::size_t> peaks;   ///< packet-relative peak indexes
+};
+
+}  // namespace sift::wiot

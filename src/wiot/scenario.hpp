@@ -1,0 +1,43 @@
+// End-to-end WIoT scenario driver (the whole of Fig 1 in one call).
+//
+// Streams a (possibly attacked) recording through two sensor nodes, two
+// lossy wireless hops, the detecting base station, and the sink; when
+// ground truth is supplied it also scores the verdicts.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "ml/metrics.hpp"
+#include "wiot/base_station.hpp"
+#include "wiot/channel.hpp"
+#include "wiot/sink.hpp"
+
+namespace sift::wiot {
+
+struct ScenarioConfig {
+  std::size_t samples_per_packet = 180;  ///< 0.5 s batches at 360 Hz
+  ChannelParams ecg_channel;
+  ChannelParams abp_channel;
+};
+
+struct ScenarioResult {
+  Sink sink;
+  BaseStation::Stats station_stats;
+  std::size_t ecg_packets_dropped = 0;
+  std::size_t abp_packets_dropped = 0;
+  /// Present when ground truth was given; degraded windows are excluded
+  /// from scoring (their label reflects the channel, not the attacker).
+  std::optional<ml::ConfusionMatrix> confusion;
+};
+
+/// @param source        the trace the sensors stream (attacked or clean)
+/// @param ground_truth  per-window altered flags (attack::AttackedRecord),
+///                      empty to skip scoring
+ScenarioResult run_scenario(const core::Detector& detector,
+                            const physio::Record& source,
+                            const std::vector<bool>& ground_truth,
+                            const ScenarioConfig& config);
+
+}  // namespace sift::wiot

@@ -1,0 +1,41 @@
+#include "wiot/sensor_node.hpp"
+
+#include <stdexcept>
+
+#include "core/windows.hpp"
+
+namespace sift::wiot {
+
+const char* to_string(ChannelKind k) noexcept {
+  return k == ChannelKind::kEcg ? "ECG" : "ABP";
+}
+
+SensorNode::SensorNode(ChannelKind kind, const physio::Record& source,
+                       std::size_t samples_per_packet)
+    : kind_(kind), source_(source), batch_(samples_per_packet) {
+  if (batch_ == 0) {
+    throw std::invalid_argument("SensorNode: samples_per_packet must be > 0");
+  }
+}
+
+std::optional<Packet> SensorNode::poll() {
+  const auto& series =
+      kind_ == ChannelKind::kEcg ? source_.ecg : source_.abp;
+  const auto& peaks =
+      kind_ == ChannelKind::kEcg ? source_.r_peaks : source_.systolic_peaks;
+
+  const std::size_t start = static_cast<std::size_t>(next_seq_) * batch_;
+  if (start + batch_ > series.size()) return std::nullopt;
+
+  Packet p;
+  p.kind = kind_;
+  p.seq = next_seq_++;
+  p.sample_rate_hz = series.sample_rate_hz();
+  p.samples.assign(series.data().begin() + static_cast<std::ptrdiff_t>(start),
+                   series.data().begin() +
+                       static_cast<std::ptrdiff_t>(start + batch_));
+  p.peaks = core::peaks_in_range(peaks, start, batch_);
+  return p;
+}
+
+}  // namespace sift::wiot

@@ -1,0 +1,40 @@
+// A body sensor streaming one physiological channel in packets.
+//
+// The node serialises a (possibly attacker-hijacked) recording; hijacking
+// is modeled upstream by streaming an attack::corrupt_windows output, which
+// matches the threat model — the adversary compromises the sensor or its
+// channel, not the base station.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "physio/dataset.hpp"
+#include "wiot/packet.hpp"
+
+namespace sift::wiot {
+
+class SensorNode {
+ public:
+  /// @param kind                which channel of @p source to stream
+  /// @param samples_per_packet  batch size (e.g. 180 = 0.5 s at 360 Hz)
+  /// @throws std::invalid_argument if samples_per_packet == 0.
+  SensorNode(ChannelKind kind, const physio::Record& source,
+             std::size_t samples_per_packet);
+
+  /// Next packet, or nullopt when the recording is exhausted. The final
+  /// partial batch (if any) is not emitted — real sensors stream forever;
+  /// a trailing fragment would never fill a detection window anyway.
+  std::optional<Packet> poll();
+
+  std::size_t packets_emitted() const noexcept { return next_seq_; }
+  void reset() noexcept { next_seq_ = 0; }
+
+ private:
+  ChannelKind kind_;
+  const physio::Record& source_;
+  std::size_t batch_;
+  std::uint32_t next_seq_ = 0;
+};
+
+}  // namespace sift::wiot

@@ -1,0 +1,41 @@
+#include "wiot/sink.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace sift::wiot {
+
+void Sink::deliver(const BaseStation::WindowReport& report) {
+  history_.push_back(report);
+  if (report.altered) ++alerts_;
+  if (report.degraded) ++degraded_;
+}
+
+std::size_t Sink::longest_alert_run() const noexcept {
+  std::size_t best = 0;
+  std::size_t run = 0;
+  for (const auto& r : history_) {
+    run = r.altered ? run + 1 : 0;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+std::string Sink::summary(double window_s) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << "Sink summary: " << history_.size() << " windows ("
+     << static_cast<double>(history_.size()) * window_s << " s monitored), "
+     << alerts_ << " alerts";
+  if (!history_.empty()) {
+    os << " (" << 100.0 * static_cast<double>(alerts_) /
+                      static_cast<double>(history_.size())
+       << "% of windows)";
+  }
+  os << ", longest alert run " << longest_alert_run() << " windows, "
+     << degraded_ << " degraded windows";
+  return os.str();
+}
+
+}  // namespace sift::wiot

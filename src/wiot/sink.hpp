@@ -1,0 +1,41 @@
+// The resource-rich sink (Fig 1): stores history, aggregates alerts.
+//
+// "The sink is [a] resource-rich device responsible for providing expensive
+//  but non safety-critical operations such as local storage of historical
+//  patient information, visualization tools, and cloud connectivity." Here
+// it archives every window report from the base station and renders a
+// clinician-facing summary.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "wiot/base_station.hpp"
+
+namespace sift::wiot {
+
+class Sink {
+ public:
+  void deliver(const BaseStation::WindowReport& report);
+
+  std::size_t total_windows() const noexcept { return history_.size(); }
+  std::size_t alerts() const noexcept { return alerts_; }
+  std::size_t degraded_windows() const noexcept { return degraded_; }
+  const std::vector<BaseStation::WindowReport>& history() const noexcept {
+    return history_;
+  }
+
+  /// Longest run of consecutive alerted windows — a sustained-attack
+  /// indicator a clinician dashboard would surface.
+  std::size_t longest_alert_run() const noexcept;
+
+  std::string summary(double window_s) const;
+
+ private:
+  std::vector<BaseStation::WindowReport> history_;
+  std::size_t alerts_ = 0;
+  std::size_t degraded_ = 0;
+};
+
+}  // namespace sift::wiot

@@ -1,0 +1,156 @@
+// Tests for adaptive security: the decision engine (Insight #4) and the
+// battery-lifetime simulation comparing adaptive vs. static deployment.
+#include <gtest/gtest.h>
+
+#include "adaptive/decision_engine.hpp"
+#include "adaptive/simulation.hpp"
+
+namespace sift::adaptive {
+namespace {
+
+using core::DetectorVersion;
+
+StaticConstraints amulet_constraints() {
+  return StaticConstraints{};  // 128 KB FRAM, 2 KB SRAM, libm present
+}
+
+std::map<DetectorVersion, VersionOperatingPoint> table_points() {
+  // Currents approximating our Table III reproduction; accuracies from our
+  // Table II reproduction.
+  return {{DetectorVersion::kOriginal, {201.0, 0.954}},
+          {DetectorVersion::kSimplified, {194.0, 0.954}},
+          {DetectorVersion::kReduced, {91.0, 0.927}}};
+}
+
+// --- static feasibility -------------------------------------------------------
+
+TEST(DecisionEngine, AllVersionsFeasibleOnTheRealAmulet) {
+  DecisionEngine engine(Policy{}, amulet_constraints());
+  EXPECT_TRUE(engine.is_feasible(DetectorVersion::kOriginal));
+  EXPECT_TRUE(engine.is_feasible(DetectorVersion::kSimplified));
+  EXPECT_TRUE(engine.is_feasible(DetectorVersion::kReduced));
+  EXPECT_EQ(engine.feasible_versions().size(), 3u);
+}
+
+TEST(DecisionEngine, MissingLibmExcludesOriginal) {
+  // Early Amulet builds had no C math library (Insight #2).
+  StaticConstraints c = amulet_constraints();
+  c.libm_available = false;
+  DecisionEngine engine(Policy{}, c);
+  EXPECT_FALSE(engine.is_feasible(DetectorVersion::kOriginal));
+  EXPECT_TRUE(engine.is_feasible(DetectorVersion::kSimplified));
+  EXPECT_EQ(engine.decide({1.0, 1.0}), DetectorVersion::kSimplified);
+}
+
+TEST(DecisionEngine, TightFramExcludesMatrixVersions) {
+  StaticConstraints c = amulet_constraints();
+  c.fram_available_b = 60UL * 1024;  // < 71.58 + 4.02 KB
+  DecisionEngine engine(Policy{}, c);
+  EXPECT_FALSE(engine.is_feasible(DetectorVersion::kOriginal));
+  EXPECT_FALSE(engine.is_feasible(DetectorVersion::kSimplified));
+  EXPECT_TRUE(engine.is_feasible(DetectorVersion::kReduced));
+}
+
+TEST(DecisionEngine, TightSramExcludesMatrixVersions) {
+  StaticConstraints c = amulet_constraints();
+  c.sram_available_b = 800;  // < 694 + 259
+  DecisionEngine engine(Policy{}, c);
+  EXPECT_FALSE(engine.is_feasible(DetectorVersion::kOriginal));
+  EXPECT_TRUE(engine.is_feasible(DetectorVersion::kReduced));
+}
+
+TEST(DecisionEngine, ThrowsWhenNothingFits) {
+  StaticConstraints c = amulet_constraints();
+  c.fram_available_b = 1024;
+  DecisionEngine engine(Policy{}, c);
+  EXPECT_THROW(engine.decide({1.0, 1.0}), std::logic_error);
+}
+
+// --- dynamic switching ----------------------------------------------------------
+
+TEST(DecisionEngine, BatteryTiersSelectVersions) {
+  DecisionEngine engine(Policy{}, amulet_constraints());
+  EXPECT_EQ(engine.decide({0.9, 1.0}), DetectorVersion::kOriginal);
+  EXPECT_EQ(engine.decide({0.45, 1.0}), DetectorVersion::kSimplified);
+  EXPECT_EQ(engine.decide({0.1, 1.0}), DetectorVersion::kReduced);
+}
+
+TEST(DecisionEngine, LowCpuHeadroomDemotesOriginal) {
+  DecisionEngine engine(Policy{}, amulet_constraints());
+  EXPECT_EQ(engine.decide({0.9, 0.05}), DetectorVersion::kSimplified);
+}
+
+TEST(DecisionEngine, SteadyStateIsSticky) {
+  DecisionEngine engine(Policy{}, amulet_constraints());
+  EXPECT_EQ(engine.decide({0.9, 1.0}), DetectorVersion::kOriginal);
+  EXPECT_EQ(engine.decide({0.9, 1.0}), DetectorVersion::kOriginal);
+  EXPECT_NE(engine.last_rationale().find("steady"), std::string::npos);
+}
+
+TEST(DecisionEngine, RationaleExplainsTransitions) {
+  DecisionEngine engine(Policy{}, amulet_constraints());
+  engine.decide({0.9, 1.0});
+  EXPECT_NE(engine.last_rationale().find("initial"), std::string::npos);
+  engine.decide({0.2, 1.0});
+  EXPECT_NE(engine.last_rationale().find("switch"), std::string::npos);
+  EXPECT_NE(engine.last_rationale().find("Reduced"), std::string::npos);
+}
+
+// --- simulation ------------------------------------------------------------------
+
+TEST(Simulation, StaticLifetimesReproduceTableIiiOrdering) {
+  const auto points = table_points();
+  const SimulationConfig cfg;
+  const auto orig = simulate_static(DetectorVersion::kOriginal, points, cfg);
+  const auto simp = simulate_static(DetectorVersion::kSimplified, points, cfg);
+  const auto red = simulate_static(DetectorVersion::kReduced, points, cfg);
+  EXPECT_NEAR(orig.lifetime_days, 110.0 / 0.201 / 24.0, 0.5);
+  EXPECT_GT(simp.lifetime_days, orig.lifetime_days);
+  EXPECT_GT(red.lifetime_days, 1.8 * orig.lifetime_days);
+  EXPECT_NEAR(orig.time_weighted_accuracy, 0.954, 1e-9);
+}
+
+TEST(Simulation, AdaptiveOutlivesStaticOriginal) {
+  const auto points = table_points();
+  DecisionEngine engine(Policy{}, amulet_constraints());
+  const SimulationConfig cfg;
+  const auto adaptive = simulate_adaptive(engine, points, cfg);
+  const auto orig = simulate_static(DetectorVersion::kOriginal, points, cfg);
+  const auto red = simulate_static(DetectorVersion::kReduced, points, cfg);
+  EXPECT_GT(adaptive.lifetime_days, orig.lifetime_days)
+      << "switching down extends life";
+  EXPECT_LT(adaptive.lifetime_days, red.lifetime_days + 1.0)
+      << "cannot beat always-Reduced on lifetime";
+  EXPECT_GT(adaptive.time_weighted_accuracy, red.time_weighted_accuracy)
+      << "but buys accuracy while the battery is healthy";
+}
+
+TEST(Simulation, AdaptiveVisitsAllTiers) {
+  const auto points = table_points();
+  DecisionEngine engine(Policy{}, amulet_constraints());
+  const auto result = simulate_adaptive(engine, points, SimulationConfig{});
+  EXPECT_EQ(result.days_per_version.size(), 3u);
+  for (const auto& [version, days] : result.days_per_version) {
+    EXPECT_GT(days, 0.0) << core::to_string(version);
+  }
+  // Timeline battery fraction is non-increasing.
+  for (std::size_t i = 1; i < result.timeline.size(); ++i) {
+    EXPECT_LE(result.timeline[i].battery_fraction,
+              result.timeline[i - 1].battery_fraction + 1e-12);
+  }
+}
+
+TEST(Simulation, ValidatesInputs) {
+  const auto points = table_points();
+  SimulationConfig bad;
+  bad.step_days = 0.0;
+  EXPECT_THROW(simulate_static(DetectorVersion::kReduced, points, bad),
+               std::invalid_argument);
+  std::map<DetectorVersion, VersionOperatingPoint> missing;
+  EXPECT_THROW(simulate_static(DetectorVersion::kReduced, missing,
+                               SimulationConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sift::adaptive

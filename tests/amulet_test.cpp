@@ -1,0 +1,421 @@
+// Tests for the Amulet platform model: QM framework, memory model, energy
+// model, the 3-state SIFT app, and the resource profiler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <span>
+
+#include "amulet/board.hpp"
+#include "amulet/energy_model.hpp"
+#include "amulet/memory_model.hpp"
+#include "amulet/profiler.hpp"
+#include "amulet/qm.hpp"
+#include "amulet/sift_app.hpp"
+#include "core/trainer.hpp"
+#include "physio/dataset.hpp"
+
+namespace sift::amulet {
+namespace {
+
+using core::DetectorVersion;
+
+// --- QM framework ------------------------------------------------------------
+
+class RecorderApp final : public App {
+ public:
+  explicit RecorderApp(std::string name) : App(std::move(name)) {}
+  void on_event(const Event& event) override {
+    signals.push_back(event.signal);
+    if (responder) responder(event);
+  }
+  std::vector<Signal> signals;
+  std::function<void(const Event&)> responder;
+};
+
+TEST(Qm, InitSignalDeliveredOnRegistration) {
+  Scheduler sched;
+  RecorderApp app("a");
+  sched.add_app(app);
+  sched.run();
+  ASSERT_EQ(app.signals.size(), 1u);
+  EXPECT_EQ(app.signals[0], kInitSignal);
+}
+
+TEST(Qm, EventsDispatchInFifoOrder) {
+  Scheduler sched;
+  RecorderApp a("a");
+  RecorderApp b("b");
+  sched.add_app(a);
+  sched.add_app(b);
+  sched.run();  // drain inits
+  sched.post(a, {kUserSignal + 1, {}});
+  sched.post(b, {kUserSignal + 2, {}});
+  sched.post(a, {kUserSignal + 3, {}});
+  sched.run();
+  EXPECT_EQ(a.signals, (std::vector<Signal>{kInitSignal, kUserSignal + 1,
+                                            kUserSignal + 3}));
+  EXPECT_EQ(b.signals, (std::vector<Signal>{kInitSignal, kUserSignal + 2}));
+}
+
+TEST(Qm, RunToCompletionPostsQueueBehindPending) {
+  // A handler that posts to itself must not preempt the already-queued
+  // event: run-to-completion FIFO semantics.
+  Scheduler sched;
+  RecorderApp app("rtc");
+  sched.add_app(app);
+  sched.run();
+  app.responder = [&](const Event& e) {
+    if (e.signal == kUserSignal) sched.post(app, {kUserSignal + 5, {}});
+  };
+  sched.post(app, {kUserSignal, {}});
+  sched.post(app, {kUserSignal + 1, {}});
+  sched.run();
+  EXPECT_EQ(app.signals,
+            (std::vector<Signal>{kInitSignal, kUserSignal, kUserSignal + 1,
+                                 kUserSignal + 5}))
+      << "self-posted event lands after the pending one";
+}
+
+TEST(Qm, PostToUnregisteredAppThrows) {
+  Scheduler sched;
+  RecorderApp app("ghost");
+  EXPECT_THROW(sched.post(app, {kUserSignal, {}}), std::invalid_argument);
+}
+
+TEST(Qm, RunawayEventStormIsCaught) {
+  Scheduler sched;
+  RecorderApp app("storm");
+  sched.add_app(app);
+  app.responder = [&](const Event&) { sched.post(app, {kUserSignal, {}}); };
+  EXPECT_THROW(sched.run(1000), std::runtime_error);
+}
+
+TEST(Qm, RegisteringTwiceIsIdempotent) {
+  Scheduler sched;
+  RecorderApp app("a");
+  sched.add_app(app);
+  sched.add_app(app);
+  sched.run();
+  EXPECT_EQ(app.signals.size(), 1u) << "only one init";
+}
+
+// --- memory model ---------------------------------------------------------------
+
+TEST(MemoryModel, ReproducesTableIiiTotals) {
+  const auto o = estimate_memory(DetectorVersion::kOriginal);
+  EXPECT_NEAR(o.fram_system_kb, 77.03, 0.01);
+  EXPECT_NEAR(o.fram_detector_kb, 4.79, 0.01);
+  EXPECT_EQ(o.sram_system_b, 696u);
+  EXPECT_EQ(o.sram_detector_b, 259u);
+
+  const auto s = estimate_memory(DetectorVersion::kSimplified);
+  EXPECT_NEAR(s.fram_system_kb, 71.58, 0.01);
+  EXPECT_NEAR(s.fram_detector_kb, 4.02, 0.01);
+  EXPECT_EQ(s.sram_detector_b, 259u);
+
+  const auto r = estimate_memory(DetectorVersion::kReduced);
+  EXPECT_NEAR(r.fram_system_kb, 56.29, 0.01);
+  EXPECT_NEAR(r.fram_detector_kb, 2.56, 0.01);
+  EXPECT_EQ(r.sram_system_b, 694u);
+  EXPECT_EQ(r.sram_detector_b, 69u);
+}
+
+TEST(MemoryModel, EverythingFitsTheBoard) {
+  const BoardSpec board = msp430fr5989_amulet();
+  for (auto v : {DetectorVersion::kOriginal, DetectorVersion::kSimplified,
+                 DetectorVersion::kReduced}) {
+    const auto m = estimate_memory(v);
+    EXPECT_LT((m.fram_system_kb + m.fram_detector_kb) * 1024.0,
+              static_cast<double>(board.fram_bytes));
+    EXPECT_LT(m.sram_system_b + m.sram_detector_b, board.sram_bytes);
+  }
+}
+
+TEST(MemoryModel, SramScalesWithGrid) {
+  const auto small = estimate_memory(DetectorVersion::kOriginal, 10);
+  const auto big = estimate_memory(DetectorVersion::kOriginal, 100);
+  EXPECT_LT(small.sram_detector_b, big.sram_detector_b);
+  // The Reduced version has no grid buffer at all.
+  EXPECT_EQ(estimate_memory(DetectorVersion::kReduced, 10).sram_detector_b,
+            estimate_memory(DetectorVersion::kReduced, 100).sram_detector_b);
+}
+
+// --- energy model ----------------------------------------------------------------
+
+TEST(EnergyModel, CyclesForWeighsOpClasses) {
+  SoftFloatCosts costs;
+  core::OpCounts ops;
+  ops.add = 10;
+  ops.mul = 5;
+  ops.div = 2;
+  ops.sqrt_calls = 1;
+  ops.atan2_calls = 1;
+  ops.int_ops = 100;
+  EXPECT_DOUBLE_EQ(cycles_for(ops, costs),
+                   10 * costs.add + 5 * costs.mul + 2 * costs.div +
+                       costs.sqrt_call + costs.atan2_call +
+                       100 * costs.int_op);
+}
+
+TEST(EnergyModel, FetchCostCoversBothChannels) {
+  const auto ops = fetch_ops(1080);
+  EXPECT_EQ(ops.int_ops, 4u * 1080u);
+  EXPECT_EQ(ops.add + ops.mul + ops.div, 0u) << "fetch is integer-only";
+  // Fetching must stay a small fraction of feature extraction.
+  SoftFloatCosts costs;
+  const auto feat = portrait_ops(1080, DetectorVersion::kOriginal, 8);
+  EXPECT_LT(cycles_for(ops, costs), cycles_for(feat, costs) / 10.0);
+}
+
+TEST(EnergyModel, ReducedPortraitIsMuchCheaper) {
+  const auto full = portrait_ops(1080, DetectorVersion::kOriginal, 8);
+  const auto reduced = portrait_ops(1080, DetectorVersion::kReduced, 8);
+  SoftFloatCosts costs;
+  EXPECT_LT(cycles_for(reduced, costs), cycles_for(full, costs) / 2.0)
+      << "Reduced normalises only peak coordinates";
+  EXPECT_TRUE(binning_ops(1080, DetectorVersion::kReduced).total() == 0)
+      << "no count matrix in Reduced";
+  EXPECT_GT(binning_ops(1080, DetectorVersion::kOriginal).total(), 0u);
+}
+
+TEST(EnergyModel, DutyCurrentScalesWithCyclesAndPeriod) {
+  EnergyModel m;
+  const double i1 = m.duty_current_ua(1e6, 3.0);
+  EXPECT_NEAR(m.duty_current_ua(2e6, 3.0), 2.0 * i1, 1e-9);
+  EXPECT_NEAR(m.duty_current_ua(1e6, 6.0), i1 / 2.0, 1e-9);
+}
+
+TEST(EnergyModel, LifetimeInverseInCurrent) {
+  EnergyModel m;
+  EXPECT_NEAR(m.lifetime_days(100.0), 110.0 / 0.1 / 24.0, 1e-9);
+  EXPECT_GT(m.lifetime_days(50.0), m.lifetime_days(100.0));
+  EXPECT_DOUBLE_EQ(m.lifetime_days(0.0), 0.0);
+}
+
+// --- SiftApp + profiler -----------------------------------------------------------
+
+class AppTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto cohort = physio::synthetic_cohort(3, 55);
+    training_ =
+        new std::vector(physio::generate_cohort_records(cohort, 120.0));
+    test_ = new physio::Record(physio::generate_record(
+        cohort[0], 60.0, physio::kDefaultRateHz, /*salt=*/2));
+  }
+  static void TearDownTestSuite() {
+    delete training_;
+    delete test_;
+    training_ = nullptr;
+    test_ = nullptr;
+  }
+
+  static core::UserModel train(DetectorVersion version) {
+    core::SiftConfig config;
+    config.version = version;
+    config.arithmetic = core::Arithmetic::kFloat32;
+    return core::train_user_model((*training_)[0],
+                                  std::span(*training_).subspan(1), config);
+  }
+
+  static std::vector<physio::Record>* training_;
+  static physio::Record* test_;
+};
+
+std::vector<physio::Record>* AppTest::training_ = nullptr;
+physio::Record* AppTest::test_ = nullptr;
+
+TEST_F(AppTest, ProcessesEveryWindowThroughThreeStates) {
+  Scheduler sched;
+  SiftApp app(train(DetectorVersion::kOriginal), *test_, sched);
+  sched.add_app(app);
+  const auto& stats = run_app_over_trace(app, sched);
+  EXPECT_EQ(stats.windows_processed, 20u);  // 60 s / 3 s
+  EXPECT_EQ(stats.peaks_check.activations, 20u);
+  EXPECT_EQ(stats.feature_extraction.activations, 20u);
+  EXPECT_EQ(stats.ml_classifier.activations, 20u);
+  EXPECT_EQ(stats.verdicts.size(), 20u);
+  EXPECT_EQ(stats.peaks_check.display_updates, 20u)
+      << "every snippet shown on screen";
+}
+
+TEST_F(AppTest, VerdictsMatchHostDetector) {
+  // The QM app and the host-side Detector must agree bit-for-bit: they are
+  // the same algorithm behind different execution models.
+  const core::UserModel model = train(DetectorVersion::kSimplified);
+  Scheduler sched;
+  SiftApp app(model, *test_, sched);
+  sched.add_app(app);
+  const auto& stats = run_app_over_trace(app, sched);
+
+  const core::Detector host(model);
+  const auto host_verdicts = host.classify_record(*test_);
+  ASSERT_EQ(stats.verdicts.size(), host_verdicts.size());
+  for (std::size_t i = 0; i < host_verdicts.size(); ++i) {
+    EXPECT_EQ(stats.verdicts[i].altered, host_verdicts[i].altered) << i;
+    EXPECT_NEAR(stats.verdicts[i].decision_value,
+                host_verdicts[i].decision_value, 1e-9)
+        << i;
+  }
+}
+
+TEST_F(AppTest, AlertsOnlyOnPositives) {
+  Scheduler sched;
+  SiftApp app(train(DetectorVersion::kOriginal), *test_, sched);
+  sched.add_app(app);
+  const auto& stats = run_app_over_trace(app, sched);
+  std::size_t positives = 0;
+  for (const auto& v : stats.verdicts) {
+    if (v.altered) ++positives;
+  }
+  EXPECT_EQ(stats.alerts, positives);
+  EXPECT_EQ(stats.ml_classifier.display_updates, positives)
+      << "the alert display fires exactly on positives";
+}
+
+TEST_F(AppTest, RejectsTraceShorterThanWindow) {
+  Scheduler sched;
+  physio::Record tiny;
+  tiny.ecg = signal::Series(360.0, std::vector<double>(100, 0.0));
+  tiny.abp = signal::Series(360.0, std::vector<double>(100, 0.0));
+  EXPECT_THROW(SiftApp(train(DetectorVersion::kOriginal), tiny, sched),
+               std::invalid_argument);
+}
+
+TEST_F(AppTest, DisplayEmulationRecordsSnippetsAndAlerts) {
+  // Insight #3: the desktop LED emulation shows exactly what the device
+  // screen would, without flashing hardware.
+  Scheduler sched;
+  LedDisplay display(/*visible_lines=*/4);
+  SiftApp app(train(DetectorVersion::kOriginal), *test_, sched, &display);
+  sched.add_app(app);
+  const auto& stats = run_app_over_trace(app, sched);
+
+  EXPECT_EQ(display.updates(),
+            stats.windows_processed + stats.alerts)
+      << "one snippet line per window plus one line per alert";
+  // Every alert verdict produced an ALERT line naming its window.
+  std::size_t alert_lines = 0;
+  for (const auto& entry : display.log()) {
+    if (entry.text.rfind("!! ALERT", 0) == 0) ++alert_lines;
+  }
+  EXPECT_EQ(alert_lines, stats.alerts);
+  // The rendered panel shows the last writes only.
+  const std::string panel = display.render();
+  EXPECT_LE(std::count(panel.begin(), panel.end(), '\n'), 4);
+}
+
+TEST_F(AppTest, MultipleAppsCoexistOnOneScheduler) {
+  // "The Amulet platform allows multiple applications from different third
+  //  party developers to be deployed on the same device." Run the SIFT app
+  // beside an unrelated app and verify neither interferes with the other.
+  class StepCounterApp final : public App {
+   public:
+    explicit StepCounterApp(Scheduler& sched)
+        : App("step-counter"), sched_(sched) {}
+    void on_event(const Event& event) override {
+      if (event.signal == kUserSignal + 9) ++steps_;
+      (void)sched_;
+    }
+    std::size_t steps() const { return steps_; }
+
+   private:
+    Scheduler& sched_;
+    std::size_t steps_ = 0;
+  };
+
+  // Reference run: SIFT alone.
+  std::vector<WindowVerdict> alone;
+  {
+    Scheduler sched;
+    SiftApp app(train(DetectorVersion::kSimplified), *test_, sched);
+    sched.add_app(app);
+    alone = run_app_over_trace(app, sched).verdicts;
+  }
+
+  // Interleaved run: step-counter events arrive between every window.
+  Scheduler sched;
+  SiftApp sift(train(DetectorVersion::kSimplified), *test_, sched);
+  StepCounterApp steps(sched);
+  sched.add_app(sift);
+  sched.add_app(steps);
+  sched.run();
+  for (std::size_t w = 0; w < sift.window_count(); ++w) {
+    sched.post(steps, {kUserSignal + 9, {}});
+    sched.post(sift, {kSigWindowReady, w});
+    sched.post(steps, {kUserSignal + 9, {}});
+    sched.run();
+  }
+
+  EXPECT_EQ(steps.steps(), 2 * sift.window_count());
+  ASSERT_EQ(sift.stats().verdicts.size(), alone.size());
+  for (std::size_t i = 0; i < alone.size(); ++i) {
+    EXPECT_EQ(sift.stats().verdicts[i].altered, alone[i].altered) << i;
+    EXPECT_DOUBLE_EQ(sift.stats().verdicts[i].decision_value,
+                     alone[i].decision_value)
+        << i;
+  }
+}
+
+TEST_F(AppTest, ProfilerOrdersVersionsLikeTableIii) {
+  EnergyModel energy;
+  std::map<DetectorVersion, ResourceProfile> profiles;
+  for (auto v : {DetectorVersion::kOriginal, DetectorVersion::kSimplified,
+                 DetectorVersion::kReduced}) {
+    Scheduler sched;
+    SiftApp app(train(v), *test_, sched);
+    sched.add_app(app);
+    run_app_over_trace(app, sched);
+    profiles.emplace(v, profile_app(app, energy, 3.0));
+  }
+  const auto& orig = profiles.at(DetectorVersion::kOriginal);
+  const auto& simp = profiles.at(DetectorVersion::kSimplified);
+  const auto& red = profiles.at(DetectorVersion::kReduced);
+
+  // Table III shape: Reduced lives much longer; Original is the shortest.
+  EXPECT_GT(red.expected_lifetime_days, 1.8 * orig.expected_lifetime_days);
+  EXPECT_GE(simp.expected_lifetime_days, orig.expected_lifetime_days);
+  // FeatureExtraction dominates the detector's energy (Fig 3).
+  EXPECT_GT(orig.states[1].share, 0.5);
+  // Lifetime in a plausible wearable band.
+  EXPECT_GT(orig.expected_lifetime_days, 10.0);
+  EXPECT_LT(red.expected_lifetime_days, 100.0);
+}
+
+TEST_F(AppTest, ProfilerRejectsUnrunApp) {
+  Scheduler sched;
+  SiftApp app(train(DetectorVersion::kOriginal), *test_, sched);
+  sched.add_app(app);
+  EXPECT_THROW(profile_app(app, EnergyModel{}, 3.0), std::invalid_argument);
+}
+
+TEST_F(AppTest, StateSharesSumToOne) {
+  Scheduler sched;
+  SiftApp app(train(DetectorVersion::kSimplified), *test_, sched);
+  sched.add_app(app);
+  run_app_over_trace(app, sched);
+  const auto profile = profile_app(app, EnergyModel{}, 3.0);
+  double total_share = 0.0;
+  for (const auto& s : profile.states) total_share += s.share;
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+  // PeaksDataCheck now carries a real (integer fetch) cost.
+  EXPECT_GT(profile.states[0].cycles_per_window, 0.0);
+}
+
+TEST_F(AppTest, ArpViewRendersAllSections) {
+  Scheduler sched;
+  SiftApp app(train(DetectorVersion::kOriginal), *test_, sched);
+  sched.add_app(app);
+  run_app_over_trace(app, sched);
+  const std::string view = format_arp_view(profile_app(app, EnergyModel{}, 3.0));
+  for (const char* needle :
+       {"FRAM", "SRAM", "PeaksDataCheck", "FeatureExtraction", "MLClassifier",
+        "Expected lifetime"}) {
+    EXPECT_NE(view.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace sift::amulet

@@ -1,0 +1,260 @@
+// Unit tests for sift::attack — semantics of every hijacking primitive and
+// of the window-corruption scheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string_view>
+#include <random>
+
+#include "attack/attack.hpp"
+#include "attack/scenario.hpp"
+#include "physio/dataset.hpp"
+#include "physio/user_profile.hpp"
+
+namespace sift::attack {
+namespace {
+
+class AttackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto cohort = physio::synthetic_cohort(3, 31);
+    victim_ = new physio::Record(physio::generate_record(cohort[0], 30.0));
+    donor_ = new physio::Record(physio::generate_record(cohort[1], 30.0));
+  }
+  static void TearDownTestSuite() {
+    delete victim_;
+    delete donor_;
+    victim_ = nullptr;
+    donor_ = nullptr;
+  }
+
+  static physio::Record* victim_;
+  static physio::Record* donor_;
+  std::mt19937_64 rng_{7};
+};
+
+physio::Record* AttackTest::victim_ = nullptr;
+physio::Record* AttackTest::donor_ = nullptr;
+
+TEST_F(AttackTest, SubstitutionCopiesDonorSamplesAndPeaks) {
+  physio::Record v = *victim_;
+  SubstitutionAttack attack;
+  const std::size_t start = 1080;
+  const std::size_t len = 1080;
+  attack.alter(v.ecg, v.r_peaks, start, len, *donor_, rng_);
+
+  for (std::size_t i = 0; i < len; ++i) {
+    EXPECT_DOUBLE_EQ(v.ecg[start + i], donor_->ecg[start + i]);
+  }
+  // Peaks inside the range must now be the donor's, not the victim's.
+  for (std::size_t p : v.r_peaks) {
+    if (p >= start && p < start + len) {
+      EXPECT_TRUE(std::find(donor_->r_peaks.begin(), donor_->r_peaks.end(),
+                            p) != donor_->r_peaks.end());
+    }
+  }
+  // Samples outside the range are untouched.
+  EXPECT_DOUBLE_EQ(v.ecg[start - 1], victim_->ecg[start - 1]);
+  EXPECT_DOUBLE_EQ(v.ecg[start + len], victim_->ecg[start + len]);
+}
+
+TEST_F(AttackTest, SubstitutionValidatesRanges) {
+  physio::Record v = *victim_;
+  SubstitutionAttack attack;
+  EXPECT_THROW(attack.alter(v.ecg, v.r_peaks, 0, 0, *donor_, rng_),
+               std::invalid_argument);
+  EXPECT_THROW(
+      attack.alter(v.ecg, v.r_peaks, v.ecg.size() - 10, 20, *donor_, rng_),
+      std::invalid_argument);
+  physio::Record short_donor = *donor_;
+  short_donor.ecg = short_donor.ecg.slice(0, 100);
+  EXPECT_THROW(attack.alter(v.ecg, v.r_peaks, 200, 100, short_donor, rng_),
+               std::invalid_argument);
+}
+
+TEST_F(AttackTest, ReplayInsertsOwnStaleData) {
+  physio::Record v = *victim_;
+  ReplayAttack attack(/*lag_s=*/10.0);
+  const std::size_t start = 8 * 1080;  // 24 s in; lag clamps to 10 s
+  const std::size_t len = 1080;
+  const auto lag = static_cast<std::size_t>(10.0 * v.ecg.sample_rate_hz());
+  attack.alter(v.ecg, v.r_peaks, start, len, *victim_, rng_);
+  for (std::size_t i = 0; i < len; ++i) {
+    EXPECT_DOUBLE_EQ(v.ecg[start + i], victim_->ecg[start - lag + i]);
+  }
+}
+
+TEST_F(AttackTest, ReplayAtStreamStartIsNoOp) {
+  physio::Record v = *victim_;
+  ReplayAttack attack(30.0);
+  attack.alter(v.ecg, v.r_peaks, 0, 1080, *victim_, rng_);
+  for (std::size_t i = 0; i < 1080; ++i) {
+    EXPECT_DOUBLE_EQ(v.ecg[i], victim_->ecg[i]) << "nothing older to replay";
+  }
+}
+
+TEST_F(AttackTest, FlatlineHoldsLastValueAndClearsPeaks) {
+  physio::Record v = *victim_;
+  FlatlineAttack attack;
+  const std::size_t start = 2160;
+  attack.alter(v.ecg, v.r_peaks, start, 1080, *donor_, rng_);
+  const double hold = victim_->ecg[start - 1];
+  for (std::size_t i = 0; i < 1080; ++i) {
+    EXPECT_DOUBLE_EQ(v.ecg[start + i], hold);
+  }
+  for (std::size_t p : v.r_peaks) {
+    EXPECT_TRUE(p < start || p >= start + 1080) << "no peaks in a flatline";
+  }
+}
+
+TEST_F(AttackTest, NoiseInjectionRaisesVarianceInRangeOnly) {
+  physio::Record v = *victim_;
+  NoiseInjectionAttack attack(0.5);
+  const std::size_t start = 1080;
+  attack.alter(v.ecg, v.r_peaks, start, 1080, *donor_, rng_);
+  double diff_in = 0.0;
+  for (std::size_t i = 0; i < 1080; ++i) {
+    diff_in += std::abs(v.ecg[start + i] - victim_->ecg[start + i]);
+  }
+  EXPECT_GT(diff_in / 1080.0, 0.05);
+  EXPECT_DOUBLE_EQ(v.ecg[start - 1], victim_->ecg[start - 1]);
+}
+
+TEST_F(AttackTest, TimeShiftRotatesSamplesWithinRange) {
+  physio::Record v = *victim_;
+  TimeShiftAttack attack(0.3, 1.2);
+  const std::size_t start = 0;
+  const std::size_t len = 2160;
+  attack.alter(v.ecg, v.r_peaks, start, len, *donor_, rng_);
+  // Rotation preserves the multiset of samples.
+  std::vector<double> before(victim_->ecg.data().begin(),
+                             victim_->ecg.data().begin() + len);
+  std::vector<double> after(v.ecg.data().begin(), v.ecg.data().begin() + len);
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+  // But the sequence itself changed.
+  EXPECT_NE(std::vector<double>(victim_->ecg.data().begin(),
+                                victim_->ecg.data().begin() + len),
+            std::vector<double>(v.ecg.data().begin(),
+                                v.ecg.data().begin() + len));
+}
+
+TEST(AttackFactory, GalleryContainsFiveDistinctAttacks) {
+  const auto all = make_all_attacks();
+  ASSERT_EQ(all.size(), 5u);
+  std::set<std::string_view> names;
+  for (const auto& a : all) names.insert(a->name());
+  EXPECT_EQ(names.size(), 5u);
+}
+
+// --- corrupt_windows ----------------------------------------------------------
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto cohort = physio::synthetic_cohort(4, 77);
+    records_ = new std::vector<physio::Record>(
+        physio::generate_cohort_records(cohort, 120.0));
+  }
+  static void TearDownTestSuite() {
+    delete records_;
+    records_ = nullptr;
+  }
+  static std::vector<physio::Record>* records_;
+};
+
+std::vector<physio::Record>* ScenarioTest::records_ = nullptr;
+
+TEST_F(ScenarioTest, PaperProtocolYields40WindowsHalfAltered) {
+  SubstitutionAttack attack;
+  const auto& victim = (*records_)[0];
+  const std::span donors(records_->data() + 1, 3);
+  const auto attacked =
+      corrupt_windows(victim, donors, attack, 0.5, 1080, 42);
+  EXPECT_EQ(attacked.window_altered.size(), 40u)
+      << "2 min / 3 s = 40 test windows";
+  const auto altered = static_cast<std::size_t>(
+      std::count(attacked.window_altered.begin(),
+                 attacked.window_altered.end(), true));
+  EXPECT_EQ(altered, 20u) << "50% altered";
+}
+
+TEST_F(ScenarioTest, GroundTruthMatchesActualAlterations) {
+  SubstitutionAttack attack;
+  const auto& victim = (*records_)[0];
+  const std::span donors(records_->data() + 1, 3);
+  const auto attacked = corrupt_windows(victim, donors, attack, 0.5, 1080, 42);
+  for (std::size_t w = 0; w < attacked.window_altered.size(); ++w) {
+    bool changed = false;
+    for (std::size_t i = w * 1080; i < (w + 1) * 1080; ++i) {
+      if (attacked.record.ecg[i] != victim.ecg[i]) {
+        changed = true;
+        break;
+      }
+    }
+    EXPECT_EQ(changed, static_cast<bool>(attacked.window_altered[w]))
+        << "window " << w;
+  }
+}
+
+TEST_F(ScenarioTest, AbpChannelIsNeverTouched) {
+  SubstitutionAttack attack;
+  const auto& victim = (*records_)[0];
+  const std::span donors(records_->data() + 1, 3);
+  const auto attacked = corrupt_windows(victim, donors, attack, 1.0, 1080, 9);
+  EXPECT_EQ(attacked.record.abp.data(), victim.abp.data())
+      << "threat model: ABP is trustworthy";
+  EXPECT_EQ(attacked.record.systolic_peaks, victim.systolic_peaks);
+}
+
+TEST_F(ScenarioTest, DeterministicForFixedSeed) {
+  SubstitutionAttack attack;
+  const auto& victim = (*records_)[0];
+  const std::span donors(records_->data() + 1, 3);
+  const auto a = corrupt_windows(victim, donors, attack, 0.5, 1080, 1);
+  const auto b = corrupt_windows(victim, donors, attack, 0.5, 1080, 1);
+  const auto c = corrupt_windows(victim, donors, attack, 0.5, 1080, 2);
+  EXPECT_EQ(a.window_altered, b.window_altered);
+  EXPECT_EQ(a.record.ecg.data(), b.record.ecg.data());
+  EXPECT_NE(a.window_altered, c.window_altered);
+}
+
+TEST_F(ScenarioTest, ZeroFractionLeavesRecordIntact) {
+  SubstitutionAttack attack;
+  const auto& victim = (*records_)[0];
+  const std::span donors(records_->data() + 1, 3);
+  const auto attacked = corrupt_windows(victim, donors, attack, 0.0, 1080, 1);
+  EXPECT_EQ(attacked.record.ecg.data(), victim.ecg.data());
+  for (bool altered : attacked.window_altered) EXPECT_FALSE(altered);
+}
+
+TEST_F(ScenarioTest, ValidatesArguments) {
+  SubstitutionAttack attack;
+  const auto& victim = (*records_)[0];
+  const std::span donors(records_->data() + 1, 3);
+  EXPECT_THROW(corrupt_windows(victim, donors, attack, 0.5, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      corrupt_windows(victim, donors, attack, 1.5, 1080, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      corrupt_windows(victim, donors, attack, 0.5, victim.ecg.size() + 1, 1),
+      std::invalid_argument);
+}
+
+TEST_F(ScenarioTest, DonorFreeAttacksWorkWithoutDonors) {
+  FlatlineAttack attack;
+  const auto& victim = (*records_)[0];
+  const auto attacked = corrupt_windows(
+      victim, std::span<const physio::Record>{}, attack, 0.25, 1080, 3);
+  const auto altered = static_cast<std::size_t>(
+      std::count(attacked.window_altered.begin(),
+                 attacked.window_altered.end(), true));
+  EXPECT_EQ(altered, 10u);
+}
+
+}  // namespace
+}  // namespace sift::attack

@@ -1,0 +1,153 @@
+// Tests for the baseline classifiers (logistic regression, one-class
+// Gaussian) used in the model-selection ablation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ml/logistic.hpp"
+#include "ml/metrics.hpp"
+#include "ml/one_class.hpp"
+#include "ml/svm.hpp"
+
+namespace sift::ml {
+namespace {
+
+Dataset blobs(std::size_t n_per_class, std::size_t d, double mu, double sd,
+              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, sd);
+  Dataset data;
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    for (int y : {+1, -1}) {
+      LabeledPoint p;
+      p.y = y;
+      for (std::size_t j = 0; j < d; ++j) p.x.push_back(y * mu + noise(rng));
+      data.push_back(std::move(p));
+    }
+  }
+  return data;
+}
+
+// --- logistic regression --------------------------------------------------------
+
+TEST(Logistic, SeparatesBlobsLikeTheSvm) {
+  const Dataset train_set = blobs(120, 4, 1.5, 0.6, 1);
+  const Dataset test_set = blobs(120, 4, 1.5, 0.6, 2);
+  const LogisticModel lr = train_logistic(train_set);
+  const LinearSvmModel svm = DcdTrainer{}.train(train_set, TrainConfig{});
+  ConfusionMatrix lr_cm;
+  ConfusionMatrix svm_cm;
+  for (const auto& p : test_set) {
+    lr_cm.add(lr.predict(p.x), p.y);
+    svm_cm.add(svm.predict(p.x), p.y);
+  }
+  EXPECT_GT(lr_cm.accuracy(), 0.97);
+  EXPECT_NEAR(lr_cm.accuracy(), svm_cm.accuracy(), 0.03)
+      << "same decision surface family";
+}
+
+TEST(Logistic, ProbabilitiesAreCalibratedAtTheBoundary) {
+  const Dataset data = blobs(200, 2, 1.0, 0.8, 3);
+  const LogisticModel lr = train_logistic(data);
+  // The class-conditional midpoint (origin) should be near P = 0.5.
+  EXPECT_NEAR(lr.probability({0.0, 0.0}), 0.5, 0.1);
+  // Deep in the positive blob, confident.
+  EXPECT_GT(lr.probability({2.0, 2.0}), 0.9);
+  EXPECT_LT(lr.probability({-2.0, -2.0}), 0.1);
+}
+
+TEST(Logistic, StableUnderExtremeInputs) {
+  LogisticModel m{{100.0}, 0.0};
+  EXPECT_DOUBLE_EQ(m.probability({1000.0}), 1.0);
+  EXPECT_DOUBLE_EQ(m.probability({-1000.0}), 0.0);
+  EXPECT_FALSE(std::isnan(m.probability({1e300})));
+}
+
+TEST(Logistic, ValidatesInput) {
+  Dataset empty;
+  EXPECT_THROW(train_logistic(empty), std::invalid_argument);
+  Dataset one_class{{{1.0}, +1}, {{2.0}, +1}};
+  EXPECT_THROW(train_logistic(one_class), std::invalid_argument);
+  Dataset bad_label{{{1.0}, 2}, {{2.0}, -1}};
+  EXPECT_THROW(train_logistic(bad_label), std::invalid_argument);
+  LogisticModel m{{1.0, 2.0}, 0.0};
+  EXPECT_THROW(m.decision_value({1.0}), std::invalid_argument);
+}
+
+TEST(Logistic, L2ShrinksWeights) {
+  const Dataset data = blobs(80, 3, 2.0, 0.3, 4);
+  LogisticTrainConfig strong;
+  strong.l2 = 1.0;
+  LogisticTrainConfig weak;
+  weak.l2 = 1e-6;
+  auto norm = [](const LogisticModel& m) {
+    double s = 0.0;
+    for (double w : m.w) s += w * w;
+    return s;
+  };
+  EXPECT_LT(norm(train_logistic(data, strong)),
+            norm(train_logistic(data, weak)));
+}
+
+// --- one-class Gaussian ----------------------------------------------------------
+
+TEST(OneClass, IgnoresPositivesWhenFitting) {
+  Dataset data = blobs(100, 3, 0.0, 0.5, 5);  // negatives near origin
+  // Plant positives far away; they must not move the fitted mean.
+  for (auto& p : data) {
+    if (p.y == +1) {
+      for (double& v : p.x) v = 100.0;
+    }
+  }
+  const auto model = OneClassGaussian::fit(data);
+  for (double m : model.mean()) EXPECT_NEAR(m, 0.0, 0.2);
+}
+
+TEST(OneClass, FlagsOutliersAndAcceptsInliers) {
+  const Dataset data = blobs(300, 4, 0.0, 1.0, 6);
+  const auto model = OneClassGaussian::fit(data, 0.975);
+  // An obvious outlier.
+  EXPECT_EQ(model.predict({10.0, 10.0, 10.0, 10.0}), +1);
+  // Fresh inliers: false-positive rate near the configured 2.5%.
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::size_t alerts = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> x(4);
+    for (double& v : x) v = noise(rng);  // same N(0,1) as the fitted class
+    if (model.predict(x) == +1) ++alerts;
+  }
+  EXPECT_NEAR(static_cast<double>(alerts) / n, 0.025, 0.02);
+}
+
+TEST(OneClass, QuantileControlsSensitivity) {
+  const Dataset data = blobs(300, 2, 0.0, 1.0, 8);
+  const auto strict = OneClassGaussian::fit(data, 0.80);
+  const auto lenient = OneClassGaussian::fit(data, 0.999);
+  EXPECT_LT(strict.threshold(), lenient.threshold());
+}
+
+TEST(OneClass, ValidatesInput) {
+  Dataset no_negatives{{{1.0}, +1}, {{2.0}, +1}};
+  EXPECT_THROW(OneClassGaussian::fit(no_negatives), std::invalid_argument);
+  Dataset ok{{{1.0}, -1}, {{2.0}, -1}};
+  EXPECT_THROW(OneClassGaussian::fit(ok, 0.0), std::invalid_argument);
+  EXPECT_THROW(OneClassGaussian::fit(ok, 1.5), std::invalid_argument);
+  const auto model = OneClassGaussian::fit(ok);
+  EXPECT_THROW(model.distance({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(OneClass, ConstantDimensionDoesNotBlowUp) {
+  Dataset data;
+  for (int i = 0; i < 50; ++i) {
+    data.push_back({{static_cast<double>(i % 7), 5.0}, -1});
+  }
+  const auto model = OneClassGaussian::fit(data);
+  EXPECT_TRUE(std::isfinite(model.distance({3.0, 5.0})));
+  EXPECT_TRUE(std::isfinite(model.distance({3.0, 9.0})));
+}
+
+}  // namespace
+}  // namespace sift::ml

@@ -1,0 +1,220 @@
+// Tests for the SIFT trainer, detector, and the Table II experiment
+// harness — the end-to-end core pipeline on a small synthetic cohort.
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "attack/attack.hpp"
+#include "attack/scenario.hpp"
+#include "core/detector.hpp"
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+#include "core/windows.hpp"
+#include "physio/dataset.hpp"
+
+namespace sift::core {
+namespace {
+
+// Shared expensive setup: small cohort, short training (keeps tests fast
+// while exercising the identical code paths as the paper protocol).
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cohort_ = new std::vector(physio::synthetic_cohort(4, 123));
+    training_ =
+        new std::vector(physio::generate_cohort_records(*cohort_, 180.0));
+    testing_ = new std::vector(physio::generate_cohort_records(
+        *cohort_, 120.0, physio::kDefaultRateHz, /*salt=*/5));
+  }
+  static void TearDownTestSuite() {
+    delete cohort_;
+    delete training_;
+    delete testing_;
+    cohort_ = nullptr;
+    training_ = nullptr;
+    testing_ = nullptr;
+  }
+
+  static UserModel train(DetectorVersion version,
+                         Arithmetic arith = Arithmetic::kDouble) {
+    SiftConfig config;
+    config.version = version;
+    config.arithmetic = arith;
+    return train_user_model((*training_)[0],
+                            std::span(*training_).subspan(1), config);
+  }
+
+  static std::vector<physio::UserProfile>* cohort_;
+  static std::vector<physio::Record>* training_;
+  static std::vector<physio::Record>* testing_;
+};
+
+std::vector<physio::UserProfile>* PipelineTest::cohort_ = nullptr;
+std::vector<physio::Record>* PipelineTest::training_ = nullptr;
+std::vector<physio::Record>* PipelineTest::testing_ = nullptr;
+
+// --- windows helpers -------------------------------------------------------------
+
+TEST(Windows, PeaksInRangeRebasesAndFilters) {
+  const std::vector<std::size_t> peaks{5, 100, 1000, 1080, 2000};
+  const auto out = peaks_in_range(peaks, 100, 1000);
+  EXPECT_EQ(out, (std::vector<std::size_t>{0, 900, 980}));
+  EXPECT_TRUE(peaks_in_range(peaks, 3000, 100).empty());
+}
+
+TEST_F(PipelineTest, ExtractWindowFeaturesCountsWindows) {
+  const auto& rec = (*training_)[0];
+  const auto feats = extract_window_features(rec, 1080, 1080,
+                                             DetectorVersion::kOriginal,
+                                             Arithmetic::kDouble);
+  EXPECT_EQ(feats.size(), rec.ecg.size() / 1080);
+  for (const auto& f : feats) EXPECT_EQ(f.size(), 8u);
+  // Overlapping stride doubles (minus edge) the count.
+  const auto dense = extract_window_features(rec, 1080, 540,
+                                             DetectorVersion::kOriginal,
+                                             Arithmetic::kDouble);
+  EXPECT_GT(dense.size(), feats.size() * 2 - 2);
+}
+
+TEST(Windows, ExtractOnShortRecordIsEmpty) {
+  physio::Record rec;
+  rec.ecg = signal::Series(360.0, std::vector<double>(100, 0.0));
+  rec.abp = signal::Series(360.0, std::vector<double>(100, 1.0));
+  EXPECT_TRUE(extract_window_features(rec, 1080, 1080,
+                                      DetectorVersion::kReduced,
+                                      Arithmetic::kDouble)
+                  .empty());
+}
+
+// --- trainer ---------------------------------------------------------------------
+
+TEST_F(PipelineTest, TrainerProducesFittedModel) {
+  const UserModel model = train(DetectorVersion::kOriginal);
+  EXPECT_EQ(model.user_id, (*cohort_)[0].user_id);
+  EXPECT_EQ(model.svm.w.size(), 8u);
+  EXPECT_TRUE(model.scaler.fitted());
+}
+
+TEST_F(PipelineTest, TrainerValidatesInputs) {
+  SiftConfig config;
+  EXPECT_THROW(
+      train_user_model((*training_)[0], std::span<const physio::Record>{},
+                       config),
+      std::invalid_argument);
+  physio::Record tiny;
+  tiny.ecg = signal::Series(360.0, std::vector<double>(10, 0.0));
+  tiny.abp = signal::Series(360.0, std::vector<double>(10, 0.0));
+  EXPECT_THROW(
+      train_user_model(tiny, std::span(*training_).subspan(1), config),
+      std::invalid_argument);
+}
+
+TEST_F(PipelineTest, TrainingIsDeterministic) {
+  const UserModel a = train(DetectorVersion::kSimplified);
+  const UserModel b = train(DetectorVersion::kSimplified);
+  EXPECT_EQ(a.svm.w, b.svm.w);
+  EXPECT_DOUBLE_EQ(a.svm.b, b.svm.b);
+}
+
+TEST_F(PipelineTest, ModelSeparatesTrainingClasses) {
+  // Sanity: the trained model should label the wearer's own windows
+  // negative and donor-hybrid windows positive, on training data.
+  const UserModel model = train(DetectorVersion::kOriginal);
+  const Detector detector(model);
+  const auto own = detector.classify_record((*training_)[0]);
+  std::size_t own_neg = 0;
+  for (const auto& v : own) {
+    if (!v.altered) ++own_neg;
+  }
+  EXPECT_GT(static_cast<double>(own_neg) / static_cast<double>(own.size()),
+            0.9);
+}
+
+// --- detector --------------------------------------------------------------------
+
+TEST_F(PipelineTest, DetectorFlagsSubstitutedWindows) {
+  for (auto version : {DetectorVersion::kOriginal,
+                       DetectorVersion::kSimplified,
+                       DetectorVersion::kReduced}) {
+    const Detector detector(train(version));
+    attack::SubstitutionAttack attack;
+    const auto attacked = attack::corrupt_windows(
+        (*testing_)[0], std::span(*testing_).subspan(1), attack, 0.5, 1080,
+        99);
+    const auto verdicts = detector.classify_record(attacked.record);
+    ASSERT_EQ(verdicts.size(), attacked.window_altered.size());
+    ml::ConfusionMatrix cm;
+    for (std::size_t w = 0; w < verdicts.size(); ++w) {
+      cm.add(verdicts[w].altered ? +1 : -1,
+             attacked.window_altered[w] ? +1 : -1);
+    }
+    // Reduced-scale setup (4 users, 3 min training) trades accuracy for
+    // test runtime; the full protocol (bench/table2) clears 90%+.
+    EXPECT_GT(cm.accuracy(), 0.7) << to_string(version);
+  }
+}
+
+TEST_F(PipelineTest, CleanTraceRaisesFewAlerts) {
+  const Detector detector(train(DetectorVersion::kOriginal));
+  const auto verdicts = detector.classify_record((*testing_)[0]);
+  std::size_t alerts = 0;
+  for (const auto& v : verdicts) {
+    if (v.altered) ++alerts;
+  }
+  EXPECT_LT(static_cast<double>(alerts) / static_cast<double>(verdicts.size()),
+            0.2)
+      << "false-positive rate on a clean unseen trace";
+}
+
+TEST_F(PipelineTest, DecisionValueSignMatchesLabel) {
+  const Detector detector(train(DetectorVersion::kReduced));
+  const auto verdicts = detector.classify_record((*testing_)[0]);
+  for (const auto& v : verdicts) {
+    EXPECT_EQ(v.altered, v.decision_value >= 0.0);
+    EXPECT_EQ(v.features.size(), 5u);
+  }
+}
+
+TEST_F(PipelineTest, ClassifyRecordCoversWholeTrace) {
+  const Detector detector(train(DetectorVersion::kOriginal));
+  const auto verdicts = detector.classify_record((*testing_)[0]);
+  EXPECT_EQ(verdicts.size(), 40u) << "2 min / 3 s windows";
+}
+
+// --- experiment harness -----------------------------------------------------------
+
+TEST(Experiment, SmallCohortReproducesTableIiShape) {
+  ExperimentConfig config;
+  config.n_users = 4;
+  config.train_duration_s = 180.0;  // shortened for test runtime
+  config.sift.version = DetectorVersion::kOriginal;
+  const auto result = run_detection_experiment(config);
+  EXPECT_EQ(result.subjects.size(), 4u);
+  for (const auto& s : result.subjects) {
+    EXPECT_EQ(s.confusion.total(), 40u);
+  }
+  EXPECT_GT(result.summary.accuracy, 0.85);
+  EXPECT_GT(result.summary.f1, 0.80);
+}
+
+TEST(Experiment, RequiresAtLeastTwoUsers) {
+  ExperimentConfig config;
+  config.n_users = 1;
+  EXPECT_THROW(generate_experiment_data(config), std::invalid_argument);
+}
+
+TEST(Experiment, PreGeneratedDataPathMatchesDirectPath) {
+  ExperimentConfig config;
+  config.n_users = 3;
+  config.train_duration_s = 120.0;
+  config.sift.version = DetectorVersion::kReduced;
+  attack::SubstitutionAttack attack;
+  const auto direct = run_detection_experiment(config, attack);
+  const auto data = generate_experiment_data(config);
+  const auto staged = run_detection_experiment(config, data, attack);
+  EXPECT_DOUBLE_EQ(direct.summary.accuracy, staged.summary.accuracy);
+  EXPECT_DOUBLE_EQ(direct.summary.f1, staged.summary.f1);
+}
+
+}  // namespace
+}  // namespace sift::core

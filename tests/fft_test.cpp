@@ -1,0 +1,135 @@
+// Tests for the FFT substrate and the spectral heart-rate cross-check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "physio/dataset.hpp"
+#include "physio/user_profile.hpp"
+#include "signal/fft.hpp"
+
+namespace sift::signal {
+namespace {
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_THROW(fft_inplace(data), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, 0.0);
+  data[0] = 1.0;
+  fft_inplace(data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<std::complex<double>> data(128);
+  std::vector<std::complex<double>> original(128);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {noise(rng), noise(rng)};
+    original[i] = data[i];
+  }
+  fft_inplace(data);
+  ifft_inplace(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::mt19937_64 rng(6);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<std::complex<double>> data(64);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = noise(rng);
+    time_energy += std::norm(x);
+  }
+  fft_inplace(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / 64.0, time_energy, 1e-9);
+}
+
+TEST(Fft, PureToneLandsInTheRightBin) {
+  // 16 Hz tone sampled at 128 Hz over 1 s: bin 16 of a 128-point FFT.
+  std::vector<double> xs;
+  for (int i = 0; i < 128; ++i) {
+    xs.push_back(std::sin(2 * std::numbers::pi * 16.0 * i / 128.0));
+  }
+  const auto power = power_spectrum(xs);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    if (power[k] > power[best]) best = k;
+  }
+  EXPECT_EQ(best, 16u);
+}
+
+TEST(Fft, RealInputIsZeroPadded) {
+  const std::vector<double> xs(100, 1.0);  // pads to 128
+  EXPECT_EQ(fft_real(xs).size(), 128u);
+  EXPECT_EQ(power_spectrum(xs).size(), 65u);
+}
+
+TEST(DominantFrequency, FindsToneWithinBand) {
+  Series s(100.0);
+  for (int i = 0; i < 1000; ++i) {
+    s.push_back(std::sin(2 * std::numbers::pi * 7.0 * i / 100.0) +
+                3.0 * std::sin(2 * std::numbers::pi * 31.0 * i / 100.0));
+  }
+  // The 31 Hz tone is stronger overall, but the band restricts to ~7 Hz.
+  EXPECT_NEAR(dominant_frequency(s, 2.0, 15.0), 7.0, 0.2);
+  EXPECT_NEAR(dominant_frequency(s, 20.0, 45.0), 31.0, 0.2);
+}
+
+TEST(DominantFrequency, FlatOrDegenerateSignalsReturnZero) {
+  Series flat(100.0, std::vector<double>(512, 3.3));
+  EXPECT_DOUBLE_EQ(dominant_frequency(flat, 1.0, 10.0), 0.0);
+  Series tiny(100.0, {1.0});
+  EXPECT_DOUBLE_EQ(dominant_frequency(tiny, 1.0, 10.0), 0.0);
+}
+
+TEST(SpectralHeartRate, MatchesGeneratorHeartRateOnBothChannels) {
+  const auto cohort = physio::synthetic_cohort(4, 21);
+  for (const auto& user : cohort) {
+    const auto rec = physio::generate_record(user, 30.0);
+    const double hr_ecg = spectral_heart_rate_bpm(rec.ecg);
+    const double hr_abp = spectral_heart_rate_bpm(rec.abp);
+    EXPECT_NEAR(hr_ecg, user.rr.mean_hr_bpm, 8.0) << user.name;
+    EXPECT_NEAR(hr_abp, user.rr.mean_hr_bpm, 8.0) << user.name;
+    // The cross-check the base station can run: both channels agree.
+    EXPECT_NEAR(hr_ecg, hr_abp, 6.0) << user.name;
+  }
+}
+
+TEST(SpectralHeartRate, DisagreesUnderSubstitution) {
+  // Replace the ECG with a user whose heart rate differs by > 10 bpm; the
+  // spectral rates of the two channels should now disagree.
+  const auto cohort = physio::synthetic_cohort(12, 22);
+  const physio::UserProfile* victim = &cohort[0];
+  const physio::UserProfile* donor = nullptr;
+  for (const auto& candidate : cohort) {
+    if (std::abs(candidate.rr.mean_hr_bpm - victim->rr.mean_hr_bpm) > 12.0) {
+      donor = &candidate;
+      break;
+    }
+  }
+  ASSERT_NE(donor, nullptr);
+  const auto victim_rec = physio::generate_record(*victim, 30.0);
+  const auto donor_rec = physio::generate_record(*donor, 30.0);
+  const double hr_abp = spectral_heart_rate_bpm(victim_rec.abp);
+  const double hr_fake_ecg = spectral_heart_rate_bpm(donor_rec.ecg);
+  EXPECT_GT(std::abs(hr_abp - hr_fake_ecg), 6.0)
+      << "spectral HR mismatch exposes the substituted channel";
+}
+
+}  // namespace
+}  // namespace sift::signal

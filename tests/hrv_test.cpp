@@ -1,0 +1,82 @@
+// Tests for HRV statistics and the cohort's physiological validity.
+#include <gtest/gtest.h>
+
+#include "physio/dataset.hpp"
+#include "physio/hrv.hpp"
+#include "physio/user_profile.hpp"
+
+namespace sift::physio {
+namespace {
+
+TEST(Hrv, HandComputedExample) {
+  // Beats at 0, 1.0, 2.1, 3.0 s @ 100 Hz: RR = {1.0, 1.1, 0.9}.
+  const std::vector<std::size_t> peaks{0, 100, 210, 300};
+  const HrvStats s = hrv_from_peaks(peaks, 100.0);
+  EXPECT_EQ(s.beat_count, 4u);
+  EXPECT_NEAR(s.mean_rr_s, 1.0, 1e-12);
+  EXPECT_NEAR(s.mean_hr_bpm, 60.0, 1e-9);
+  // SDNN: sqrt(mean((0, .1, -.1)^2)) = sqrt(0.02/3).
+  EXPECT_NEAR(s.sdnn_s, std::sqrt(0.02 / 3.0), 1e-12);
+  // Successive diffs: +0.1, -0.2 -> RMSSD = sqrt((0.01+0.04)/2).
+  EXPECT_NEAR(s.rmssd_s, std::sqrt(0.05 / 2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.pnn50, 1.0);  // both diffs exceed 50 ms
+}
+
+TEST(Hrv, DegenerateInputs) {
+  EXPECT_EQ(hrv_from_peaks({}, 100.0).beat_count, 0u);
+  EXPECT_EQ(hrv_from_peaks({10, 20}, 100.0).sdnn_s, 0.0);
+  EXPECT_THROW(hrv_from_peaks({10, 10}, 100.0), std::invalid_argument);
+  EXPECT_THROW(hrv_from_peaks({20, 10}, 100.0), std::invalid_argument);
+  EXPECT_THROW(hrv_from_peaks({0, 10}, 0.0), std::invalid_argument);
+}
+
+TEST(Hrv, MetronomicBeatsHaveZeroVariability) {
+  std::vector<std::size_t> peaks;
+  for (int i = 0; i < 50; ++i) peaks.push_back(i * 360);
+  const HrvStats s = hrv_from_peaks(peaks, 360.0);
+  EXPECT_DOUBLE_EQ(s.sdnn_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.rmssd_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.pnn50, 0.0);
+}
+
+TEST(Hrv, CohortReproducesFantasiaYoungElderlyContrast) {
+  // Fantasia's defining property: young subjects have higher HRV.
+  const auto cohort = synthetic_cohort(12, 2017);
+  double young_sdnn = 0.0;
+  double elderly_sdnn = 0.0;
+  std::size_t young_n = 0;
+  std::size_t elderly_n = 0;
+  for (const auto& user : cohort) {
+    const Record rec = generate_record(user, 120.0);
+    const HrvStats s = hrv_from_peaks(rec.r_peaks, rec.ecg.sample_rate_hz());
+    EXPECT_NEAR(s.mean_hr_bpm, user.rr.mean_hr_bpm, 6.0) << user.name;
+    if (user.age_years < 40.0) {
+      young_sdnn += s.sdnn_s;
+      ++young_n;
+    } else {
+      elderly_sdnn += s.sdnn_s;
+      ++elderly_n;
+    }
+  }
+  young_sdnn /= static_cast<double>(young_n);
+  elderly_sdnn /= static_cast<double>(elderly_n);
+  EXPECT_GT(young_sdnn, 1.5 * elderly_sdnn)
+      << "young cohort must show clearly higher HRV";
+}
+
+TEST(Hrv, EcgAndAbpPeaksAgreeOnHrv) {
+  // Both channels ride the same beat process, so HRV computed from R peaks
+  // and from systolic peaks must nearly coincide — the redundancy SIFT
+  // exploits, visible at the beat-timing level.
+  const auto cohort = synthetic_cohort(3, 5);
+  for (const auto& user : cohort) {
+    const Record rec = generate_record(user, 60.0);
+    const HrvStats ecg = hrv_from_peaks(rec.r_peaks, 360.0);
+    const HrvStats abp = hrv_from_peaks(rec.systolic_peaks, 360.0);
+    EXPECT_NEAR(ecg.mean_hr_bpm, abp.mean_hr_bpm, 2.0) << user.name;
+    EXPECT_NEAR(ecg.sdnn_s, abp.sdnn_s, 0.01) << user.name;
+  }
+}
+
+}  // namespace
+}  // namespace sift::physio

@@ -1,0 +1,221 @@
+// Cross-module integration tests: the full paper pipeline (Table II
+// protocol at reduced scale), Amulet-vs-gold-standard consistency, attack
+// generalisation, and codegen-to-device equivalence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <span>
+#include <sstream>
+
+#include "amulet/profiler.hpp"
+#include "attack/attack.hpp"
+#include "attack/scenario.hpp"
+#include "core/experiment.hpp"
+#include "core/windows.hpp"
+#include "ml/codegen.hpp"
+#include "peaks/pan_tompkins.hpp"
+#include "peaks/systolic.hpp"
+#include "wiot/scenario.hpp"
+
+namespace sift {
+namespace {
+
+// One shared reduced-scale experiment dataset (4 users, 3 min training)
+// reused by every integration test in this file.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new core::ExperimentConfig();
+    config_->n_users = 4;
+    config_->train_duration_s = 180.0;
+    data_ = new core::ExperimentData(core::generate_experiment_data(*config_));
+  }
+  static void TearDownTestSuite() {
+    delete config_;
+    delete data_;
+    config_ = nullptr;
+    data_ = nullptr;
+  }
+  static core::ExperimentConfig* config_;
+  static core::ExperimentData* data_;
+};
+
+core::ExperimentConfig* IntegrationTest::config_ = nullptr;
+core::ExperimentData* IntegrationTest::data_ = nullptr;
+
+TEST_F(IntegrationTest, TableIiOrderingHoldsAcrossVersions) {
+  attack::SubstitutionAttack attack;
+  std::map<core::DetectorVersion, double> accuracy;
+  for (auto v : {core::DetectorVersion::kOriginal,
+                 core::DetectorVersion::kSimplified,
+                 core::DetectorVersion::kReduced}) {
+    core::ExperimentConfig cfg = *config_;
+    cfg.sift.version = v;
+    accuracy[v] =
+        run_detection_experiment(cfg, *data_, attack).summary.accuracy;
+  }
+  // The paper's central result: all versions detect well; the full feature
+  // sets beat the geometric-only Reduced version.
+  for (const auto& [v, acc] : accuracy) {
+    EXPECT_GT(acc, 0.80) << core::to_string(v);
+  }
+  EXPECT_GE(accuracy[core::DetectorVersion::kOriginal] + 0.02,
+            accuracy[core::DetectorVersion::kReduced]);
+  EXPECT_GE(accuracy[core::DetectorVersion::kSimplified] + 0.02,
+            accuracy[core::DetectorVersion::kReduced]);
+}
+
+TEST_F(IntegrationTest, DeviceArithmeticTracksGoldStandard) {
+  attack::SubstitutionAttack attack;
+  core::ExperimentConfig cfg = *config_;
+  cfg.sift.version = core::DetectorVersion::kSimplified;
+  cfg.sift.arithmetic = core::Arithmetic::kDouble;
+  const auto gold = run_detection_experiment(cfg, *data_, attack);
+  cfg.sift.arithmetic = core::Arithmetic::kFloat32;
+  const auto device = run_detection_experiment(cfg, *data_, attack);
+  EXPECT_NEAR(device.summary.accuracy, gold.summary.accuracy, 0.05)
+      << "Table II: device rows track MATLAB rows";
+}
+
+TEST_F(IntegrationTest, FixedPointArithmeticDegradesGracefully) {
+  attack::SubstitutionAttack attack;
+  core::ExperimentConfig cfg = *config_;
+  cfg.sift.version = core::DetectorVersion::kSimplified;
+  cfg.sift.arithmetic = core::Arithmetic::kFixedQ16;
+  const auto q16 = run_detection_experiment(cfg, *data_, attack);
+  EXPECT_GT(q16.summary.accuracy, 0.75)
+      << "Q16.16 still detects, just with more error";
+}
+
+TEST_F(IntegrationTest, DetectorGeneralisesAcrossAttackTypes) {
+  // SIFT is attack-agnostic: a model trained only on substitution-style
+  // positives should still flag replay/flatline/shift alterations above
+  // chance (they all desynchronise or distort the ECG-ABP coupling).
+  core::ExperimentConfig cfg = *config_;
+  cfg.sift.version = core::DetectorVersion::kOriginal;
+  for (const auto& attack : attack::make_all_attacks()) {
+    const auto result = run_detection_experiment(cfg, *data_, *attack);
+    if (attack->name() == "noise") {
+      // Known limitation: noise positives are absent from training and the
+      // peak annotations survive the attack, so detection is weak — the
+      // gallery example and EXPERIMENTS.md document this. Only require
+      // that the detector doesn't start false-alarming on clean windows.
+      EXPECT_LT(result.summary.fp_rate, 0.2) << "attack: noise";
+      continue;
+    }
+    EXPECT_GT(result.summary.accuracy, 0.75)
+        << "attack: " << attack->name();
+    EXPECT_LT(result.summary.fn_rate, 0.5) << "attack: " << attack->name();
+  }
+}
+
+TEST_F(IntegrationTest, WindowsWithoutHeartbeatsAlwaysAlert) {
+  // The PeaksDataCheck guard: flatlined windows carry no R peaks and must
+  // alert regardless of where their degenerate features land.
+  core::SiftConfig config;
+  config.version = core::DetectorVersion::kOriginal;
+  const core::UserModel model = core::train_user_model(
+      data_->training[0], std::span(data_->training).subspan(1), config);
+  const core::Detector detector(model);
+
+  attack::FlatlineAttack flatline;
+  const auto attacked = attack::corrupt_windows(
+      data_->testing[0], std::span<const physio::Record>{}, flatline, 0.5,
+      1080, 77);
+  const auto verdicts = detector.classify_record(attacked.record);
+  for (std::size_t w = 0; w < verdicts.size(); ++w) {
+    if (attacked.window_altered[w]) {
+      EXPECT_TRUE(verdicts[w].altered) << "window " << w;
+      EXPECT_TRUE(verdicts[w].peak_check_failed) << "window " << w;
+    } else {
+      EXPECT_FALSE(verdicts[w].peak_check_failed) << "window " << w;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, RunTimePeakDetectionSupportsThePipeline) {
+  // The paper pre-stored peak indexes; verify the run-time detectors from
+  // sift::peaks can replace the annotations without collapsing accuracy.
+  core::ExperimentConfig cfg = *config_;
+  cfg.sift.version = core::DetectorVersion::kOriginal;
+
+  core::ExperimentData detected = *data_;
+  for (auto* records : {&detected.training, &detected.testing}) {
+    for (auto& rec : *records) {
+      rec.r_peaks = peaks::detect_r_peaks(rec.ecg);
+      rec.systolic_peaks = peaks::detect_systolic_peaks(rec.abp);
+    }
+  }
+  attack::SubstitutionAttack attack;
+  const auto result = run_detection_experiment(cfg, detected, attack);
+  EXPECT_GT(result.summary.accuracy, 0.80)
+      << "run-time peaks are a drop-in for annotations";
+}
+
+TEST_F(IntegrationTest, GeneratedCMatchesDeployedModelOnRealFeatures) {
+  // Emit the C prediction function, re-parse its coefficients, and verify
+  // the reconstructed device classifier agrees with the host model on real
+  // extracted features — the codegen round-trip the paper did by hand.
+  core::SiftConfig config;
+  config.version = core::DetectorVersion::kOriginal;
+  const core::UserModel model = core::train_user_model(
+      data_->training[0], std::span(data_->training).subspan(1), config);
+  const std::string c =
+      ml::emit_c_prediction_function("predict", model.scaler, model.svm);
+
+  // Parse "acc += <w> * features[<j>];" lines and the initial bias.
+  std::vector<double> w(8, 0.0);
+  double b = 0.0;
+  std::istringstream is(c);
+  std::string line;
+  while (std::getline(is, line)) {
+    double coeff = 0.0;
+    int idx = 0;
+    if (std::sscanf(line.c_str(), "  double acc = %lf;", &coeff) == 1) {
+      b = coeff;
+    } else if (std::sscanf(line.c_str(), "  acc += %lf * features[%d];",
+                           &coeff, &idx) == 2) {
+      ASSERT_LT(idx, 8);
+      w[static_cast<std::size_t>(idx)] = coeff;
+    }
+  }
+  const ml::LinearSvmModel device{w, b};
+
+  const core::Detector host(model);
+  const auto verdicts = host.classify_record(data_->testing[0]);
+  const auto features = core::extract_window_features(
+      data_->testing[0], 1080, 1080, config.version, config.arithmetic);
+  ASSERT_EQ(verdicts.size(), features.size());
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(device.predict(features[i]) == 1, verdicts[i].altered) << i;
+  }
+}
+
+TEST_F(IntegrationTest, FullStackWiotAttackScenario) {
+  // Sensors -> lossy links -> base station (Amulet detector) -> sink, under
+  // an active substitution attack: the whole of Fig 1 plus the detector.
+  core::SiftConfig config;
+  config.version = core::DetectorVersion::kSimplified;
+  config.arithmetic = core::Arithmetic::kFloat32;
+  const core::UserModel model = core::train_user_model(
+      data_->training[0], std::span(data_->training).subspan(1), config);
+
+  attack::SubstitutionAttack attack;
+  std::vector<physio::Record> donors(data_->testing.begin() + 1,
+                                     data_->testing.end());
+  const auto attacked = attack::corrupt_windows(
+      data_->testing[0], donors, attack, 0.5, 1080, 2024);
+
+  wiot::ScenarioConfig scenario;
+  scenario.ecg_channel = {0.01, 0.005, 5};
+  scenario.abp_channel = {0.01, 0.005, 6};
+  const auto result = wiot::run_scenario(core::Detector(model),
+                                         attacked.record,
+                                         attacked.window_altered, scenario);
+  ASSERT_TRUE(result.confusion.has_value());
+  EXPECT_GT(result.confusion->accuracy(), 0.8);
+  EXPECT_GT(result.sink.alerts(), 10u) << "attack windows raise alerts";
+}
+
+}  // namespace
+}  // namespace sift

@@ -1,0 +1,97 @@
+// Tests for ROC analysis.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ml/roc.hpp"
+
+namespace sift::ml {
+namespace {
+
+TEST(Roc, PerfectSeparationGivesAucOne) {
+  std::vector<ScoredLabel> scored;
+  for (int i = 0; i < 20; ++i) {
+    scored.push_back({1.0 + i * 0.1, +1});
+    scored.push_back({-1.0 - i * 0.1, -1});
+  }
+  EXPECT_DOUBLE_EQ(roc_auc(scored), 1.0);
+}
+
+TEST(Roc, RandomScoresGiveAucNearHalf) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<ScoredLabel> scored;
+  for (int i = 0; i < 4000; ++i) {
+    scored.push_back({u(rng), i % 2 == 0 ? +1 : -1});
+  }
+  EXPECT_NEAR(roc_auc(scored), 0.5, 0.05);
+}
+
+TEST(Roc, InvertedScoresGiveAucZero) {
+  std::vector<ScoredLabel> scored;
+  for (int i = 0; i < 10; ++i) {
+    scored.push_back({-1.0 - i, +1});
+    scored.push_back({1.0 + i, -1});
+  }
+  EXPECT_DOUBLE_EQ(roc_auc(scored), 0.0);
+}
+
+TEST(Roc, CurveIsMonotoneAndAnchored) {
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<ScoredLabel> scored;
+  for (int i = 0; i < 300; ++i) {
+    scored.push_back({1.0 + noise(rng), +1});
+    scored.push_back({-1.0 + noise(rng), -1});
+  }
+  const auto curve = roc_curve(scored);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(Roc, TiedScoresCollapseToOnePoint) {
+  // Four items share one score: they must enter the curve together, never
+  // splitting a tie across a threshold.
+  std::vector<ScoredLabel> scored{{0.5, +1}, {0.5, -1}, {0.5, +1}, {0.5, -1}};
+  const auto curve = roc_curve(scored);
+  ASSERT_EQ(curve.size(), 2u);  // anchor + the single tied step
+  EXPECT_DOUBLE_EQ(curve[1].tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].fpr, 1.0);
+  EXPECT_DOUBLE_EQ(roc_auc(scored), 0.5);
+}
+
+TEST(Roc, BudgetPickerRespectsFprCap) {
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<ScoredLabel> scored;
+  for (int i = 0; i < 500; ++i) {
+    scored.push_back({1.0 + noise(rng), +1});
+    scored.push_back({-1.0 + noise(rng), -1});
+  }
+  const RocPoint strict = best_under_fpr_budget(scored, 0.01);
+  const RocPoint loose = best_under_fpr_budget(scored, 0.20);
+  EXPECT_LE(strict.fpr, 0.01);
+  EXPECT_LE(loose.fpr, 0.20);
+  EXPECT_GE(loose.tpr, strict.tpr) << "a looser budget can only help TPR";
+  const RocPoint zero = best_under_fpr_budget(scored, 0.0);
+  EXPECT_DOUBLE_EQ(zero.fpr, 0.0);
+}
+
+TEST(Roc, ValidatesInput) {
+  std::vector<ScoredLabel> one_class{{1.0, +1}, {2.0, +1}};
+  EXPECT_THROW(roc_curve(one_class), std::invalid_argument);
+  std::vector<ScoredLabel> bad_label{{1.0, 0}, {2.0, -1}};
+  EXPECT_THROW(roc_auc(bad_label), std::invalid_argument);
+  std::vector<ScoredLabel> ok{{1.0, +1}, {0.0, -1}};
+  EXPECT_THROW(best_under_fpr_budget(ok, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sift::ml

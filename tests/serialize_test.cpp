@@ -1,0 +1,91 @@
+// Tests for model persistence (ml/serialize.hpp).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "ml/serialize.hpp"
+#include "ml/svm.hpp"
+
+namespace sift::ml {
+namespace {
+
+ModelArtifact make_artifact(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  Dataset data;
+  for (int i = 0; i < 60; ++i) {
+    for (int y : {+1, -1}) {
+      LabeledPoint p;
+      p.y = y;
+      for (int j = 0; j < 8; ++j) p.x.push_back(y * 1.2 + noise(rng));
+      data.push_back(std::move(p));
+    }
+  }
+  ModelArtifact a;
+  a.scaler.fit(data);
+  a.svm = DcdTrainer{}.train(a.scaler.transform(data), TrainConfig{});
+  return a;
+}
+
+TEST(Serialize, RoundTripIsBitExact) {
+  const ModelArtifact a = make_artifact(1);
+  const ModelArtifact b = load_model_string(save_model_string(a));
+  EXPECT_EQ(a.svm.w, b.svm.w);
+  EXPECT_EQ(a.svm.b, b.svm.b);
+  EXPECT_EQ(a.scaler.mean(), b.scaler.mean());
+  EXPECT_EQ(a.scaler.scale(), b.scaler.scale());
+}
+
+TEST(Serialize, RestoredModelPredictsIdentically) {
+  const ModelArtifact a = make_artifact(2);
+  const ModelArtifact b = load_model_string(save_model_string(a));
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> noise(0.0, 2.0);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x(8);
+    for (double& v : x) v = noise(rng);
+    EXPECT_EQ(a.svm.decision_value(a.scaler.transform(x)),
+              b.svm.decision_value(b.scaler.transform(x)));
+  }
+}
+
+TEST(Serialize, FormatIsCommentAndBlankTolerant) {
+  const ModelArtifact a = make_artifact(4);
+  std::string text = save_model_string(a);
+  text = "# provisioning server v7\n\n" + text + "\n# trailing comment\n";
+  EXPECT_NO_THROW(load_model_string(text));
+}
+
+TEST(Serialize, RejectsCorruptedInput) {
+  const ModelArtifact a = make_artifact(5);
+  const std::string good = save_model_string(a);
+
+  EXPECT_THROW(load_model_string(""), std::runtime_error);
+  EXPECT_THROW(load_model_string("not-a-model v1\n"), std::runtime_error);
+  EXPECT_THROW(load_model_string("sift-model v999\n"), std::runtime_error);
+
+  // Truncated body.
+  EXPECT_THROW(load_model_string(good.substr(0, good.size() / 2)),
+               std::runtime_error);
+
+  // Wrong vector arity.
+  std::string bad = good;
+  bad.replace(bad.find("dim 8"), 5, "dim 9");
+  EXPECT_THROW(load_model_string(bad), std::runtime_error);
+
+  // Garbage number.
+  std::string garbled = good;
+  garbled.replace(garbled.find("svm_b ") + 6, 3, "zzz");
+  EXPECT_THROW(load_model_string(garbled), std::runtime_error);
+}
+
+TEST(Serialize, RejectsUnfittedArtifact) {
+  ModelArtifact a;
+  a.svm.w = {1.0, 2.0};
+  std::ostringstream os;
+  EXPECT_THROW(save_model(os, a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sift::ml

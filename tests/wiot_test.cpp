@@ -1,0 +1,336 @@
+// Tests for the WIoT environment: sensor nodes, lossy channels, the base
+// station's stream alignment, the sink, and the end-to-end scenario.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <span>
+
+#include "attack/attack.hpp"
+#include "attack/scenario.hpp"
+#include "core/trainer.hpp"
+#include "physio/dataset.hpp"
+#include "wiot/base_station.hpp"
+#include "wiot/channel.hpp"
+#include "wiot/scenario.hpp"
+#include "wiot/sensor_node.hpp"
+#include "wiot/sink.hpp"
+
+namespace sift::wiot {
+namespace {
+
+class WiotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto cohort = physio::synthetic_cohort(3, 404);
+    training_ =
+        new std::vector(physio::generate_cohort_records(cohort, 120.0));
+    testing_ = new std::vector(physio::generate_cohort_records(
+        cohort, 60.0, physio::kDefaultRateHz, 9));
+    core::SiftConfig config;
+    config.version = core::DetectorVersion::kOriginal;
+    model_ = new core::UserModel(core::train_user_model(
+        (*training_)[0], std::span(*training_).subspan(1), config));
+  }
+  static void TearDownTestSuite() {
+    delete training_;
+    delete testing_;
+    delete model_;
+    training_ = nullptr;
+    testing_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static std::vector<physio::Record>* training_;
+  static std::vector<physio::Record>* testing_;
+  static core::UserModel* model_;
+};
+
+std::vector<physio::Record>* WiotTest::training_ = nullptr;
+std::vector<physio::Record>* WiotTest::testing_ = nullptr;
+core::UserModel* WiotTest::model_ = nullptr;
+
+// --- SensorNode -------------------------------------------------------------
+
+TEST_F(WiotTest, SensorNodeStreamsWholeRecordInOrder) {
+  SensorNode node(ChannelKind::kEcg, (*testing_)[0], 180);
+  std::size_t n = 0;
+  std::size_t samples = 0;
+  while (auto p = node.poll()) {
+    EXPECT_EQ(p->seq, n);
+    EXPECT_EQ(p->samples.size(), 180u);
+    samples += p->samples.size();
+    ++n;
+  }
+  EXPECT_EQ(samples, (*testing_)[0].ecg.size());
+  EXPECT_EQ(node.packets_emitted(), n);
+}
+
+TEST_F(WiotTest, SensorNodePiggybacksWindowRelativePeaks) {
+  SensorNode node(ChannelKind::kEcg, (*testing_)[0], 360);
+  std::size_t total_peaks = 0;
+  while (auto p = node.poll()) {
+    for (std::size_t rel : p->peaks) {
+      EXPECT_LT(rel, 360u);
+      ++total_peaks;
+    }
+  }
+  EXPECT_EQ(total_peaks, (*testing_)[0].r_peaks.size());
+}
+
+TEST(SensorNode, RejectsZeroBatch) {
+  physio::Record rec;
+  EXPECT_THROW(SensorNode(ChannelKind::kAbp, rec, 0), std::invalid_argument);
+}
+
+// --- LossyChannel -----------------------------------------------------------
+
+TEST(LossyChannel, PerfectChannelDeliversEverything) {
+  LossyChannel ch({0.0, 0.0, 1});
+  Packet p;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ch.transmit(p).size(), 1u);
+  }
+  EXPECT_EQ(ch.packets_dropped(), 0u);
+}
+
+TEST(LossyChannel, DropRateConverges) {
+  LossyChannel ch({0.2, 0.0, 7});
+  Packet p;
+  for (int i = 0; i < 5000; ++i) ch.transmit(p);
+  const double rate = static_cast<double>(ch.packets_dropped()) / 5000.0;
+  EXPECT_NEAR(rate, 0.2, 0.03);
+}
+
+TEST(LossyChannel, DuplicatesDeliverTwoCopies) {
+  LossyChannel ch({0.0, 1.0, 3});
+  Packet p;
+  EXPECT_EQ(ch.transmit(p).size(), 2u);
+  EXPECT_EQ(ch.packets_duplicated(), 1u);
+}
+
+TEST(LossyChannel, ValidatesProbabilities) {
+  EXPECT_THROW(LossyChannel({1.5, 0.0, 1}), std::invalid_argument);
+  EXPECT_THROW(LossyChannel({0.0, -0.1, 1}), std::invalid_argument);
+}
+
+// --- BaseStation ------------------------------------------------------------
+
+TEST_F(WiotTest, LosslessStreamsMatchDirectClassification) {
+  core::Detector detector(*model_);
+  BaseStation station(detector, {1080, 180});
+  SensorNode ecg(ChannelKind::kEcg, (*testing_)[0], 180);
+  SensorNode abp(ChannelKind::kAbp, (*testing_)[0], 180);
+  while (true) {
+    auto pe = ecg.poll();
+    auto pa = abp.poll();
+    if (!pe && !pa) break;
+    if (pe) station.receive(*pe);
+    if (pa) station.receive(*pa);
+  }
+  const auto direct = detector.classify_record((*testing_)[0]);
+  ASSERT_EQ(station.reports().size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(station.reports()[i].altered, direct[i].altered) << i;
+    EXPECT_FALSE(station.reports()[i].degraded);
+  }
+}
+
+TEST_F(WiotTest, DroppedPacketsProduceDegradedNotMisaligned) {
+  core::Detector detector(*model_);
+  BaseStation station(detector, {1080, 180});
+  SensorNode ecg(ChannelKind::kEcg, (*testing_)[0], 180);
+  SensorNode abp(ChannelKind::kAbp, (*testing_)[0], 180);
+  std::size_t i = 0;
+  while (true) {
+    auto pe = ecg.poll();
+    auto pa = abp.poll();
+    if (!pe && !pa) break;
+    // Drop every 13th ECG packet.
+    if (pe && i % 13 != 12) station.receive(*pe);
+    if (pa) station.receive(*pa);
+    ++i;
+  }
+  EXPECT_GT(station.stats().gaps_filled, 0u);
+  std::size_t degraded = 0;
+  for (const auto& r : station.reports()) {
+    if (r.degraded) ++degraded;
+  }
+  EXPECT_EQ(degraded, station.stats().gaps_filled)
+      << "each filled packet degrades exactly its window (1080 = 6 packets)";
+  EXPECT_EQ(station.reports().size(), (*testing_)[0].ecg.size() / 1080)
+      << "stream alignment survives losses";
+}
+
+TEST_F(WiotTest, DuplicatesAreIgnored) {
+  core::Detector detector(*model_);
+  BaseStation station(detector, {1080, 180});
+  SensorNode ecg(ChannelKind::kEcg, (*testing_)[0], 180);
+  SensorNode abp(ChannelKind::kAbp, (*testing_)[0], 180);
+  while (true) {
+    auto pe = ecg.poll();
+    auto pa = abp.poll();
+    if (!pe && !pa) break;
+    if (pe) {
+      station.receive(*pe);
+      station.receive(*pe);  // duplicate every ECG packet
+    }
+    if (pa) station.receive(*pa);
+  }
+  EXPECT_GT(station.stats().duplicates_ignored, 0u);
+  for (const auto& r : station.reports()) EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(WiotTest, ConfigValidation) {
+  core::Detector detector(*model_);
+  EXPECT_THROW(BaseStation(detector, {0, 180}), std::invalid_argument);
+  EXPECT_THROW(BaseStation(detector, {1080, 0}), std::invalid_argument);
+  EXPECT_THROW(BaseStation(detector, {1000, 180}), std::invalid_argument)
+      << "window must be packet-aligned";
+}
+
+TEST_F(WiotTest, MalformedPacketsAreRejectedNotApplied) {
+  core::Detector detector(*model_);
+  BaseStation station(detector, {1080, 180});
+
+  Packet short_pkt;
+  short_pkt.kind = ChannelKind::kEcg;
+  short_pkt.seq = 0;
+  short_pkt.samples.assign(100, 0.0);  // wrong payload size
+  station.receive(short_pkt);
+  EXPECT_EQ(station.stats().malformed_rejected, 1u);
+
+  Packet bad_peak;
+  bad_peak.kind = ChannelKind::kEcg;
+  bad_peak.seq = 0;
+  bad_peak.samples.assign(180, 0.0);
+  bad_peak.peaks = {500};  // out-of-range annotation
+  station.receive(bad_peak);
+  EXPECT_EQ(station.stats().malformed_rejected, 2u);
+
+  // The stream is still intact: a valid retransmission of seq 0 lands.
+  Packet good;
+  good.kind = ChannelKind::kEcg;
+  good.seq = 0;
+  good.samples.assign(180, 0.1);
+  station.receive(good);
+  EXPECT_EQ(station.stats().duplicates_ignored, 0u);
+  EXPECT_EQ(station.stats().gaps_filled, 0u);
+}
+
+TEST_F(WiotTest, SpectralCrossCheckFlagsRateMismatchedSubstitution) {
+  // Pick a donor whose heart rate differs strongly from the wearer's, and
+  // verify the FFT cross-check alone (no degraded exclusion) raises
+  // hr_mismatch flags on substituted windows while clean streams stay quiet.
+  const auto cohort = physio::synthetic_cohort(12, 808);
+  // Widest heart-rate gap in the cohort: slowest heart wears the device,
+  // fastest heart plays the attacker's donor.
+  const physio::UserProfile* victim_profile = &cohort[0];
+  const physio::UserProfile* donor_profile = &cohort[0];
+  for (const auto& candidate : cohort) {
+    if (candidate.rr.mean_hr_bpm < victim_profile->rr.mean_hr_bpm) {
+      victim_profile = &candidate;
+    }
+    if (candidate.rr.mean_hr_bpm > donor_profile->rr.mean_hr_bpm) {
+      donor_profile = &candidate;
+    }
+  }
+  ASSERT_GT(donor_profile->rr.mean_hr_bpm - victim_profile->rr.mean_hr_bpm,
+            15.0);
+  auto victim = physio::generate_record(*victim_profile, 60.0);
+  const auto donor = physio::generate_record(*donor_profile, 60.0);
+
+  core::Detector detector(*model_);
+  BaseStation::Config config{1080, 180};
+  config.spectral_cross_check = true;
+
+  // Clean run first: no mismatch flags.
+  {
+    BaseStation station(detector, config);
+    SensorNode ecg(ChannelKind::kEcg, victim, 180);
+    SensorNode abp(ChannelKind::kAbp, victim, 180);
+    while (true) {
+      auto pe = ecg.poll();
+      auto pa = abp.poll();
+      if (!pe && !pa) break;
+      if (pe) station.receive(*pe);
+      if (pa) station.receive(*pa);
+    }
+    for (const auto& r : station.reports()) EXPECT_FALSE(r.hr_mismatch);
+  }
+
+  // Substitute the whole ECG channel with the fast-heart donor.
+  attack::SubstitutionAttack attack;
+  std::mt19937_64 rng(1);
+  attack.alter(victim.ecg, victim.r_peaks, 0, victim.ecg.size(), donor, rng);
+  {
+    BaseStation station(detector, config);
+    SensorNode ecg(ChannelKind::kEcg, victim, 180);
+    SensorNode abp(ChannelKind::kAbp, victim, 180);
+    while (true) {
+      auto pe = ecg.poll();
+      auto pa = abp.poll();
+      if (!pe && !pa) break;
+      if (pe) station.receive(*pe);
+      if (pa) station.receive(*pa);
+    }
+    std::size_t mismatches = 0;
+    for (const auto& r : station.reports()) {
+      if (r.hr_mismatch) ++mismatches;
+    }
+    EXPECT_GT(mismatches, station.reports().size() / 2)
+        << "rate-mismatched substitution trips the spectral cross-check";
+  }
+}
+
+// --- Sink ----------------------------------------------------------------------
+
+TEST(Sink, AggregatesAlertsAndRuns) {
+  Sink sink;
+  BaseStation::WindowReport r;
+  for (bool altered : {false, true, true, true, false, true}) {
+    r.altered = altered;
+    sink.deliver(r);
+  }
+  EXPECT_EQ(sink.total_windows(), 6u);
+  EXPECT_EQ(sink.alerts(), 4u);
+  EXPECT_EQ(sink.longest_alert_run(), 3u);
+  EXPECT_NE(sink.summary(3.0).find("4 alerts"), std::string::npos);
+}
+
+// --- end-to-end scenario -----------------------------------------------------------
+
+TEST_F(WiotTest, ScenarioDetectsAttackOverLossyNetwork) {
+  attack::SubstitutionAttack attack;
+  const auto attacked = attack::corrupt_windows(
+      (*testing_)[0], std::span(*testing_).subspan(1), attack, 0.5, 1080, 11);
+
+  ScenarioConfig config;
+  config.ecg_channel = {0.02, 0.01, 21};
+  config.abp_channel = {0.02, 0.01, 22};
+  const core::Detector detector(*model_);
+  const auto result = run_scenario(detector, attacked.record,
+                                   attacked.window_altered, config);
+
+  ASSERT_TRUE(result.confusion.has_value());
+  EXPECT_GT(result.confusion->total(), 10u);
+  EXPECT_GT(result.confusion->accuracy(), 0.8)
+      << "detection survives 2% packet loss";
+  EXPECT_EQ(result.sink.total_windows(),
+            result.station_stats.windows_classified);
+}
+
+TEST_F(WiotTest, CleanScenarioStaysQuiet) {
+  ScenarioConfig config;  // perfect links
+  const core::Detector detector(*model_);
+  const auto result =
+      run_scenario(detector, (*testing_)[0], {}, config);
+  EXPECT_FALSE(result.confusion.has_value());
+  const double alert_rate =
+      static_cast<double>(result.sink.alerts()) /
+      static_cast<double>(std::max<std::size_t>(1, result.sink.total_windows()));
+  EXPECT_LT(alert_rate, 0.2);
+}
+
+}  // namespace
+}  // namespace sift::wiot

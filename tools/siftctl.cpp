@@ -1,0 +1,247 @@
+// siftctl — command-line front end for the SIFT library.
+//
+// Drives the whole pipeline from a shell, the way a downstream user (or a
+// provisioning server feeding Amulets) would:
+//
+//   siftctl cohort [n] [seed]                    list the synthetic cohort
+//   siftctl synth <user> <seconds> <out.csv>     generate a coupled trace
+//   siftctl peaks <trace.csv>                    run-time peak detection
+//   siftctl train <wearer.csv> <donor.csv>... -o <model.txt> [-v VERSION]
+//   siftctl detect <model.txt> <trace.csv>       classify every window
+//   siftctl attack <victim.csv> <donor.csv> <out.csv> [fraction]
+//   siftctl emit-c <model.txt>                   Amulet-C translation unit
+//   siftctl emit-qm <model.txt>                  QM model XML
+//   siftctl check <source.c> [--no-libm]         Amulet-C static checker
+//   siftctl profile <model.txt> <trace.csv>      ARP-view resource profile
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "amulet/amulet_c_check.hpp"
+#include "amulet/app_codegen.hpp"
+#include "amulet/profiler.hpp"
+#include "attack/attack.hpp"
+#include "attack/scenario.hpp"
+#include "core/detector.hpp"
+#include "core/trainer.hpp"
+#include "io/csv.hpp"
+#include "io/model_file.hpp"
+#include "peaks/pan_tompkins.hpp"
+#include "peaks/systolic.hpp"
+#include "physio/dataset.hpp"
+
+namespace {
+
+using namespace sift;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: siftctl <command> [args]\n"
+               "  cohort [n] [seed]\n"
+               "  synth <user-index> <seconds> <out.csv> [seed] [salt]\n"
+               "  peaks <trace.csv>\n"
+               "  train <wearer.csv> <donor.csv>... -o <model.txt>"
+               " [-v Original|Simplified|Reduced]\n"
+               "  detect <model.txt> <trace.csv>\n"
+               "  attack <victim.csv> <donor.csv> <out.csv> [fraction]\n"
+               "  emit-c <model.txt>\n"
+               "  emit-qm <model.txt>\n"
+               "  check <source.c> [--no-libm]\n"
+               "  profile <model.txt> <trace.csv>\n");
+  return 2;
+}
+
+core::DetectorVersion parse_version(const std::string& s) {
+  if (s == "Original") return core::DetectorVersion::kOriginal;
+  if (s == "Simplified") return core::DetectorVersion::kSimplified;
+  if (s == "Reduced") return core::DetectorVersion::kReduced;
+  throw std::runtime_error("unknown version '" + s + "'");
+}
+
+int cmd_cohort(std::span<const std::string> args) {
+  const std::size_t n = args.size() > 0 ? std::stoul(args[0]) : 12;
+  const std::uint64_t seed = args.size() > 1 ? std::stoull(args[1]) : 2017;
+  std::printf("%-4s %-12s %6s %8s %8s %8s\n", "id", "name", "age", "HR",
+              "SBP", "DBP");
+  for (const auto& u : physio::synthetic_cohort(n, seed)) {
+    std::printf("%-4d %-12s %6.0f %8.1f %8.0f %8.0f\n", u.user_id,
+                u.name.c_str(), u.age_years, u.rr.mean_hr_bpm,
+                u.abp.diastolic_mmhg + u.abp.pulse_pressure_mmhg,
+                u.abp.diastolic_mmhg);
+  }
+  return 0;
+}
+
+int cmd_synth(std::span<const std::string> args) {
+  if (args.size() < 3) return usage();
+  const auto user_index = std::stoul(args[0]);
+  const double seconds = std::stod(args[1]);
+  const std::string out = args[2];
+  const std::uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 2017;
+  const std::uint64_t salt = args.size() > 4 ? std::stoull(args[4]) : 0;
+
+  const auto cohort = physio::synthetic_cohort(
+      std::max<std::size_t>(12, user_index + 1), seed);
+  const auto record =
+      physio::generate_record(cohort[user_index], seconds,
+                              physio::kDefaultRateHz, salt);
+  io::save_record_csv(out, record);
+  std::printf("wrote %s: %.0f s, %zu samples, %zu R peaks, %zu systolic\n",
+              out.c_str(), seconds, record.ecg.size(), record.r_peaks.size(),
+              record.systolic_peaks.size());
+  return 0;
+}
+
+int cmd_peaks(std::span<const std::string> args) {
+  if (args.size() != 1) return usage();
+  const auto record = io::load_record_csv(args[0]);
+  const auto r = peaks::detect_r_peaks(record.ecg);
+  const auto s = peaks::detect_systolic_peaks(record.abp);
+  std::printf("run-time detection: %zu R peaks (annotated: %zu), "
+              "%zu systolic (annotated: %zu)\n",
+              r.size(), record.r_peaks.size(), s.size(),
+              record.systolic_peaks.size());
+  return 0;
+}
+
+int cmd_train(std::span<const std::string> args) {
+  std::vector<std::string> csvs;
+  std::string out;
+  core::SiftConfig config;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      out = args[++i];
+    } else if (args[i] == "-v" && i + 1 < args.size()) {
+      config.version = parse_version(args[++i]);
+    } else {
+      csvs.push_back(args[i]);
+    }
+  }
+  if (out.empty() || csvs.size() < 2) return usage();
+
+  const auto wearer = io::load_record_csv(csvs[0]);
+  std::vector<physio::Record> donors;
+  for (std::size_t i = 1; i < csvs.size(); ++i) {
+    donors.push_back(io::load_record_csv(csvs[i]));
+  }
+  const auto model = core::train_user_model(wearer, donors, config);
+  io::save_user_model(out, model);
+  std::printf("trained %s model (%zu features) -> %s\n",
+              core::to_string(config.version), model.svm.w.size(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_detect(std::span<const std::string> args) {
+  if (args.size() != 2) return usage();
+  const auto model = io::load_user_model(args[0]);
+  const auto trace = io::load_record_csv(args[1]);
+  const core::Detector detector(model);
+  const auto verdicts = detector.classify_record(trace);
+  std::size_t alerts = 0;
+  for (std::size_t w = 0; w < verdicts.size(); ++w) {
+    if (verdicts[w].altered) ++alerts;
+    std::printf("window %3zu [%6.1fs]: %-7s margin %+8.3f%s\n", w,
+                w * model.config.window_s,
+                verdicts[w].altered ? "ALERT" : "ok",
+                verdicts[w].decision_value,
+                verdicts[w].peak_check_failed ? "  (peak check failed)" : "");
+  }
+  std::printf("%zu/%zu windows alerted\n", alerts, verdicts.size());
+  return 0;
+}
+
+int cmd_attack(std::span<const std::string> args) {
+  if (args.size() < 3) return usage();
+  const auto victim = io::load_record_csv(args[0]);
+  const auto donor = io::load_record_csv(args[1]);
+  const double fraction = args.size() > 3 ? std::stod(args[3]) : 0.5;
+
+  attack::SubstitutionAttack substitution;
+  const std::vector<physio::Record> donors{donor};
+  const auto window =
+      static_cast<std::size_t>(3.0 * victim.ecg.sample_rate_hz());
+  const auto attacked = attack::corrupt_windows(victim, donors, substitution,
+                                                fraction, window, 1);
+  io::save_record_csv(args[2], attacked.record);
+  std::size_t altered = 0;
+  for (bool b : attacked.window_altered) altered += b ? 1 : 0;
+  std::printf("wrote %s: %zu/%zu windows substituted\n", args[2].c_str(),
+              altered, attacked.window_altered.size());
+  return 0;
+}
+
+int cmd_emit_c(std::span<const std::string> args) {
+  if (args.size() != 1) return usage();
+  std::cout << amulet::emit_amulet_app_c(io::load_user_model(args[0]));
+  return 0;
+}
+
+int cmd_emit_qm(std::span<const std::string> args) {
+  if (args.size() != 1) return usage();
+  const auto model = io::load_user_model(args[0]);
+  std::cout << amulet::emit_qm_model_xml("SiftDetector",
+                                         model.config.version);
+  return 0;
+}
+
+int cmd_check(std::span<const std::string> args) {
+  if (args.empty()) return usage();
+  std::ifstream is(args[0]);
+  if (!is.good()) throw std::runtime_error("cannot open " + args[0]);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  amulet::AmuletCCheckOptions options;
+  if (args.size() > 1 && args[1] == "--no-libm") {
+    options.allow_math_library = false;
+  }
+  const auto violations = amulet::check_amulet_c(ss.str(), options);
+  for (const auto& v : violations) {
+    std::printf("%s:%zu: [%s] %s\n", args[0].c_str(), v.line,
+                amulet::to_string(v.rule), v.excerpt.c_str());
+  }
+  std::printf("%zu violation(s)\n", violations.size());
+  return violations.empty() ? 0 : 1;
+}
+
+int cmd_profile(std::span<const std::string> args) {
+  if (args.size() != 2) return usage();
+  const auto model = io::load_user_model(args[0]);
+  const auto trace = io::load_record_csv(args[1]);
+  amulet::Scheduler scheduler;
+  amulet::SiftApp app(model, trace, scheduler);
+  scheduler.add_app(app);
+  amulet::run_app_over_trace(app, scheduler);
+  std::cout << amulet::format_arp_view(
+      amulet::profile_app(app, amulet::EnergyModel{}, model.config.window_s));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "cohort") return cmd_cohort(args);
+    if (command == "synth") return cmd_synth(args);
+    if (command == "peaks") return cmd_peaks(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "detect") return cmd_detect(args);
+    if (command == "attack") return cmd_attack(args);
+    if (command == "emit-c") return cmd_emit_c(args);
+    if (command == "emit-qm") return cmd_emit_qm(args);
+    if (command == "check") return cmd_check(args);
+    if (command == "profile") return cmd_profile(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "siftctl %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,49 @@
+# End-to-end smoke test of the siftctl CLI, run by CTest.
+# Invoked as: cmake -DSIFTCTL=<path> -DWORK_DIR=<dir> -P smoke_test.cmake
+# Drives the full user journey: synthesise traces, train, attack, detect,
+# emit device code, check it, and profile — any non-zero exit fails.
+
+function(run)
+  execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+run(${SIFTCTL} cohort 4)
+run(${SIFTCTL} synth 0 120 wearer.csv)
+run(${SIFTCTL} synth 1 120 donor.csv)
+run(${SIFTCTL} train wearer.csv donor.csv -o model.txt -v Simplified)
+run(${SIFTCTL} synth 0 30 live.csv 2017 9)
+run(${SIFTCTL} synth 1 30 dlive.csv 2017 9)
+run(${SIFTCTL} attack live.csv dlive.csv attacked.csv 0.5)
+run(${SIFTCTL} peaks live.csv)
+
+run(${SIFTCTL} detect model.txt attacked.csv)
+if(NOT last_output MATCHES "ALERT")
+  message(FATAL_ERROR "detect: expected at least one ALERT\n${last_output}")
+endif()
+
+run(${SIFTCTL} emit-c model.txt)
+file(WRITE ${WORK_DIR}/gen.c "${last_output}")
+run(${SIFTCTL} check gen.c --no-libm)
+if(NOT last_output MATCHES "0 violation")
+  message(FATAL_ERROR "check: generated code must be clean\n${last_output}")
+endif()
+
+run(${SIFTCTL} emit-qm model.txt)
+if(NOT last_output MATCHES "PeaksDataCheck")
+  message(FATAL_ERROR "emit-qm: missing state chart\n${last_output}")
+endif()
+
+run(${SIFTCTL} profile model.txt live.csv)
+if(NOT last_output MATCHES "Expected lifetime")
+  message(FATAL_ERROR "profile: missing ARP view\n${last_output}")
+endif()
+
+message(STATUS "siftctl smoke test passed")
