@@ -1,0 +1,82 @@
+// Fleet engine throughput: aggregate windows/sec as a function of worker
+// count and session count.
+//
+// The fixture (trained models + pre-synthesised packet streams) is built
+// once; each benchmark iteration constructs a fresh engine, replays every
+// session through it from a single producer thread, and drains. Per-window
+// detection work (portrait + features + SVM) dominates the queue handoff,
+// so on a multi-core host windows/sec should scale near-linearly with
+// workers until the cores run out — the acceptance bar is ≥2× from 1→4
+// workers. Run with --benchmark_counters_tabular=true for a compact table.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "fleet/engine.hpp"
+#include "fleet/replay.hpp"
+
+namespace {
+
+using namespace sift;
+
+const fleet::ReplayFixture& fixture_for(std::size_t sessions) {
+  // One fixture per session count, built lazily and cached for the whole
+  // benchmark binary (training models inside the timed loop would swamp
+  // the measurement).
+  static std::map<std::size_t, std::unique_ptr<fleet::ReplayFixture>> cache;
+  auto& slot = cache[sessions];
+  if (!slot) {
+    fleet::ReplayConfig config;
+    config.sessions = sessions;
+    config.seconds = 9.0;  // 3 windows per session at w = 3 s
+    config.distinct_users = 4;
+    config.train_seconds = 60.0;
+    slot = std::make_unique<fleet::ReplayFixture>(
+        fleet::ReplayFixture::build(config));
+  }
+  return *slot;
+}
+
+void BM_FleetWindowsPerSec(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const auto sessions = static_cast<std::size_t>(state.range(1));
+  const auto& fixture = fixture_for(sessions);
+
+  std::uint64_t windows = 0;
+  for (auto _ : state) {
+    fleet::FleetConfig config;
+    config.workers = workers;
+    config.shards = std::max<std::size_t>(workers, 8);
+    config.queue_capacity = 1024;
+    config.backpressure = fleet::BackpressurePolicy::kBlock;
+    fleet::FleetEngine engine(fixture.provider(), config);
+    const auto result = fleet::replay_through(engine, fixture, /*producers=*/1);
+    windows += result.windows_classified;
+  }
+  state.counters["windows_per_sec"] =
+      benchmark::Counter(static_cast<double>(windows),
+                         benchmark::Counter::kIsRate);
+  state.counters["sessions"] = static_cast<double>(sessions);
+  state.counters["workers"] = static_cast<double>(workers);
+  state.SetItemsProcessed(static_cast<std::int64_t>(windows));
+}
+
+// workers × sessions sweep: the 1→4 worker column is the scaling claim;
+// the session sweep shows multiplexing overhead stays flat.
+BENCHMARK(BM_FleetWindowsPerSec)
+    ->ArgNames({"workers", "sessions"})
+    ->Args({1, 16})
+    ->Args({2, 16})
+    ->Args({4, 16})
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({4, 64})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

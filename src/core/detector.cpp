@@ -6,10 +6,10 @@ namespace sift::core {
 
 DetectionResult Detector::classify(const Portrait& portrait) const {
   DetectionResult r;
-  r.features = extract_features(portrait, model_.config.version,
-                                model_.config.arithmetic, model_.config.grid_n);
-  const auto scaled = model_.scaler.transform(r.features);
-  r.decision_value = model_.svm.decision_value(scaled);
+  r.features = extract_features(portrait, model_->config.version,
+                                model_->config.arithmetic, model_->config.grid_n);
+  const auto scaled = model_->scaler.transform(r.features);
+  r.decision_value = model_->svm.decision_value(scaled);
   r.altered = r.decision_value >= 0.0;
   if (portrait.r_peak_points().empty() ||
       portrait.systolic_peak_points().empty()) {
@@ -27,7 +27,7 @@ std::vector<DetectionResult> Detector::classify_record(
     const physio::Record& rec) const {
   const double rate = rec.ecg.sample_rate_hz();
   const auto window =
-      static_cast<std::size_t>(model_.config.window_s * rate + 0.5);
+      static_cast<std::size_t>(model_->config.window_s * rate + 0.5);
   std::vector<DetectionResult> out;
   if (window == 0 || rec.ecg.size() < window) return out;
   for (std::size_t start = 0; start + window <= rec.ecg.size();

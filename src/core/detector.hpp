@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/portrait.hpp"
@@ -29,13 +30,23 @@ struct DetectionResult {
   std::vector<double> features;
 };
 
-/// Wraps a trained UserModel for per-window classification.
+/// Wraps a trained UserModel for per-window classification. The model is
+/// held through a shared_ptr so many detectors (e.g. one per fleet session)
+/// can serve off a single resident copy of the artefact.
 class Detector {
  public:
-  explicit Detector(UserModel model) : model_(std::move(model)) {}
+  explicit Detector(UserModel model)
+      : model_(std::make_shared<const UserModel>(std::move(model))) {}
 
-  const UserModel& model() const noexcept { return model_; }
-  DetectorVersion version() const noexcept { return model_.config.version; }
+  /// Shares an already-resident model (no copy). @throws
+  /// std::invalid_argument on null.
+  explicit Detector(std::shared_ptr<const UserModel> model)
+      : model_(std::move(model)) {
+    if (!model_) throw std::invalid_argument("Detector: null model");
+  }
+
+  const UserModel& model() const noexcept { return *model_; }
+  DetectorVersion version() const noexcept { return model_->config.version; }
 
   /// Classifies one window given raw samples plus window-relative peaks.
   DetectionResult classify(const PortraitInput& window) const;
@@ -49,7 +60,7 @@ class Detector {
   std::vector<DetectionResult> classify_record(const physio::Record& rec) const;
 
  private:
-  UserModel model_;
+  std::shared_ptr<const UserModel> model_;
 };
 
 }  // namespace sift::core

@@ -1,0 +1,124 @@
+// Thread-safe bounded MPMC queue over signal::RingBuffer.
+//
+// This is the fleet's backpressure point. A full queue either blocks the
+// producer (kBlock — lossless, pushes the pressure back to the ingest
+// socket) or sheds the *oldest* staged element (kDropOldest — bounded
+// latency, mirrors RingBuffer::push_evict: stale sensor windows are worth
+// less than fresh ones, and every shed element is accounted so operators
+// see the loss instead of guessing at it).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "signal/ring_buffer.hpp"
+
+namespace sift::fleet {
+
+enum class BackpressurePolicy {
+  kBlock,      ///< producers wait for space (lossless)
+  kDropOldest  ///< evict the oldest staged element, count the drop
+};
+
+inline const char* to_string(BackpressurePolicy p) noexcept {
+  return p == BackpressurePolicy::kBlock ? "block" : "drop-oldest";
+}
+
+template <typename T>
+class BoundedQueue {
+ public:
+  struct PushResult {
+    bool accepted = false;   ///< false only when the queue is closed
+    bool dropped_oldest = false;
+  };
+
+  /// @throws std::invalid_argument via RingBuffer when capacity == 0.
+  BoundedQueue(std::size_t capacity, BackpressurePolicy policy)
+      : buffer_(capacity), policy_(policy) {}
+
+  /// Applies the backpressure policy. kBlock waits for space; a close()
+  /// while waiting rejects the push (accepted=false) so draining shutdowns
+  /// never deadlock producers.
+  PushResult push(T v) {
+    std::unique_lock lock(mu_);
+    if (policy_ == BackpressurePolicy::kBlock) {
+      not_full_.wait(lock, [&] { return !buffer_.full() || closed_; });
+    }
+    if (closed_) return {};
+    PushResult result;
+    result.accepted = true;
+    if (buffer_.full()) {  // only reachable under kDropOldest
+      buffer_.pop();
+      ++dropped_;
+      result.dropped_oldest = true;
+    }
+    buffer_.push(std::move(v));
+    lock.unlock();
+    not_empty_.notify_one();
+    return result;
+  }
+
+  /// Non-blocking pop; the fleet workers use this after their shard signal.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mu_);
+    if (buffer_.empty()) return std::nullopt;
+    std::optional<T> v(buffer_.pop());
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Blocking pop: waits for an element; nullopt once closed *and* empty
+  /// (a closed queue still drains).
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !buffer_.empty() || closed_; });
+    if (buffer_.empty()) return std::nullopt;
+    std::optional<T> v(buffer_.pop());
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Rejects subsequent pushes and wakes every waiter. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return buffer_.size();
+  }
+  std::size_t capacity() const {
+    std::lock_guard lock(mu_);
+    return buffer_.capacity();
+  }
+  /// Elements shed by kDropOldest since construction.
+  std::uint64_t dropped() const {
+    std::lock_guard lock(mu_);
+    return dropped_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  signal::RingBuffer<T> buffer_;
+  BackpressurePolicy policy_;
+  bool closed_ = false;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sift::fleet

@@ -1,0 +1,205 @@
+#include "fleet/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sift::fleet {
+
+namespace {
+
+std::size_t resolve_workers(std::size_t requested) {
+  if (requested > 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+FleetEngine::FleetEngine(ModelProvider provider, FleetConfig config)
+    : config_(config),
+      registry_(std::move(provider), config.model_cache_capacity),
+      table_(config.shards, registry_, config.station) {
+  ingested_ = &metrics_.counter("fleet.ingest_packets");
+  rejected_ = &metrics_.counter("fleet.ingest_rejected");
+  dropped_ = &metrics_.counter("fleet.queue_dropped");
+  windows_ = &metrics_.counter("fleet.windows_classified");
+  alerts_ = &metrics_.counter("fleet.alerts");
+  degraded_ = &metrics_.counter("fleet.degraded_windows");
+  e2e_latency_ = &metrics_.histogram("fleet.e2e_latency");
+  detect_latency_ = &metrics_.histogram("fleet.detect_latency");
+
+  queues_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    queues_.push_back(std::make_unique<BoundedQueue<Envelope>>(
+        config_.queue_capacity, config_.backpressure));
+  }
+
+  const std::size_t n_workers =
+      std::min(resolve_workers(config_.workers), config_.shards);
+  worker_states_.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    worker_states_.push_back(std::make_unique<WorkerState>());
+  }
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    worker_states_[s % n_workers]->shards.push_back(s);
+  }
+  threads_.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    threads_.emplace_back(
+        [this, state = worker_states_[w].get()] { worker_loop(*state); });
+  }
+}
+
+FleetEngine::~FleetEngine() { drain(); }
+
+bool FleetEngine::ingest(int user_id, wiot::Packet packet) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    rejected_->add();
+    return false;
+  }
+  Envelope env;
+  env.user_id = user_id;
+  env.shard = table_.shard_of(user_id);
+  env.packet = std::move(packet);
+  env.enqueued = std::chrono::steady_clock::now();
+  const std::size_t shard = env.shard;
+
+  const auto result = queues_[shard]->push(std::move(env));
+  if (!result.accepted) {  // engine started draining while we waited
+    rejected_->add();
+    return false;
+  }
+  if (result.dropped_oldest) dropped_->add();
+  ingested_->add();
+
+  WorkerState& owner = *worker_states_[shard % worker_states_.size()];
+  {
+    std::lock_guard lock(owner.mu);
+    ++owner.signal;
+  }
+  owner.cv.notify_one();
+  return true;
+}
+
+std::size_t FleetEngine::sweep_owned_shards(WorkerState& self) {
+  std::size_t processed = 0;
+  for (std::size_t shard : self.shards) {
+    while (auto env = queues_[shard]->try_pop()) {
+      process(std::move(*env));
+      ++processed;
+    }
+  }
+  return processed;
+}
+
+void FleetEngine::worker_loop(WorkerState& self) {
+  for (;;) {
+    std::uint64_t seen;
+    {
+      std::lock_guard lock(self.mu);
+      seen = self.signal;
+    }
+    if (sweep_owned_shards(self) > 0) continue;
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      // Queues are closed by now, so nothing new can arrive: one final
+      // sweep empties anything that raced the stop flag, then we exit.
+      sweep_owned_shards(self);
+      return;
+    }
+    std::unique_lock lock(self.mu);
+    self.cv.wait(lock, [&] {
+      return self.signal != seen ||
+             stop_requested_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+void FleetEngine::process(Envelope env) {
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t new_windows = 0;
+  std::size_t new_alerts = 0;
+  std::size_t new_degraded = 0;
+  table_.with_session(env.shard, env.user_id, [&](Session& session) {
+    const wiot::BaseStation::Stats before = session.stats();
+    session.receive(env.packet);
+    const wiot::BaseStation::Stats& after = session.stats();
+    new_windows = after.windows_classified - before.windows_classified;
+    new_alerts = after.alerts - before.alerts;
+    const auto& reports = session.station().reports();
+    for (std::size_t i = reports.size() - new_windows; i < reports.size();
+         ++i) {
+      if (reports[i].degraded) ++new_degraded;
+    }
+  });
+  const auto end = std::chrono::steady_clock::now();
+  if (new_windows > 0) {
+    windows_->add(new_windows);
+    alerts_->add(new_alerts);
+    degraded_->add(new_degraded);
+    // Detection latency: the reassemble-and-classify cost of the packet
+    // that completed the window(s); queue wait is reported separately by
+    // the end-to-end histogram.
+    detect_latency_->observe_us(
+        std::chrono::duration<double, std::micro>(end - start).count());
+  }
+  e2e_latency_->observe_us(
+      std::chrono::duration<double, std::micro>(end - env.enqueued).count());
+}
+
+void FleetEngine::drain() {
+  std::call_once(drain_once_, [this] {
+    draining_.store(true, std::memory_order_relaxed);
+    // Close queues first: blocked producers wake and get rejected, and any
+    // push that wins the race is fully enqueued before close() returns —
+    // so the workers' final sweep is complete, not best-effort.
+    for (auto& q : queues_) q->close();
+    stop_requested_.store(true, std::memory_order_release);
+    for (auto& state : worker_states_) {
+      std::lock_guard lock(state->mu);
+      ++state->signal;
+    }
+    for (auto& state : worker_states_) state->cv.notify_all();
+    for (auto& t : threads_) t.join();
+  });
+}
+
+std::string FleetEngine::metrics_json() {
+  std::int64_t depth = 0;
+  for (const auto& q : queues_) depth += static_cast<std::int64_t>(q->size());
+  metrics_.gauge("fleet.queue_depth").set(depth);
+  metrics_.gauge("fleet.sessions_active")
+      .set(static_cast<std::int64_t>(table_.active_sessions()));
+  metrics_.gauge("fleet.sessions_created")
+      .set(static_cast<std::int64_t>(table_.sessions_created()));
+  metrics_.gauge("fleet.models_resident")
+      .set(static_cast<std::int64_t>(registry_.resident()));
+  metrics_.gauge("fleet.model_hits")
+      .set(static_cast<std::int64_t>(registry_.hits()));
+  metrics_.gauge("fleet.model_misses")
+      .set(static_cast<std::int64_t>(registry_.misses()));
+  metrics_.gauge("fleet.model_evictions")
+      .set(static_cast<std::int64_t>(registry_.evictions()));
+
+  // Station-level aggregates (reassembly health across every session).
+  wiot::BaseStation::Stats total;
+  table_.for_each([&](int, const Session& session) {
+    const auto& s = session.stats();
+    total.packets_received += s.packets_received;
+    total.duplicates_ignored += s.duplicates_ignored;
+    total.malformed_rejected += s.malformed_rejected;
+    total.gaps_filled += s.gaps_filled;
+    total.overflow_dropped += s.overflow_dropped;
+  });
+  metrics_.gauge("fleet.station.packets_received")
+      .set(static_cast<std::int64_t>(total.packets_received));
+  metrics_.gauge("fleet.station.duplicates_ignored")
+      .set(static_cast<std::int64_t>(total.duplicates_ignored));
+  metrics_.gauge("fleet.station.malformed_rejected")
+      .set(static_cast<std::int64_t>(total.malformed_rejected));
+  metrics_.gauge("fleet.station.gaps_filled")
+      .set(static_cast<std::int64_t>(total.gaps_filled));
+  metrics_.gauge("fleet.station.overflow_dropped")
+      .set(static_cast<std::int64_t>(total.overflow_dropped));
+  return metrics_.snapshot_json();
+}
+
+}  // namespace sift::fleet

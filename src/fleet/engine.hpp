@@ -1,0 +1,131 @@
+// The fleet runtime: one engine multiplexes many wearers' detection
+// pipelines over a fixed worker pool.
+//
+//   ingest(user, packet)
+//        │  shard = hash(user) % shards
+//        ▼
+//   per-shard BoundedQueue  ──(backpressure: block / drop-oldest)──┐
+//        │                                                         │
+//        ▼  shard s is owned by worker s % workers                 ▼
+//   worker threads ── SessionTable::with_session ── BaseStation ── verdicts
+//
+// Because a user maps to exactly one shard and a shard to exactly one
+// worker, each session sees its packets in ingest order with no cross-
+// worker locking on the detection path — the per-shard queues are the only
+// producer/consumer handoff. Metrics are wired through every stage so the
+// engine is observable under load (see fleet/metrics.hpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/bounded_queue.hpp"
+#include "fleet/metrics.hpp"
+#include "fleet/model_registry.hpp"
+#include "fleet/session_table.hpp"
+#include "wiot/packet.hpp"
+
+namespace sift::fleet {
+
+struct FleetConfig {
+  std::size_t workers = 0;  ///< 0 = hardware concurrency
+  std::size_t shards = 8;
+  std::size_t queue_capacity = 256;  ///< envelopes per shard queue
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  std::size_t model_cache_capacity = 64;  ///< LRU registry residency bound
+  wiot::BaseStation::Config station;      ///< per-session window config
+};
+
+class FleetEngine {
+ public:
+  /// Workers start immediately. @throws std::invalid_argument on zero
+  /// shards/queue capacity (via the members) — workers=0 resolves to the
+  /// host's hardware concurrency.
+  FleetEngine(ModelProvider provider, FleetConfig config);
+  ~FleetEngine();  ///< drains if the caller has not
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  /// Enqueues one packet onto the user's shard, applying the backpressure
+  /// policy (kBlock may wait). Returns false when the engine is draining —
+  /// the packet was rejected, which is also counted in
+  /// fleet.ingest_rejected.
+  bool ingest(int user_id, wiot::Packet packet);
+
+  /// Graceful shutdown: stops accepting, processes everything already
+  /// queued, joins the workers. Idempotent; called by the destructor.
+  void drain();
+
+  std::size_t workers() const noexcept { return worker_states_.size(); }
+  const FleetConfig& config() const noexcept { return config_; }
+  const SessionTable& sessions() const noexcept { return table_; }
+  const ModelRegistry& models() const noexcept { return registry_; }
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  std::uint64_t windows_classified() const noexcept {
+    return windows_->value();
+  }
+  std::uint64_t alerts() const noexcept { return alerts_->value(); }
+
+  /// Refreshes the level gauges (queue depth, residency, per-station
+  /// aggregates) and returns the full JSON snapshot.
+  std::string metrics_json();
+
+ private:
+  struct Envelope {
+    int user_id = 0;
+    std::size_t shard = 0;
+    wiot::Packet packet;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Wake-up channel for one worker. `signal` is an epoch counter: a
+  /// producer bumps it after every push, and the worker re-scans its
+  /// shards whenever the value moved past what it last saw — this closes
+  /// the race between "worker found all queues empty" and "producer pushed
+  /// just before the worker went to sleep".
+  struct WorkerState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t signal = 0;
+    std::vector<std::size_t> shards;  ///< owned shard indexes
+  };
+
+  void worker_loop(WorkerState& self);
+  std::size_t sweep_owned_shards(WorkerState& self);
+  void process(Envelope env);
+
+  FleetConfig config_;
+  MetricsRegistry metrics_;
+  ModelRegistry registry_;
+  SessionTable table_;
+  std::vector<std::unique_ptr<BoundedQueue<Envelope>>> queues_;
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::once_flag drain_once_;
+
+  // Hot-path instruments, resolved once at construction.
+  Counter* ingested_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Counter* dropped_ = nullptr;
+  Counter* windows_ = nullptr;
+  Counter* alerts_ = nullptr;
+  Counter* degraded_ = nullptr;
+  LatencyHistogram* e2e_latency_ = nullptr;
+  LatencyHistogram* detect_latency_ = nullptr;
+
+  std::vector<std::jthread> threads_;  ///< last member: joins before teardown
+};
+
+}  // namespace sift::fleet

@@ -1,0 +1,60 @@
+#include "fleet/model_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sift::fleet {
+
+ModelRegistry::ModelRegistry(ModelProvider provider, std::size_t capacity)
+    : provider_(std::move(provider)), capacity_(capacity) {
+  if (!provider_) {
+    throw std::invalid_argument("ModelRegistry: provider must be callable");
+  }
+  if (capacity_ == 0) {
+    throw std::invalid_argument("ModelRegistry: capacity must be positive");
+  }
+}
+
+std::shared_ptr<const core::UserModel> ModelRegistry::acquire(int user_id) {
+  std::lock_guard lock(mu_);
+  if (auto it = index_.find(user_id); it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  ++misses_;
+  auto model = provider_(user_id);
+  if (!model) {
+    throw std::runtime_error("ModelRegistry: provider returned no model");
+  }
+  lru_.emplace_front(user_id, model);
+  index_[user_id] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();  // sessions holding the shared_ptr keep it alive
+    ++evictions_;
+  }
+  return model;
+}
+
+std::size_t ModelRegistry::resident() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+std::uint64_t ModelRegistry::hits() const {
+  std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ModelRegistry::misses() const {
+  std::lock_guard lock(mu_);
+  return misses_;
+}
+
+std::uint64_t ModelRegistry::evictions() const {
+  std::lock_guard lock(mu_);
+  return evictions_;
+}
+
+}  // namespace sift::fleet

@@ -1,0 +1,57 @@
+// LRU cache of per-user detection models.
+//
+// Millions of registered wearers cannot all keep their UserModel resident;
+// a session only needs its model while traffic is flowing. The registry
+// loads models on demand through a caller-supplied provider (disk, a
+// provisioning service, or on-the-fly training in tests) and keeps the
+// hottest `capacity` of them, handing out shared_ptrs so eviction never
+// invalidates a session that is mid-window — the model stays alive until
+// the last detector using it drops its reference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/trainer.hpp"
+
+namespace sift::fleet {
+
+/// Produces the model for a user on cache miss. Must be thread-safe or
+/// pure; it is invoked under the registry lock (single-flight per miss).
+using ModelProvider =
+    std::function<std::shared_ptr<const core::UserModel>(int user_id)>;
+
+class ModelRegistry {
+ public:
+  /// @throws std::invalid_argument if capacity == 0 or provider is empty.
+  ModelRegistry(ModelProvider provider, std::size_t capacity);
+
+  /// Fetches (loading if needed) and marks the model most-recently-used.
+  /// @throws std::runtime_error if the provider returns null.
+  std::shared_ptr<const core::UserModel> acquire(int user_id);
+
+  std::size_t resident() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  using LruList =
+      std::list<std::pair<int, std::shared_ptr<const core::UserModel>>>;
+
+  ModelProvider provider_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<int, LruList::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace sift::fleet

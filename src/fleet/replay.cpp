@@ -1,0 +1,129 @@
+#include "fleet/replay.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "physio/dataset.hpp"
+#include "physio/user_profile.hpp"
+#include "wiot/sensor_node.hpp"
+
+namespace sift::fleet {
+
+ReplayFixture ReplayFixture::build(const ReplayConfig& config) {
+  if (config.sessions == 0 || config.distinct_users == 0) {
+    throw std::invalid_argument(
+        "ReplayFixture: sessions and distinct_users must be positive");
+  }
+  ReplayFixture fixture;
+  fixture.config_ = config;
+
+  // Need at least 2 profiles so every wearer has a donor to train against.
+  const std::size_t cohort_n = std::max<std::size_t>(2, config.distinct_users);
+  const auto cohort = physio::synthetic_cohort(cohort_n, config.seed);
+  const auto training =
+      physio::generate_cohort_records(cohort, config.train_seconds);
+
+  core::SiftConfig sift_config;
+  fixture.models_.reserve(config.distinct_users);
+  for (std::size_t k = 0; k < config.distinct_users; ++k) {
+    std::vector<physio::Record> donors;
+    for (std::size_t j = 0; j < training.size(); ++j) {
+      if (j != k) donors.push_back(training[j]);
+    }
+    fixture.models_.push_back(std::make_shared<const core::UserModel>(
+        core::train_user_model(training[k], donors, sift_config)));
+  }
+
+  fixture.packets_.reserve(config.sessions);
+  for (std::size_t s = 0; s < config.sessions; ++s) {
+    const auto& profile = cohort[s % config.distinct_users];
+    // Distinct salt per session: same physiology, fresh trace.
+    const auto record = physio::generate_record(
+        profile, config.seconds, physio::kDefaultRateHz,
+        /*salt=*/1000 + s);
+    wiot::SensorNode ecg(wiot::ChannelKind::kEcg, record,
+                         config.samples_per_packet);
+    wiot::SensorNode abp(wiot::ChannelKind::kAbp, record,
+                         config.samples_per_packet);
+    std::vector<wiot::Packet> stream;
+    for (;;) {
+      auto e = ecg.poll();
+      auto a = abp.poll();
+      if (!e && !a) break;
+      if (e) stream.push_back(std::move(*e));
+      if (a) stream.push_back(std::move(*a));
+    }
+    fixture.total_packets_ += stream.size();
+    fixture.packets_.push_back(std::move(stream));
+  }
+  return fixture;
+}
+
+ModelProvider ReplayFixture::provider() const {
+  // Copies the shared_ptr vector, so the provider outlives the fixture.
+  auto models = models_;
+  return [models](int user_id) {
+    const auto idx =
+        static_cast<std::size_t>(user_id) % models.size();
+    return models[idx];
+  };
+}
+
+ReplayResult replay_through(FleetEngine& engine, const ReplayFixture& fixture,
+                            std::size_t producers) {
+  if (producers == 0) producers = 1;
+  producers = std::min(producers, fixture.sessions());
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+      pool.emplace_back([&, p] {
+        // Time-major feed over this producer's sessions: packet 0 of every
+        // owned session, then packet 1, ... — the realistic arrival order
+        // for concurrent wearers. Each session's packets are offered by
+        // exactly one producer, so per-user FIFO order is preserved.
+        bool more = true;
+        for (std::size_t step = 0; more; ++step) {
+          more = false;
+          for (std::size_t s = p; s < fixture.sessions(); s += producers) {
+            const auto& stream = fixture.session_packets(s);
+            if (step >= stream.size()) continue;
+            more = true;
+            engine.ingest(static_cast<int>(s), stream[step]);
+          }
+        }
+      });
+    }
+  }
+  engine.drain();
+  const auto end = std::chrono::steady_clock::now();
+
+  ReplayResult result;
+  result.elapsed = end - start;
+  result.packets_offered = fixture.total_packets();
+  result.windows_classified = engine.windows_classified();
+  return result;
+}
+
+std::vector<wiot::BaseStation::Stats> single_thread_reference(
+    const ReplayFixture& fixture, const wiot::BaseStation::Config& station) {
+  auto provider = fixture.provider();
+  std::vector<wiot::BaseStation::Stats> out;
+  out.reserve(fixture.sessions());
+  for (std::size_t s = 0; s < fixture.sessions(); ++s) {
+    wiot::BaseStation reference(
+        core::Detector(provider(static_cast<int>(s))), station);
+    for (const auto& packet : fixture.session_packets(s)) {
+      reference.receive(packet);
+    }
+    out.push_back(reference.stats());
+  }
+  return out;
+}
+
+}  // namespace sift::fleet

@@ -1,0 +1,37 @@
+// One wearer's live detection state inside the fleet.
+//
+// A session is exactly what the paper runs on a single Amulet base
+// station — packet reassembly plus the per-user SIFT detector — wrapped so
+// thousands of them can coexist: the UserModel is *shared* (the detector
+// references the registry's resident copy instead of owning one), and the
+// reassembly buffers are bounded (BaseStation::Config::max_buffered_windows).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "core/trainer.hpp"
+#include "wiot/base_station.hpp"
+
+namespace sift::fleet {
+
+class Session {
+ public:
+  Session(std::shared_ptr<const core::UserModel> model,
+          const wiot::BaseStation::Config& station_config)
+      : station_(core::Detector(std::move(model)), station_config) {}
+
+  /// Feeds one reassembly/detection step. Not thread-safe; the engine
+  /// guarantees a session is only ever touched by its shard's owner.
+  void receive(const wiot::Packet& packet) { station_.receive(packet); }
+
+  const wiot::BaseStation& station() const noexcept { return station_; }
+  const wiot::BaseStation::Stats& stats() const noexcept {
+    return station_.stats();
+  }
+
+ private:
+  wiot::BaseStation station_;
+};
+
+}  // namespace sift::fleet

@@ -1,0 +1,81 @@
+// Sharded per-user session storage.
+//
+// Users hash onto a fixed set of shards; each shard owns its sessions
+// behind its own mutex, so the engine's workers (which partition the
+// shards) never contend with each other on the hot path — the locks exist
+// so that metrics snapshots and post-drain inspection can walk live
+// sessions safely. Sessions are created lazily on first traffic, with the
+// model pulled through the LRU ModelRegistry.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/model_registry.hpp"
+#include "fleet/session.hpp"
+
+namespace sift::fleet {
+
+class SessionTable {
+ public:
+  /// @throws std::invalid_argument if num_shards == 0.
+  SessionTable(std::size_t num_shards, ModelRegistry& registry,
+               wiot::BaseStation::Config station_config);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Stable user → shard assignment (mixes the id so adjacent users spread).
+  std::size_t shard_of(int user_id) const noexcept;
+
+  /// Runs @p fn on the user's session — created on first use — while
+  /// holding the shard lock, which is the table's whole concurrency
+  /// contract: callers never touch a Session outside this scope.
+  template <typename Fn>
+  void with_session(std::size_t shard_index, int user_id, Fn&& fn) {
+    Shard& shard = *shards_.at(shard_index);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.sessions.find(user_id);
+    if (it == shard.sessions.end()) {
+      it = shard.sessions
+               .emplace(user_id,
+                        Session(registry_.acquire(user_id), station_config_))
+               .first;
+      sessions_created_.fetch_add(1, std::memory_order_relaxed);
+    }
+    fn(it->second);
+  }
+
+  /// Visits every live session (shard by shard, under each shard's lock).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& shard : shards_) {
+      std::lock_guard lock(shard->mu);
+      for (const auto& [user_id, session] : shard->sessions) {
+        fn(user_id, session);
+      }
+    }
+  }
+
+  std::size_t active_sessions() const;
+  std::uint64_t sessions_created() const noexcept {
+    return sessions_created_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<int, Session> sessions;
+  };
+
+  ModelRegistry& registry_;
+  wiot::BaseStation::Config station_config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> sessions_created_{0};
+};
+
+}  // namespace sift::fleet

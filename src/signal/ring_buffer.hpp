@@ -6,8 +6,12 @@
 // through one of these before handing 3-second windows to the detector.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <iterator>
+#include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace sift::signal {
@@ -27,6 +31,7 @@ class RingBuffer {
 
   std::size_t capacity() const noexcept { return storage_.size(); }
   std::size_t size() const noexcept { return size_; }
+  std::size_t free_space() const noexcept { return storage_.size() - size_; }
   bool empty() const noexcept { return size_ == 0; }
   bool full() const noexcept { return size_ == storage_.size(); }
 
@@ -35,6 +40,30 @@ class RingBuffer {
     if (full()) throw std::overflow_error("RingBuffer::push: buffer full");
     storage_[(head_ + size_) % storage_.size()] = v;
     ++size_;
+  }
+
+  /// Move overload — lets queues of heavyweight elements (e.g. packets)
+  /// stage without copying payloads.
+  void push(T&& v) {
+    if (full()) throw std::overflow_error("RingBuffer::push: buffer full");
+    storage_[(head_ + size_) % storage_.size()] = std::move(v);
+    ++size_;
+  }
+
+  /// Bulk push: appends all of @p values, oldest-to-newest, in at most two
+  /// contiguous copies (no per-element modulo or bounds check).
+  /// @throws std::overflow_error if fewer than values.size() slots are free;
+  ///         nothing is written in that case.
+  void push_span(std::span<const T> values) {
+    if (values.size() > free_space()) {
+      throw std::overflow_error("RingBuffer::push_span: insufficient space");
+    }
+    const std::size_t cap = storage_.size();
+    const std::size_t tail = (head_ + size_) % cap;
+    const std::size_t first = std::min(values.size(), cap - tail);
+    std::copy_n(values.data(), first, storage_.data() + tail);
+    std::copy_n(values.data() + first, values.size() - first, storage_.data());
+    size_ += values.size();
   }
 
   /// Pushes, evicting the oldest element when full. Returns true if an
@@ -59,10 +88,35 @@ class RingBuffer {
     return v;
   }
 
+  /// Bulk pop: moves up to @p n oldest elements into @p out (appended, oldest
+  /// first) in at most two contiguous chunks. Returns how many were drained —
+  /// min(n, size()) — so callers can drain partially-filled buffers.
+  std::size_t drain_into(std::vector<T>& out, std::size_t n) {
+    const std::size_t count = std::min(n, size_);
+    const std::size_t cap = storage_.size();
+    const std::size_t first = std::min(count, cap - head_);
+    out.reserve(out.size() + count);
+    auto begin = storage_.begin() + static_cast<std::ptrdiff_t>(head_);
+    out.insert(out.end(), std::make_move_iterator(begin),
+               std::make_move_iterator(begin + static_cast<std::ptrdiff_t>(first)));
+    out.insert(out.end(), std::make_move_iterator(storage_.begin()),
+               std::make_move_iterator(storage_.begin() +
+                                       static_cast<std::ptrdiff_t>(count - first)));
+    head_ = (head_ + count) % cap;
+    size_ -= count;
+    return count;
+  }
+
   /// Oldest element. @throws std::underflow_error when empty.
   const T& front() const {
     if (empty()) throw std::underflow_error("RingBuffer::front: buffer empty");
     return storage_[head_];
+  }
+
+  /// Newest element. @throws std::underflow_error when empty.
+  const T& back() const {
+    if (empty()) throw std::underflow_error("RingBuffer::back: buffer empty");
+    return storage_[(head_ + size_ - 1) % storage_.size()];
   }
 
   /// i-th oldest element (0 == front). @throws std::out_of_range.

@@ -7,29 +7,53 @@
 
 namespace sift::wiot {
 
-BaseStation::BaseStation(core::Detector detector, Config config)
-    : detector_(std::move(detector)), config_(config) {
-  if (config_.window_samples == 0 || config_.samples_per_packet == 0 ||
-      config_.window_samples % config_.samples_per_packet != 0) {
+BaseStation::Config BaseStation::validated(Config config) {
+  if (config.window_samples == 0 || config.samples_per_packet == 0 ||
+      config.window_samples % config.samples_per_packet != 0) {
     throw std::invalid_argument(
         "BaseStation: window must be a positive multiple of the packet size");
   }
+  if (config.max_buffered_windows < 2) {
+    throw std::invalid_argument(
+        "BaseStation: max_buffered_windows must be at least 2");
+  }
+  return config;
 }
 
-void BaseStation::append(Stream& s, const Packet& p, bool as_gap_fill) {
+BaseStation::BaseStation(core::Detector detector, Config config)
+    : detector_(std::move(detector)),
+      config_(validated(config)),
+      ecg_(config_.max_buffered_windows * config_.window_samples),
+      abp_(config_.max_buffered_windows * config_.window_samples) {}
+
+bool BaseStation::append(Stream& s, const Packet& p, bool as_gap_fill) {
+  const std::size_t n = config_.samples_per_packet;
+  if (s.samples.free_space() < n) {
+    // The buffer bound protects station memory when the peer channel stalls
+    // and no windows can complete. Shedding here behaves exactly like
+    // network loss: next_seq is left untouched by the caller, so once space
+    // frees up the gap-fill path reconstructs the shed span and the two
+    // streams stay sample-aligned.
+    ++stats_.overflow_dropped;
+    return false;
+  }
   const std::size_t base = s.samples.size();
   if (as_gap_fill) {
     // Sample-and-hold reconstruction: repeat the last known value (or 0 at
     // stream start). No peaks are invented for the missing span.
     const double hold = base > 0 ? s.samples.back() : 0.0;
-    s.samples.insert(s.samples.end(), config_.samples_per_packet, hold);
-    s.filled.insert(s.filled.end(), config_.samples_per_packet, 1);
+    hold_scratch_.assign(n, hold);
+    s.samples.push_span(hold_scratch_);
+    flag_scratch_.assign(n, 1);
+    s.filled.push_span(flag_scratch_);
     ++stats_.gaps_filled;
-    return;
+    return true;
   }
-  s.samples.insert(s.samples.end(), p.samples.begin(), p.samples.end());
-  s.filled.insert(s.filled.end(), p.samples.size(), 0);
+  s.samples.push_span(p.samples);
+  flag_scratch_.assign(n, 0);
+  s.filled.push_span(flag_scratch_);
   for (std::size_t rel : p.peaks) s.peaks.push_back(base + rel);
+  return true;
 }
 
 void BaseStation::receive(const Packet& packet) {
@@ -53,12 +77,15 @@ void BaseStation::receive(const Packet& packet) {
     ++stats_.duplicates_ignored;
     return;
   }
-  // Reconstruct any skipped packets so the two streams stay aligned.
+  // Reconstruct any skipped packets so the two streams stay aligned. When
+  // the buffer bound rejects a fill (or the packet itself), bail without
+  // advancing next_seq — the shed span reads as loss and is gap-filled on a
+  // later receive once window completion drains the backlog.
   while (s.next_seq < packet.seq) {
-    append(s, packet, /*as_gap_fill=*/true);
+    if (!append(s, packet, /*as_gap_fill=*/true)) return;
     ++s.next_seq;
   }
-  append(s, packet, /*as_gap_fill=*/false);
+  if (!append(s, packet, /*as_gap_fill=*/false)) return;
   ++s.next_seq;
 
   classify_ready_windows();
@@ -67,15 +94,27 @@ void BaseStation::receive(const Packet& packet) {
 void BaseStation::classify_ready_windows() {
   const std::size_t w = config_.window_samples;
   while (ecg_.samples.size() >= w && abp_.samples.size() >= w) {
+    // Consume the window from both streams up front: drain_into moves the
+    // samples out in two contiguous chunks, and the scratch vectors give
+    // the detector the contiguous spans it needs.
+    ecg_win_.clear();
+    abp_win_.clear();
+    ecg_fill_.clear();
+    abp_fill_.clear();
+    ecg_.samples.drain_into(ecg_win_, w);
+    ecg_.filled.drain_into(ecg_fill_, w);
+    abp_.samples.drain_into(abp_win_, w);
+    abp_.filled.drain_into(abp_fill_, w);
+
     core::PortraitInput in;
-    in.ecg = std::span<const double>(ecg_.samples.data(), w);
-    in.abp = std::span<const double>(abp_.samples.data(), w);
+    in.ecg = std::span<const double>(ecg_win_.data(), w);
+    in.abp = std::span<const double>(abp_win_.data(), w);
 
     std::vector<std::size_t> r;
+    std::vector<std::size_t> sys;
     for (std::size_t p : ecg_.peaks) {
       if (p < w) r.push_back(p);
     }
-    std::vector<std::size_t> sys;
     for (std::size_t p : abp_.peaks) {
       if (p < w) sys.push_back(p);
     }
@@ -92,13 +131,9 @@ void BaseStation::classify_ready_windows() {
     if (config_.spectral_cross_check) {
       const double rate = physio::kDefaultRateHz;
       const double hr_ecg = signal::spectral_heart_rate_bpm(
-          signal::Series(rate, std::vector<double>(ecg_.samples.begin(),
-                                                   ecg_.samples.begin() +
-                                                       static_cast<std::ptrdiff_t>(w))));
+          signal::Series(rate, ecg_win_));
       const double hr_abp = signal::spectral_heart_rate_bpm(
-          signal::Series(rate, std::vector<double>(abp_.samples.begin(),
-                                                   abp_.samples.begin() +
-                                                       static_cast<std::ptrdiff_t>(w))));
+          signal::Series(rate, abp_win_));
       if (hr_ecg > 0.0 && hr_abp > 0.0 &&
           std::abs(hr_ecg - hr_abp) > config_.hr_mismatch_bpm) {
         report.hr_mismatch = true;
@@ -106,7 +141,7 @@ void BaseStation::classify_ready_windows() {
       }
     }
     for (std::size_t i = 0; i < w; ++i) {
-      if (ecg_.filled[i] || abp_.filled[i]) {
+      if (ecg_fill_[i] || abp_fill_[i]) {
         report.degraded = true;
         break;
       }
@@ -115,12 +150,8 @@ void BaseStation::classify_ready_windows() {
     ++stats_.windows_classified;
     if (report.altered) ++stats_.alerts;
 
-    // Consume the window from both streams.
+    // Rebase the surviving peak annotations onto the drained buffers.
     for (Stream* s : {&ecg_, &abp_}) {
-      s->samples.erase(s->samples.begin(),
-                       s->samples.begin() + static_cast<std::ptrdiff_t>(w));
-      s->filled.erase(s->filled.begin(),
-                      s->filled.begin() + static_cast<std::ptrdiff_t>(w));
       std::vector<std::size_t> kept;
       for (std::size_t p : s->peaks) {
         if (p >= w) kept.push_back(p - w);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "signal/ring_buffer.hpp"
 #include "wiot/packet.hpp"
 
 namespace sift::wiot {
@@ -33,6 +34,14 @@ class BaseStation {
     /// bin, but genuine channels share every beat and land in the *same*
     /// bin, so 1.5 bins of slack is already conservative.
     double hr_mismatch_bpm = 15.0;
+    /// Per-channel reassembly buffer, in windows. Bounds station memory when
+    /// one channel stalls (windows only complete when *both* streams have w
+    /// samples, so the leading stream would otherwise grow without limit —
+    /// fatal once thousands of sessions each hold a station). Packets that
+    /// do not fit are dropped and counted in Stats::overflow_dropped; the
+    /// sequence-gap machinery later reconstructs them like network loss, so
+    /// the two streams never shear out of alignment.
+    std::size_t max_buffered_windows = 16;
   };
 
   struct WindowReport {
@@ -48,13 +57,16 @@ class BaseStation {
     std::size_t duplicates_ignored = 0;
     std::size_t malformed_rejected = 0;  ///< wrong-size payloads dropped
     std::size_t gaps_filled = 0;  ///< packets reconstructed by sample-hold
+    std::size_t overflow_dropped = 0;  ///< packets shed by the buffer bound
     std::size_t windows_classified = 0;
     std::size_t alerts = 0;
   };
 
-  /// @throws std::invalid_argument if window or packet size is 0, or the
+  /// @throws std::invalid_argument if window or packet size is 0, the
   ///         window is not a multiple of the packet size (keeps windows
-  ///         packet-aligned, which is how a real pipeline would buffer).
+  ///         packet-aligned, which is how a real pipeline would buffer), or
+  ///         max_buffered_windows < 2 (one window being assembled plus one
+  ///         of headroom for the lagging channel).
   BaseStation(core::Detector detector, Config config);
 
   /// Ingests one packet (either channel, any order); classifies and
@@ -68,17 +80,23 @@ class BaseStation {
   const core::Detector& detector() const noexcept { return detector_; }
 
  private:
+  /// Bounded reassembly state; samples move through the ring buffers in
+  /// bulk (push_span on ingest, drain_into on window completion) so the
+  /// hot path never touches the per-sample modulo arithmetic.
   struct Stream {
+    explicit Stream(std::size_t capacity) : samples(capacity), filled(capacity) {}
     std::uint32_t next_seq = 0;
-    std::vector<double> samples;
-    std::vector<std::uint8_t> filled;     ///< 1 = gap-filled sample
-    std::vector<std::size_t> peaks;       ///< buffer-relative indexes
+    signal::RingBuffer<double> samples;
+    signal::RingBuffer<std::uint8_t> filled;  ///< 1 = gap-filled sample
+    std::vector<std::size_t> peaks;  ///< indexes relative to oldest sample
   };
+
+  static Config validated(Config config);
 
   Stream& stream_for(ChannelKind kind) {
     return kind == ChannelKind::kEcg ? ecg_ : abp_;
   }
-  void append(Stream& s, const Packet& p, bool as_gap_fill);
+  bool append(Stream& s, const Packet& p, bool as_gap_fill);
   void classify_ready_windows();
 
   core::Detector detector_;
@@ -87,6 +105,13 @@ class BaseStation {
   Stream abp_;
   std::vector<WindowReport> reports_;
   Stats stats_;
+  // Scratch reused across packets/windows to avoid steady-state allocation.
+  std::vector<std::uint8_t> flag_scratch_;
+  std::vector<double> hold_scratch_;
+  std::vector<double> ecg_win_;
+  std::vector<double> abp_win_;
+  std::vector<std::uint8_t> ecg_fill_;
+  std::vector<std::uint8_t> abp_fill_;
 };
 
 }  // namespace sift::wiot

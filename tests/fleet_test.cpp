@@ -1,0 +1,356 @@
+// Tests for the fleet runtime: metrics instruments, the bounded queue's
+// backpressure policies, the LRU model registry, the sharded session
+// table, and the multi-threaded engine against a single-threaded
+// reference. The stress test is the concurrency canary: it must stay
+// deterministic (block policy, per-user FIFO) and clean under
+// SIFT_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/bounded_queue.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/metrics.hpp"
+#include "fleet/model_registry.hpp"
+#include "fleet/replay.hpp"
+#include "fleet/session_table.hpp"
+
+namespace sift::fleet {
+namespace {
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  registry.counter("a").add();
+  registry.counter("a").add(4);
+  EXPECT_EQ(registry.counter("a").value(), 5u);
+  registry.gauge("g").set(-3);
+  registry.gauge("g").add(10);
+  EXPECT_EQ(registry.gauge("g").value(), 7);
+}
+
+TEST(Metrics, HistogramQuantilesInterpolateWithinBuckets) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.quantile_us(0.5), 0.0) << "empty histogram reads 0";
+  // 100 observations of ~30 µs land in the (20, 50] bucket.
+  for (int i = 0; i < 100; ++i) h.observe_us(30.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_GT(h.quantile_us(0.5), 20.0);
+  EXPECT_LE(h.quantile_us(0.5), 50.0);
+  EXPECT_NEAR(h.mean_us(), 30.0, 1.0);
+}
+
+TEST(Metrics, HistogramSeparatesFastAndSlowPopulations) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.observe_us(10.0);   // (5, 10] bucket
+  h.observe_us(9e6);                                 // ~9 s outlier
+  EXPECT_LE(h.quantile_us(0.5), 10.0);
+  EXPECT_GT(h.quantile_us(0.999), 1e6) << "tail sees the outlier";
+}
+
+TEST(Metrics, HistogramOverflowBucketIsCapped) {
+  LatencyHistogram h;
+  h.observe_us(1e9);  // beyond the last bound: open-ended bucket
+  EXPECT_DOUBLE_EQ(h.quantile_us(0.99), 1e7);
+}
+
+TEST(Metrics, JsonSnapshotListsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.counter("fleet.ingest_packets").add(7);
+  registry.gauge("fleet.queue_depth").set(3);
+  registry.histogram("fleet.detect_latency").observe_us(42.0);
+  const std::string json = registry.snapshot_json();
+  EXPECT_NE(json.find("\"fleet.ingest_packets\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"fleet.queue_depth\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"fleet.detect_latency.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("fleet.detect_latency.p50_us"), std::string::npos);
+  EXPECT_NE(json.find("fleet.detect_latency.p99_us"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// --- bounded queue ----------------------------------------------------------
+
+TEST(BoundedQueue, DropOldestEvictsAndCounts) {
+  BoundedQueue<int> q(2, BackpressurePolicy::kDropOldest);
+  EXPECT_TRUE(q.push(1).accepted);
+  EXPECT_TRUE(q.push(2).accepted);
+  const auto r = q.push(3);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.dropped_oldest);
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.try_pop(), 2);
+  EXPECT_EQ(q.try_pop(), 3);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, BlockPolicyWaitsForSpace) {
+  BoundedQueue<int> q(1, BackpressurePolicy::kBlock);
+  EXPECT_TRUE(q.push(1).accepted);
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2).accepted);  // blocks until the pop below
+    second_pushed.store(true);
+  });
+  // The producer must be parked: nothing popped yet.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.dropped(), 0u);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducerAndDrains) {
+  BoundedQueue<int> q(1, BackpressurePolicy::kBlock);
+  EXPECT_TRUE(q.push(1).accepted);
+  std::thread producer([&] {
+    const auto r = q.push(2);  // blocked, then rejected by close
+    EXPECT_FALSE(r.accepted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_FALSE(q.push(3).accepted) << "closed queue rejects";
+  EXPECT_EQ(q.pop(), 1) << "closed queue still drains";
+  EXPECT_EQ(q.pop(), std::nullopt) << "closed and empty";
+}
+
+// --- model registry ---------------------------------------------------------
+
+TEST(ModelRegistry, LruKeepsHotModelsAndCountsTraffic) {
+  std::atomic<int> loads{0};
+  ModelRegistry registry(
+      [&](int) {
+        ++loads;
+        return std::make_shared<const core::UserModel>();
+      },
+      /*capacity=*/2);
+  const auto m1 = registry.acquire(1);
+  registry.acquire(2);
+  registry.acquire(1);  // 1 becomes most-recent
+  registry.acquire(3);  // evicts 2
+  EXPECT_EQ(registry.resident(), 2u);
+  EXPECT_EQ(registry.evictions(), 1u);
+  registry.acquire(2);  // miss: reloads
+  EXPECT_EQ(loads.load(), 4);
+  EXPECT_EQ(registry.hits(), 1u);
+  EXPECT_EQ(registry.misses(), 4u);
+  EXPECT_NE(m1, nullptr) << "caller's shared_ptr survives any eviction";
+}
+
+TEST(ModelRegistry, ValidatesConstructionAndProvider) {
+  auto ok = [](int) { return std::make_shared<const core::UserModel>(); };
+  EXPECT_THROW(ModelRegistry(nullptr, 2), std::invalid_argument);
+  EXPECT_THROW(ModelRegistry(ok, 0), std::invalid_argument);
+  ModelRegistry broken([](int) { return std::shared_ptr<const core::UserModel>(); },
+                       2);
+  EXPECT_THROW(broken.acquire(1), std::runtime_error);
+}
+
+// --- session table ----------------------------------------------------------
+
+TEST(SessionTable, ShardAssignmentIsStableAndInRange) {
+  ModelRegistry registry(
+      [](int) { return std::make_shared<const core::UserModel>(); }, 4);
+  SessionTable table(8, registry, wiot::BaseStation::Config{});
+  for (int user = 0; user < 1000; ++user) {
+    const std::size_t shard = table.shard_of(user);
+    EXPECT_LT(shard, table.shard_count());
+    EXPECT_EQ(shard, table.shard_of(user)) << "stable assignment";
+  }
+  EXPECT_THROW(SessionTable(0, registry, wiot::BaseStation::Config{}),
+               std::invalid_argument);
+}
+
+TEST(SessionTable, SessionsAreCreatedOncePerUser) {
+  std::atomic<int> loads{0};
+  ModelRegistry registry(
+      [&](int) {
+        ++loads;
+        return std::make_shared<const core::UserModel>();
+      },
+      8);
+  SessionTable table(4, registry, wiot::BaseStation::Config{});
+  for (int round = 0; round < 3; ++round) {
+    for (int user = 0; user < 5; ++user) {
+      table.with_session(table.shard_of(user), user, [](Session&) {});
+    }
+  }
+  EXPECT_EQ(table.active_sessions(), 5u);
+  EXPECT_EQ(table.sessions_created(), 5u);
+  EXPECT_EQ(loads.load(), 5);
+  std::size_t visited = 0;
+  table.for_each([&](int, const Session&) { ++visited; });
+  EXPECT_EQ(visited, 5u);
+}
+
+// --- engine vs single-threaded reference ------------------------------------
+
+class FleetEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ReplayConfig config;
+    config.sessions = 64;
+    config.seconds = 9.0;  // 3 windows per session
+    config.distinct_users = 3;
+    config.train_seconds = 60.0;
+    fixture_ = new ReplayFixture(ReplayFixture::build(config));
+  }
+  static void TearDownTestSuite() {
+    delete fixture_;
+    fixture_ = nullptr;
+  }
+
+  static ReplayFixture* fixture_;
+};
+
+ReplayFixture* FleetEngineTest::fixture_ = nullptr;
+
+// The ISSUE's stress gate: ≥64 sessions fed from ≥4 producer threads must
+// produce, per user, exactly the verdicts of a single-threaded BaseStation
+// run — sharding gives per-user FIFO, the block policy loses nothing.
+TEST_F(FleetEngineTest, StressMatchesSingleThreadedReference) {
+  FleetConfig config;
+  config.workers = 4;
+  config.shards = 8;
+  config.queue_capacity = 64;
+  config.backpressure = BackpressurePolicy::kBlock;
+  FleetEngine engine(fixture_->provider(), config);
+  replay_through(engine, *fixture_, /*producers=*/4);
+
+  const auto reference =
+      single_thread_reference(*fixture_, config.station);
+
+  std::unordered_map<int, const Session*> by_user;
+  engine.sessions().for_each(
+      [&](int user, const Session& s) { by_user[user] = &s; });
+  ASSERT_EQ(by_user.size(), fixture_->sessions());
+
+  std::uint64_t total_windows = 0;
+  for (std::size_t s = 0; s < fixture_->sessions(); ++s) {
+    const auto it = by_user.find(static_cast<int>(s));
+    ASSERT_NE(it, by_user.end()) << "missing session " << s;
+    const auto& got = it->second->stats();
+    const auto& want = reference[s];
+    EXPECT_EQ(got.windows_classified, want.windows_classified)
+        << "user " << s;
+    EXPECT_EQ(got.alerts, want.alerts) << "user " << s;
+    EXPECT_EQ(got.packets_received, want.packets_received) << "user " << s;
+    EXPECT_EQ(got.overflow_dropped, 0u) << "user " << s;
+    total_windows += got.windows_classified;
+  }
+  EXPECT_EQ(engine.windows_classified(), total_windows);
+  EXPECT_EQ(engine.metrics().counter("fleet.queue_dropped").value(), 0u)
+      << "block policy never sheds";
+}
+
+TEST_F(FleetEngineTest, VerdictsAreBitIdenticalToReference) {
+  FleetConfig config;
+  config.workers = 4;
+  config.shards = 8;
+  FleetEngine engine(fixture_->provider(), config);
+  replay_through(engine, *fixture_, /*producers=*/4);
+
+  auto provider = fixture_->provider();
+  engine.sessions().for_each([&](int user, const Session& session) {
+    wiot::BaseStation reference(core::Detector(provider(user)),
+                                config.station);
+    for (const auto& p :
+         fixture_->session_packets(static_cast<std::size_t>(user))) {
+      reference.receive(p);
+    }
+    const auto& got = session.station().reports();
+    const auto& want = reference.reports();
+    ASSERT_EQ(got.size(), want.size()) << "user " << user;
+    for (std::size_t w = 0; w < want.size(); ++w) {
+      EXPECT_EQ(got[w].altered, want[w].altered) << "user " << user;
+      EXPECT_DOUBLE_EQ(got[w].decision_value, want[w].decision_value)
+          << "user " << user << " window " << w;
+    }
+  });
+}
+
+TEST_F(FleetEngineTest, DropOldestConservesEveryEnvelope) {
+  FleetConfig config;
+  config.workers = 1;
+  config.shards = 2;
+  config.queue_capacity = 4;  // tiny: bursts must shed
+  config.backpressure = BackpressurePolicy::kDropOldest;
+  FleetEngine engine(fixture_->provider(), config);
+  replay_through(engine, *fixture_, /*producers=*/4);
+
+  auto& m = engine.metrics();
+  const auto ingested = m.counter("fleet.ingest_packets").value();
+  const auto dropped = m.counter("fleet.queue_dropped").value();
+  const auto processed = m.histogram("fleet.e2e_latency").count();
+  EXPECT_EQ(ingested, fixture_->total_packets())
+      << "drop-oldest always accepts the fresh packet";
+  EXPECT_EQ(processed + dropped, ingested)
+      << "every envelope is either processed or accounted as shed";
+}
+
+TEST_F(FleetEngineTest, MetricsJsonReportsTheOperationalSurface) {
+  FleetConfig config;
+  config.workers = 2;
+  config.shards = 4;
+  FleetEngine engine(fixture_->provider(), config);
+  replay_through(engine, *fixture_, /*producers=*/2);
+
+  const std::string json = engine.metrics_json();
+  for (const char* key :
+       {"fleet.ingest_packets", "fleet.queue_dropped", "fleet.queue_depth",
+        "fleet.windows_classified", "fleet.alerts", "fleet.sessions_active",
+        "fleet.models_resident", "fleet.detect_latency.p50_us",
+        "fleet.detect_latency.p99_us", "fleet.e2e_latency.p99_us",
+        "fleet.station.overflow_dropped"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(engine.metrics().gauge("fleet.queue_depth").value(), 0)
+      << "drained engine has empty queues";
+}
+
+TEST_F(FleetEngineTest, IngestAfterDrainIsRejectedAndCounted) {
+  FleetConfig config;
+  config.workers = 1;
+  config.shards = 1;
+  FleetEngine engine(fixture_->provider(), config);
+  EXPECT_TRUE(engine.ingest(0, fixture_->session_packets(0)[0]));
+  engine.drain();
+  EXPECT_FALSE(engine.ingest(0, fixture_->session_packets(0)[0]));
+  EXPECT_EQ(engine.metrics().counter("fleet.ingest_rejected").value(), 1u);
+  engine.drain();  // idempotent
+}
+
+// The LRU registry under engine traffic: 64 users share 3 artefacts, so a
+// capacity-3 cache must serve all sessions with exactly 3 loads... per
+// *distinct model id*. User ids are the cache key, so capacity below the
+// session count forces evictions — which is safe, because sessions keep
+// their shared_ptr.
+TEST_F(FleetEngineTest, ModelCacheBoundsResidencyUnderEviction) {
+  FleetConfig config;
+  config.workers = 2;
+  config.shards = 4;
+  config.model_cache_capacity = 8;  // far below 64 sessions
+  FleetEngine engine(fixture_->provider(), config);
+  replay_through(engine, *fixture_, /*producers=*/2);
+
+  EXPECT_LE(engine.models().resident(), 8u);
+  EXPECT_EQ(engine.models().misses(), fixture_->sessions())
+      << "one load per user id";
+  EXPECT_EQ(engine.models().evictions(), fixture_->sessions() - 8);
+  EXPECT_EQ(engine.windows_classified(), 64u * 3u)
+      << "eviction never interrupts a live session";
+}
+
+}  // namespace
+}  // namespace sift::fleet

@@ -164,6 +164,35 @@ TEST_F(OnlineTest, UpdatesCountGenuineAndReplaySteps) {
   EXPECT_EQ(no_replay.updates(), 1u);
 }
 
+// The documented no-forgetting-guard path: an empty positive reservoir is
+// legal, performs pure genuine-class SGD (no replay interleave), and still
+// tracks the drifting wearer — it just gives up the guard that keeps the
+// boundary from sliding across the attack class.
+TEST_F(OnlineTest, EmptyReservoirAdaptsWithoutReplaySteps) {
+  OnlineAdapter adapter(*model_, {});
+  const auto drifted_profile = physio::drift_profile((*cohort_)[0], 0.75);
+
+  std::size_t genuine_windows = 0;
+  for (std::uint64_t session = 0; session < 4; ++session) {
+    const auto confirmed = physio::generate_record(drifted_profile, 60.0,
+                                                   360.0, 400 + session);
+    for (std::size_t start = 0; start + 1080 <= confirmed.ecg.size();
+         start += 1080) {
+      adapter.assimilate_genuine(make_window_portrait(confirmed, start, 1080));
+      ++genuine_windows;
+    }
+  }
+  ASSERT_GT(genuine_windows, 0u);
+  EXPECT_EQ(adapter.updates(), genuine_windows)
+      << "every update is a genuine step: no reservoir, no replay";
+
+  const auto drifted_test =
+      physio::generate_record(drifted_profile, 120.0, 360.0, 9);
+  EXPECT_GT(false_alarm_rate(Detector(*model_), drifted_test), 0.5);
+  EXPECT_LT(false_alarm_rate(adapter.detector(), drifted_test), 0.15)
+      << "adaptation itself does not depend on the replay guard";
+}
+
 TEST_F(OnlineTest, ReservoirSamplesLookLikeAttacks) {
   ASSERT_FALSE(reservoir_->empty());
   const Detector detector(*model_);

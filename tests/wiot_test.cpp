@@ -187,6 +187,84 @@ TEST_F(WiotTest, ConfigValidation) {
   EXPECT_THROW(BaseStation(detector, {1080, 0}), std::invalid_argument);
   EXPECT_THROW(BaseStation(detector, {1000, 180}), std::invalid_argument)
       << "window must be packet-aligned";
+  BaseStation::Config tight{1080, 180};
+  tight.max_buffered_windows = 1;
+  EXPECT_THROW(BaseStation(detector, tight), std::invalid_argument)
+      << "need one window being assembled plus lag headroom";
+}
+
+TEST_F(WiotTest, BufferBoundShedsWhenPeerChannelStalls) {
+  core::Detector detector(*model_);
+  BaseStation::Config config{1080, 180};
+  config.max_buffered_windows = 2;  // 2160 samples = 12 packets per channel
+  BaseStation station(detector, config);
+
+  // Only ECG flows: windows can never complete, so the buffer bound must
+  // engage instead of the station growing without limit.
+  SensorNode ecg(ChannelKind::kEcg, (*testing_)[0], 180);
+  std::size_t offered = 0;
+  while (auto p = ecg.poll()) {
+    station.receive(*p);
+    ++offered;
+  }
+  ASSERT_GT(offered, 12u);
+  EXPECT_EQ(station.stats().windows_classified, 0u);
+  EXPECT_EQ(station.stats().overflow_dropped, offered - 12);
+
+  // The ABP stream arrives late: the 2 buffered windows complete (and the
+  // ABP side then sheds against its own bound) — no crash, no shear.
+  SensorNode abp(ChannelKind::kAbp, (*testing_)[0], 180);
+  while (auto p = abp.poll()) station.receive(*p);
+  EXPECT_EQ(station.stats().windows_classified, 2u);
+  for (const auto& r : station.reports()) EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(WiotTest, OverflowShedsReadAsLossAndGapFillLater) {
+  // Tiny geometry makes the arithmetic exact: window = 4 samples, packets
+  // of 2, bound of 2 windows → each stream holds at most 8 samples.
+  core::Detector detector(*model_);
+  BaseStation::Config config;
+  config.window_samples = 4;
+  config.samples_per_packet = 2;
+  config.max_buffered_windows = 2;
+  BaseStation station(detector, config);
+
+  auto packet = [](ChannelKind kind, std::uint32_t seq) {
+    Packet p;
+    p.kind = kind;
+    p.seq = seq;
+    p.samples = {0.1 * seq, 0.1 * seq + 0.05};
+    return p;
+  };
+
+  // ECG seq 0..9: packets 0-3 fill the buffer, 4-9 are shed by the bound
+  // without advancing next_seq (they must later read as loss).
+  for (std::uint32_t seq = 0; seq < 10; ++seq) {
+    station.receive(packet(ChannelKind::kEcg, seq));
+  }
+  EXPECT_EQ(station.stats().overflow_dropped, 6u);
+  EXPECT_EQ(station.stats().gaps_filled, 0u);
+
+  // ABP catches up: the first window [ecg 0-1 | abp 0-1] completes clean.
+  station.receive(packet(ChannelKind::kAbp, 0));
+  station.receive(packet(ChannelKind::kAbp, 1));
+  ASSERT_EQ(station.stats().windows_classified, 1u);
+  EXPECT_FALSE(station.reports()[0].degraded);
+
+  // A later ECG packet triggers gap-fill of the shed span (packets 4, 5 fit
+  // in the freed space; the rest shed again) — exactly the loss path.
+  station.receive(packet(ChannelKind::kEcg, 10));
+  EXPECT_EQ(station.stats().gaps_filled, 2u);
+
+  // Window 2 is the surviving real packets 2-3; window 3 is the
+  // reconstructed span and must be flagged degraded, not misaligned.
+  station.receive(packet(ChannelKind::kAbp, 2));
+  station.receive(packet(ChannelKind::kAbp, 3));
+  station.receive(packet(ChannelKind::kAbp, 4));
+  station.receive(packet(ChannelKind::kAbp, 5));
+  ASSERT_EQ(station.stats().windows_classified, 3u);
+  EXPECT_FALSE(station.reports()[1].degraded) << "real packets 2-3";
+  EXPECT_TRUE(station.reports()[2].degraded) << "sample-and-hold span";
 }
 
 TEST_F(WiotTest, MalformedPacketsAreRejectedNotApplied) {

@@ -13,6 +13,10 @@
 //   siftctl emit-qm <model.txt>                  QM model XML
 //   siftctl check <source.c> [--no-libm]         Amulet-C static checker
 //   siftctl profile <model.txt> <trace.csv>      ARP-view resource profile
+//   siftctl fleet [opts]                  replay a cohort through the fleet
+//                                         engine, print a metrics report
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +33,8 @@
 #include "attack/scenario.hpp"
 #include "core/detector.hpp"
 #include "core/trainer.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/replay.hpp"
 #include "io/csv.hpp"
 #include "io/model_file.hpp"
 #include "peaks/pan_tompkins.hpp"
@@ -52,7 +58,10 @@ int usage() {
                "  emit-c <model.txt>\n"
                "  emit-qm <model.txt>\n"
                "  check <source.c> [--no-libm]\n"
-               "  profile <model.txt> <trace.csv>\n");
+               "  profile <model.txt> <trace.csv>\n"
+               "  fleet [--sessions N] [--seconds S] [--workers N]\n"
+               "        [--shards N] [--queue-capacity N] [--producers N]\n"
+               "        [--policy block|drop-oldest] [--models K]\n");
   return 2;
 }
 
@@ -222,6 +231,67 @@ int cmd_profile(std::span<const std::string> args) {
   return 0;
 }
 
+int cmd_fleet(std::span<const std::string> args) {
+  fleet::ReplayConfig replay;
+  fleet::FleetConfig config;
+  std::size_t producers = 4;
+  for (std::size_t i = 0; i + 1 < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    const std::string& value = args[i + 1];
+    if (flag == "--sessions") {
+      replay.sessions = std::stoul(value);
+    } else if (flag == "--seconds") {
+      replay.seconds = std::stod(value);
+    } else if (flag == "--workers") {
+      config.workers = std::stoul(value);
+    } else if (flag == "--shards") {
+      config.shards = std::stoul(value);
+    } else if (flag == "--queue-capacity") {
+      config.queue_capacity = std::stoul(value);
+    } else if (flag == "--producers") {
+      producers = std::stoul(value);
+    } else if (flag == "--models") {
+      replay.distinct_users = std::stoul(value);
+    } else if (flag == "--policy") {
+      if (value == "block") {
+        config.backpressure = fleet::BackpressurePolicy::kBlock;
+      } else if (value == "drop-oldest") {
+        config.backpressure = fleet::BackpressurePolicy::kDropOldest;
+      } else {
+        return usage();
+      }
+    } else {
+      return usage();
+    }
+  }
+  config.model_cache_capacity = std::max<std::size_t>(1, replay.distinct_users);
+
+  std::fprintf(stderr,
+               "fleet: training %zu model(s), synthesising %zu session(s) "
+               "of %.0f s...\n",
+               replay.distinct_users, replay.sessions, replay.seconds);
+  const auto fixture = fleet::ReplayFixture::build(replay);
+
+  fleet::FleetEngine engine(fixture.provider(), config);
+  std::fprintf(stderr,
+               "fleet: replaying %zu packets over %zu worker(s), %zu "
+               "shard(s), policy %s...\n",
+               fixture.total_packets(), engine.workers(), config.shards,
+               fleet::to_string(config.backpressure));
+  const auto result = fleet::replay_through(engine, fixture, producers);
+
+  const double secs =
+      std::chrono::duration<double>(result.elapsed).count();
+  std::fprintf(stderr,
+               "fleet: %llu windows in %.3f s (%.0f windows/s, %.0f "
+               "packets/s)\n",
+               static_cast<unsigned long long>(result.windows_classified),
+               secs, static_cast<double>(result.windows_classified) / secs,
+               static_cast<double>(result.packets_offered) / secs);
+  std::printf("%s\n", engine.metrics_json().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,6 +309,7 @@ int main(int argc, char** argv) {
     if (command == "emit-qm") return cmd_emit_qm(args);
     if (command == "check") return cmd_check(args);
     if (command == "profile") return cmd_profile(args);
+    if (command == "fleet") return cmd_fleet(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "siftctl %s: %s\n", command.c_str(), e.what());
     return 1;

@@ -46,4 +46,12 @@ if(NOT last_output MATCHES "Expected lifetime")
   message(FATAL_ERROR "profile: missing ARP view\n${last_output}")
 endif()
 
+run(${SIFTCTL} fleet --sessions 8 --seconds 6 --workers 2 --models 2 --producers 2)
+if(NOT last_output MATCHES "fleet.windows_classified")
+  message(FATAL_ERROR "fleet: missing metrics snapshot\n${last_output}")
+endif()
+if(NOT last_output MATCHES "fleet.detect_latency.p99_us")
+  message(FATAL_ERROR "fleet: missing latency quantiles\n${last_output}")
+endif()
+
 message(STATUS "siftctl smoke test passed")
