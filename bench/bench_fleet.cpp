@@ -8,15 +8,27 @@
 // so on a multi-core host windows/sec should scale near-linearly with
 // workers until the cores run out — the acceptance bar is ≥2× from 1→4
 // workers. Run with --benchmark_counters_tabular=true for a compact table.
+//
+// `bench_fleet --json <path>` instead writes a machine-readable snapshot:
+// engine windows/sec with 4 workers, detect-latency p50/p99 from the
+// engine's own histogram, and the steady-state allocations-per-window of a
+// single session replayed on the measuring thread.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "alloc_guard.hpp"
 #include "fleet/engine.hpp"
 #include "fleet/replay.hpp"
+#include "fleet/session.hpp"
 
 namespace {
 
@@ -77,6 +89,109 @@ BENCHMARK(BM_FleetWindowsPerSec)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// --- machine-readable snapshot (--json <path>) -----------------------------------
+
+/// Steady-state allocations per classified window for one session: replay
+/// session 0's packet stream once to warm the scratch arena and reassembly
+/// buffers, then replay the identical content again (sequence numbers
+/// shifted past the warm-up stream so the dedup window accepts it) while
+/// counting this thread's heap allocations.
+double session_allocs_per_window(const fleet::ReplayFixture& fixture) {
+  wiot::BaseStation::Config station;
+  // Bounded retention is required for 0 allocs/window; the cap must also
+  // engage during the warm-up pass (the fixture stream is only 3 windows
+  // long), otherwise the report vector is still doubling while we measure.
+  station.max_report_history = 2;
+  fleet::Session session(fixture.provider()(0), station);
+  const auto& stream = fixture.session_packets(0);
+
+  std::uint32_t next_seq[2] = {0, 0};
+  for (const auto& p : stream) {
+    auto& n = next_seq[p.kind == wiot::ChannelKind::kEcg ? 0 : 1];
+    n = std::max(n, p.seq + 1);
+    session.receive(p);
+  }
+  const std::size_t warm_windows = session.stats().windows_classified;
+
+  std::vector<wiot::Packet> shifted(stream.begin(), stream.end());
+  for (auto& p : shifted) {
+    p.seq += next_seq[p.kind == wiot::ChannelKind::kEcg ? 0 : 1];
+  }
+  sift::testing::AllocGuard guard;
+  for (const auto& p : shifted) session.receive(p);
+  const std::size_t steady_windows =
+      session.stats().windows_classified - warm_windows;
+  if (steady_windows == 0) return -1.0;  // signals a broken replay
+  return static_cast<double>(guard.count()) /
+         static_cast<double>(steady_windows);
+}
+
+int write_json_snapshot(const std::string& path) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kSessions = 64;
+  const auto& fixture = fixture_for(kSessions);
+
+  fleet::FleetConfig config;
+  config.workers = kWorkers;
+  config.shards = 8;
+  config.queue_capacity = 1024;
+  config.backpressure = fleet::BackpressurePolicy::kBlock;
+  fleet::FleetEngine engine(fixture.provider(), config);
+  const auto result = fleet::replay_through(engine, fixture, /*producers=*/1);
+  const double elapsed_s =
+      std::chrono::duration<double>(result.elapsed).count();
+  const auto& latency = engine.metrics().histogram("fleet.detect_latency");
+  const double windows_per_sec =
+      static_cast<double>(result.windows_classified) / elapsed_s;
+  const double allocs_per_window = session_allocs_per_window(fixture);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_fleet: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fleet_replay\",\n"
+               "  \"workers\": %zu,\n"
+               "  \"sessions\": %zu,\n"
+               "  \"windows\": %llu,\n"
+               "  \"windows_per_sec\": %.1f,\n"
+               "  \"detect_p50_us\": %.3f,\n"
+               "  \"detect_p99_us\": %.3f,\n"
+               "  \"session_allocs_per_window\": %.4f\n"
+               "}\n",
+               kWorkers, kSessions,
+               static_cast<unsigned long long>(result.windows_classified),
+               windows_per_sec, latency.quantile_us(0.5),
+               latency.quantile_us(0.99), allocs_per_window);
+  std::fclose(f);
+  std::printf("fleet: %.0f windows/s (%zu workers), detect p50 %.2f us, "
+              "p99 %.2f us, %.4f allocs/window -> %s\n",
+              windows_per_sec, kWorkers, latency.quantile_us(0.5),
+              latency.quantile_us(0.99), allocs_per_window, path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!json_path.empty()) return write_json_snapshot(json_path);
+
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,10 +1,22 @@
 // Microbenchmarks for the end-to-end pipeline (google-benchmark): training
 // a user model, classifying one window, and streaming through the WIoT
 // base station.
+//
+// Beyond the google-benchmark suite, `bench_pipeline --json <path>` writes
+// a machine-readable snapshot (windows/sec, p50/p99 latency, allocations
+// per window) of the steady-state samples -> verdict loop, so successive
+// PRs have a BENCH_*.json trajectory to compare against.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <span>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "alloc_guard.hpp"
 #include "core/detector.hpp"
 #include "core/trainer.hpp"
 #include "core/windows.hpp"
@@ -59,6 +71,21 @@ void BM_ClassifyWindow(benchmark::State& state) {
 }
 BENCHMARK(BM_ClassifyWindow);
 
+void BM_ClassifyWindowScratch(benchmark::State& state) {
+  // The zero-allocation steady-state path: same verdicts as
+  // BM_ClassifyWindow, portrait slicing included, but through a reused
+  // WindowScratch arena.
+  const auto& d = shared();
+  const core::Detector detector(d.model);
+  core::WindowScratch scratch;
+  for (auto _ : state) {
+    core::make_window_portrait_into(d.test, 0, 1080, scratch);
+    auto r = detector.classify(scratch.portrait, scratch);
+    benchmark::DoNotOptimize(r.decision_value);
+  }
+}
+BENCHMARK(BM_ClassifyWindowScratch);
+
 void BM_ClassifyRecord(benchmark::State& state) {
   const auto& d = shared();
   const core::Detector detector(d.model);
@@ -84,6 +111,102 @@ void BM_WiotScenario(benchmark::State& state) {
 }
 BENCHMARK(BM_WiotScenario)->Unit(benchmark::kMillisecond);
 
+// --- machine-readable snapshot (--json <path>) -----------------------------------
+
+/// Steady-state samples -> verdict measurement: one warm-up pass over every
+/// window of the 60 s test trace (sizes the scratch arena), then `reps`
+/// timed passes with per-window latency samples and a thread-local heap
+/// allocation count. Mirrors the protocol used to record the pre-refactor
+/// baseline, so successive BENCH_*.json files are directly comparable.
+int write_json_snapshot(const std::string& path) {
+  const auto& d = shared();
+  const core::Detector detector(d.model);
+  constexpr std::size_t kWindow = 1080;
+  constexpr int kReps = 200;
+  const std::size_t n_windows = d.test.ecg.size() / kWindow;
+
+  core::WindowScratch scratch;
+  double sink = 0.0;
+  auto classify_one = [&](std::size_t start) {
+    core::make_window_portrait_into(d.test, start, kWindow, scratch);
+    sink += detector.classify(scratch.portrait, scratch).decision_value;
+  };
+
+  // Warm-up: every buffer reaches the trace's worst-case capacity.
+  for (std::size_t w = 0; w < n_windows; ++w) classify_one(w * kWindow);
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(kReps) * n_windows);
+  const std::uint64_t allocs_before = sift::testing::g_thread_allocs;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      const auto a = std::chrono::steady_clock::now();
+      classify_one(w * kWindow);
+      const auto b = std::chrono::steady_clock::now();
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(b - a).count());
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t allocs =
+      sift::testing::g_thread_allocs - allocs_before;
+
+  const double elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  const double total_windows = static_cast<double>(latencies_us.size());
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto quantile = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * (total_windows - 1.0));
+    return latencies_us[idx];
+  };
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_pipeline: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"pipeline_steady_state\",\n"
+               "  \"windows\": %zu,\n"
+               "  \"reps\": %d,\n"
+               "  \"windows_per_sec\": %.1f,\n"
+               "  \"p50_us\": %.3f,\n"
+               "  \"p99_us\": %.3f,\n"
+               "  \"allocs_per_window\": %.4f,\n"
+               "  \"checksum\": %.6f\n"
+               "}\n",
+               n_windows, kReps, total_windows / elapsed_s, quantile(0.5),
+               quantile(0.99),
+               static_cast<double>(allocs) / total_windows, sink);
+  std::fclose(f);
+  std::printf("pipeline: %.0f windows/s, p50 %.2f us, p99 %.2f us, "
+              "%.4f allocs/window -> %s\n",
+              total_windows / elapsed_s, quantile(0.5), quantile(0.99),
+              static_cast<double>(allocs) / total_windows, path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip `--json <path>` before handing the rest to google-benchmark.
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!json_path.empty()) return write_json_snapshot(json_path);
+
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,26 +4,34 @@
 
 namespace sift::core {
 
-CountMatrix::CountMatrix(const Portrait& portrait, std::size_t n) : n_(n) {
-  if (n_ == 0) throw std::invalid_argument("CountMatrix: n must be positive");
-  counts_.assign(n_ * n_, 0);
+void CountMatrix::rebuild(const Portrait& portrait, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("CountMatrix: n must be positive");
+  n_ = n;
+  counts_.assign(n_ * n_, 0);  // reuses capacity once warm
   for (const Point& p : portrait.points()) {
     auto i = static_cast<std::size_t>(p.x * static_cast<double>(n_));
     auto j = static_cast<std::size_t>(p.y * static_cast<double>(n_));
     if (i >= n_) i = n_ - 1;  // x == 1.0 lands in the last column
     if (j >= n_) j = n_ - 1;
     ++counts_[i * n_ + j];
-    ++total_;
+  }
+  total_ = portrait.points().size();  // every point lands in some cell
+}
+
+void CountMatrix::column_averages_into(std::span<double> out) const {
+  if (out.size() != n_) {
+    throw std::invalid_argument("CountMatrix: column-average span size");
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::uint64_t sum = 0;
+    for (std::size_t j = 0; j < n_; ++j) sum += counts_[i * n_ + j];
+    out[i] = static_cast<double>(sum) / static_cast<double>(n_);
   }
 }
 
 std::vector<double> CountMatrix::column_averages() const {
-  std::vector<double> avg(n_, 0.0);
-  for (std::size_t i = 0; i < n_; ++i) {
-    std::uint64_t sum = 0;
-    for (std::size_t j = 0; j < n_; ++j) sum += counts_[i * n_ + j];
-    avg[i] = static_cast<double>(sum) / static_cast<double>(n_);
-  }
+  std::vector<double> avg(n_);
+  column_averages_into(avg);
   return avg;
 }
 

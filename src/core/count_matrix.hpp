@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/portrait.hpp"
@@ -19,11 +20,23 @@ inline constexpr std::size_t kDefaultGridSize = 50;
 
 class CountMatrix {
  public:
+  /// Empty matrix; rebuild() before use. Exists so a matrix can live inside
+  /// a reusable WindowScratch and recycle its cell storage across windows.
+  CountMatrix() = default;
+
   /// Bins the portrait's trajectory points into an n x n grid over the unit
   /// square (coordinates exactly 1.0 fall into the last cell).
   /// @throws std::invalid_argument if n == 0.
   explicit CountMatrix(const Portrait& portrait,
-                       std::size_t n = kDefaultGridSize);
+                       std::size_t n = kDefaultGridSize) {
+    rebuild(portrait, n);
+  }
+
+  /// Re-bins in place. After the first build at a given n, rebuilding at
+  /// the same (or smaller) n performs no heap allocation — the cell
+  /// storage's capacity is retained.
+  /// @throws std::invalid_argument if n == 0.
+  void rebuild(const Portrait& portrait, std::size_t n = kDefaultGridSize);
 
   std::size_t n() const noexcept { return n_; }
   std::size_t total_points() const noexcept { return total_; }
@@ -36,6 +49,10 @@ class CountMatrix {
   /// Column averages: mean count of column i over its n cells — the curve
   /// whose standard deviation / variance / AUC form the matrix features.
   std::vector<double> column_averages() const;
+
+  /// Allocation-free variant: writes column i's average into out[i].
+  /// @throws std::invalid_argument unless out.size() == n().
+  void column_averages_into(std::span<double> out) const;
 
   /// Spatial Filling Index: with p(i,j) = c(i,j)/total, the occupancy
   /// concentration  SFI = sum_ij p(i,j)^2.
@@ -52,7 +69,7 @@ class CountMatrix {
   std::uint64_t sum_squared_counts() const noexcept;
 
  private:
-  std::size_t n_;
+  std::size_t n_ = 0;
   std::size_t total_ = 0;
   std::vector<std::uint32_t> counts_;  // row-major, n_ * n_
 };

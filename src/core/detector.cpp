@@ -4,12 +4,16 @@
 
 namespace sift::core {
 
-DetectionResult Detector::classify(const Portrait& portrait) const {
+DetectionResult Detector::classify(const Portrait& portrait,
+                                   WindowScratch& scratch) const {
   DetectionResult r;
-  r.features = extract_features(portrait, model_->config.version,
-                                model_->config.arithmetic, model_->config.grid_n);
-  const auto scaled = model_->scaler.transform(r.features);
-  r.decision_value = model_->svm.decision_value(scaled);
+  scratch.matrix.rebuild(portrait, model_->config.grid_n);
+  extract_features_into(portrait, scratch.matrix, model_->config.version,
+                        model_->config.arithmetic, r.features);
+  FeatureVector scaled;
+  scaled.resize(r.features.size());
+  model_->scaler.transform_into(r.features.span(), scaled.span());
+  r.decision_value = model_->svm.decision_value(scaled.span());
   r.altered = r.decision_value >= 0.0;
   if (portrait.r_peak_points().empty() ||
       portrait.systolic_peak_points().empty()) {
@@ -17,6 +21,17 @@ DetectionResult Detector::classify(const Portrait& portrait) const {
     r.altered = true;
   }
   return r;
+}
+
+DetectionResult Detector::classify(const PortraitInput& window,
+                                   WindowScratch& scratch) const {
+  scratch.portrait.rebuild(window);
+  return classify(scratch.portrait, scratch);
+}
+
+DetectionResult Detector::classify(const Portrait& portrait) const {
+  WindowScratch scratch;
+  return classify(portrait, scratch);
 }
 
 DetectionResult Detector::classify(const PortraitInput& window) const {
@@ -30,9 +45,12 @@ std::vector<DetectionResult> Detector::classify_record(
       static_cast<std::size_t>(model_->config.window_s * rate + 0.5);
   std::vector<DetectionResult> out;
   if (window == 0 || rec.ecg.size() < window) return out;
+  out.reserve(rec.ecg.size() / window);
+  WindowScratch scratch;
   for (std::size_t start = 0; start + window <= rec.ecg.size();
        start += window) {
-    out.push_back(classify(make_window_portrait(rec, start, window)));
+    make_window_portrait_into(rec, start, window, scratch);
+    out.push_back(classify(scratch.portrait, scratch));
   }
   return out;
 }

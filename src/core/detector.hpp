@@ -12,8 +12,10 @@
 #include <memory>
 #include <vector>
 
+#include "core/feature_vector.hpp"
 #include "core/portrait.hpp"
 #include "core/trainer.hpp"
+#include "core/window_scratch.hpp"
 #include "physio/dataset.hpp"
 
 namespace sift::core {
@@ -27,7 +29,9 @@ struct DetectionResult {
   /// cannot be genuine — it is flagged altered regardless of the SVM margin
   /// (this is what catches flatline-style hijacking).
   bool peak_check_failed = false;
-  std::vector<double> features;
+  /// Unscaled feature point (inline storage — a DetectionResult never heap
+  /// allocates, so verdicts are free to copy around).
+  FeatureVector features;
 };
 
 /// Wraps a trained UserModel for per-window classification. The model is
@@ -55,8 +59,20 @@ class Detector {
   /// across detector versions, as the version-sweep benchmarks do).
   DetectionResult classify(const Portrait& portrait) const;
 
+  /// Steady-state variants: all per-window buffers live in @p scratch and
+  /// are reused, so after one warm-up window at a given window size these
+  /// perform zero heap allocations (asserted by tests/alloc_guard.hpp).
+  /// The PortraitInput overload rebuilds scratch.portrait, so its sample
+  /// spans must not alias scratch.portrait's own storage (the scratch peak
+  /// buffers are fine — rebuild only reads them).
+  DetectionResult classify(const PortraitInput& window,
+                           WindowScratch& scratch) const;
+  DetectionResult classify(const Portrait& portrait,
+                           WindowScratch& scratch) const;
+
   /// Classifies every non-overlapping w-second window of @p rec — the
   /// paper's test protocol over a 2-minute trace yields 40 verdicts.
+  /// Internally runs the scratch-based path with one reused arena.
   std::vector<DetectionResult> classify_record(const physio::Record& rec) const;
 
  private:

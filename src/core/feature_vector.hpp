@@ -1,0 +1,87 @@
+// Fixed-capacity feature vector for the zero-allocation detection path.
+//
+// The paper runs SIFT on an MSP430 with 2 KB of SRAM: the deployed device
+// code keeps its feature point in a static array, never on a heap. Our
+// host-side hot path mirrors that discipline — every SIFT version emits at
+// most 8 features (Table I), so the per-window feature point lives in a
+// std::array and the samples → verdict pipeline performs no heap
+// allocation in steady state (see DESIGN.md "Memory discipline").
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sift::core {
+
+/// Upper bound over every DetectorVersion (8 for Original/Simplified,
+/// 5 for Reduced — cf. feature_count()).
+inline constexpr std::size_t kMaxFeatures = 8;
+
+/// Inline storage + count; converts to std::span<const double> so the
+/// scaler / SVM span interfaces consume it directly.
+class FeatureVector {
+ public:
+  FeatureVector() = default;
+  explicit FeatureVector(std::span<const double> xs) { assign(xs); }
+
+  /// @throws std::length_error if xs exceeds kMaxFeatures.
+  void assign(std::span<const double> xs) {
+    check_capacity(xs.size());
+    std::copy(xs.begin(), xs.end(), v_.begin());
+    n_ = xs.size();
+  }
+
+  /// @throws std::length_error when full.
+  void push_back(double v) {
+    check_capacity(n_ + 1);
+    v_[n_++] = v;
+  }
+
+  void clear() noexcept { n_ = 0; }
+
+  /// Grows zero-filled / shrinks. @throws std::length_error past capacity.
+  void resize(std::size_t n) {
+    check_capacity(n);
+    if (n > n_) std::fill(v_.begin() + n_, v_.begin() + n, 0.0);
+    n_ = n;
+  }
+
+  std::size_t size() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  static constexpr std::size_t capacity() noexcept { return kMaxFeatures; }
+
+  double operator[](std::size_t i) const noexcept { return v_[i]; }
+  double& operator[](std::size_t i) noexcept { return v_[i]; }
+
+  double* data() noexcept { return v_.data(); }
+  const double* data() const noexcept { return v_.data(); }
+  const double* begin() const noexcept { return v_.data(); }
+  const double* end() const noexcept { return v_.data() + n_; }
+
+  std::span<double> span() noexcept { return {v_.data(), n_}; }
+  std::span<const double> span() const noexcept { return {v_.data(), n_}; }
+  operator std::span<const double>() const noexcept { return span(); }
+
+  std::vector<double> to_vector() const { return {begin(), end()}; }
+
+  friend bool operator==(const FeatureVector& a,
+                         const FeatureVector& b) noexcept {
+    return a.n_ == b.n_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  static void check_capacity(std::size_t n) {
+    if (n > kMaxFeatures) {
+      throw std::length_error("FeatureVector: capacity is kMaxFeatures");
+    }
+  }
+
+  std::array<double, kMaxFeatures> v_{};
+  std::size_t n_ = 0;
+};
+
+}  // namespace sift::core

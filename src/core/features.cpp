@@ -1,6 +1,8 @@
 #include "core/features.hpp"
 
+#include <array>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "core/fixed_point.hpp"
@@ -108,34 +110,36 @@ S safe_div(S num, S den) {
   return num / d;
 }
 
-template <typename S>
-std::vector<S> to_backend(const std::vector<double>& xs) {
-  std::vector<S> out;
-  out.reserve(xs.size());
-  for (double x : xs) out.push_back(ScalarOps<S>::from_double(x));
-  return out;
+// Streaming mean: sum / n without materialising the element list. The
+// backend-operation sequence (one add per element, one final divide, each
+// operand produced by the same from_double conversion) is identical to
+// summing a pre-built std::vector<S>, so results — and Counted op totals —
+// match the historical vector-based helpers bit for bit, with zero heap
+// traffic.
+template <typename S, typename Range, typename F>
+S mean_over(const Range& r, F&& f) {
+  using Ops = ScalarOps<S>;
+  if (r.empty()) return Ops::from_double(0.0);
+  S sum = Ops::from_double(0.0);
+  for (const auto& e : r) sum += f(e);
+  return sum / Ops::from_double(static_cast<double>(r.size()));
 }
 
 template <typename S>
-S mean_of(const std::vector<S>& xs) {
+S mean_of(std::span<const double> xs) {
   using Ops = ScalarOps<S>;
-  if (xs.empty()) return Ops::from_double(0.0);
-  S sum = Ops::from_double(0.0);
-  for (const S& x : xs) sum += x;
-  return sum / Ops::from_double(static_cast<double>(xs.size()));
+  return mean_over<S>(xs, [](double x) { return Ops::from_double(x); });
 }
 
 template <typename S>
-S variance_of(const std::vector<S>& xs) {
+S variance_of(std::span<const double> xs) {
   using Ops = ScalarOps<S>;
   if (xs.empty()) return Ops::from_double(0.0);
-  const S m = mean_of(xs);
-  S sum = Ops::from_double(0.0);
-  for (const S& x : xs) {
-    const S d = x - m;
-    sum += d * d;
-  }
-  return sum / Ops::from_double(static_cast<double>(xs.size()));
+  const S m = mean_of<S>(xs);
+  return mean_over<S>(xs, [&](double x) {
+    const S d = Ops::from_double(x) - m;
+    return d * d;
+  });
 }
 
 // Paper's AUC formula over [a,b] = [0,1]:
@@ -145,11 +149,13 @@ S variance_of(const std::vector<S>& xs) {
 // versions therefore compute the same value; they differed only in how the
 // device code was written.
 template <typename S>
-S auc_of(const std::vector<S>& f) {
+S auc_of(std::span<const double> f) {
   using Ops = ScalarOps<S>;
   if (f.size() < 2) return Ops::from_double(0.0);
   S sum = Ops::from_double(0.0);
-  for (std::size_t i = 0; i + 1 < f.size(); ++i) sum += f[i] + f[i + 1];
+  for (std::size_t i = 0; i + 1 < f.size(); ++i) {
+    sum += Ops::from_double(f[i]) + Ops::from_double(f[i + 1]);
+  }
   const double n_intervals = static_cast<double>(f.size() - 1);
   return sum / Ops::from_double(2.0 * n_intervals);
 }
@@ -159,53 +165,39 @@ S auc_of(const std::vector<S>& f) {
 template <typename S>
 S mean_angle(const std::vector<Point>& pts) {
   using Ops = ScalarOps<S>;
-  std::vector<S> vals;
-  vals.reserve(pts.size());
-  for (const Point& p : pts) {
-    vals.push_back(
-        Ops::atan2(Ops::from_double(p.y), Ops::from_double(p.x)));
-  }
-  return mean_of(vals);
+  return mean_over<S>(pts, [](const Point& p) {
+    return Ops::atan2(Ops::from_double(p.y), Ops::from_double(p.x));
+  });
 }
 
 template <typename S>
 S mean_slope(const std::vector<Point>& pts) {
   using Ops = ScalarOps<S>;
-  std::vector<S> vals;
-  vals.reserve(pts.size());
-  for (const Point& p : pts) {
-    vals.push_back(
-        safe_div(Ops::from_double(p.y), Ops::from_double(p.x)));
-  }
-  return mean_of(vals);
+  return mean_over<S>(pts, [](const Point& p) {
+    return safe_div(Ops::from_double(p.y), Ops::from_double(p.x));
+  });
 }
 
 template <typename S>
 S mean_origin_distance(const std::vector<Point>& pts, bool squared) {
   using Ops = ScalarOps<S>;
-  std::vector<S> vals;
-  vals.reserve(pts.size());
-  for (const Point& p : pts) {
+  return mean_over<S>(pts, [squared](const Point& p) {
     const S x = Ops::from_double(p.x);
     const S y = Ops::from_double(p.y);
     const S d2 = x * x + y * y;
-    vals.push_back(squared ? d2 : Ops::sqrt(d2));
-  }
-  return mean_of(vals);
+    return squared ? d2 : Ops::sqrt(d2);
+  });
 }
 
 template <typename S>
 S mean_pair_distance(const std::vector<PeakPairPoints>& pairs, bool squared) {
   using Ops = ScalarOps<S>;
-  std::vector<S> vals;
-  vals.reserve(pairs.size());
-  for (const PeakPairPoints& pp : pairs) {
+  return mean_over<S>(pairs, [squared](const PeakPairPoints& pp) {
     const S dx = Ops::from_double(pp.r.x) - Ops::from_double(pp.systolic.x);
     const S dy = Ops::from_double(pp.r.y) - Ops::from_double(pp.systolic.y);
     const S d2 = dx * dx + dy * dy;
-    vals.push_back(squared ? d2 : Ops::sqrt(d2));
-  }
-  return mean_of(vals);
+    return squared ? d2 : Ops::sqrt(d2);
+  });
 }
 
 // --- matrix features -------------------------------------------------------
@@ -218,44 +210,62 @@ S spatial_filling_index(const CountMatrix& m) {
   return ScalarOps<S>::from_double(m.spatial_filling_index());
 }
 
+// Column averages are staged once (for mean/variance/AUC to share) in a
+// stack buffer; only grids beyond kColAvgStackCapacity columns — far past
+// the paper's n = 50 — spill to the heap.
+constexpr std::size_t kColAvgStackCapacity = 256;
+
 template <typename S>
-std::vector<double> extract_impl(const Portrait& portrait,
-                                 const CountMatrix& matrix,
-                                 DetectorVersion version) {
+void extract_impl(const Portrait& portrait, const CountMatrix& matrix,
+                  DetectorVersion version, FeatureVector& out) {
   using Ops = ScalarOps<S>;
-  std::vector<S> f;
-  f.reserve(feature_count(version));
+  out.clear();
 
   if (version != DetectorVersion::kReduced) {
-    const auto col_avg = to_backend<S>(matrix.column_averages());
-    f.push_back(spatial_filling_index<S>(matrix));
-    if (version == DetectorVersion::kOriginal) {
-      f.push_back(Ops::sqrt(variance_of(col_avg)));  // standard deviation
+    std::array<double, kColAvgStackCapacity> stack;
+    std::vector<double> heap;
+    std::span<double> col_avg;
+    if (matrix.n() <= kColAvgStackCapacity) {
+      col_avg = std::span<double>(stack.data(), matrix.n());
     } else {
-      f.push_back(variance_of(col_avg));  // simplified: skip the sqrt
+      heap.resize(matrix.n());
+      col_avg = heap;
     }
-    f.push_back(auc_of(col_avg));
+    matrix.column_averages_into(col_avg);
+
+    out.push_back(Ops::to_double(spatial_filling_index<S>(matrix)));
+    if (version == DetectorVersion::kOriginal) {
+      out.push_back(
+          Ops::to_double(Ops::sqrt(variance_of<S>(col_avg))));  // std dev
+    } else {
+      out.push_back(
+          Ops::to_double(variance_of<S>(col_avg)));  // simplified: no sqrt
+    }
+    out.push_back(Ops::to_double(auc_of<S>(col_avg)));
   }
 
   const bool simplified = version != DetectorVersion::kOriginal;
   if (simplified) {
-    f.push_back(mean_slope<S>(portrait.r_peak_points()));
-    f.push_back(mean_slope<S>(portrait.systolic_peak_points()));
-    f.push_back(mean_origin_distance<S>(portrait.r_peak_points(), true));
-    f.push_back(mean_origin_distance<S>(portrait.systolic_peak_points(), true));
-    f.push_back(mean_pair_distance<S>(portrait.peak_pairs(), true));
+    out.push_back(Ops::to_double(mean_slope<S>(portrait.r_peak_points())));
+    out.push_back(
+        Ops::to_double(mean_slope<S>(portrait.systolic_peak_points())));
+    out.push_back(Ops::to_double(
+        mean_origin_distance<S>(portrait.r_peak_points(), true)));
+    out.push_back(Ops::to_double(
+        mean_origin_distance<S>(portrait.systolic_peak_points(), true)));
+    out.push_back(
+        Ops::to_double(mean_pair_distance<S>(portrait.peak_pairs(), true)));
   } else {
-    f.push_back(mean_angle<S>(portrait.r_peak_points()));
-    f.push_back(mean_angle<S>(portrait.systolic_peak_points()));
-    f.push_back(mean_origin_distance<S>(portrait.r_peak_points(), false));
-    f.push_back(mean_origin_distance<S>(portrait.systolic_peak_points(), false));
-    f.push_back(mean_pair_distance<S>(portrait.peak_pairs(), false));
+    out.push_back(Ops::to_double(mean_angle<S>(portrait.r_peak_points())));
+    out.push_back(
+        Ops::to_double(mean_angle<S>(portrait.systolic_peak_points())));
+    out.push_back(Ops::to_double(
+        mean_origin_distance<S>(portrait.r_peak_points(), false)));
+    out.push_back(Ops::to_double(
+        mean_origin_distance<S>(portrait.systolic_peak_points(), false)));
+    out.push_back(
+        Ops::to_double(mean_pair_distance<S>(portrait.peak_pairs(), false)));
   }
-
-  std::vector<double> out;
-  out.reserve(f.size());
-  for (const S& v : f) out.push_back(Ops::to_double(v));
-  return out;
 }
 
 }  // namespace
@@ -309,19 +319,27 @@ std::vector<std::string> feature_names(DetectorVersion v) {
   return names;
 }
 
+void extract_features_into(const Portrait& portrait, const CountMatrix& matrix,
+                           DetectorVersion version, Arithmetic arithmetic,
+                           FeatureVector& out) {
+  switch (arithmetic) {
+    case Arithmetic::kDouble:
+      return extract_impl<double>(portrait, matrix, version, out);
+    case Arithmetic::kFloat32:
+      return extract_impl<float>(portrait, matrix, version, out);
+    case Arithmetic::kFixedQ16:
+      return extract_impl<Q16_16>(portrait, matrix, version, out);
+  }
+  throw std::invalid_argument("extract_features: unknown arithmetic");
+}
+
 std::vector<double> extract_features(const Portrait& portrait,
                                      const CountMatrix& matrix,
                                      DetectorVersion version,
                                      Arithmetic arithmetic) {
-  switch (arithmetic) {
-    case Arithmetic::kDouble:
-      return extract_impl<double>(portrait, matrix, version);
-    case Arithmetic::kFloat32:
-      return extract_impl<float>(portrait, matrix, version);
-    case Arithmetic::kFixedQ16:
-      return extract_impl<Q16_16>(portrait, matrix, version);
-  }
-  throw std::invalid_argument("extract_features: unknown arithmetic");
+  FeatureVector out;
+  extract_features_into(portrait, matrix, version, arithmetic, out);
+  return out.to_vector();
 }
 
 std::vector<double> extract_features(const Portrait& portrait,
@@ -336,10 +354,11 @@ std::vector<double> extract_features_counted(const Portrait& portrait,
                                              const CountMatrix& matrix,
                                              DetectorVersion version,
                                              OpCounts& counts) {
+  FeatureVector out;
   Counted::sink = &counts;
-  auto out = extract_impl<Counted>(portrait, matrix, version);
+  extract_impl<Counted>(portrait, matrix, version, out);
   Counted::sink = nullptr;
-  return out;
+  return out.to_vector();
 }
 
 }  // namespace sift::core

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/count_matrix.hpp"
+#include "core/feature_vector.hpp"
 #include "core/portrait.hpp"
 
 namespace sift::core {
@@ -48,6 +49,14 @@ const char* to_string(Arithmetic a) noexcept;
 
 /// Human-readable names, index-aligned with extract_features output.
 std::vector<std::string> feature_names(DetectorVersion v);
+
+/// Allocation-free extraction into a fixed-capacity feature vector: the
+/// hot-path primitive (grids up to 256 columns stage their column averages
+/// on the stack; larger grids fall back to one heap buffer). Bit-identical
+/// to extract_features on the same inputs. @p out is overwritten.
+void extract_features_into(const Portrait& portrait, const CountMatrix& matrix,
+                           DetectorVersion version, Arithmetic arithmetic,
+                           FeatureVector& out);
 
 /// Extracts the feature vector for one portrait. The count matrix must have
 /// been built from the same portrait (callers that need several versions

@@ -25,7 +25,7 @@ OnlineAdapter::OnlineAdapter(UserModel model,
   }
 }
 
-void OnlineAdapter::sgd_step(const std::vector<double>& scaled, int label) {
+void OnlineAdapter::sgd_step(std::span<const double> scaled, int label) {
   // Pegasos-style hinge SGD: decay, then step if the margin is violated.
   const double y = label;
   auto& w = model_.svm.w;
@@ -41,27 +41,39 @@ void OnlineAdapter::sgd_step(const std::vector<double>& scaled, int label) {
   ++updates_;
 }
 
-void OnlineAdapter::assimilate(const std::vector<double>& raw_features,
+void OnlineAdapter::scale_and_step(std::span<const double> raw, int label) {
+  FeatureVector scaled;
+  scaled.resize(raw.size());
+  model_.scaler.transform_into(raw, scaled.span());
+  sgd_step(scaled.span(), label);
+}
+
+void OnlineAdapter::assimilate(std::span<const double> raw_features,
                                int label) {
   if (label != +1 && label != -1) {
     throw std::invalid_argument("OnlineAdapter: label must be +1/-1");
   }
-  sgd_step(model_.scaler.transform(raw_features), label);
+  if (raw_features.size() != model_.scaler.mean().size()) {
+    throw std::invalid_argument("OnlineAdapter: feature dimension mismatch");
+  }
+  scale_and_step(raw_features, label);
   // Replay attack exemplars so the boundary cannot slide across the
   // positive class while chasing the wearer's drift.
   if (label == -1 && !reservoir_.empty()) {
     for (std::size_t r = 0; r < config_.replay_per_update; ++r) {
       const auto& exemplar = reservoir_[replay_cursor_ % reservoir_.size()];
       ++replay_cursor_;
-      sgd_step(model_.scaler.transform(exemplar), +1);
+      scale_and_step(exemplar, +1);
     }
   }
 }
 
 void OnlineAdapter::assimilate_genuine(const Portrait& portrait) {
-  assimilate(extract_features(portrait, model_.config.version,
-                              model_.config.arithmetic, model_.config.grid_n),
-             -1);
+  const CountMatrix matrix(portrait, model_.config.grid_n);
+  FeatureVector features;
+  extract_features_into(portrait, matrix, model_.config.version,
+                        model_.config.arithmetic, features);
+  assimilate(features.span(), -1);
 }
 
 std::vector<std::vector<double>> OnlineAdapter::make_positive_reservoir(

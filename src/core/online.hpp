@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/detector.hpp"
@@ -41,10 +42,17 @@ class OnlineAdapter {
   /// Assimilates one user-confirmed genuine window.
   void assimilate_genuine(const Portrait& portrait);
 
-  /// Assimilates a raw feature vector with a trusted label (+1/-1) —
-  /// the primitive both assimilate_genuine and replay use.
-  /// @throws std::invalid_argument for labels outside {-1, +1}.
-  void assimilate(const std::vector<double>& raw_features, int label);
+  /// Assimilates a raw feature point with a trusted label (+1/-1) —
+  /// the primitive both assimilate_genuine and replay use. Allocation-free:
+  /// the scaled point is staged in a fixed-capacity FeatureVector.
+  /// @throws std::invalid_argument for labels outside {-1, +1} or on a
+  ///         feature-dimension mismatch.
+  void assimilate(std::span<const double> raw_features, int label);
+
+  /// Vector overload (kept so braced-list call sites keep compiling).
+  void assimilate(const std::vector<double>& raw_features, int label) {
+    assimilate(std::span<const double>(raw_features), label);
+  }
 
   const UserModel& model() const noexcept { return model_; }
   /// A detector over the current (adapted) model.
@@ -60,7 +68,8 @@ class OnlineAdapter {
       std::size_t count);
 
  private:
-  void sgd_step(const std::vector<double>& scaled, int label);
+  void sgd_step(std::span<const double> scaled, int label);
+  void scale_and_step(std::span<const double> raw, int label);
 
   UserModel model_;
   std::vector<std::vector<double>> reservoir_;

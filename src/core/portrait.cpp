@@ -1,11 +1,40 @@
 #include "core/portrait.hpp"
 
+#include <algorithm>
+
 #include "peaks/pairing.hpp"
-#include "signal/normalize.hpp"
 
 namespace sift::core {
 
-Portrait::Portrait(const PortraitInput& in) : rate_(in.sample_rate_hz) {
+namespace {
+
+/// Min/max of a window plus the derived normaliser, matching
+/// signal::min_max_normalize exactly: degenerate windows (range <= 0) map
+/// every sample to 0.5, otherwise x -> (x - min) / range.
+struct Normalizer {
+  double mn = 0.0;
+  double range = 0.0;
+
+  explicit Normalizer(std::span<const double> xs) {
+    const auto [mn_it, mx_it] = std::minmax_element(xs.begin(), xs.end());
+    mn = *mn_it;
+    range = *mx_it - mn;
+  }
+
+  double operator()(double x) const noexcept {
+    return range <= 0.0 ? 0.5 : (x - mn) / range;
+  }
+};
+
+}  // namespace
+
+void Portrait::rebuild(const PortraitInput& in) {
+  points_.clear();
+  r_pts_.clear();
+  sys_pts_.clear();
+  pairs_.clear();
+  rate_ = in.sample_rate_hz;
+
   if (in.ecg.empty() || in.ecg.size() != in.abp.size()) {
     throw std::invalid_argument("Portrait: ECG/ABP windows must match");
   }
@@ -23,22 +52,41 @@ Portrait::Portrait(const PortraitInput& in) : rate_(in.sample_rate_hz) {
     }
   }
 
-  const std::vector<double> e = signal::min_max_normalize(in.ecg);
-  const std::vector<double> a = signal::min_max_normalize(in.abp);
+  // Fused normalise + point write: one pass over each channel for min/max,
+  // one combined pass emitting trajectory points, no normalised copies.
+  const Normalizer norm_e(in.ecg);
+  const Normalizer norm_a(in.abp);
 
-  points_.reserve(e.size());
-  for (std::size_t t = 0; t < e.size(); ++t) points_.push_back({a[t], e[t]});
+  const std::size_t n = in.ecg.size();
+  points_.resize(n);
+  Point* const pts = points_.data();
+  if (norm_a.range > 0.0 && norm_e.range > 0.0) {
+    // Hot case: both ranges non-degenerate, so the per-sample branch in
+    // Normalizer::operator() is loop-invariant — hoisting it leaves a
+    // tight divide loop the compiler can vectorise. Same IEEE operations
+    // per element, so results stay bit-identical to the generic path.
+    const double mn_a = norm_a.mn, range_a = norm_a.range;
+    const double mn_e = norm_e.mn, range_e = norm_e.range;
+    for (std::size_t t = 0; t < n; ++t) {
+      pts[t].x = (in.abp[t] - mn_a) / range_a;
+      pts[t].y = (in.ecg[t] - mn_e) / range_e;
+    }
+  } else {
+    for (std::size_t t = 0; t < n; ++t) {
+      pts[t] = {norm_a(in.abp[t]), norm_e(in.ecg[t])};
+    }
+  }
 
   r_pts_.reserve(in.r_peaks.size());
   for (std::size_t p : in.r_peaks) r_pts_.push_back(points_[p]);
   sys_pts_.reserve(in.sys_peaks.size());
   for (std::size_t p : in.sys_peaks) sys_pts_.push_back(points_[p]);
 
-  const std::vector<std::size_t> rv(in.r_peaks.begin(), in.r_peaks.end());
-  const std::vector<std::size_t> sv(in.sys_peaks.begin(), in.sys_peaks.end());
-  for (const auto& pr : peaks::pair_peaks(rv, sv, rate_)) {
-    pairs_.push_back({points_[pr.r_index], points_[pr.sys_index]});
-  }
+  peaks::for_each_peak_pair(in.r_peaks, in.sys_peaks, rate_,
+                            peaks::kDefaultMaxPairDelayS,
+                            [&](std::size_t r, std::size_t s) {
+                              pairs_.push_back({points_[r], points_[s]});
+                            });
 }
 
 }  // namespace sift::core

@@ -36,14 +36,25 @@ struct PortraitInput {
   double sample_rate_hz = 360.0;
 };
 
-/// Immutable portrait with its annotated characteristic points.
+/// Portrait with its annotated characteristic points. Value-immutable in
+/// ordinary use; rebuild() re-derives everything in place so a portrait
+/// held in a WindowScratch recycles its point storage across windows.
 class Portrait {
  public:
+  /// Empty portrait; rebuild() before use (exists for WindowScratch reuse).
+  Portrait() = default;
+
   /// Normalises both channels to [0,1] (min-max, per window) and records
   /// portrait coordinates of every trajectory sample and peak.
   /// @throws std::invalid_argument on mismatched lengths, empty windows, or
   ///         out-of-range peak indexes.
-  explicit Portrait(const PortraitInput& in);
+  explicit Portrait(const PortraitInput& in) { rebuild(in); }
+
+  /// Rebuilds from a new window, reusing the point buffers' capacity —
+  /// after warm-up, rebuilding at the same window size performs no heap
+  /// allocation. Same validation (and exceptions) as the constructor; on
+  /// throw the portrait is left empty.
+  void rebuild(const PortraitInput& in);
 
   const std::vector<Point>& points() const noexcept { return points_; }
   const std::vector<Point>& r_peak_points() const noexcept { return r_pts_; }
@@ -63,7 +74,7 @@ class Portrait {
   std::vector<Point> r_pts_;
   std::vector<Point> sys_pts_;
   std::vector<PeakPairPoints> pairs_;
-  double rate_;
+  double rate_ = 0.0;
 };
 
 }  // namespace sift::core

@@ -1,0 +1,33 @@
+// Per-session scratch arena for the steady-state classification path.
+//
+// Every buffer the samples -> verdict pipeline needs per window lives here
+// and is recycled across windows: after one warm-up window at a given
+// window size, classifying through a WindowScratch performs zero heap
+// allocations (the invariant tests/alloc_guard.hpp enforces — see
+// DESIGN.md "Memory discipline"). One arena per fleet::Session /
+// wiot::BaseStation; classify_record keeps a local one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/count_matrix.hpp"
+#include "core/portrait.hpp"
+
+namespace sift::core {
+
+struct WindowScratch {
+  Portrait portrait;            ///< rebuilt in place each window
+  CountMatrix matrix;           ///< rebuilt in place each window
+  std::vector<std::size_t> r_peaks;    ///< window-relative R-peak indexes
+  std::vector<std::size_t> sys_peaks;  ///< window-relative systolic indexes
+
+  /// Empties the peak buffers (capacity retained). The portrait and matrix
+  /// are overwritten by their rebuild() calls, so they need no reset.
+  void clear() noexcept {
+    r_peaks.clear();
+    sys_peaks.clear();
+  }
+};
+
+}  // namespace sift::core

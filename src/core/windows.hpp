@@ -2,13 +2,21 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/features.hpp"
 #include "core/portrait.hpp"
+#include "core/window_scratch.hpp"
 #include "physio/dataset.hpp"
 
 namespace sift::core {
+
+/// Allocation-free (after warm-up) variant of peaks_in_range: rebased
+/// window-relative peaks are appended into @p out, which is cleared first
+/// and keeps its capacity across calls.
+void peaks_in_range_into(std::span<const std::size_t> peaks, std::size_t start,
+                         std::size_t len, std::vector<std::size_t>& out);
 
 /// Peaks falling in [start, start+len), rebased to window-relative indexes.
 /// @p peaks must be ascending.
@@ -20,6 +28,13 @@ std::vector<std::size_t> peaks_in_range(const std::vector<std::size_t>& peaks,
 /// run-time detection is exercised separately via sift::peaks).
 Portrait make_window_portrait(const physio::Record& rec, std::size_t start,
                               std::size_t len);
+
+/// Rebuilds scratch.portrait (and the scratch peak buffers) from one window
+/// of @p rec — the steady-state path classify_record runs: zero heap
+/// allocations once the scratch is warm. Returns scratch.portrait.
+const Portrait& make_window_portrait_into(const physio::Record& rec,
+                                          std::size_t start, std::size_t len,
+                                          WindowScratch& scratch);
 
 /// Extracts one feature point per stride-spaced window of @p rec.
 std::vector<std::vector<double>> extract_window_features(

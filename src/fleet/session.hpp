@@ -5,6 +5,10 @@
 // thousands of them can coexist: the UserModel is *shared* (the detector
 // references the registry's resident copy instead of owning one), and the
 // reassembly buffers are bounded (BaseStation::Config::max_buffered_windows).
+// Each session also owns (through its station) a core::WindowScratch arena,
+// so steady-state classification in the worker loop allocates nothing —
+// set Config::max_report_history to bound report retention and make the
+// guarantee hold over unbounded session lifetimes.
 #pragma once
 
 #include <memory>

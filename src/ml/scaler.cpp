@@ -26,16 +26,24 @@ void StandardScaler::fit(const Dataset& data) {
   }
 }
 
-std::vector<double> StandardScaler::transform(
-    const std::vector<double>& x) const {
+void StandardScaler::transform_into(std::span<const double> x,
+                                    std::span<double> out) const {
   if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
   if (x.size() != mean_.size()) {
     throw std::invalid_argument("StandardScaler: dimension mismatch");
   }
-  std::vector<double> out(x.size());
+  if (out.size() != x.size()) {
+    throw std::invalid_argument("StandardScaler: output span size mismatch");
+  }
   for (std::size_t j = 0; j < x.size(); ++j) {
     out[j] = (x[j] - mean_[j]) / scale_[j];
   }
+}
+
+std::vector<double> StandardScaler::transform(
+    const std::vector<double>& x) const {
+  std::vector<double> out(x.size());
+  transform_into(x, out);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "ml/dataset.hpp"
@@ -23,6 +24,11 @@ class StandardScaler {
   /// @throws std::logic_error if not fitted; std::invalid_argument on a
   /// dimension mismatch.
   std::vector<double> transform(const std::vector<double>& x) const;
+
+  /// Allocation-free transform: writes (x[j] - mean[j]) / scale[j] into
+  /// out[j]. x and out may alias exactly (in-place). Same exceptions as
+  /// transform, plus std::invalid_argument if out.size() != x.size().
+  void transform_into(std::span<const double> x, std::span<double> out) const;
 
   Dataset transform(const Dataset& data) const;
 

@@ -35,11 +35,13 @@ void validate(const Dataset& data) {
 
 }  // namespace
 
-double LinearSvmModel::decision_value(const std::vector<double>& x) const {
+double LinearSvmModel::decision_value(std::span<const double> x) const {
   if (x.size() != w.size()) {
     throw std::invalid_argument("LinearSvmModel: dimension mismatch");
   }
-  return dot(w, x) + b;
+  double s = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) s += w[i] * x[i];
+  return s + b;
 }
 
 LinearSvmModel SmoTrainer::train(const Dataset& data,

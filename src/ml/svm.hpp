@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ml/dataset.hpp"
@@ -24,13 +25,21 @@ struct LinearSvmModel {
   std::vector<double> w;
   double b = 0.0;
 
-  /// Signed distance-like decision value w·x + b.
+  /// Signed distance-like decision value w·x + b. Allocation-free.
   /// @throws std::invalid_argument on dimension mismatch.
-  double decision_value(const std::vector<double>& x) const;
+  double decision_value(std::span<const double> x) const;
+
+  /// Vector overload (kept so braced-list call sites keep compiling).
+  double decision_value(const std::vector<double>& x) const {
+    return decision_value(std::span<const double>(x));
+  }
 
   /// +1 (altered) if decision_value >= 0, else -1 (unaltered).
-  int predict(const std::vector<double>& x) const {
+  int predict(std::span<const double> x) const {
     return decision_value(x) >= 0.0 ? +1 : -1;
+  }
+  int predict(const std::vector<double>& x) const {
+    return predict(std::span<const double>(x));
   }
 };
 

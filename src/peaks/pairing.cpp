@@ -2,21 +2,23 @@
 
 namespace sift::peaks {
 
+std::vector<PeakPair> pair_peaks(std::span<const std::size_t> r_peaks,
+                                 std::span<const std::size_t> systolic_peaks,
+                                 double rate_hz, double max_delay_s) {
+  std::vector<PeakPair> pairs;
+  for_each_peak_pair(r_peaks, systolic_peaks, rate_hz, max_delay_s,
+                     [&](std::size_t r, std::size_t s) {
+                       pairs.push_back({r, s});
+                     });
+  return pairs;
+}
+
 std::vector<PeakPair> pair_peaks(const std::vector<std::size_t>& r_peaks,
                                  const std::vector<std::size_t>& systolic_peaks,
                                  double rate_hz, double max_delay_s) {
-  std::vector<PeakPair> pairs;
-  const auto max_delay = static_cast<std::size_t>(max_delay_s * rate_hz);
-  std::size_t s = 0;
-  for (std::size_t r : r_peaks) {
-    while (s < systolic_peaks.size() && systolic_peaks[s] <= r) ++s;
-    if (s == systolic_peaks.size()) break;
-    if (systolic_peaks[s] - r <= max_delay) {
-      pairs.push_back({r, systolic_peaks[s]});
-      ++s;  // each systolic peak pairs at most once
-    }
-  }
-  return pairs;
+  return pair_peaks(std::span<const std::size_t>(r_peaks),
+                    std::span<const std::size_t>(systolic_peaks), rate_hz,
+                    max_delay_s);
 }
 
 }  // namespace sift::peaks

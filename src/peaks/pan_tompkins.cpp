@@ -19,16 +19,16 @@ std::vector<std::size_t> local_maxima(std::span<const double> xs) {
 
 }  // namespace
 
-std::vector<std::size_t> detect_r_peaks(const signal::Series& ecg,
+std::vector<std::size_t> detect_r_peaks(std::span<const double> ecg,
+                                        double rate,
                                         const PanTompkinsConfig& cfg) {
-  const double rate = ecg.sample_rate_hz();
   const auto mwi_n =
       static_cast<std::size_t>(std::max(1.0, cfg.integration_window_s * rate));
   if (ecg.size() < mwi_n || ecg.size() < 8) return {};
 
   // Classic chain: band-pass -> derivative -> square -> moving integration.
-  const auto bp = signal::band_pass(ecg.samples(), cfg.band_lo_hz,
-                                    cfg.band_hi_hz, rate);
+  const auto bp =
+      signal::band_pass(ecg, cfg.band_lo_hz, cfg.band_hi_hz, rate);
   const auto deriv = signal::five_point_derivative(bp);
   const auto sq = signal::square(deriv);
   const auto mwi = signal::moving_window_integral(sq, mwi_n);
@@ -83,6 +83,11 @@ std::vector<std::size_t> detect_r_peaks(const signal::Series& ecg,
     }
   }
   return refined;
+}
+
+std::vector<std::size_t> detect_r_peaks(const signal::Series& ecg,
+                                        const PanTompkinsConfig& cfg) {
+  return detect_r_peaks(ecg.samples(), ecg.sample_rate_hz(), cfg);
 }
 
 }  // namespace sift::peaks

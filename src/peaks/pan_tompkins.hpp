@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "signal/series.hpp"
@@ -30,6 +31,12 @@ struct PanTompkinsConfig {
 /// traces shorter than one integration window.
 /// @throws std::invalid_argument if the config band is invalid for the rate.
 std::vector<std::size_t> detect_r_peaks(const signal::Series& ecg,
+                                        const PanTompkinsConfig& cfg = {});
+
+/// Span overload: identical output to the Series form on the same samples
+/// and rate (no Series needs to be materialised around raw buffers).
+std::vector<std::size_t> detect_r_peaks(std::span<const double> ecg,
+                                        double sample_rate_hz,
                                         const PanTompkinsConfig& cfg = {});
 
 }  // namespace sift::peaks

@@ -7,13 +7,13 @@
 
 namespace sift::peaks {
 
-std::vector<std::size_t> detect_systolic_peaks(const signal::Series& abp,
+std::vector<std::size_t> detect_systolic_peaks(std::span<const double> abp,
+                                               double rate,
                                                const SystolicConfig& cfg) {
-  const double rate = abp.sample_rate_hz();
-  if (abp.duration_s() < 0.5) return {};
+  if (static_cast<double>(abp.size()) / rate < 0.5) return {};
 
   auto lp = signal::Biquad::low_pass(cfg.smooth_cutoff_hz, rate);
-  const auto smooth = lp.apply(abp.samples());
+  const auto smooth = lp.apply(abp);
 
   const double lo = signal::min_value(smooth);
   const double hi = signal::max_value(smooth);
@@ -46,6 +46,11 @@ std::vector<std::size_t> detect_systolic_peaks(const signal::Series& abp,
     p = best;
   }
   return peaks;
+}
+
+std::vector<std::size_t> detect_systolic_peaks(const signal::Series& abp,
+                                               const SystolicConfig& cfg) {
+  return detect_systolic_peaks(abp.samples(), abp.sample_rate_hz(), cfg);
 }
 
 }  // namespace sift::peaks

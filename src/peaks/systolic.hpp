@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "signal/series.hpp"
@@ -24,6 +25,12 @@ struct SystolicConfig {
 /// Detects systolic-peak sample indexes in @p abp (ascending).
 /// Returns an empty vector for traces shorter than ~half a second.
 std::vector<std::size_t> detect_systolic_peaks(const signal::Series& abp,
+                                               const SystolicConfig& cfg = {});
+
+/// Span overload: identical output to the Series form on the same samples
+/// and rate (no Series needs to be materialised around raw buffers).
+std::vector<std::size_t> detect_systolic_peaks(std::span<const double> abp,
+                                               double sample_rate_hz,
                                                const SystolicConfig& cfg = {});
 
 }  // namespace sift::peaks

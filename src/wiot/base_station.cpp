@@ -110,19 +110,18 @@ void BaseStation::classify_ready_windows() {
     in.ecg = std::span<const double>(ecg_win_.data(), w);
     in.abp = std::span<const double>(abp_win_.data(), w);
 
-    std::vector<std::size_t> r;
-    std::vector<std::size_t> sys;
+    scratch_.clear();
     for (std::size_t p : ecg_.peaks) {
-      if (p < w) r.push_back(p);
+      if (p < w) scratch_.r_peaks.push_back(p);
     }
     for (std::size_t p : abp_.peaks) {
-      if (p < w) sys.push_back(p);
+      if (p < w) scratch_.sys_peaks.push_back(p);
     }
-    in.r_peaks = r;
-    in.sys_peaks = sys;
+    in.r_peaks = scratch_.r_peaks;
+    in.sys_peaks = scratch_.sys_peaks;
     in.sample_rate_hz = physio::kDefaultRateHz;
 
-    const core::DetectionResult verdict = detector_.classify(in);
+    const core::DetectionResult verdict = detector_.classify(in, scratch_);
 
     WindowReport report;
     report.window_index = stats_.windows_classified;
@@ -146,17 +145,25 @@ void BaseStation::classify_ready_windows() {
         break;
       }
     }
+    if (config_.max_report_history > 0 &&
+        reports_.size() >= config_.max_report_history) {
+      // Drop-oldest retention: the buffer's capacity plateaus at the cap,
+      // so long-running sessions stop allocating for reports.
+      reports_.erase(reports_.begin(),
+                     reports_.end() - (config_.max_report_history - 1));
+    }
     reports_.push_back(report);
     ++stats_.windows_classified;
     if (report.altered) ++stats_.alerts;
 
-    // Rebase the surviving peak annotations onto the drained buffers.
+    // Rebase the surviving peak annotations onto the drained buffers,
+    // compacting in place (no transient vector).
     for (Stream* s : {&ecg_, &abp_}) {
-      std::vector<std::size_t> kept;
+      std::size_t kept = 0;
       for (std::size_t p : s->peaks) {
-        if (p >= w) kept.push_back(p - w);
+        if (p >= w) s->peaks[kept++] = p - w;
       }
-      s->peaks = std::move(kept);
+      s->peaks.resize(kept);
     }
   }
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "core/window_scratch.hpp"
 #include "signal/ring_buffer.hpp"
 #include "wiot/packet.hpp"
 
@@ -42,6 +43,12 @@ class BaseStation {
     /// sequence-gap machinery later reconstructs them like network loss, so
     /// the two streams never shear out of alignment.
     std::size_t max_buffered_windows = 16;
+    /// Report retention. 0 keeps every WindowReport (historical behaviour;
+    /// the vector's amortised growth is then the one remaining steady-state
+    /// allocation). When set, only the most recent N reports are kept and
+    /// the report buffer reaches a fixed capacity — required for the
+    /// zero-allocation-per-window guarantee on long-running sessions.
+    std::size_t max_report_history = 0;
   };
 
   struct WindowReport {
@@ -106,6 +113,10 @@ class BaseStation {
   std::vector<WindowReport> reports_;
   Stats stats_;
   // Scratch reused across packets/windows to avoid steady-state allocation.
+  // With max_report_history set, a station's receive -> classify path
+  // performs zero heap allocations per window once warm (spectral
+  // cross-check, off by default, is outside that envelope).
+  core::WindowScratch scratch_;
   std::vector<std::uint8_t> flag_scratch_;
   std::vector<double> hold_scratch_;
   std::vector<double> ecg_win_;

@@ -4,6 +4,7 @@
 
 #include <span>
 
+#include "alloc_guard.hpp"
 #include "attack/attack.hpp"
 #include "attack/scenario.hpp"
 #include "core/detector.hpp"
@@ -179,6 +180,60 @@ TEST_F(PipelineTest, ClassifyRecordCoversWholeTrace) {
   const Detector detector(train(DetectorVersion::kOriginal));
   const auto verdicts = detector.classify_record((*testing_)[0]);
   EXPECT_EQ(verdicts.size(), 40u) << "2 min / 3 s windows";
+}
+
+// --- memory discipline -------------------------------------------------------------
+
+TEST_F(PipelineTest, ScratchClassifyMatchesAllocatingClassify) {
+  // The scratch-based steady-state path must be bit-identical to the
+  // historical allocating path, window for window.
+  for (auto version : {DetectorVersion::kOriginal,
+                       DetectorVersion::kSimplified,
+                       DetectorVersion::kReduced}) {
+    const Detector detector(train(version));
+    const auto& rec = (*testing_)[0];
+    WindowScratch scratch;
+    constexpr std::size_t kWindow = 1080;
+    for (std::size_t start = 0; start + kWindow <= rec.ecg.size();
+         start += kWindow) {
+      const Portrait fresh = make_window_portrait(rec, start, kWindow);
+      const DetectionResult a = detector.classify(fresh);
+      make_window_portrait_into(rec, start, kWindow, scratch);
+      const DetectionResult b = detector.classify(scratch.portrait, scratch);
+      EXPECT_EQ(a.altered, b.altered) << to_string(version);
+      EXPECT_EQ(a.decision_value, b.decision_value) << to_string(version);
+      EXPECT_EQ(a.peak_check_failed, b.peak_check_failed);
+      EXPECT_EQ(a.features, b.features) << to_string(version);
+    }
+  }
+}
+
+TEST_F(PipelineTest, SteadyStateClassifyIsAllocationFree) {
+  // After one warm-up pass (which sizes every scratch buffer to the
+  // record's worst-case window), classifying windows through the scratch
+  // arena must perform zero heap allocations — the invariant that lets a
+  // fleet worker classify millions of windows without touching malloc.
+  const Detector detector(train(DetectorVersion::kOriginal));
+  const auto& rec = (*testing_)[0];
+  WindowScratch scratch;
+  constexpr std::size_t kWindow = 1080;
+
+  auto classify_all = [&] {
+    double sink = 0.0;
+    for (std::size_t start = 0; start + kWindow <= rec.ecg.size();
+         start += kWindow) {
+      make_window_portrait_into(rec, start, kWindow, scratch);
+      sink += detector.classify(scratch.portrait, scratch).decision_value;
+    }
+    return sink;
+  };
+
+  const double warm = classify_all();  // warm-up: buffers reach capacity
+  sift::testing::AllocGuard guard;
+  const double steady = classify_all();
+  EXPECT_EQ(guard.count(), 0u)
+      << "steady-state classify must not heap-allocate";
+  EXPECT_EQ(warm, steady) << "warm-up must not change verdicts";
 }
 
 // --- experiment harness -----------------------------------------------------------

@@ -10,17 +10,21 @@
 #include <chrono>
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "alloc_guard.hpp"
+#include "core/trainer.hpp"
 #include "fleet/bounded_queue.hpp"
 #include "fleet/engine.hpp"
 #include "fleet/metrics.hpp"
 #include "fleet/model_registry.hpp"
 #include "fleet/replay.hpp"
 #include "fleet/session_table.hpp"
+#include "physio/dataset.hpp"
 
 namespace sift::fleet {
 namespace {
@@ -329,6 +333,83 @@ TEST_F(FleetEngineTest, IngestAfterDrainIsRejectedAndCounted) {
   EXPECT_FALSE(engine.ingest(0, fixture_->session_packets(0)[0]));
   EXPECT_EQ(engine.metrics().counter("fleet.ingest_rejected").value(), 1u);
   engine.drain();  // idempotent
+}
+
+// --- memory discipline ------------------------------------------------------
+
+// Splits a record into both channels' packet streams, interleaved in
+// arrival order. @p seq_base offsets the sequence numbers so the same
+// window content can be replayed as a continuation of an earlier stream.
+std::vector<wiot::Packet> packetize(const physio::Record& rec,
+                                    std::size_t samples_per_packet,
+                                    std::uint32_t seq_base) {
+  std::vector<wiot::Packet> out;
+  const std::size_t n_packets = rec.ecg.size() / samples_per_packet;
+  for (std::size_t i = 0; i < n_packets; ++i) {
+    const std::size_t base = i * samples_per_packet;
+    wiot::Packet ecg;
+    ecg.kind = wiot::ChannelKind::kEcg;
+    ecg.seq = seq_base + static_cast<std::uint32_t>(i);
+    const auto es = rec.ecg.samples().subspan(base, samples_per_packet);
+    ecg.samples.assign(es.begin(), es.end());
+    for (std::size_t p : rec.r_peaks) {
+      if (p >= base && p < base + samples_per_packet) {
+        ecg.peaks.push_back(p - base);
+      }
+    }
+    wiot::Packet abp;
+    abp.kind = wiot::ChannelKind::kAbp;
+    abp.seq = ecg.seq;
+    const auto as = rec.abp.samples().subspan(base, samples_per_packet);
+    abp.samples.assign(as.begin(), as.end());
+    for (std::size_t p : rec.systolic_peaks) {
+      if (p >= base && p < base + samples_per_packet) {
+        abp.peaks.push_back(p - base);
+      }
+    }
+    out.push_back(std::move(ecg));
+    out.push_back(std::move(abp));
+  }
+  return out;
+}
+
+// The worker-loop body — Session::receive, i.e. packet reassembly plus the
+// per-window samples -> verdict pipeline — must be allocation-free in
+// steady state: with thousands of sessions per process, per-window mallocs
+// are both the dominant cost and a lock-contention source across workers.
+// The warm-up pass replays the full packet stream once so every scratch
+// buffer reaches its high-water capacity; the measured pass replays the
+// same windows as a sequence-number continuation.
+TEST(SessionMemory, SteadyStateReceiveIsAllocationFree) {
+  const auto cohort = physio::synthetic_cohort(3, 7);
+  const auto training = physio::generate_cohort_records(cohort, 60.0);
+  core::SiftConfig sift_config;
+  auto model = std::make_shared<const core::UserModel>(core::train_user_model(
+      training[0], std::span(training).subspan(1), sift_config));
+
+  wiot::BaseStation::Config station;
+  station.max_report_history = 8;  // bounded retention: report buffer
+                                   // capacity plateaus during warm-up
+  Session session(std::move(model), station);
+
+  const auto rec =
+      physio::generate_record(cohort[0], 60.0, physio::kDefaultRateHz, 2);
+  const auto n_packets =
+      static_cast<std::uint32_t>(rec.ecg.size() / station.samples_per_packet);
+  const auto warm = packetize(rec, station.samples_per_packet, 0);
+  const auto steady = packetize(rec, station.samples_per_packet, n_packets);
+
+  for (const auto& p : warm) session.receive(p);
+  const auto windows_after_warmup = session.stats().windows_classified;
+  ASSERT_GE(windows_after_warmup, 10u) << "warm-up must classify windows";
+
+  sift::testing::AllocGuard guard;
+  for (const auto& p : steady) session.receive(p);
+  EXPECT_EQ(guard.count(), 0u)
+      << "steady-state Session::receive must not heap-allocate";
+  EXPECT_EQ(session.stats().windows_classified, 2 * windows_after_warmup);
+  EXPECT_EQ(session.station().reports().size(), station.max_report_history)
+      << "retention bound holds";
 }
 
 // The LRU registry under engine traffic: 64 users share 3 artefacts, so a

@@ -10,9 +10,13 @@
 #include "core/fixed_point.hpp"
 #include "core/portrait.hpp"
 #include "core/windows.hpp"
+#include "peaks/pairing.hpp"
+#include "peaks/pan_tompkins.hpp"
+#include "peaks/systolic.hpp"
 #include "physio/dataset.hpp"
 #include "physio/user_profile.hpp"
 #include "ml/metrics.hpp"
+#include "ml/scaler.hpp"
 #include "ml/svm.hpp"
 #include "signal/normalize.hpp"
 #include "signal/stats.hpp"
@@ -125,6 +129,121 @@ TEST_P(GridSweepTest, MatrixFeaturesBehaveAtAnyResolution) {
 
 INSTANTIATE_TEST_SUITE_P(Grids, GridSweepTest,
                          ::testing::Values(1, 2, 5, 10, 25, 50, 100, 200));
+
+// --- zero-allocation refactor equivalences ------------------------------------------
+//
+// The span/scratch-based hot path introduced by the memory-discipline
+// refactor must be *bit-identical* to the historical allocating APIs — not
+// merely close: the detector's verdicts, the golden tests, and the Amulet
+// energy model all assume the two paths compute the same values.
+
+TEST_P(RandomPortraitTest, FeatureVectorPathMatchesVectorPath) {
+  const auto p = random_portrait(GetParam());
+  for (auto v : {core::DetectorVersion::kOriginal,
+                 core::DetectorVersion::kSimplified,
+                 core::DetectorVersion::kReduced}) {
+    for (auto a : {core::Arithmetic::kDouble, core::Arithmetic::kFloat32,
+                   core::Arithmetic::kFixedQ16}) {
+      const core::CountMatrix m(p, core::kDefaultGridSize);
+      const auto want = core::extract_features(p, m, v, a);
+      core::FeatureVector got;
+      core::extract_features_into(p, m, v, a, got);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i], want[i])  // bitwise, not NEAR
+            << core::to_string(v) << "/" << core::to_string(a) << " [" << i
+            << "]";
+      }
+    }
+  }
+}
+
+TEST_P(RandomPortraitTest, RebuiltPortraitMatchesConstructedPortrait) {
+  const auto fresh = random_portrait(GetParam());
+  // Rebuild a warm portrait (capacity already sized by a different seed)
+  // from the same input; every derived point must be bitwise identical.
+  core::Portrait reused = random_portrait(GetParam() + 1);
+  std::mt19937_64 rng(GetParam());
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<double> ecg;
+  std::vector<double> abp;
+  for (std::size_t i = 0; i < 256; ++i) {
+    ecg.push_back(std::sin(i * 0.21) + 0.3 * noise(rng));
+    abp.push_back(85.0 + 12.0 * std::sin(i * 0.21 - 0.7) + noise(rng));
+  }
+  std::vector<std::size_t> r;
+  std::vector<std::size_t> s;
+  for (std::size_t i = 10; i + 16 < 256; i += 64) {
+    r.push_back(i);
+    s.push_back(i + 12);
+  }
+  core::PortraitInput in;
+  in.ecg = ecg;
+  in.abp = abp;
+  in.r_peaks = r;
+  in.sys_peaks = s;
+  in.sample_rate_hz = 100.0;
+  reused.rebuild(in);
+
+  ASSERT_EQ(reused.points().size(), fresh.points().size());
+  for (std::size_t i = 0; i < fresh.points().size(); ++i) {
+    EXPECT_EQ(reused.points()[i].x, fresh.points()[i].x);
+    EXPECT_EQ(reused.points()[i].y, fresh.points()[i].y);
+  }
+  ASSERT_EQ(reused.peak_pairs().size(), fresh.peak_pairs().size());
+  for (std::size_t i = 0; i < fresh.peak_pairs().size(); ++i) {
+    EXPECT_EQ(reused.peak_pairs()[i].r.x, fresh.peak_pairs()[i].r.x);
+    EXPECT_EQ(reused.peak_pairs()[i].systolic.y,
+              fresh.peak_pairs()[i].systolic.y);
+  }
+}
+
+TEST(SpanOverloads, PeakDetectorsMatchSeriesPath) {
+  const auto cohort = physio::synthetic_cohort(2, 13);
+  const auto rec = physio::generate_record(cohort[0], 30.0);
+  EXPECT_EQ(peaks::detect_r_peaks(rec.ecg),
+            peaks::detect_r_peaks(rec.ecg.samples(),
+                                  rec.ecg.sample_rate_hz()));
+  EXPECT_EQ(peaks::detect_systolic_peaks(rec.abp),
+            peaks::detect_systolic_peaks(rec.abp.samples(),
+                                         rec.abp.sample_rate_hz()));
+}
+
+TEST(SpanOverloads, PairPeaksMatchesStreamingCore) {
+  const std::vector<std::size_t> r{10, 100, 220, 340, 500};
+  const std::vector<std::size_t> s{25, 130, 260, 600};
+  const auto want = peaks::pair_peaks(r, s, 360.0);
+  const auto got =
+      peaks::pair_peaks(std::span<const std::size_t>(r),
+                        std::span<const std::size_t>(s), 360.0);
+  ASSERT_EQ(got.size(), want.size());
+  std::size_t streamed = 0;
+  peaks::for_each_peak_pair(r, s, 360.0, peaks::kDefaultMaxPairDelayS,
+                            [&](std::size_t rp, std::size_t sp) {
+                              ASSERT_LT(streamed, want.size());
+                              EXPECT_EQ(rp, want[streamed].r_index);
+                              EXPECT_EQ(sp, want[streamed].sys_index);
+                              ++streamed;
+                            });
+  EXPECT_EQ(streamed, want.size());
+}
+
+TEST(SpanOverloads, ScalerAndSvmSpanPathsMatchVectorPaths) {
+  const auto mean = std::vector<double>{1.0, -2.0, 0.5};
+  const auto scale = std::vector<double>{2.0, 0.25, 1.5};
+  const auto scaler = ml::StandardScaler::from_params(mean, scale);
+  const std::vector<double> x{0.3, 4.0, -1.25};
+  const auto want = scaler.transform(x);
+  std::vector<double> got(x.size());
+  scaler.transform_into(x, got);
+  EXPECT_EQ(got, want);
+
+  ml::LinearSvmModel svm;
+  svm.w = {0.5, -1.0, 2.0};
+  svm.b = 0.125;
+  EXPECT_EQ(svm.decision_value(std::span<const double>(x)),
+            svm.decision_value(x));
+}
 
 // --- normalisation properties -------------------------------------------------------
 
