@@ -150,6 +150,13 @@ int write_json_snapshot(const std::string& path) {
     std::fprintf(stderr, "bench_fleet: cannot open %s\n", path.c_str());
     return 1;
   }
+  // Resilience counters ride along so regression tracking also notices a
+  // bench run that started rejecting or quarantining (all zero on a clean
+  // replay).
+  auto count = [&engine](const char* name) {
+    return static_cast<unsigned long long>(
+        engine.metrics().counter(name).value());
+  };
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"fleet_replay\",\n"
@@ -159,12 +166,26 @@ int write_json_snapshot(const std::string& path) {
                "  \"windows_per_sec\": %.1f,\n"
                "  \"detect_p50_us\": %.3f,\n"
                "  \"detect_p99_us\": %.3f,\n"
-               "  \"session_allocs_per_window\": %.4f\n"
+               "  \"session_allocs_per_window\": %.4f,\n"
+               "  \"packets_rejected\": %llu,\n"
+               "  \"sessions_quarantined\": %llu,\n"
+               "  \"worker_faults\": %llu,\n"
+               "  \"tier_downgrades\": %llu,\n"
+               "  \"tier_upgrades\": %llu,\n"
+               "  \"breaker_open\": %llu,\n"
+               "  \"provider_retries\": %llu\n"
                "}\n",
                kWorkers, kSessions,
                static_cast<unsigned long long>(result.windows_classified),
                windows_per_sec, latency.quantile_us(0.5),
-               latency.quantile_us(0.99), allocs_per_window);
+               latency.quantile_us(0.99), allocs_per_window,
+               count("fleet.packets_rejected"),
+               count("fleet.sessions_quarantined"),
+               count("fleet.worker_faults"), count("fleet.tier_downgrades"),
+               count("fleet.tier_upgrades"),
+               static_cast<unsigned long long>(engine.models().open_breakers()),
+               static_cast<unsigned long long>(
+                   engine.models().provider_retries()));
   std::fclose(f);
   std::printf("fleet: %.0f windows/s (%zu workers), detect p50 %.2f us, "
               "p99 %.2f us, %.4f allocs/window -> %s\n",

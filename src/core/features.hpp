@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,40 @@ enum class Arithmetic { kDouble, kFloat32, kFixedQ16 };
 /// 8 for Original/Simplified, 5 for Reduced.
 constexpr std::size_t feature_count(DetectorVersion v) noexcept {
   return v == DetectorVersion::kReduced ? 5 : 8;
+}
+
+/// The paper's Table II versions double as a graceful-degradation ladder:
+/// Original (full accuracy, libm) → Simplified (libm-free) → Reduced (5
+/// geometric features, cheapest). tier_rank orders them by cost; the fleet
+/// engine walks the ladder under load-shed pressure (see fleet/engine.hpp).
+constexpr int tier_rank(DetectorVersion v) noexcept {
+  return static_cast<int>(v);
+}
+
+/// Next-cheaper version, or nullopt at the bottom (Reduced).
+constexpr std::optional<DetectorVersion> tier_below(DetectorVersion v) noexcept {
+  switch (v) {
+    case DetectorVersion::kOriginal:
+      return DetectorVersion::kSimplified;
+    case DetectorVersion::kSimplified:
+      return DetectorVersion::kReduced;
+    case DetectorVersion::kReduced:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// Next-richer version, or nullopt at the top (Original).
+constexpr std::optional<DetectorVersion> tier_above(DetectorVersion v) noexcept {
+  switch (v) {
+    case DetectorVersion::kOriginal:
+      return std::nullopt;
+    case DetectorVersion::kSimplified:
+      return DetectorVersion::kOriginal;
+    case DetectorVersion::kReduced:
+      return DetectorVersion::kSimplified;
+  }
+  return std::nullopt;
 }
 
 const char* to_string(DetectorVersion v) noexcept;

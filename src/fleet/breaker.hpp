@@ -1,0 +1,114 @@
+// Circuit breaker for flaky dependencies (model loads, here).
+//
+// Classic three-state machine, tuned for a per-user model provider that
+// may be briefly unreachable (provisioning service restart) or durably
+// broken (corrupt artefact):
+//
+//   closed ──N consecutive failures──▶ open ──deadline──▶ half-open
+//     ▲                                 ▲                    │
+//     └──────── probe succeeds ─────────┼──── probe fails ───┘
+//
+// While closed, each failure also arms a capped exponential backoff so
+// retries do not hammer a struggling provider; while open, every call
+// fails fast without touching the provider at all. Time is injected so
+// the state machine is unit-testable without sleeping (see fleet_test).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+
+namespace sift::fleet {
+
+struct BreakerPolicy {
+  /// Consecutive failures that trip the breaker open.
+  std::size_t failure_threshold = 3;
+  /// Backoff after the first failure while still closed; doubles per
+  /// failure, capped at max_backoff.
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{1000};
+  /// Open → half-open probe deadline.
+  std::chrono::milliseconds open_deadline{250};
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit CircuitBreaker(BreakerPolicy policy = {}) : policy_(policy) {}
+
+  /// May the caller attempt the protected operation right now? Transitions
+  /// open → half-open when the probe deadline has passed (the caller that
+  /// gets `true` in half-open is the probe).
+  bool allow(TimePoint now) noexcept {
+    switch (state_) {
+      case State::kClosed:
+        return now >= retry_at_;
+      case State::kOpen:
+        if (now >= retry_at_) {
+          state_ = State::kHalfOpen;
+          return true;
+        }
+        return false;
+      case State::kHalfOpen:
+        // One probe at a time; callers racing the prober fail fast.
+        return false;
+    }
+    return false;
+  }
+
+  /// Resets to a fresh closed breaker.
+  void record_success() noexcept {
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+    backoff_ = std::chrono::milliseconds{0};
+    retry_at_ = TimePoint{};
+  }
+
+  /// Counts the failure; trips open at the threshold (or instantly when a
+  /// half-open probe fails).
+  void record_failure(TimePoint now) noexcept {
+    ++consecutive_failures_;
+    if (state_ == State::kHalfOpen ||
+        consecutive_failures_ >= policy_.failure_threshold) {
+      if (state_ != State::kOpen) ++times_opened_;
+      state_ = State::kOpen;
+      retry_at_ = now + policy_.open_deadline;
+      return;
+    }
+    backoff_ = backoff_.count() == 0
+                   ? policy_.initial_backoff
+                   : std::min(backoff_ * 2, policy_.max_backoff);
+    retry_at_ = now + backoff_;
+  }
+
+  State state() const noexcept { return state_; }
+  std::size_t consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+  /// Transitions into the open state since construction.
+  std::size_t times_opened() const noexcept { return times_opened_; }
+
+ private:
+  BreakerPolicy policy_;
+  State state_ = State::kClosed;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t times_opened_ = 0;
+  std::chrono::milliseconds backoff_{0};
+  TimePoint retry_at_{};
+};
+
+inline const char* to_string(CircuitBreaker::State s) noexcept {
+  switch (s) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace sift::fleet

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/features.hpp"
+#include "fleet/faults.hpp"
+
 namespace sift::fleet {
 
 namespace {
@@ -12,18 +15,46 @@ std::size_t resolve_workers(std::size_t requested) {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+FleetConfig resolve_validation(FleetConfig config) {
+  if (config.validation.expected_samples == 0) {
+    config.validation.expected_samples = config.station.samples_per_packet;
+  }
+  return config;
+}
+
 }  // namespace
 
 FleetEngine::FleetEngine(ModelProvider provider, FleetConfig config)
-    : config_(config),
-      registry_(std::move(provider), config.model_cache_capacity),
+    : config_(resolve_validation(config)),
+      registry_(std::move(provider), config.model_cache_capacity,
+                config.breaker),
       table_(config.shards, registry_, config.station) {
+  resolve_instruments();
+}
+
+FleetEngine::FleetEngine(TieredModelProvider provider, FleetConfig config)
+    : config_(resolve_validation(config)),
+      registry_(std::move(provider), config.model_cache_capacity,
+                config.breaker),
+      table_(config.shards, registry_, config.station) {
+  resolve_instruments();
+}
+
+void FleetEngine::resolve_instruments() {
   ingested_ = &metrics_.counter("fleet.ingest_packets");
   rejected_ = &metrics_.counter("fleet.ingest_rejected");
   dropped_ = &metrics_.counter("fleet.queue_dropped");
   windows_ = &metrics_.counter("fleet.windows_classified");
   alerts_ = &metrics_.counter("fleet.alerts");
   degraded_ = &metrics_.counter("fleet.degraded_windows");
+  packets_rejected_ = &metrics_.counter("fleet.packets_rejected");
+  unscored_windows_ = &metrics_.counter("fleet.windows_unscored");
+  worker_faults_ = &metrics_.counter("fleet.worker_faults");
+  quarantine_entries_ = &metrics_.counter("fleet.sessions_quarantined");
+  quarantine_exits_ = &metrics_.counter("fleet.quarantine_exits");
+  quarantine_dropped_ = &metrics_.counter("fleet.quarantine_dropped");
+  tier_downgrades_ = &metrics_.counter("fleet.tier_downgrades");
+  tier_upgrades_ = &metrics_.counter("fleet.tier_upgrades");
   e2e_latency_ = &metrics_.histogram("fleet.e2e_latency");
   detect_latency_ = &metrics_.histogram("fleet.detect_latency");
 
@@ -51,9 +82,26 @@ FleetEngine::FleetEngine(ModelProvider provider, FleetConfig config)
 
 FleetEngine::~FleetEngine() { drain(); }
 
+std::uint64_t FleetEngine::rejects_for(int user_id) const {
+  std::lock_guard lock(reject_mu_);
+  const auto it = rejects_by_user_.find(user_id);
+  return it == rejects_by_user_.end() ? 0 : it->second;
+}
+
 bool FleetEngine::ingest(int user_id, wiot::Packet packet) {
   if (draining_.load(std::memory_order_relaxed)) {
     rejected_->add();
+    return false;
+  }
+  // Validation gate: a NaN sample or an insane sequence number must never
+  // reach the queue, let alone a worker. Rejects are charged to the
+  // session so one hostile wearer's garbage is visible as *their* problem.
+  if (config_.validate_ingest &&
+      wiot::validate_packet(packet, config_.validation) !=
+          wiot::PacketFault::kNone) {
+    packets_rejected_->add();
+    std::lock_guard lock(reject_mu_);
+    ++rejects_by_user_[user_id];
     return false;
   }
   Envelope env;
@@ -113,17 +161,98 @@ void FleetEngine::worker_loop(WorkerState& self) {
   }
 }
 
+void FleetEngine::maybe_shift_tier(Session& session, int user_id,
+                                   std::size_t /*shard*/,
+                                   std::size_t observed_depth) {
+  const LoadShedConfig& shed = config_.load_shed;
+  if (!shed.enabled || !registry_.tiered() || !session.scored()) return;
+  Session::Health& health = session.health();
+  if (health.shed_cooldown > 0) {
+    --health.shed_cooldown;
+    return;
+  }
+  if (observed_depth >= shed.high_watermark) {
+    const auto below = core::tier_below(session.tier());
+    if (!below) return;  // already at the Reduced floor
+    auto lease = registry_.try_acquire(user_id, *below);
+    if (!lease.model) return;  // no artefact for that tier: stay put
+    session.install_detector(core::Detector(std::move(lease.model)));
+    tier_downgrades_->add();
+    health.shed_cooldown = shed.cooldown_packets;
+  } else if (observed_depth <= shed.low_watermark &&
+             core::tier_rank(session.tier()) >
+                 core::tier_rank(session.home_tier())) {
+    const auto above = core::tier_above(session.tier());
+    if (!above) return;
+    auto lease = registry_.try_acquire(user_id, *above);
+    if (!lease.model) return;
+    session.install_detector(core::Detector(std::move(lease.model)));
+    tier_upgrades_->add();
+    health.shed_cooldown = shed.cooldown_packets;
+  }
+}
+
 void FleetEngine::process(Envelope env) {
+  std::optional<std::size_t> forced_depth;
+  if (config_.injector) {
+    forced_depth = config_.injector->on_worker_dequeue(env.shard);
+  }
   const auto start = std::chrono::steady_clock::now();
   std::size_t new_windows = 0;
   std::size_t new_alerts = 0;
   std::size_t new_degraded = 0;
+  std::size_t new_unscored = 0;
   table_.with_session(env.shard, env.user_id, [&](Session& session) {
+    Session::Health& health = session.health();
+    bool probing = false;
+    if (health.quarantined) {
+      // Poisoned session: shed its packets, but let one through every
+      // probe_interval drops to test whether the poison has passed.
+      if (health.probe_countdown > 0) {
+        --health.probe_countdown;
+        ++health.quarantine_dropped;
+        quarantine_dropped_->add();
+        return;
+      }
+      probing = true;
+    }
+    const std::size_t depth =
+        forced_depth ? *forced_depth : queues_[env.shard]->size();
+    maybe_shift_tier(session, env.user_id, env.shard, depth);
     const wiot::BaseStation::Stats before = session.stats();
-    session.receive(env.packet);
+    try {
+      if (config_.injector) {
+        config_.injector->maybe_throw_in_worker(env.user_id);
+      }
+      session.receive(env.packet);
+      health.consecutive_faults = 0;
+      if (probing) {
+        health.quarantined = false;
+        ++health.quarantine_exits;
+        quarantine_exits_->add();
+      }
+    } catch (...) {
+      // Worker supervision: a throwing pipeline must cost exactly one
+      // packet, never the worker (one poisoned wearer cannot take down a
+      // shard). K consecutive faults quarantine the session.
+      worker_faults_->add();
+      ++health.faults_total;
+      ++health.consecutive_faults;
+      if (probing || health.consecutive_faults >=
+                         config_.supervision.quarantine_threshold) {
+        if (!health.quarantined) {
+          health.quarantined = true;
+          ++health.quarantine_entries;
+          quarantine_entries_->add();
+        }
+        health.probe_countdown = config_.supervision.probe_interval;
+      }
+      return;
+    }
     const wiot::BaseStation::Stats& after = session.stats();
     new_windows = after.windows_classified - before.windows_classified;
     new_alerts = after.alerts - before.alerts;
+    new_unscored = after.unscored_windows - before.unscored_windows;
     const auto& reports = session.station().reports();
     for (std::size_t i = reports.size() - new_windows; i < reports.size();
          ++i) {
@@ -135,6 +264,7 @@ void FleetEngine::process(Envelope env) {
     windows_->add(new_windows);
     alerts_->add(new_alerts);
     degraded_->add(new_degraded);
+    unscored_windows_->add(new_unscored);
     // Detection latency: the reassemble-and-classify cost of the packet
     // that completed the window(s); queue wait is reported separately by
     // the end-to-end histogram.
@@ -178,16 +308,28 @@ std::string FleetEngine::metrics_json() {
       .set(static_cast<std::int64_t>(registry_.misses()));
   metrics_.gauge("fleet.model_evictions")
       .set(static_cast<std::int64_t>(registry_.evictions()));
+  // Self-healing surface: breaker + provider retry behaviour.
+  metrics_.gauge("fleet.breaker_open")
+      .set(static_cast<std::int64_t>(registry_.open_breakers()));
+  metrics_.gauge("fleet.breaker_opens_total")
+      .set(static_cast<std::int64_t>(registry_.breaker_opens()));
+  metrics_.gauge("fleet.provider_retries")
+      .set(static_cast<std::int64_t>(registry_.provider_retries()));
+  metrics_.gauge("fleet.provider_failures")
+      .set(static_cast<std::int64_t>(registry_.provider_failures()));
 
   // Station-level aggregates (reassembly health across every session).
   wiot::BaseStation::Stats total;
+  std::int64_t unscored_sessions = 0;
   table_.for_each([&](int, const Session& session) {
     const auto& s = session.stats();
     total.packets_received += s.packets_received;
     total.duplicates_ignored += s.duplicates_ignored;
     total.malformed_rejected += s.malformed_rejected;
+    total.seq_rejected += s.seq_rejected;
     total.gaps_filled += s.gaps_filled;
     total.overflow_dropped += s.overflow_dropped;
+    if (!session.scored()) ++unscored_sessions;
   });
   metrics_.gauge("fleet.station.packets_received")
       .set(static_cast<std::int64_t>(total.packets_received));
@@ -195,10 +337,13 @@ std::string FleetEngine::metrics_json() {
       .set(static_cast<std::int64_t>(total.duplicates_ignored));
   metrics_.gauge("fleet.station.malformed_rejected")
       .set(static_cast<std::int64_t>(total.malformed_rejected));
+  metrics_.gauge("fleet.station.seq_rejected")
+      .set(static_cast<std::int64_t>(total.seq_rejected));
   metrics_.gauge("fleet.station.gaps_filled")
       .set(static_cast<std::int64_t>(total.gaps_filled));
   metrics_.gauge("fleet.station.overflow_dropped")
       .set(static_cast<std::int64_t>(total.overflow_dropped));
+  metrics_.gauge("fleet.sessions_unscored").set(unscored_sessions);
   return metrics_.snapshot_json();
 }
 

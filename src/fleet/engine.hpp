@@ -25,6 +25,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "fleet/bounded_queue.hpp"
@@ -32,8 +33,31 @@
 #include "fleet/model_registry.hpp"
 #include "fleet/session_table.hpp"
 #include "wiot/packet.hpp"
+#include "wiot/validate.hpp"
 
 namespace sift::fleet {
+
+class FaultInjector;
+
+/// Worker-side fault supervision: how many consecutive pipeline throws a
+/// session survives before it is quarantined, and how often a quarantined
+/// session gets a probe packet to prove it recovered.
+struct SupervisionConfig {
+  std::size_t quarantine_threshold = 3;
+  /// Packets dropped (and counted) between quarantine probes.
+  std::size_t probe_interval = 16;
+};
+
+/// Load-shed degradation down the paper's detector ladder
+/// (Original → Simplified → Reduced) when a shard queue stays hot.
+/// Requires a TieredModelProvider; silently inactive otherwise.
+struct LoadShedConfig {
+  bool enabled = false;
+  std::size_t high_watermark = 192;  ///< queue depth that forces a step down
+  std::size_t low_watermark = 8;     ///< queue depth that allows a step up
+  /// Packets a session waits between tier moves (hysteresis).
+  std::size_t cooldown_packets = 4;
+};
 
 struct FleetConfig {
   std::size_t workers = 0;  ///< 0 = hardware concurrency
@@ -42,14 +66,27 @@ struct FleetConfig {
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   std::size_t model_cache_capacity = 64;  ///< LRU registry residency bound
   wiot::BaseStation::Config station;      ///< per-session window config
+  /// Ingest-side packet validation (fleet.packets_rejected). When
+  /// validation.expected_samples is 0 it is pinned to
+  /// station.samples_per_packet at construction.
+  bool validate_ingest = true;
+  wiot::ValidationLimits validation;
+  BreakerPolicy breaker;  ///< model-load retry/backoff/breaker policy
+  SupervisionConfig supervision;
+  LoadShedConfig load_shed;
+  /// Chaos hook (non-owning, may be null): stalls workers, forces shed
+  /// depth, and throws on the per-packet path per its seeded schedule.
+  FaultInjector* injector = nullptr;
 };
 
 class FleetEngine {
  public:
   /// Workers start immediately. @throws std::invalid_argument on zero
   /// shards/queue capacity (via the members) — workers=0 resolves to the
-  /// host's hardware concurrency.
+  /// host's hardware concurrency. The tiered overload enables the
+  /// load-shed degradation ladder.
   FleetEngine(ModelProvider provider, FleetConfig config);
+  FleetEngine(TieredModelProvider provider, FleetConfig config);
   ~FleetEngine();  ///< drains if the caller has not
 
   FleetEngine(const FleetEngine&) = delete;
@@ -75,6 +112,9 @@ class FleetEngine {
     return windows_->value();
   }
   std::uint64_t alerts() const noexcept { return alerts_->value(); }
+
+  /// Ingest-side validation rejects charged to @p user_id (0 if none).
+  std::uint64_t rejects_for(int user_id) const;
 
   /// Refreshes the level gauges (queue depth, residency, per-station
   /// aggregates) and returns the full JSON snapshot.
@@ -103,6 +143,11 @@ class FleetEngine {
   void worker_loop(WorkerState& self);
   std::size_t sweep_owned_shards(WorkerState& self);
   void process(Envelope env);
+  void resolve_instruments();
+  /// Steps @p session along the degradation ladder based on the shard
+  /// queue depth (possibly overridden by the injector during a burst).
+  void maybe_shift_tier(Session& session, int user_id, std::size_t shard,
+                        std::size_t observed_depth);
 
   FleetConfig config_;
   MetricsRegistry metrics_;
@@ -122,8 +167,21 @@ class FleetEngine {
   Counter* windows_ = nullptr;
   Counter* alerts_ = nullptr;
   Counter* degraded_ = nullptr;
+  Counter* packets_rejected_ = nullptr;    ///< ingest validation
+  Counter* unscored_windows_ = nullptr;    ///< windows without a model
+  Counter* worker_faults_ = nullptr;       ///< pipeline throws caught
+  Counter* quarantine_entries_ = nullptr;
+  Counter* quarantine_exits_ = nullptr;
+  Counter* quarantine_dropped_ = nullptr;
+  Counter* tier_downgrades_ = nullptr;
+  Counter* tier_upgrades_ = nullptr;
   LatencyHistogram* e2e_latency_ = nullptr;
   LatencyHistogram* detect_latency_ = nullptr;
+
+  // Per-user validation-reject tallies; off the accept path (only rejects
+  // take the lock), so ingest stays allocation-free for valid traffic.
+  mutable std::mutex reject_mu_;
+  std::unordered_map<int, std::uint64_t> rejects_by_user_;
 
   std::vector<std::jthread> threads_;  ///< last member: joins before teardown
 };

@@ -5,8 +5,21 @@
 
 namespace sift::fleet {
 
-ModelRegistry::ModelRegistry(ModelProvider provider, std::size_t capacity)
-    : provider_(std::move(provider)), capacity_(capacity) {
+namespace {
+
+RegistryClock resolve_clock(RegistryClock clock) {
+  if (clock) return clock;
+  return [] { return std::chrono::steady_clock::now(); };
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(ModelProvider provider, std::size_t capacity,
+                             BreakerPolicy policy, RegistryClock clock)
+    : provider_(std::move(provider)),
+      capacity_(capacity),
+      policy_(policy),
+      clock_(resolve_clock(std::move(clock))) {
   if (!provider_) {
     throw std::invalid_argument("ModelRegistry: provider must be callable");
   }
@@ -15,26 +28,88 @@ ModelRegistry::ModelRegistry(ModelProvider provider, std::size_t capacity)
   }
 }
 
-std::shared_ptr<const core::UserModel> ModelRegistry::acquire(int user_id) {
-  std::lock_guard lock(mu_);
-  if (auto it = index_.find(user_id); it != index_.end()) {
+ModelRegistry::ModelRegistry(TieredModelProvider provider, std::size_t capacity,
+                             BreakerPolicy policy, RegistryClock clock)
+    : tiered_provider_(std::move(provider)),
+      capacity_(capacity),
+      policy_(policy),
+      clock_(resolve_clock(std::move(clock))) {
+  if (!tiered_provider_) {
+    throw std::invalid_argument("ModelRegistry: provider must be callable");
+  }
+  if (capacity_ == 0) {
+    throw std::invalid_argument("ModelRegistry: capacity must be positive");
+  }
+}
+
+std::shared_ptr<const core::UserModel> ModelRegistry::load(int user_id,
+                                                           int tier) {
+  if (tier == kDefaultTier) {
+    return provider_ ? provider_(user_id)
+                     : tiered_provider_(user_id, core::DetectorVersion::kOriginal);
+  }
+  return tiered_provider_(user_id, static_cast<core::DetectorVersion>(tier));
+}
+
+ModelRegistry::Lease ModelRegistry::acquire_locked(int user_id, int tier) {
+  const Key key = make_key(user_id, tier);
+  if (auto it = index_.find(key); it != index_.end()) {
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+    return {it->second->second, AcquireStatus::kLoaded};
   }
   ++misses_;
-  auto model = provider_(user_id);
-  if (!model) {
-    throw std::runtime_error("ModelRegistry: provider returned no model");
+
+  CircuitBreaker& breaker = breakers_.try_emplace(key, policy_).first->second;
+  const auto now = clock_();
+  if (!breaker.allow(now)) {
+    return {nullptr, breaker.state() == CircuitBreaker::State::kClosed
+                         ? AcquireStatus::kBackoff
+                         : AcquireStatus::kBreakerOpen};
   }
-  lru_.emplace_front(user_id, model);
-  index_[user_id] = lru_.begin();
+
+  if (breaker.consecutive_failures() > 0) ++provider_retries_;
+  std::shared_ptr<const core::UserModel> model;
+  try {
+    model = load(user_id, tier);
+  } catch (...) {
+    model = nullptr;
+  }
+  if (!model) {
+    ++provider_failures_;
+    breaker.record_failure(now);
+    return {nullptr, AcquireStatus::kLoadFailed};
+  }
+  breaker.record_success();
+
+  lru_.emplace_front(key, model);
+  index_[key] = lru_.begin();
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();  // sessions holding the shared_ptr keep it alive
     ++evictions_;
   }
-  return model;
+  return {std::move(model), AcquireStatus::kLoaded};
+}
+
+ModelRegistry::Lease ModelRegistry::try_acquire(int user_id) {
+  std::lock_guard lock(mu_);
+  return acquire_locked(user_id, kDefaultTier);
+}
+
+ModelRegistry::Lease ModelRegistry::try_acquire(int user_id,
+                                                core::DetectorVersion version) {
+  std::lock_guard lock(mu_);
+  if (!tiered_provider_) return {nullptr, AcquireStatus::kUnavailable};
+  return acquire_locked(user_id, static_cast<int>(version));
+}
+
+std::shared_ptr<const core::UserModel> ModelRegistry::acquire(int user_id) {
+  const Lease lease = try_acquire(user_id);
+  if (!lease.model) {
+    throw std::runtime_error("ModelRegistry: provider returned no model");
+  }
+  return lease.model;
 }
 
 std::size_t ModelRegistry::resident() const {
@@ -55,6 +130,47 @@ std::uint64_t ModelRegistry::misses() const {
 std::uint64_t ModelRegistry::evictions() const {
   std::lock_guard lock(mu_);
   return evictions_;
+}
+
+std::uint64_t ModelRegistry::provider_failures() const {
+  std::lock_guard lock(mu_);
+  return provider_failures_;
+}
+
+std::uint64_t ModelRegistry::provider_retries() const {
+  std::lock_guard lock(mu_);
+  return provider_retries_;
+}
+
+std::uint64_t ModelRegistry::breaker_opens() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t opens = 0;
+  for (const auto& [key, breaker] : breakers_) opens += breaker.times_opened();
+  return opens;
+}
+
+std::size_t ModelRegistry::open_breakers() const {
+  std::lock_guard lock(mu_);
+  std::size_t open = 0;
+  for (const auto& [key, breaker] : breakers_) {
+    if (breaker.state() != CircuitBreaker::State::kClosed) ++open;
+  }
+  return open;
+}
+
+CircuitBreaker::State ModelRegistry::breaker_state(int user_id) const {
+  std::lock_guard lock(mu_);
+  const auto it = breakers_.find(make_key(user_id, kDefaultTier));
+  return it == breakers_.end() ? CircuitBreaker::State::kClosed
+                               : it->second.state();
+}
+
+CircuitBreaker::State ModelRegistry::breaker_state(
+    int user_id, core::DetectorVersion version) const {
+  std::lock_guard lock(mu_);
+  const auto it = breakers_.find(make_key(user_id, static_cast<int>(version)));
+  return it == breakers_.end() ? CircuitBreaker::State::kClosed
+                               : it->second.state();
 }
 
 }  // namespace sift::fleet

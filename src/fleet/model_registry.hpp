@@ -1,4 +1,5 @@
-// LRU cache of per-user detection models.
+// LRU cache of per-user detection models, hardened against provider
+// failure.
 //
 // Millions of registered wearers cannot all keep their UserModel resident;
 // a session only needs its model while traffic is flowing. The registry
@@ -7,17 +8,32 @@
 // hottest `capacity` of them, handing out shared_ptrs so eviction never
 // invalidates a session that is mid-window — the model stays alive until
 // the last detector using it drops its reference.
+//
+// Providers fail in production (service restarts, corrupt artefacts), so
+// every (user, tier) load is guarded by a CircuitBreaker: failed loads are
+// retried with capped exponential backoff, N consecutive failures open the
+// breaker (fail-fast, no provider call), and a half-open probe on a
+// deadline heals it. try_acquire never throws — callers run the session
+// unscored until the model arrives (see wiot::BaseStation's detector-less
+// mode).
+//
+// A TieredModelProvider additionally serves the paper's Original /
+// Simplified / Reduced versions of a user's model, which is what lets the
+// engine walk sessions down the degradation ladder under load.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "core/trainer.hpp"
+#include "fleet/breaker.hpp"
 
 namespace sift::fleet {
 
@@ -26,32 +42,101 @@ namespace sift::fleet {
 using ModelProvider =
     std::function<std::shared_ptr<const core::UserModel>(int user_id)>;
 
+/// Tier-aware provider: also serves the Simplified/Reduced artefacts of a
+/// user so the engine can degrade under load. Same contract as
+/// ModelProvider otherwise.
+using TieredModelProvider = std::function<std::shared_ptr<const core::UserModel>(
+    int user_id, core::DetectorVersion version)>;
+
+/// Injectable time source (tests drive the breaker deadlines manually).
+using RegistryClock = std::function<std::chrono::steady_clock::time_point()>;
+
 class ModelRegistry {
  public:
+  enum class AcquireStatus {
+    kLoaded,       ///< model returned (cached or freshly loaded)
+    kBackoff,      ///< recent failure; retry deadline not reached
+    kBreakerOpen,  ///< breaker open (or half-open probe already in flight)
+    kLoadFailed,   ///< provider threw or returned null on this attempt
+    kUnavailable,  ///< tier requested but no tiered provider configured
+  };
+
+  struct Lease {
+    std::shared_ptr<const core::UserModel> model;  ///< null unless kLoaded
+    AcquireStatus status = AcquireStatus::kLoaded;
+  };
+
   /// @throws std::invalid_argument if capacity == 0 or provider is empty.
-  ModelRegistry(ModelProvider provider, std::size_t capacity);
+  ModelRegistry(ModelProvider provider, std::size_t capacity,
+                BreakerPolicy policy = {}, RegistryClock clock = {});
+  ModelRegistry(TieredModelProvider provider, std::size_t capacity,
+                BreakerPolicy policy = {}, RegistryClock clock = {});
 
   /// Fetches (loading if needed) and marks the model most-recently-used.
-  /// @throws std::runtime_error if the provider returns null.
+  /// @throws std::runtime_error if the load fails or is breaker-blocked —
+  /// kept for callers that treat a missing model as fatal; the fleet
+  /// engine uses try_acquire instead.
   std::shared_ptr<const core::UserModel> acquire(int user_id);
+
+  /// Non-throwing acquire through the backoff/breaker machinery. The
+  /// default-tier overload serves whatever the provider's natural artefact
+  /// is; the tier overload requires a TieredModelProvider.
+  Lease try_acquire(int user_id);
+  Lease try_acquire(int user_id, core::DetectorVersion version);
+
+  /// True when construction supplied a TieredModelProvider, i.e. the
+  /// degradation ladder has artefacts to step onto.
+  bool tiered() const noexcept { return static_cast<bool>(tiered_provider_); }
 
   std::size_t resident() const;
   std::uint64_t hits() const;
   std::uint64_t misses() const;
   std::uint64_t evictions() const;
 
+  /// Breaker observability. provider_failures counts throwing/null loads;
+  /// provider_retries counts provider calls made while the key already had
+  /// consecutive failures (i.e. genuine retry attempts); breaker_opens
+  /// counts closed/half-open → open transitions; open_breakers is the
+  /// current number of keys whose breaker is open.
+  std::uint64_t provider_failures() const;
+  std::uint64_t provider_retries() const;
+  std::uint64_t breaker_opens() const;
+  std::size_t open_breakers() const;
+
+  /// State of the default-tier breaker for @p user_id (kClosed if the user
+  /// has never failed).
+  CircuitBreaker::State breaker_state(int user_id) const;
+  CircuitBreaker::State breaker_state(int user_id,
+                                      core::DetectorVersion version) const;
+
  private:
-  using LruList =
-      std::list<std::pair<int, std::shared_ptr<const core::UserModel>>>;
+  /// Cache/breaker key: user id plus tier (kDefaultTier = the plain
+  /// provider's natural artefact).
+  static constexpr int kDefaultTier = -1;
+  using Key = std::int64_t;
+  static Key make_key(int user_id, int tier) noexcept {
+    return (static_cast<Key>(user_id) << 2) | static_cast<Key>(tier + 1);
+  }
+
+  using LruList = std::list<std::pair<Key, std::shared_ptr<const core::UserModel>>>;
+
+  Lease acquire_locked(int user_id, int tier);
+  std::shared_ptr<const core::UserModel> load(int user_id, int tier);
 
   ModelProvider provider_;
+  TieredModelProvider tiered_provider_;
   std::size_t capacity_;
+  BreakerPolicy policy_;
+  RegistryClock clock_;
   mutable std::mutex mu_;
   LruList lru_;  ///< front = most recently used
-  std::unordered_map<int, LruList::iterator> index_;
+  std::unordered_map<Key, LruList::iterator> index_;
+  std::unordered_map<Key, CircuitBreaker> breakers_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t provider_failures_ = 0;
+  std::uint64_t provider_retries_ = 0;
 };
 
 }  // namespace sift::fleet

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "fleet/faults.hpp"
 #include "physio/dataset.hpp"
 #include "physio/user_profile.hpp"
 #include "wiot/sensor_node.hpp"
@@ -35,6 +36,18 @@ ReplayFixture ReplayFixture::build(const ReplayConfig& config) {
     }
     fixture.models_.push_back(std::make_shared<const core::UserModel>(
         core::train_user_model(training[k], donors, sift_config)));
+    if (config.train_all_tiers) {
+      fixture.tiered_models_.resize(3);
+      for (core::DetectorVersion v :
+           {core::DetectorVersion::kOriginal, core::DetectorVersion::kSimplified,
+            core::DetectorVersion::kReduced}) {
+        core::SiftConfig tier_config = sift_config;
+        tier_config.version = v;
+        fixture.tiered_models_[static_cast<std::size_t>(core::tier_rank(v))]
+            .push_back(std::make_shared<const core::UserModel>(
+                core::train_user_model(training[k], donors, tier_config)));
+      }
+    }
   }
 
   fixture.packets_.reserve(config.sessions);
@@ -72,8 +85,20 @@ ModelProvider ReplayFixture::provider() const {
   };
 }
 
+TieredModelProvider ReplayFixture::provider_tiered() const {
+  if (tiered_models_.empty()) {
+    throw std::logic_error(
+        "ReplayFixture: provider_tiered needs config.train_all_tiers");
+  }
+  auto tiers = tiered_models_;
+  return [tiers](int user_id, core::DetectorVersion version) {
+    const auto& bank = tiers[static_cast<std::size_t>(core::tier_rank(version))];
+    return bank[static_cast<std::size_t>(user_id) % bank.size()];
+  };
+}
+
 ReplayResult replay_through(FleetEngine& engine, const ReplayFixture& fixture,
-                            std::size_t producers) {
+                            std::size_t producers, FaultInjector* injector) {
   if (producers == 0) producers = 1;
   producers = std::min(producers, fixture.sessions());
 
@@ -94,7 +119,11 @@ ReplayResult replay_through(FleetEngine& engine, const ReplayFixture& fixture,
             const auto& stream = fixture.session_packets(s);
             if (step >= stream.size()) continue;
             more = true;
-            engine.ingest(static_cast<int>(s), stream[step]);
+            wiot::Packet packet = stream[step];
+            if (injector) {
+              injector->corrupt_packet(static_cast<int>(s), packet);
+            }
+            engine.ingest(static_cast<int>(s), std::move(packet));
           }
         }
       });

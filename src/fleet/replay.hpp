@@ -27,6 +27,10 @@ struct ReplayConfig {
   double train_seconds = 120.0;     ///< Δ for each model
   std::size_t samples_per_packet = 180;
   std::uint64_t seed = 2017;
+  /// Train every detector tier (Original/Simplified/Reduced) per distinct
+  /// user so provider_tiered() can feed the load-shed degradation ladder.
+  /// Triples the training cost; leave off unless the test needs tiers.
+  bool train_all_tiers = false;
 };
 
 /// Expensive to build (trains models, synthesises traces); build once and
@@ -39,6 +43,10 @@ class ReplayFixture {
   /// user_id → model[user_id % distinct_users], shared (never copied).
   ModelProvider provider() const;
 
+  /// Tier-aware provider for the load-shed ladder. Requires
+  /// config.train_all_tiers; @throws std::logic_error otherwise.
+  TieredModelProvider provider_tiered() const;
+
   std::size_t sessions() const noexcept { return packets_.size(); }
   std::size_t total_packets() const noexcept { return total_packets_; }
   /// Time-ordered interleave of both channels for one session.
@@ -50,6 +58,9 @@ class ReplayFixture {
  private:
   ReplayConfig config_;
   std::vector<std::shared_ptr<const core::UserModel>> models_;
+  /// tiered_models_[tier_rank][k]; empty unless train_all_tiers.
+  std::vector<std::vector<std::shared_ptr<const core::UserModel>>>
+      tiered_models_;
   std::vector<std::vector<wiot::Packet>> packets_;
   std::size_t total_packets_ = 0;
 };
@@ -64,8 +75,11 @@ struct ReplayResult {
 /// threads (sessions are partitioned across producers; each session's
 /// packets stay in order, which the engine's per-user FIFO turns into
 /// deterministic verdicts), then drains the engine and reports wall time.
+/// When @p injector is non-null each offered packet first passes through
+/// FaultInjector::corrupt_packet — the radio-side chaos path.
 ReplayResult replay_through(FleetEngine& engine, const ReplayFixture& fixture,
-                            std::size_t producers);
+                            std::size_t producers,
+                            FaultInjector* injector = nullptr);
 
 /// Single-threaded reference: runs each session's packet stream through a
 /// plain BaseStation. The fleet stress test compares engine verdicts

@@ -9,8 +9,17 @@
 // so steady-state classification in the worker loop allocates nothing —
 // set Config::max_report_history to bound report retention and make the
 // guarantee hold over unbounded session lifetimes.
+//
+// A session can exist *without* a model (provider failing behind the
+// registry's circuit breaker): the station then emits unscored verdicts
+// until install_detector heals it. The engine also records per-session
+// health here — consecutive pipeline faults, quarantine state, and the
+// load-shed tier — all mutated only by the shard's owning worker, so none
+// of it needs synchronisation.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <utility>
 
@@ -21,13 +30,48 @@ namespace sift::fleet {
 
 class Session {
  public:
+  /// Fault-supervision state (see FleetEngine::process). Owned by the
+  /// session, driven by the engine; serialized per shard.
+  struct Health {
+    std::size_t consecutive_faults = 0;  ///< pipeline throws since success
+    bool quarantined = false;
+    std::uint64_t faults_total = 0;
+    std::uint64_t quarantine_dropped = 0;  ///< packets shed while poisoned
+    std::uint64_t quarantine_entries = 0;
+    std::uint64_t quarantine_exits = 0;
+    std::size_t probe_countdown = 0;  ///< drops left before the next probe
+    std::size_t shed_cooldown = 0;    ///< packets until next tier move
+    std::uint64_t validation_rejects = 0;  ///< ingest-side rejects
+  };
+
+  /// @p model may be null: the session then starts unscored and can be
+  /// healed later via install_detector (the self-healing path).
   Session(std::shared_ptr<const core::UserModel> model,
           const wiot::BaseStation::Config& station_config)
-      : station_(core::Detector(std::move(model)), station_config) {}
+      : station_(make_station(std::move(model), station_config)),
+        home_tier_(station_.tier()) {}
 
   /// Feeds one reassembly/detection step. Not thread-safe; the engine
   /// guarantees a session is only ever touched by its shard's owner.
   void receive(const wiot::Packet& packet) { station_.receive(packet); }
+
+  bool scored() const noexcept { return station_.has_detector(); }
+
+  /// Installs (or replaces) the detector: model-load recovery and tier
+  /// transitions both land here. The first install fixes the home tier.
+  void install_detector(core::Detector detector) {
+    const bool first = !station_.has_detector();
+    station_.set_detector(std::move(detector));
+    if (first) home_tier_ = station_.tier();
+  }
+
+  core::DetectorVersion tier() const noexcept { return station_.tier(); }
+  /// The tier the session's model was provisioned at — load-shed recovery
+  /// climbs back up to here, never past it.
+  core::DetectorVersion home_tier() const noexcept { return home_tier_; }
+
+  Health& health() noexcept { return health_; }
+  const Health& health() const noexcept { return health_; }
 
   const wiot::BaseStation& station() const noexcept { return station_; }
   const wiot::BaseStation::Stats& stats() const noexcept {
@@ -35,7 +79,16 @@ class Session {
   }
 
  private:
+  static wiot::BaseStation make_station(
+      std::shared_ptr<const core::UserModel> model,
+      const wiot::BaseStation::Config& config) {
+    if (model) return wiot::BaseStation(core::Detector(std::move(model)), config);
+    return wiot::BaseStation(config);
+  }
+
   wiot::BaseStation station_;
+  core::DetectorVersion home_tier_;
+  Health health_;
 };
 
 }  // namespace sift::fleet

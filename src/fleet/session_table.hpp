@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fleet/model_registry.hpp"
@@ -35,17 +36,29 @@ class SessionTable {
   /// Runs @p fn on the user's session — created on first use — while
   /// holding the shard lock, which is the table's whole concurrency
   /// contract: callers never touch a Session outside this scope.
+  ///
+  /// Session creation never throws on model-load failure: the registry's
+  /// breaker absorbs it and the session starts unscored. Each subsequent
+  /// packet re-probes the registry (cheap while the breaker is open —
+  /// fail-fast, no provider call), so the session heals itself the moment
+  /// a half-open probe succeeds.
   template <typename Fn>
   void with_session(std::size_t shard_index, int user_id, Fn&& fn) {
     Shard& shard = *shards_.at(shard_index);
     std::lock_guard lock(shard.mu);
     auto it = shard.sessions.find(user_id);
     if (it == shard.sessions.end()) {
+      auto lease = registry_.try_acquire(user_id);
       it = shard.sessions
-               .emplace(user_id,
-                        Session(registry_.acquire(user_id), station_config_))
+               .emplace(user_id, Session(std::move(lease.model),
+                                         station_config_))
                .first;
       sessions_created_.fetch_add(1, std::memory_order_relaxed);
+    } else if (!it->second.scored()) {
+      auto lease = registry_.try_acquire(user_id);
+      if (lease.model) {
+        it->second.install_detector(core::Detector(std::move(lease.model)));
+      }
     }
     fn(it->second);
   }

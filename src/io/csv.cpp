@@ -1,8 +1,8 @@
 #include "io/csv.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <vector>
 
 namespace sift::io {
@@ -24,15 +24,20 @@ std::vector<std::string> split(const std::string& line, char sep) {
 }
 
 double parse_double(const std::string& s, std::size_t line_no) {
+  double v = 0.0;
   try {
     std::size_t consumed = 0;
-    const double v = std::stod(s, &consumed);
+    v = std::stod(s, &consumed);
     if (consumed != s.size()) throw std::invalid_argument(s);
-    return v;
   } catch (const std::exception&) {
-    throw std::runtime_error("csv: bad number '" + s + "' at line " +
-                             std::to_string(line_no));
+    throw CsvError(line_no, "bad number '" + s + "'");
   }
+  // std::stod happily parses "nan" and "inf"; a recording cell carrying
+  // either would poison every window downstream, so reject it here.
+  if (!std::isfinite(v)) {
+    throw CsvError(line_no, "non-finite value '" + s + "'");
+  }
+  return v;
 }
 
 }  // namespace
@@ -56,7 +61,7 @@ void write_record_csv(std::ostream& os, const physio::Record& record) {
 
 void save_record_csv(const std::string& path, const physio::Record& record) {
   std::ofstream os(path);
-  if (!os.good()) throw std::runtime_error("csv: cannot open " + path);
+  if (!os.good()) throw CsvError(0, "cannot open " + path);
   write_record_csv(os, record);
 }
 
@@ -73,16 +78,16 @@ physio::Record read_record_csv(std::istream& is) {
       rate = parse_double(line.substr(17), line_no);
       break;
     }
-    throw std::runtime_error("csv: expected '# sample_rate_hz=' header");
+    throw CsvError(line_no, "expected '# sample_rate_hz=' header");
   }
   if (!(rate > 0.0)) {
-    throw std::runtime_error("csv: missing or invalid sample rate");
+    throw CsvError(line_no, "missing or invalid sample rate");
   }
 
   // Column header.
   if (!std::getline(is, line) ||
       line != "sample,ecg,abp,r_peak,systolic_peak") {
-    throw std::runtime_error("csv: bad column header");
+    throw CsvError(line_no + 1, "bad column header");
   }
   ++line_no;
 
@@ -95,14 +100,15 @@ physio::Record read_record_csv(std::istream& is) {
     if (line.empty()) continue;
     const auto cells = split(line, ',');
     if (cells.size() != 5) {
-      throw std::runtime_error("csv: expected 5 columns at line " +
-                               std::to_string(line_no));
+      // Covers both ragged rows (wrong separator count) and rows truncated
+      // mid-write: either way the row cannot be trusted.
+      throw CsvError(line_no, "expected 5 columns, got " +
+                                  std::to_string(cells.size()));
     }
     const auto idx =
         static_cast<std::size_t>(parse_double(cells[0], line_no));
     if (idx != expected_index) {
-      throw std::runtime_error("csv: non-contiguous sample index at line " +
-                               std::to_string(line_no));
+      throw CsvError(line_no, "non-contiguous sample index");
     }
     rec.ecg.push_back(parse_double(cells[1], line_no));
     rec.abp.push_back(parse_double(cells[2], line_no));
@@ -119,8 +125,12 @@ physio::Record read_record_csv(std::istream& is) {
 
 physio::Record load_record_csv(const std::string& path) {
   std::ifstream is(path);
-  if (!is.good()) throw std::runtime_error("csv: cannot open " + path);
-  return read_record_csv(is);
+  if (!is.good()) throw CsvError(0, "cannot open " + path);
+  try {
+    return read_record_csv(is);
+  } catch (const CsvError& e) {
+    throw CsvError(e.line(), path + ": " + e.reason());
+  }
 }
 
 }  // namespace sift::io

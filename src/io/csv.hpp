@@ -11,27 +11,52 @@
 //   ...
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "physio/dataset.hpp"
 
 namespace sift::io {
 
+/// Structured CSV parse failure: keeps the offending line and the reason
+/// separate so the CLI can report "file.csv:42: non-finite value" without
+/// string-scraping. Derives from std::runtime_error, so existing catch
+/// sites keep working.
+class CsvError : public std::runtime_error {
+ public:
+  CsvError(std::size_t line, std::string reason)
+      : std::runtime_error("csv: " + reason +
+                           (line > 0 ? " at line " + std::to_string(line)
+                                     : std::string{})),
+        line_(line),
+        reason_(std::move(reason)) {}
+
+  /// 1-based line of the failure; 0 when not tied to a specific line
+  /// (e.g. cannot open file).
+  std::size_t line() const noexcept { return line_; }
+  const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  std::size_t line_;
+  std::string reason_;
+};
+
 /// Writes @p record in the documented CSV format.
 void write_record_csv(std::ostream& os, const physio::Record& record);
 
-/// Saves to @p path. @throws std::runtime_error if the file cannot be
-/// opened.
+/// Saves to @p path. @throws CsvError if the file cannot be opened.
 void save_record_csv(const std::string& path, const physio::Record& record);
 
 /// Parses the documented format (header comment with the sampling rate,
-/// column header, then rows). @throws std::runtime_error on malformed
-/// input: missing/invalid rate, bad column count, non-numeric cells, or
+/// column header, then rows). @throws CsvError on malformed input:
+/// missing/invalid rate, bad column count, truncated/ragged rows,
+/// non-numeric or non-finite cells (NaN/Inf never reaches a Record), or
 /// mismatched sample indexes.
 physio::Record read_record_csv(std::istream& is);
 
-/// Loads from @p path. @throws std::runtime_error if unreadable.
+/// Loads from @p path. @throws CsvError if unreadable or malformed.
 physio::Record load_record_csv(const std::string& path);
 
 }  // namespace sift::io

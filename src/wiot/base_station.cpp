@@ -26,6 +26,11 @@ BaseStation::BaseStation(core::Detector detector, Config config)
       ecg_(config_.max_buffered_windows * config_.window_samples),
       abp_(config_.max_buffered_windows * config_.window_samples) {}
 
+BaseStation::BaseStation(Config config)
+    : config_(validated(config)),
+      ecg_(config_.max_buffered_windows * config_.window_samples),
+      abp_(config_.max_buffered_windows * config_.window_samples) {}
+
 bool BaseStation::append(Stream& s, const Packet& p, bool as_gap_fill) {
   const std::size_t n = config_.samples_per_packet;
   if (s.samples.free_space() < n) {
@@ -77,6 +82,13 @@ void BaseStation::receive(const Packet& packet) {
     ++stats_.duplicates_ignored;
     return;
   }
+  // A forward jump beyond the guard is a corrupted sequence number, not
+  // loss: reconstructing it would flood the buffers with phantom gap-fill.
+  if (config_.max_seq_jump != 0 &&
+      packet.seq - s.next_seq > config_.max_seq_jump) {
+    ++stats_.seq_rejected;
+    return;
+  }
   // Reconstruct any skipped packets so the two streams stay aligned. When
   // the buffer bound rejects a fill (or the packet itself), bail without
   // advancing next_seq — the shed span reads as loss and is gap-filled on a
@@ -106,27 +118,38 @@ void BaseStation::classify_ready_windows() {
     abp_.samples.drain_into(abp_win_, w);
     abp_.filled.drain_into(abp_fill_, w);
 
-    core::PortraitInput in;
-    in.ecg = std::span<const double>(ecg_win_.data(), w);
-    in.abp = std::span<const double>(abp_win_.data(), w);
-
-    scratch_.clear();
-    for (std::size_t p : ecg_.peaks) {
-      if (p < w) scratch_.r_peaks.push_back(p);
-    }
-    for (std::size_t p : abp_.peaks) {
-      if (p < w) scratch_.sys_peaks.push_back(p);
-    }
-    in.r_peaks = scratch_.r_peaks;
-    in.sys_peaks = scratch_.sys_peaks;
-    in.sample_rate_hz = physio::kDefaultRateHz;
-
-    const core::DetectionResult verdict = detector_.classify(in, scratch_);
-
     WindowReport report;
     report.window_index = stats_.windows_classified;
-    report.altered = verdict.altered;
-    report.decision_value = verdict.decision_value;
+    if (detector_) {
+      core::PortraitInput in;
+      in.ecg = std::span<const double>(ecg_win_.data(), w);
+      in.abp = std::span<const double>(abp_win_.data(), w);
+
+      scratch_.clear();
+      for (std::size_t p : ecg_.peaks) {
+        if (p < w) scratch_.r_peaks.push_back(p);
+      }
+      for (std::size_t p : abp_.peaks) {
+        if (p < w) scratch_.sys_peaks.push_back(p);
+      }
+      in.r_peaks = scratch_.r_peaks;
+      in.sys_peaks = scratch_.sys_peaks;
+      in.sample_rate_hz = physio::kDefaultRateHz;
+
+      const core::DetectionResult verdict = detector_->classify(in, scratch_);
+      report.altered = verdict.altered;
+      report.decision_value = verdict.decision_value;
+      report.tier = detector_->version();
+    } else {
+      // No model (load failing behind the breaker): the window is consumed
+      // so the streams stay aligned, but the verdict is withheld rather
+      // than fabricated.
+      report.unscored = true;
+      ++stats_.unscored_windows;
+    }
+    // Model-free defense in depth: the spectral cross-check still runs on
+    // unscored windows, so a model outage does not blind the station to a
+    // gross rate-mismatch hijack.
     if (config_.spectral_cross_check) {
       const double rate = physio::kDefaultRateHz;
       const double hr_ecg = signal::spectral_heart_rate_bpm(

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/detector.hpp"
@@ -49,6 +50,11 @@ class BaseStation {
     /// the report buffer reaches a fixed capacity — required for the
     /// zero-allocation-per-window guarantee on long-running sessions.
     std::size_t max_report_history = 0;
+    /// Largest tolerated forward sequence jump, in packets. A corrupted
+    /// sequence number (bit flip, wraparound skew) would otherwise demand
+    /// an enormous gap-fill; jumps beyond this are rejected as malformed
+    /// instead of reconstructed. 0 disables the guard.
+    std::uint32_t max_seq_jump = 4096;
   };
 
   struct WindowReport {
@@ -57,15 +63,22 @@ class BaseStation {
     double decision_value = 0.0;
     bool degraded = false;     ///< window contains gap-filled samples
     bool hr_mismatch = false;  ///< spectral cross-check tripped
+    bool unscored = false;     ///< no model available — verdict withheld
+    /// Detector version that produced the verdict — the fleet's load-shed
+    /// ladder moves sessions between tiers, and every verdict carries the
+    /// tier it was scored under so consumers can weigh it.
+    core::DetectorVersion tier = core::DetectorVersion::kOriginal;
   };
 
   struct Stats {
     std::size_t packets_received = 0;
     std::size_t duplicates_ignored = 0;
     std::size_t malformed_rejected = 0;  ///< wrong-size payloads dropped
+    std::size_t seq_rejected = 0;  ///< sequence jumps beyond max_seq_jump
     std::size_t gaps_filled = 0;  ///< packets reconstructed by sample-hold
     std::size_t overflow_dropped = 0;  ///< packets shed by the buffer bound
     std::size_t windows_classified = 0;
+    std::size_t unscored_windows = 0;  ///< completed without a detector
     std::size_t alerts = 0;
   };
 
@@ -76,6 +89,25 @@ class BaseStation {
   ///         of headroom for the lagging channel).
   BaseStation(core::Detector detector, Config config);
 
+  /// Detector-less station: reassembly runs normally but completed windows
+  /// are emitted `unscored` until set_detector installs a model. This is
+  /// how a fleet session stays alive (and aligned) while its model load is
+  /// failing behind a circuit breaker.
+  explicit BaseStation(Config config);
+
+  /// Installs or replaces the detector. Takes effect from the next
+  /// completed window; the fleet engine uses this both to heal unscored
+  /// sessions (breaker half-open probe succeeded) and to move sessions
+  /// along the degradation ladder under load.
+  void set_detector(core::Detector detector) {
+    detector_.emplace(std::move(detector));
+  }
+  bool has_detector() const noexcept { return detector_.has_value(); }
+  /// Version currently scoring windows (kOriginal when unscored).
+  core::DetectorVersion tier() const noexcept {
+    return detector_ ? detector_->version() : core::DetectorVersion::kOriginal;
+  }
+
   /// Ingests one packet (either channel, any order); classifies and
   /// appends reports as windows complete.
   void receive(const Packet& packet);
@@ -84,7 +116,8 @@ class BaseStation {
     return reports_;
   }
   const Stats& stats() const noexcept { return stats_; }
-  const core::Detector& detector() const noexcept { return detector_; }
+  /// Precondition: has_detector().
+  const core::Detector& detector() const noexcept { return *detector_; }
 
  private:
   /// Bounded reassembly state; samples move through the ring buffers in
@@ -106,7 +139,7 @@ class BaseStation {
   bool append(Stream& s, const Packet& p, bool as_gap_fill);
   void classify_ready_windows();
 
-  core::Detector detector_;
+  std::optional<core::Detector> detector_;
   Config config_;
   Stream ecg_;
   Stream abp_;

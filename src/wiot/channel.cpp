@@ -25,6 +25,11 @@ std::vector<Packet> LossyChannel::transmit(const Packet& packet) {
     ++duplicated_;
     out.push_back(packet);
   }
+  if (mutator_) {
+    for (Packet& p : out) {
+      if (mutator_(p)) ++corrupted_;
+    }
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <random>
 #include <vector>
 
@@ -21,9 +22,20 @@ struct ChannelParams {
   std::uint64_t seed = 1;
 };
 
+/// Mutates a delivered packet in place; returns true if it changed the
+/// packet (so the channel can count the corruption). This is the
+/// fault-injection seam: fleet::FaultInjector plugs in here to model
+/// bit flips, truncation, and sequence skew on the air.
+using PacketMutator = std::function<bool(Packet&)>;
+
 class LossyChannel {
  public:
   explicit LossyChannel(ChannelParams params);
+
+  /// Installs a corruption hook applied to every delivered copy (after the
+  /// drop/duplicate coin flips — corruption happens on the air, so a
+  /// duplicated frame can corrupt independently). Empty clears the hook.
+  void set_fault_hook(PacketMutator mutator) { mutator_ = std::move(mutator); }
 
   /// Delivers 0, 1, or 2 copies of @p packet.
   /// @throws std::invalid_argument at construction for probabilities
@@ -33,13 +45,16 @@ class LossyChannel {
   std::size_t packets_in() const noexcept { return in_; }
   std::size_t packets_dropped() const noexcept { return dropped_; }
   std::size_t packets_duplicated() const noexcept { return duplicated_; }
+  std::size_t packets_corrupted() const noexcept { return corrupted_; }
 
  private:
   ChannelParams params_;
   std::mt19937_64 rng_;
+  PacketMutator mutator_;
   std::size_t in_ = 0;
   std::size_t dropped_ = 0;
   std::size_t duplicated_ = 0;
+  std::size_t corrupted_ = 0;
 };
 
 }  // namespace sift::wiot

@@ -154,11 +154,214 @@ TEST(ModelRegistry, LruKeepsHotModelsAndCountsTraffic) {
 
 TEST(ModelRegistry, ValidatesConstructionAndProvider) {
   auto ok = [](int) { return std::make_shared<const core::UserModel>(); };
-  EXPECT_THROW(ModelRegistry(nullptr, 2), std::invalid_argument);
+  EXPECT_THROW(ModelRegistry(ModelProvider{}, 2), std::invalid_argument);
   EXPECT_THROW(ModelRegistry(ok, 0), std::invalid_argument);
   ModelRegistry broken([](int) { return std::shared_ptr<const core::UserModel>(); },
                        2);
   EXPECT_THROW(broken.acquire(1), std::runtime_error);
+}
+
+// --- circuit breaker --------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+TEST(CircuitBreaker, WalksClosedOpenHalfOpenClosed) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.open_deadline = std::chrono::milliseconds{100};
+  CircuitBreaker breaker(policy);
+  Clock::time_point t{};
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow(t));
+  breaker.record_failure(t);
+  breaker.record_failure(t += policy.initial_backoff);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed)
+      << "below threshold stays closed";
+  breaker.record_failure(t += 2 * policy.initial_backoff);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+
+  EXPECT_FALSE(breaker.allow(t)) << "open fails fast";
+  EXPECT_FALSE(breaker.allow(t + std::chrono::milliseconds{99}))
+      << "deadline not reached";
+  EXPECT_TRUE(breaker.allow(t += std::chrono::milliseconds{100}))
+      << "deadline passed: this caller is the half-open probe";
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(t)) << "only one probe at a time";
+
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+  EXPECT_TRUE(breaker.allow(t));
+}
+
+TEST(CircuitBreaker, FailedProbeReopensImmediately) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 1;
+  policy.open_deadline = std::chrono::milliseconds{50};
+  CircuitBreaker breaker(policy);
+  Clock::time_point t{};
+
+  breaker.record_failure(t);  // threshold 1: straight to open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(breaker.allow(t += std::chrono::milliseconds{50}));
+  breaker.record_failure(t);  // the probe fails
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  EXPECT_FALSE(breaker.allow(t + std::chrono::milliseconds{49}))
+      << "a fresh deadline was armed";
+}
+
+TEST(CircuitBreaker, ClosedBackoffDoublesAndCaps) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 100;  // stay closed throughout
+  policy.initial_backoff = std::chrono::milliseconds{10};
+  policy.max_backoff = std::chrono::milliseconds{35};
+  CircuitBreaker breaker(policy);
+  Clock::time_point t{};
+
+  breaker.record_failure(t);
+  EXPECT_FALSE(breaker.allow(t + std::chrono::milliseconds{9}));
+  EXPECT_TRUE(breaker.allow(t + std::chrono::milliseconds{10}));
+  breaker.record_failure(t);
+  EXPECT_FALSE(breaker.allow(t + std::chrono::milliseconds{19}));
+  EXPECT_TRUE(breaker.allow(t + std::chrono::milliseconds{20}));
+  breaker.record_failure(t);  // 40ms would exceed the cap
+  EXPECT_TRUE(breaker.allow(t + std::chrono::milliseconds{35}))
+      << "backoff capped at max_backoff";
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+// --- registry + breaker integration ----------------------------------------
+
+TEST(ModelRegistry, BreakerOpensAfterThresholdAndHealsOnProbe) {
+  // Manual clock so the test never sleeps.
+  auto now = std::make_shared<Clock::time_point>();
+  int failures_left = 4;
+  int calls = 0;
+  BreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.initial_backoff = std::chrono::milliseconds{0};  // retry instantly
+  policy.open_deadline = std::chrono::milliseconds{100};
+  ModelRegistry registry(
+      [&](int) -> std::shared_ptr<const core::UserModel> {
+        ++calls;
+        if (failures_left > 0) {
+          --failures_left;
+          throw std::runtime_error("provisioning down");
+        }
+        return std::make_shared<const core::UserModel>();
+      },
+      4, policy, [now] { return *now; });
+
+  // Three failing loads trip the breaker.
+  for (int i = 0; i < 3; ++i) {
+    const auto lease = registry.try_acquire(7);
+    EXPECT_EQ(lease.status, ModelRegistry::AcquireStatus::kLoadFailed);
+    EXPECT_EQ(lease.model, nullptr);
+  }
+  EXPECT_EQ(registry.breaker_state(7), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(registry.breaker_opens(), 1u);
+  EXPECT_EQ(registry.open_breakers(), 1u);
+  EXPECT_EQ(calls, 3);
+
+  // While open: fail fast, provider untouched.
+  EXPECT_EQ(registry.try_acquire(7).status,
+            ModelRegistry::AcquireStatus::kBreakerOpen);
+  EXPECT_EQ(calls, 3);
+
+  // Deadline passes; the half-open probe still fails → re-open.
+  *now += std::chrono::milliseconds{100};
+  EXPECT_EQ(registry.try_acquire(7).status,
+            ModelRegistry::AcquireStatus::kLoadFailed);
+  EXPECT_EQ(registry.breaker_state(7), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(registry.breaker_opens(), 2u);
+
+  // Next probe succeeds → closed, model served, counters settle.
+  *now += std::chrono::milliseconds{100};
+  const auto healed = registry.try_acquire(7);
+  EXPECT_EQ(healed.status, ModelRegistry::AcquireStatus::kLoaded);
+  ASSERT_NE(healed.model, nullptr);
+  EXPECT_EQ(registry.breaker_state(7), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(registry.open_breakers(), 0u);
+  EXPECT_EQ(registry.provider_failures(), 4u);
+  EXPECT_GE(registry.provider_retries(), 3u);
+
+  // Healed user is a plain cache hit now.
+  EXPECT_EQ(registry.try_acquire(7).status,
+            ModelRegistry::AcquireStatus::kLoaded);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ModelRegistry, BreakersAreIndependentAcrossUsersSharingAProvider) {
+  // One failing provisioning service, many concurrent sessions: user 1's
+  // open breaker must not block user 2, and concurrent acquires of the
+  // same failing user must agree on the breaker state.
+  BreakerPolicy policy;
+  policy.failure_threshold = 2;
+  policy.initial_backoff = std::chrono::milliseconds{0};
+  policy.open_deadline = std::chrono::hours{1};
+  ModelRegistry registry(
+      [&](int user) -> std::shared_ptr<const core::UserModel> {
+        if (user == 1) throw std::runtime_error("artefact corrupt");
+        return std::make_shared<const core::UserModel>();
+      },
+      8, policy);
+
+  std::vector<std::thread> threads;
+  std::atomic<int> user1_loaded{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (registry.try_acquire(1).model) ++user1_loaded;
+        EXPECT_NE(registry.try_acquire(2).model, nullptr);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(user1_loaded.load(), 0);
+  EXPECT_EQ(registry.breaker_state(1), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(registry.breaker_state(2), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(registry.open_breakers(), 1u);
+  EXPECT_EQ(registry.breaker_opens(), 1u) << "opens exactly once";
+  EXPECT_EQ(registry.provider_failures(), 2u)
+      << "after the breaker opens the provider is never called again";
+}
+
+TEST(ModelRegistry, TierRequestsOnPlainProviderAreUnavailable) {
+  ModelRegistry registry(
+      [](int) { return std::make_shared<const core::UserModel>(); }, 4);
+  EXPECT_FALSE(registry.tiered());
+  const auto lease =
+      registry.try_acquire(1, core::DetectorVersion::kReduced);
+  EXPECT_EQ(lease.status, ModelRegistry::AcquireStatus::kUnavailable);
+  EXPECT_EQ(lease.model, nullptr);
+}
+
+TEST(ModelRegistry, TieredProviderCachesPerTier) {
+  int calls = 0;
+  ModelRegistry registry(
+      TieredModelProvider([&](int, core::DetectorVersion version) {
+        ++calls;
+        auto m = std::make_shared<core::UserModel>();
+        m->config.version = version;
+        return std::shared_ptr<const core::UserModel>(std::move(m));
+      }),
+      8);
+  EXPECT_TRUE(registry.tiered());
+  const auto original =
+      registry.try_acquire(3, core::DetectorVersion::kOriginal);
+  const auto reduced =
+      registry.try_acquire(3, core::DetectorVersion::kReduced);
+  ASSERT_NE(original.model, nullptr);
+  ASSERT_NE(reduced.model, nullptr);
+  EXPECT_EQ(original.model->config.version, core::DetectorVersion::kOriginal);
+  EXPECT_EQ(reduced.model->config.version, core::DetectorVersion::kReduced);
+  EXPECT_EQ(calls, 2) << "distinct cache entries per tier";
+  registry.try_acquire(3, core::DetectorVersion::kReduced);
+  EXPECT_EQ(calls, 2) << "tier hit served from cache";
 }
 
 // --- session table ----------------------------------------------------------

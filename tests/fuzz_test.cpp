@@ -2,16 +2,22 @@
 // crash, hang, or silently load — parsers either succeed or throw.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <random>
 #include <span>
 #include <sstream>
 
+#include "alloc_guard.hpp"
 #include "amulet/amulet_c_check.hpp"
+#include "core/detector.hpp"
 #include "core/trainer.hpp"
 #include "io/csv.hpp"
 #include "io/model_file.hpp"
 #include "ml/serialize.hpp"
 #include "physio/user_profile.hpp"
+#include "wiot/base_station.hpp"
+#include "wiot/validate.hpp"
 
 namespace sift {
 namespace {
@@ -118,6 +124,99 @@ TEST_P(FuzzCorpus, MlSerializeParserNeverCrashes) {
     } catch (const std::exception&) {
     }
   }
+}
+
+// Random packet generator: mostly valid, with every field a corruption
+// target (non-finite samples, wild rates, truncation, insane sequence
+// numbers, stray peak annotations).
+wiot::Packet random_packet(std::mt19937_64& rng, std::size_t expected) {
+  std::uniform_real_distribution<double> unit(-1.0, 1.0);
+  std::uniform_int_distribution<int> kind(0, 1);
+  std::uniform_int_distribution<int> corruption(0, 9);
+
+  wiot::Packet p;
+  p.kind = kind(rng) == 0 ? wiot::ChannelKind::kEcg : wiot::ChannelKind::kAbp;
+  p.seq = static_cast<std::uint32_t>(rng() % 64);
+  p.sample_rate_hz = 360.0;
+  p.samples.resize(expected);
+  for (auto& s : p.samples) s = unit(rng);
+
+  switch (corruption(rng)) {
+    case 0:
+      p.samples[rng() % p.samples.size()] =
+          std::numeric_limits<double>::quiet_NaN();
+      break;
+    case 1:
+      p.samples[rng() % p.samples.size()] =
+          std::numeric_limits<double>::infinity();
+      break;
+    case 2:
+      p.samples.resize(1 + rng() % expected);  // truncated payload
+      break;
+    case 3:
+      p.samples.resize(expected + 1 + rng() % 64);  // oversized payload
+      break;
+    case 4:
+      p.seq |= 0x60000000u;  // wild sequence number
+      break;
+    case 5:
+      p.sample_rate_hz = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case 6:
+      p.peaks.push_back(p.samples.size() + rng() % 16);  // stray annotation
+      break;
+    default:
+      p.peaks.push_back(rng() % p.samples.size());  // valid annotation
+      break;
+  }
+  return p;
+}
+
+TEST_P(FuzzCorpus, PacketValidatorGuardsTheIngestPath) {
+  constexpr std::size_t kSamplesPerPacket = 180;
+  wiot::ValidationLimits limits;
+  limits.expected_samples = kSamplesPerPacket;
+
+  // The station behind the validator, exactly as the fleet engine wires it:
+  // whatever validate_packet accepts is fed straight into the pipeline.
+  std::istringstream model_stream(*model_text_);
+  const auto model = io::read_user_model(model_stream);
+  wiot::BaseStation::Config config{1080, kSamplesPerPacket};
+  config.max_report_history = 4;
+  wiot::BaseStation station(core::Detector(model), config);
+
+  std::mt19937_64 rng(GetParam() * 8191);
+  std::size_t accepted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto packet = random_packet(rng, kSamplesPerPacket);
+    const auto fault = validate_packet(packet, limits);
+    if (fault != wiot::PacketFault::kNone) continue;
+    // Accepted ⇒ nothing non-finite can reach extract_features.
+    for (double s : packet.samples) ASSERT_TRUE(std::isfinite(s));
+    ASSERT_EQ(packet.samples.size(), kSamplesPerPacket);
+    station.receive(packet);
+    ++accepted;
+  }
+  EXPECT_GT(accepted, 0u) << "generator must produce valid packets too";
+  EXPECT_EQ(station.stats().packets_received, accepted)
+      << "every accepted packet reached the station";
+}
+
+TEST(PacketValidator, AcceptPathIsAllocationFree) {
+  wiot::Packet p;
+  p.sample_rate_hz = 360.0;
+  p.samples.assign(180, 0.25);
+  p.peaks = {10, 90};
+  wiot::ValidationLimits limits;
+  limits.expected_samples = 180;
+
+  ASSERT_EQ(validate_packet(p, limits), wiot::PacketFault::kNone);
+  sift::testing::AllocGuard guard;
+  for (int i = 0; i < 1000; ++i) {
+    const auto fault = validate_packet(p, limits);
+    if (fault != wiot::PacketFault::kNone) std::abort();
+  }
+  EXPECT_EQ(guard.count(), 0u) << "validation allocates nothing";
 }
 
 TEST_P(FuzzCorpus, AmuletCCheckerHandlesArbitraryText) {

@@ -92,6 +92,47 @@ TEST_F(IoTest, CsvRejectsMalformedInput) {
   }
 }
 
+TEST_F(IoTest, CsvRejectsNonFiniteCells) {
+  // std::stod happily parses "nan" and "inf"; the importer must not let
+  // either poison a Record.
+  for (const char* bad : {"nan", "inf", "-inf", "NAN", "Infinity"}) {
+    std::stringstream ss(std::string("# sample_rate_hz=360\n"
+                                     "sample,ecg,abp,r_peak,systolic_peak\n"
+                                     "0,") +
+                         bad + ",2,0,0\n");
+    EXPECT_THROW(read_record_csv(ss), CsvError) << bad;
+  }
+  // Also in the ABP column and the rate header.
+  {
+    std::stringstream ss(
+        "# sample_rate_hz=360\nsample,ecg,abp,r_peak,systolic_peak\n"
+        "0,1,inf,0,0\n");
+    EXPECT_THROW(read_record_csv(ss), CsvError);
+  }
+  {
+    std::stringstream ss(
+        "# sample_rate_hz=nan\nsample,ecg,abp,r_peak,systolic_peak\n");
+    EXPECT_THROW(read_record_csv(ss), CsvError);
+  }
+}
+
+TEST_F(IoTest, CsvErrorCarriesLineAndReason) {
+  // A truncated row (ragged write, e.g. power loss mid-dump) reports the
+  // exact line so the operator can find it.
+  std::stringstream ss(
+      "# sample_rate_hz=360\nsample,ecg,abp,r_peak,systolic_peak\n"
+      "0,1,2,0,0\n1,3,4\n");
+  try {
+    read_record_csv(ss);
+    FAIL() << "truncated row must throw";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(e.reason().find("5 columns"), std::string::npos) << e.reason();
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST_F(IoTest, CsvFileRoundTrip) {
   const std::string path = "io_test_trace.csv";
   save_record_csv(path, (*records_)[1]);

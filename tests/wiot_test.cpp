@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 #include <span>
 
@@ -12,6 +13,7 @@
 #include "physio/dataset.hpp"
 #include "wiot/base_station.hpp"
 #include "wiot/channel.hpp"
+#include "wiot/validate.hpp"
 #include "wiot/scenario.hpp"
 #include "wiot/sensor_node.hpp"
 #include "wiot/sink.hpp"
@@ -112,6 +114,88 @@ TEST(LossyChannel, DuplicatesDeliverTwoCopies) {
 TEST(LossyChannel, ValidatesProbabilities) {
   EXPECT_THROW(LossyChannel({1.5, 0.0, 1}), std::invalid_argument);
   EXPECT_THROW(LossyChannel({0.0, -0.1, 1}), std::invalid_argument);
+}
+
+TEST(LossyChannel, FaultHookMutatesDeliveredCopies) {
+  LossyChannel ch({0.0, 0.0, 1});
+  ch.set_fault_hook([](Packet& p) {
+    p.samples.push_back(std::numeric_limits<double>::quiet_NaN());
+    return true;
+  });
+  Packet p;
+  p.samples = {1.0, 2.0};
+  const auto delivered = ch.transmit(p);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].samples.size(), 3u);
+  EXPECT_TRUE(std::isnan(delivered[0].samples.back()));
+  EXPECT_EQ(p.samples.size(), 2u) << "the sender's packet is untouched";
+  EXPECT_EQ(ch.packets_corrupted(), 1u);
+}
+
+// --- validate_packet --------------------------------------------------------
+
+Packet valid_packet(std::size_t n = 8) {
+  Packet p;
+  p.sample_rate_hz = 360.0;
+  p.samples.assign(n, 0.5);
+  p.peaks = {0, n - 1};
+  return p;
+}
+
+TEST(ValidatePacket, AcceptsWellFormedPacket) {
+  EXPECT_EQ(validate_packet(valid_packet()), PacketFault::kNone);
+}
+
+TEST(ValidatePacket, RejectsBadRate) {
+  auto p = valid_packet();
+  p.sample_rate_hz = 0.0;
+  EXPECT_EQ(validate_packet(p), PacketFault::kBadRate);
+  p.sample_rate_hz = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(validate_packet(p), PacketFault::kBadRate);
+  p.sample_rate_hz = 1e9;
+  EXPECT_EQ(validate_packet(p), PacketFault::kBadRate);
+}
+
+TEST(ValidatePacket, RejectsBadLength) {
+  Packet empty = valid_packet(4);
+  empty.samples.clear();
+  empty.peaks.clear();
+  EXPECT_EQ(validate_packet(empty), PacketFault::kBadLength);
+
+  ValidationLimits limits;
+  limits.expected_samples = 8;
+  auto truncated = valid_packet(5);
+  EXPECT_EQ(validate_packet(truncated, limits), PacketFault::kBadLength);
+  EXPECT_EQ(validate_packet(valid_packet(8), limits), PacketFault::kNone);
+
+  auto oversize = valid_packet(4);
+  oversize.samples.assign(ValidationLimits{}.max_samples + 1, 0.0);
+  oversize.peaks.clear();
+  EXPECT_EQ(validate_packet(oversize), PacketFault::kBadLength);
+}
+
+TEST(ValidatePacket, RejectsNonFiniteSamples) {
+  for (double bad : {std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    auto p = valid_packet();
+    p.samples[3] = bad;
+    EXPECT_EQ(validate_packet(p), PacketFault::kNonFiniteSample);
+  }
+}
+
+TEST(ValidatePacket, RejectsPeaksBeyondPayload) {
+  auto p = valid_packet(8);
+  p.peaks = {8};  // one past the end
+  EXPECT_EQ(validate_packet(p), PacketFault::kPeakOutOfRange);
+}
+
+TEST(ValidatePacket, RejectsInsaneSequenceNumbers) {
+  auto p = valid_packet();
+  p.seq = ValidationLimits{}.max_seq;
+  EXPECT_EQ(validate_packet(p), PacketFault::kSeqInsane);
+  p.seq = ValidationLimits{}.max_seq - 1;
+  EXPECT_EQ(validate_packet(p), PacketFault::kNone);
 }
 
 // --- BaseStation ------------------------------------------------------------
@@ -294,6 +378,82 @@ TEST_F(WiotTest, MalformedPacketsAreRejectedNotApplied) {
   station.receive(good);
   EXPECT_EQ(station.stats().duplicates_ignored, 0u);
   EXPECT_EQ(station.stats().gaps_filled, 0u);
+}
+
+TEST_F(WiotTest, SeqJumpGuardRejectsWildSequenceNumbers) {
+  core::Detector detector(*model_);
+  BaseStation::Config config{1080, 180};
+  config.max_seq_jump = 16;
+  BaseStation station(detector, config);
+
+  Packet p;
+  p.kind = ChannelKind::kEcg;
+  p.samples.assign(180, 0.1);
+
+  p.seq = 0;
+  station.receive(p);
+  p.seq = 10'000;  // a bit-flipped counter, not plausible loss
+  station.receive(p);
+  EXPECT_EQ(station.stats().seq_rejected, 1u);
+  EXPECT_EQ(station.stats().gaps_filled, 0u)
+      << "the jump must not be gap-filled";
+
+  // A jump inside the tolerance still reads as ordinary loss.
+  p.seq = 5;
+  station.receive(p);
+  EXPECT_EQ(station.stats().seq_rejected, 1u);
+  EXPECT_GT(station.stats().gaps_filled, 0u);
+}
+
+TEST_F(WiotTest, DetectorlessStationEmitsUnscoredVerdicts) {
+  BaseStation station(BaseStation::Config{1080, 180});
+  EXPECT_FALSE(station.has_detector());
+  SensorNode ecg(ChannelKind::kEcg, (*testing_)[0], 180);
+  SensorNode abp(ChannelKind::kAbp, (*testing_)[0], 180);
+  std::size_t fed = 0;
+  while (fed < 12) {  // two windows' worth per channel
+    auto pe = ecg.poll();
+    auto pa = abp.poll();
+    if (!pe && !pa) break;
+    if (pe) station.receive(*pe);
+    if (pa) station.receive(*pa);
+    ++fed;
+  }
+  ASSERT_GE(station.stats().windows_classified, 1u);
+  EXPECT_EQ(station.stats().unscored_windows,
+            station.stats().windows_classified);
+  for (const auto& report : station.reports()) {
+    EXPECT_TRUE(report.unscored);
+    EXPECT_FALSE(report.altered) << "no model, no verdict, no alert";
+  }
+  EXPECT_EQ(station.stats().alerts, 0u);
+}
+
+TEST_F(WiotTest, InstallingDetectorMidStreamScoresLaterWindows) {
+  BaseStation station(BaseStation::Config{1080, 180});
+  SensorNode ecg(ChannelKind::kEcg, (*testing_)[0], 180);
+  SensorNode abp(ChannelKind::kAbp, (*testing_)[0], 180);
+  bool installed = false;
+  while (true) {
+    auto pe = ecg.poll();
+    auto pa = abp.poll();
+    if (!pe && !pa) break;
+    if (pe) station.receive(*pe);
+    if (pa) station.receive(*pa);
+    if (!installed && station.stats().windows_classified >= 1) {
+      station.set_detector(core::Detector(*model_));
+      installed = true;
+    }
+  }
+  ASSERT_TRUE(installed);
+  ASSERT_GE(station.stats().windows_classified, 2u);
+  EXPECT_GT(station.stats().unscored_windows, 0u);
+  EXPECT_LT(station.stats().unscored_windows,
+            station.stats().windows_classified)
+      << "windows after the install are scored";
+  EXPECT_TRUE(station.reports().front().unscored);
+  EXPECT_FALSE(station.reports().back().unscored);
+  EXPECT_EQ(station.tier(), core::DetectorVersion::kOriginal);
 }
 
 TEST_F(WiotTest, SpectralCrossCheckFlagsRateMismatchedSubstitution) {

@@ -21,6 +21,8 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <span>
 #include <sstream>
 #include <string>
@@ -34,6 +36,7 @@
 #include "core/detector.hpp"
 #include "core/trainer.hpp"
 #include "fleet/engine.hpp"
+#include "fleet/faults.hpp"
 #include "fleet/replay.hpp"
 #include "io/csv.hpp"
 #include "io/model_file.hpp"
@@ -61,7 +64,10 @@ int usage() {
                "  profile <model.txt> <trace.csv>\n"
                "  fleet [--sessions N] [--seconds S] [--workers N]\n"
                "        [--shards N] [--queue-capacity N] [--producers N]\n"
-               "        [--policy block|drop-oldest] [--models K]\n");
+               "        [--policy block|drop-oldest] [--models K]\n"
+               "        [--chaos SEED]   inject a deterministic fault schedule\n"
+               "                         (corruption, provider failures,\n"
+               "                         worker throws, overload bursts)\n");
   return 2;
 }
 
@@ -235,6 +241,8 @@ int cmd_fleet(std::span<const std::string> args) {
   fleet::ReplayConfig replay;
   fleet::FleetConfig config;
   std::size_t producers = 4;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 1;
   for (std::size_t i = 0; i + 1 < args.size(); i += 2) {
     const std::string& flag = args[i];
     const std::string& value = args[i + 1];
@@ -252,6 +260,9 @@ int cmd_fleet(std::span<const std::string> args) {
       producers = std::stoul(value);
     } else if (flag == "--models") {
       replay.distinct_users = std::stoul(value);
+    } else if (flag == "--chaos") {
+      chaos = true;
+      chaos_seed = std::stoull(value);
     } else if (flag == "--policy") {
       if (value == "block") {
         config.backpressure = fleet::BackpressurePolicy::kBlock;
@@ -265,20 +276,58 @@ int cmd_fleet(std::span<const std::string> args) {
     }
   }
   config.model_cache_capacity = std::max<std::size_t>(1, replay.distinct_users);
+  replay.train_all_tiers = chaos;  // chaos exercises the degradation ladder
 
   std::fprintf(stderr,
-               "fleet: training %zu model(s), synthesising %zu session(s) "
+               "fleet: training %zu model(s)%s, synthesising %zu session(s) "
                "of %.0f s...\n",
-               replay.distinct_users, replay.sessions, replay.seconds);
+               replay.distinct_users, chaos ? " x3 tiers" : "",
+               replay.sessions, replay.seconds);
   const auto fixture = fleet::ReplayFixture::build(replay);
 
-  fleet::FleetEngine engine(fixture.provider(), config);
+  std::unique_ptr<fleet::FaultInjector> injector;
+  if (chaos) {
+    // A representative schedule touching every injection point: the first
+    // few sessions get payload corruption, the next few a flaky provider
+    // and worker throws, and shard 0 an overload burst that forces the
+    // shed ladder down.
+    fleet::FaultConfig fc;
+    fc.seed = chaos_seed;
+    const int n = static_cast<int>(replay.sessions);
+    for (int u = 0; u < n && u < 4; ++u) fc.payload_users.push_back(u);
+    for (int u = 4; u < n && u < 6; ++u) fc.provider_fail_users.push_back(u);
+    for (int u = 6; u < n && u < 8; ++u) fc.worker_throw_users.push_back(u);
+    fc.nan_probability = 0.05;
+    fc.corrupt_probability = 0.05;
+    fc.truncate_probability = 0.05;
+    fc.seq_skew_probability = 0.02;
+    fc.provider_failures_per_user = 2;
+    fc.worker_throws_per_user = 8;
+    fc.overload_shards.push_back(0);
+    fc.overload_from_dequeue = 16;
+    fc.overload_until_dequeue = 96;
+    fc.overload_forced_depth = config.queue_capacity;
+    injector = std::make_unique<fleet::FaultInjector>(fc);
+    config.injector = injector.get();
+    config.load_shed.enabled = true;
+    config.load_shed.high_watermark = config.queue_capacity / 2;
+  }
+
+  std::optional<fleet::FleetEngine> engine_holder;
+  if (chaos) {
+    engine_holder.emplace(injector->wrap_provider(fixture.provider_tiered()),
+                          config);
+  } else {
+    engine_holder.emplace(fixture.provider(), config);
+  }
+  fleet::FleetEngine& engine = *engine_holder;
   std::fprintf(stderr,
                "fleet: replaying %zu packets over %zu worker(s), %zu "
                "shard(s), policy %s...\n",
                fixture.total_packets(), engine.workers(), config.shards,
                fleet::to_string(config.backpressure));
-  const auto result = fleet::replay_through(engine, fixture, producers);
+  const auto result =
+      fleet::replay_through(engine, fixture, producers, injector.get());
 
   const double secs =
       std::chrono::duration<double>(result.elapsed).count();
@@ -288,6 +337,21 @@ int cmd_fleet(std::span<const std::string> args) {
                static_cast<unsigned long long>(result.windows_classified),
                secs, static_cast<double>(result.windows_classified) / secs,
                static_cast<double>(result.packets_offered) / secs);
+  if (injector) {
+    const auto c = injector->counts();
+    std::fprintf(stderr,
+                 "chaos: injected %llu payload faults (%llu nan, %llu "
+                 "corrupt, %llu truncated, %llu seq-skew), %llu provider "
+                 "throws, %llu worker throws, %llu overloaded dequeues\n",
+                 static_cast<unsigned long long>(c.payload_total()),
+                 static_cast<unsigned long long>(c.nan_samples),
+                 static_cast<unsigned long long>(c.corrupted),
+                 static_cast<unsigned long long>(c.truncated),
+                 static_cast<unsigned long long>(c.seq_skewed),
+                 static_cast<unsigned long long>(c.provider_throws),
+                 static_cast<unsigned long long>(c.worker_throws),
+                 static_cast<unsigned long long>(c.overload_dequeues));
+  }
   std::printf("%s\n", engine.metrics_json().c_str());
   return 0;
 }
