@@ -15,17 +15,22 @@
 // single session replayed on the measuring thread.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "alloc_guard.hpp"
+#include "fleet/durable/durability.hpp"
 #include "fleet/engine.hpp"
 #include "fleet/replay.hpp"
 #include "fleet/session.hpp"
@@ -89,6 +94,59 @@ BENCHMARK(BM_FleetWindowsPerSec)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Scratch durability directory, recreated per use and removed on exit.
+struct BenchDir {
+  std::string path;
+  BenchDir() {
+    path = (std::filesystem::temp_directory_path() /
+            ("sift_bench_durable_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~BenchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+// Same replay with the write-ahead journal on the verdict path: the delta
+// against BM_FleetWindowsPerSec is the price of durability (group commit
+// amortizes the fsyncs, so it should be a few percent, not a cliff).
+void BM_FleetDurableWindowsPerSec(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const auto sessions = static_cast<std::size_t>(state.range(1));
+  const auto& fixture = fixture_for(sessions);
+
+  std::uint64_t windows = 0;
+  for (auto _ : state) {
+    BenchDir dir;
+    fleet::durable::Durability durability(dir.path);
+    fleet::FleetConfig config;
+    config.workers = workers;
+    config.shards = std::max<std::size_t>(workers, 8);
+    config.queue_capacity = 1024;
+    config.backpressure = fleet::BackpressurePolicy::kBlock;
+    config.durability = &durability;
+    fleet::FleetEngine engine(fixture.provider(), config);
+    const auto result = fleet::replay_through(engine, fixture, /*producers=*/1);
+    durability.checkpoint(engine);
+    windows += result.windows_classified;
+  }
+  state.counters["windows_per_sec"] =
+      benchmark::Counter(static_cast<double>(windows),
+                         benchmark::Counter::kIsRate);
+  state.counters["sessions"] = static_cast<double>(sessions);
+  state.counters["workers"] = static_cast<double>(workers);
+  state.SetItemsProcessed(static_cast<std::int64_t>(windows));
+}
+
+BENCHMARK(BM_FleetDurableWindowsPerSec)
+    ->ArgNames({"workers", "sessions"})
+    ->Args({4, 64})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // --- machine-readable snapshot (--json <path>) -----------------------------------
 
 /// Steady-state allocations per classified window for one session: replay
@@ -145,6 +203,36 @@ int write_json_snapshot(const std::string& path) {
       static_cast<double>(result.windows_classified) / elapsed_s;
   const double allocs_per_window = session_allocs_per_window(fixture);
 
+  // Durable run: identical replay with the verdict journal on the hot path
+  // and a checkpoint mid-stream + at the end — the overhead figure CI
+  // tracks for the durability layer.
+  BenchDir durable_dir;
+  fleet::durable::Durability durability(durable_dir.path);
+  fleet::FleetConfig durable_config = config;
+  durable_config.durability = &durability;
+  fleet::FleetEngine durable_engine(fixture.provider(), durable_config);
+  std::jthread checkpointer([&](std::stop_token stop) {
+    while (!stop.stop_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (stop.stop_requested()) break;
+      durability.checkpoint(durable_engine);
+    }
+  });
+  const auto durable_result =
+      fleet::replay_through(durable_engine, fixture, /*producers=*/1);
+  checkpointer.request_stop();
+  checkpointer.join();
+  durability.checkpoint(durable_engine);
+  const double durable_elapsed_s =
+      std::chrono::duration<double>(durable_result.elapsed).count();
+  const double durable_windows_per_sec =
+      static_cast<double>(durable_result.windows_classified) /
+      durable_elapsed_s;
+  const double durable_overhead_pct =
+      windows_per_sec > 0.0
+          ? (1.0 - durable_windows_per_sec / windows_per_sec) * 100.0
+          : 0.0;
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_fleet: cannot open %s\n", path.c_str());
@@ -173,7 +261,13 @@ int write_json_snapshot(const std::string& path) {
                "  \"tier_downgrades\": %llu,\n"
                "  \"tier_upgrades\": %llu,\n"
                "  \"breaker_open\": %llu,\n"
-               "  \"provider_retries\": %llu\n"
+               "  \"provider_retries\": %llu,\n"
+               "  \"windows_per_sec_durable\": %.1f,\n"
+               "  \"durable_overhead_pct\": %.2f,\n"
+               "  \"journal_bytes\": %llu,\n"
+               "  \"journal_flushes\": %llu,\n"
+               "  \"checkpoints_written\": %llu,\n"
+               "  \"frames_deduplicated\": %llu\n"
                "}\n",
                kWorkers, kSessions,
                static_cast<unsigned long long>(result.windows_classified),
@@ -185,11 +279,20 @@ int write_json_snapshot(const std::string& path) {
                count("fleet.tier_upgrades"),
                static_cast<unsigned long long>(engine.models().open_breakers()),
                static_cast<unsigned long long>(
-                   engine.models().provider_retries()));
+                   engine.models().provider_retries()),
+               durable_windows_per_sec, durable_overhead_pct,
+               static_cast<unsigned long long>(durability.journal_bytes()),
+               static_cast<unsigned long long>(durability.journal().flushes()),
+               static_cast<unsigned long long>(
+                   durability.checkpoints_written()),
+               static_cast<unsigned long long>(
+                   durability.frames_deduplicated()));
   std::fclose(f);
-  std::printf("fleet: %.0f windows/s (%zu workers), detect p50 %.2f us, "
-              "p99 %.2f us, %.4f allocs/window -> %s\n",
-              windows_per_sec, kWorkers, latency.quantile_us(0.5),
+  std::printf("fleet: %.0f windows/s (%zu workers), durable %.0f windows/s "
+              "(%.1f%% overhead), detect p50 %.2f us, p99 %.2f us, "
+              "%.4f allocs/window -> %s\n",
+              windows_per_sec, kWorkers, durable_windows_per_sec,
+              durable_overhead_pct, latency.quantile_us(0.5),
               latency.quantile_us(0.99), allocs_per_window, path.c_str());
   return 0;
 }

@@ -1,0 +1,157 @@
+// Write-ahead verdict journal: the durable record of every verdict the
+// fleet has emitted, written as CRC32-framed binary records (io/framed.hpp)
+// through a group-commit buffer.
+//
+// The hot path (FleetEngine worker → Durability::on_verdict → append) never
+// touches the filesystem and never allocates: records land in a
+// preallocated ring and a dedicated flusher thread batches them to disk —
+// one write()+fsync() per group, not per verdict. flush() is the barrier
+// the checkpoint writer uses to establish the WAL invariant (every verdict
+// reflected in a checkpoint is durable in the journal *before* the
+// checkpoint renames into place).
+//
+// Crash tolerance is the reader's job: a torn tail (killed mid-write) is
+// detected by the frame CRC and the file is truncated back to the last
+// intact frame on reopen. simulate_crash() exists so tests can model the
+// exact durability contract — unflushed records are lost, and bytes
+// written after the last fsync barrier may be arbitrarily torn.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/state.hpp"
+
+namespace sift::fleet::durable {
+
+/// One journaled verdict: fixed-width, POD, 30 bytes on the wire. Carries
+/// the resilience counters at verdict time so the journal doubles as a
+/// forensic timeline of session health.
+struct VerdictRecord {
+  static constexpr std::uint8_t kAltered = 1;
+  static constexpr std::uint8_t kDegraded = 2;
+  static constexpr std::uint8_t kHrMismatch = 4;
+  static constexpr std::uint8_t kUnscored = 8;
+
+  std::int32_t user_id = 0;
+  std::uint64_t seq = 0;  ///< per-user window index — the dedupe key
+  double decision_value = 0.0;
+  std::uint8_t tier = 0;   ///< core::DetectorVersion rank
+  std::uint8_t flags = 0;  ///< kAltered | kDegraded | kHrMismatch | kUnscored
+  std::uint32_t faults_total = 0;
+  std::uint32_t quarantine_dropped = 0;
+
+  void encode(io::StateWriter& w) const;
+  static VerdictRecord decode(io::StateReader& r);
+};
+
+/// Encoded size of one VerdictRecord payload (before framing).
+inline constexpr std::size_t kVerdictRecordBytes = 30;
+
+struct JournalConfig {
+  /// Group-commit ring capacity. append() blocks (backpressure, no drop)
+  /// when the flusher falls this far behind.
+  std::size_t buffer_records = 1024;
+  /// Idle flush cadence; a full ring or an explicit flush() commits sooner.
+  std::chrono::milliseconds flush_interval{25};
+  bool fsync_on_flush = true;
+};
+
+/// Append-only verdict log with group commit. Thread-safe.
+class Journal {
+ public:
+  struct ScanResult {
+    std::vector<VerdictRecord> records;
+    std::size_t valid_bytes = 0;
+    bool torn = false;  ///< bytes past the last intact frame were discarded
+  };
+
+  /// Opens (or creates) the journal at @p path. A torn tail left by a
+  /// previous crash is truncated away before appending resumes.
+  /// @throws std::runtime_error on I/O failure.
+  explicit Journal(std::string path, JournalConfig config = {});
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Stages one record for the next group commit. Allocation-free; blocks
+  /// when the ring is full (durability backpressure — verdicts are never
+  /// silently dropped). No-op after simulate_crash().
+  void append(const VerdictRecord& record);
+
+  /// Barrier: returns once every record appended before the call is
+  /// durable on disk (written, and fsync'd when configured).
+  void flush();
+
+  /// Reads every intact frame of the file at @p path, stopping at the
+  /// first torn/corrupt frame. Never throws on corrupt input.
+  static ScanResult scan(const std::string& path);
+
+  /// Test hook modelling a process kill: pending (unflushed) records are
+  /// abandoned, and the last @p cut_tail_bytes of the file — writes that
+  /// may not have hit the platter — are torn off, optionally followed by
+  /// @p junk_bytes of garbage (a partial write). The journal is unusable
+  /// afterwards; reopen a fresh Journal to recover.
+  void simulate_crash(std::size_t cut_tail_bytes, std::size_t junk_bytes = 0);
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t appends() const noexcept { return appends_relaxed(); }
+  std::uint64_t flushes() const noexcept {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+  /// Bytes appended to the file by this instance.
+  std::uint64_t bytes_written() const noexcept {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  /// Total valid bytes on disk (recovered prefix + writes since open).
+  std::uint64_t durable_bytes() const noexcept {
+    return durable_file_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Valid prefix found at open, and whether a torn tail was truncated.
+  std::size_t recovered_valid_bytes() const noexcept { return recovered_valid_; }
+  bool recovered_torn() const noexcept { return recovered_torn_; }
+
+ private:
+  void flusher_loop();
+  std::uint64_t appends_relaxed() const noexcept;
+
+  std::string path_;
+  JournalConfig config_;
+  int fd_ = -1;
+  std::size_t recovered_valid_ = 0;
+  bool recovered_torn_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;    ///< wakes the flusher
+  std::condition_variable space_cv_;   ///< wakes blocked appenders
+  std::condition_variable durable_cv_; ///< wakes flush() waiters
+  std::vector<VerdictRecord> ring_;    ///< preallocated group-commit buffer
+  std::size_t ring_head_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t appended_total_ = 0;
+  std::uint64_t durable_total_ = 0;  ///< records committed to disk
+  std::size_t flush_waiters_ = 0;
+  bool stop_ = false;
+  bool dead_ = false;  ///< simulate_crash fired
+
+  // Serialization scratch, reserved once: the flusher reuses these so the
+  // steady-state commit cycle allocates nothing.
+  std::vector<std::uint8_t> payload_scratch_;
+  std::vector<std::uint8_t> batch_scratch_;
+
+  std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> durable_file_bytes_{0};
+
+  std::thread flusher_;
+};
+
+}  // namespace sift::fleet::durable

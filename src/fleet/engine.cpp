@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "core/features.hpp"
+#include "fleet/durable/durability.hpp"
 #include "fleet/faults.hpp"
+#include "io/state.hpp"
 
 namespace sift::fleet {
 
@@ -85,7 +87,39 @@ FleetEngine::~FleetEngine() { drain(); }
 std::uint64_t FleetEngine::rejects_for(int user_id) const {
   std::lock_guard lock(reject_mu_);
   const auto it = rejects_by_user_.find(user_id);
-  return it == rejects_by_user_.end() ? 0 : it->second;
+  return it == rejects_by_user_.end() ? 0 : it->second.count;
+}
+
+std::unordered_map<int, RejectState> FleetEngine::rejects_snapshot() const {
+  std::lock_guard lock(reject_mu_);
+  return rejects_by_user_;
+}
+
+void FleetEngine::restore_rejects(
+    std::unordered_map<int, RejectState> rejects) {
+  std::lock_guard lock(reject_mu_);
+  rejects_by_user_ = std::move(rejects);
+}
+
+SessionCursors FleetEngine::restore_session(int user_id,
+                                            io::StateReader& reader) {
+  SessionCursors cursors;
+  table_.with_session(table_.shard_of(user_id), user_id, [&](Session& s) {
+    const Session::Restored restored = s.import_state(reader);
+    cursors = s.cursors();
+    // The fresh session came up at its provisioned tier; if the checkpoint
+    // caught it mid-degradation, put it back on the recorded rung so the
+    // replayed windows are scored by the same detector that would have
+    // scored them in the uninterrupted run.
+    if (restored.was_scored && s.scored() && registry_.tiered() &&
+        s.tier() != restored.tier) {
+      auto lease = registry_.try_acquire(user_id, restored.tier);
+      if (lease.model) {
+        s.install_detector(core::Detector(std::move(lease.model)));
+      }
+    }
+  });
+  return cursors;
 }
 
 bool FleetEngine::ingest(int user_id, wiot::Packet packet) {
@@ -99,9 +133,20 @@ bool FleetEngine::ingest(int user_id, wiot::Packet packet) {
   if (config_.validate_ingest &&
       wiot::validate_packet(packet, config_.validation) !=
           wiot::PacketFault::kNone) {
-    packets_rejected_->add();
     std::lock_guard lock(reject_mu_);
-    ++rejects_by_user_[user_id];
+    RejectState& st = rejects_by_user_[user_id];
+    if (config_.durability) {
+      // Exactly-once accounting across restarts: a recovery replay re-feeds
+      // (and re-corrupts) packets the checkpoint already charged — skip
+      // anything at or below the checkpointed per-channel high-water.
+      std::uint32_t& seen = packet.kind == wiot::ChannelKind::kEcg
+                                ? st.ecg_seen
+                                : st.abp_seen;
+      if (packet.seq < seen) return false;
+      seen = packet.seq + 1;
+    }
+    packets_rejected_->add();
+    ++st.count;
     return false;
   }
   Envelope env;
@@ -203,6 +248,10 @@ void FleetEngine::process(Envelope env) {
   std::size_t new_degraded = 0;
   std::size_t new_unscored = 0;
   table_.with_session(env.shard, env.user_id, [&](Session& session) {
+    // Durability cursor: every delivered packet counts, even ones the
+    // quarantine or fault paths below consume without classifying —
+    // recovery must not re-feed anything that already mutated this state.
+    session.note_packet(env.packet);
     Session::Health& health = session.health();
     bool probing = false;
     if (health.quarantined) {
@@ -257,6 +306,12 @@ void FleetEngine::process(Envelope env) {
     for (std::size_t i = reports.size() - new_windows; i < reports.size();
          ++i) {
       if (reports[i].degraded) ++new_degraded;
+      if (config_.durability) {
+        // Journaled under the shard lock: the append happens-before any
+        // checkpoint snapshot of this session, which is the WAL invariant
+        // recovery depends on.
+        config_.durability->on_verdict(env.user_id, reports[i], health);
+      }
     }
   });
   const auto end = std::chrono::steady_clock::now();
@@ -344,6 +399,18 @@ std::string FleetEngine::metrics_json() {
   metrics_.gauge("fleet.station.overflow_dropped")
       .set(static_cast<std::int64_t>(total.overflow_dropped));
   metrics_.gauge("fleet.sessions_unscored").set(unscored_sessions);
+
+  if (config_.durability) {
+    durable::Durability& d = *config_.durability;
+    metrics_.gauge("fleet.checkpoints_written")
+        .set(static_cast<std::int64_t>(d.checkpoints_written()));
+    metrics_.gauge("fleet.journal_bytes")
+        .set(static_cast<std::int64_t>(d.journal_bytes()));
+    metrics_.gauge("fleet.frames_replayed")
+        .set(static_cast<std::int64_t>(d.frames_replayed()));
+    metrics_.gauge("fleet.frames_discarded_torn")
+        .set(static_cast<std::int64_t>(d.frames_discarded_torn()));
+  }
   return metrics_.snapshot_json();
 }
 

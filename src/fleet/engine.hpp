@@ -35,9 +35,27 @@
 #include "wiot/packet.hpp"
 #include "wiot/validate.hpp"
 
+namespace sift::io {
+class StateReader;
+}  // namespace sift::io
+
 namespace sift::fleet {
 
 class FaultInjector;
+
+namespace durable {
+class Durability;
+}  // namespace durable
+
+/// Per-user ingest-validation bookkeeping. The per-channel high-waters
+/// exist for exactly-once recovery: a reject charged before a checkpoint
+/// must not be re-charged when the same (re-corrupted) packet is re-fed
+/// after a restart.
+struct RejectState {
+  std::uint64_t count = 0;
+  std::uint32_t ecg_seen = 0;  ///< one past the highest rejected ECG seq
+  std::uint32_t abp_seen = 0;
+};
 
 /// Worker-side fault supervision: how many consecutive pipeline throws a
 /// session survives before it is quarantined, and how often a quarantined
@@ -77,6 +95,10 @@ struct FleetConfig {
   /// Chaos hook (non-owning, may be null): stalls workers, forces shed
   /// depth, and throws on the per-packet path per its seeded schedule.
   FaultInjector* injector = nullptr;
+  /// Durability hook (non-owning, may be null): every fresh verdict is
+  /// journaled under the session's shard lock, and validation rejects are
+  /// deduplicated across restarts (see fleet/durable/durability.hpp).
+  durable::Durability* durability = nullptr;
 };
 
 class FleetEngine {
@@ -115,6 +137,20 @@ class FleetEngine {
 
   /// Ingest-side validation rejects charged to @p user_id (0 if none).
   std::uint64_t rejects_for(int user_id) const;
+
+  /// Copy of the per-user reject bookkeeping (checkpointed by the
+  /// durability layer).
+  std::unordered_map<int, RejectState> rejects_snapshot() const;
+  /// Restores reject bookkeeping from a checkpoint (recovery path).
+  void restore_rejects(std::unordered_map<int, RejectState> rejects);
+
+  /// Recovery: rebuilds one session from checkpointed state (creating it,
+  /// then importing health/cursors/station residue under the shard lock)
+  /// and returns its ingest cursors for the replay feed. When the
+  /// registry is tiered and the checkpoint recorded a different rung, the
+  /// detector is reinstalled at the recorded tier.
+  /// @throws std::runtime_error on geometry mismatch or truncated state.
+  SessionCursors restore_session(int user_id, io::StateReader& reader);
 
   /// Refreshes the level gauges (queue depth, residency, per-station
   /// aggregates) and returns the full JSON snapshot.
@@ -181,7 +217,7 @@ class FleetEngine {
   // Per-user validation-reject tallies; off the accept path (only rejects
   // take the lock), so ingest stays allocation-free for valid traffic.
   mutable std::mutex reject_mu_;
-  std::unordered_map<int, std::uint64_t> rejects_by_user_;
+  std::unordered_map<int, RejectState> rejects_by_user_;
 
   std::vector<std::jthread> threads_;  ///< last member: joins before teardown
 };

@@ -139,6 +139,48 @@ ReplayResult replay_through(FleetEngine& engine, const ReplayFixture& fixture,
   return result;
 }
 
+ReplayResult replay_resume(
+    FleetEngine& engine, const ReplayFixture& fixture,
+    const std::unordered_map<int, SessionCursors>& cursors,
+    FaultInjector* injector) {
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t offered = 0;
+  bool more = true;
+  for (std::size_t step = 0; more; ++step) {
+    more = false;
+    for (std::size_t s = 0; s < fixture.sessions(); ++s) {
+      const auto& stream = fixture.session_packets(s);
+      if (step >= stream.size()) continue;
+      more = true;
+      const wiot::Packet& pristine = stream[step];
+      // The skip decision uses the fixture's pristine sequence number (the
+      // packet's canonical position) — corruption is applied after, on the
+      // same (seed, user, seq, kind) schedule as the original run.
+      if (const auto it = cursors.find(static_cast<int>(s));
+          it != cursors.end()) {
+        const std::uint32_t cursor = pristine.kind == wiot::ChannelKind::kEcg
+                                         ? it->second.ecg
+                                         : it->second.abp;
+        if (pristine.seq < cursor) continue;
+      }
+      wiot::Packet packet = pristine;
+      if (injector) {
+        injector->corrupt_packet(static_cast<int>(s), packet);
+      }
+      engine.ingest(static_cast<int>(s), std::move(packet));
+      ++offered;
+    }
+  }
+  engine.drain();
+  const auto end = std::chrono::steady_clock::now();
+
+  ReplayResult result;
+  result.elapsed = end - start;
+  result.packets_offered = offered;
+  result.windows_classified = engine.windows_classified();
+  return result;
+}
+
 std::vector<wiot::BaseStation::Stats> single_thread_reference(
     const ReplayFixture& fixture, const wiot::BaseStation::Config& station) {
   auto provider = fixture.provider();

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/trainer.hpp"
@@ -86,5 +87,18 @@ ReplayResult replay_through(FleetEngine& engine, const ReplayFixture& fixture,
 /// against this, window for window.
 std::vector<wiot::BaseStation::Stats> single_thread_reference(
     const ReplayFixture& fixture, const wiot::BaseStation::Config& station);
+
+/// Recovery replay: re-feeds the fixture into a restored engine, skipping
+/// every packet whose (pristine) sequence number is below the session's
+/// checkpointed cursor for that channel — exactly the packets whose
+/// effects the checkpoint already contains. Sessions absent from
+/// @p cursors are fed from the start. Single producer, time-major, so the
+/// per-user order matches replay_through; @p injector (if any) re-corrupts
+/// the surviving packets on the same deterministic schedule as the
+/// original run.
+ReplayResult replay_resume(
+    FleetEngine& engine, const ReplayFixture& fixture,
+    const std::unordered_map<int, SessionCursors>& cursors,
+    FaultInjector* injector = nullptr);
 
 }  // namespace sift::fleet

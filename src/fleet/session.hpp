@@ -18,15 +18,25 @@
 // of it needs synchronisation.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <utility>
 
 #include "core/trainer.hpp"
+#include "io/state.hpp"
 #include "wiot/base_station.hpp"
 
 namespace sift::fleet {
+
+/// Per-channel ingest cursors: one past the highest packet seq this
+/// session's worker has consumed. The durability layer checkpoints them;
+/// recovery re-feeds packets with seq ≥ cursor and skips the rest.
+struct SessionCursors {
+  std::uint32_t ecg = 0;
+  std::uint32_t abp = 0;
+};
 
 class Session {
  public:
@@ -78,6 +88,68 @@ class Session {
     return station_.stats();
   }
 
+  /// Advances the ingest cursor for every packet the worker delivers —
+  /// including ones a quarantined session sheds, since those mutate
+  /// checkpointed state and must not be re-fed after recovery.
+  void note_packet(const wiot::Packet& packet) noexcept {
+    std::uint32_t& c = packet.kind == wiot::ChannelKind::kEcg ? cursors_.ecg
+                                                              : cursors_.abp;
+    c = std::max(c, packet.seq + 1);
+  }
+  const SessionCursors& cursors() const noexcept { return cursors_; }
+
+  /// Serializes everything a restart needs to resume this session
+  /// bit-identically: tier placement, health counters, ingest cursors, and
+  /// the station's full reassembly state.
+  void export_state(io::StateWriter& w) const {
+    w.u8(scored() ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(tier()));
+    w.u8(static_cast<std::uint8_t>(home_tier_));
+    w.u32(cursors_.ecg);
+    w.u32(cursors_.abp);
+    w.u64(health_.consecutive_faults);
+    w.u8(health_.quarantined ? 1 : 0);
+    w.u64(health_.faults_total);
+    w.u64(health_.quarantine_dropped);
+    w.u64(health_.quarantine_entries);
+    w.u64(health_.quarantine_exits);
+    w.u64(health_.probe_countdown);
+    w.u64(health_.shed_cooldown);
+    w.u64(health_.validation_rejects);
+    station_.export_state(w);
+  }
+
+  /// Checkpointed tier placement, reported back to the engine so it can
+  /// reinstall the detector at the recorded rung when they differ.
+  struct Restored {
+    bool was_scored = false;
+    core::DetectorVersion tier = core::DetectorVersion::kOriginal;
+  };
+
+  /// Inverse of export_state. The detector itself is not serialized (the
+  /// registry re-provides it); home_tier_ is restored directly because
+  /// install_detector would otherwise re-derive it from the fresh install.
+  /// @throws std::runtime_error on truncated/mismatched state.
+  Restored import_state(io::StateReader& r) {
+    Restored out;
+    out.was_scored = r.u8() != 0;
+    out.tier = static_cast<core::DetectorVersion>(r.u8());
+    home_tier_ = static_cast<core::DetectorVersion>(r.u8());
+    cursors_.ecg = r.u32();
+    cursors_.abp = r.u32();
+    health_.consecutive_faults = static_cast<std::size_t>(r.u64());
+    health_.quarantined = r.u8() != 0;
+    health_.faults_total = r.u64();
+    health_.quarantine_dropped = r.u64();
+    health_.quarantine_entries = r.u64();
+    health_.quarantine_exits = r.u64();
+    health_.probe_countdown = static_cast<std::size_t>(r.u64());
+    health_.shed_cooldown = static_cast<std::size_t>(r.u64());
+    health_.validation_rejects = r.u64();
+    station_.import_state(r);
+    return out;
+  }
+
  private:
   static wiot::BaseStation make_station(
       std::shared_ptr<const core::UserModel> model,
@@ -89,6 +161,7 @@ class Session {
   wiot::BaseStation station_;
   core::DetectorVersion home_tier_;
   Health health_;
+  SessionCursors cursors_;
 };
 
 }  // namespace sift::fleet

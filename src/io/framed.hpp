@@ -1,0 +1,80 @@
+// CRC32-framed, length-prefixed binary records — the on-disk grammar of
+// the fleet's durability layer (write-ahead journal and checkpoints).
+//
+// A frame is:
+//
+//   [u32 payload length][u32 CRC-32 of payload][payload bytes]
+//
+// both integers little-endian. The format is deliberately dumb: a reader
+// can always decide "is the next frame intact?" from the header alone, so
+// a file torn mid-write (process killed between write() and fsync()) is
+// recovered by scanning frames until the first one that is truncated or
+// fails its CRC — everything before that point is trustworthy, everything
+// after is discarded. That stop-at-last-valid-frame contract is what makes
+// append-only journals crash-consistent without any out-of-band metadata.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sift::io {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum of
+/// zip/png/ethernet. @p seed lets callers chain partial computations.
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0) noexcept;
+
+/// Frame header size: u32 length + u32 CRC.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Upper bound a reader accepts for one payload. A bit-flipped length field
+/// must not provoke a gigabyte allocation; nothing we frame is remotely
+/// this large.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+/// Appends one frame (header + payload) to @p out.
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload);
+
+/// Forward scanner over a framed byte buffer. Stops permanently at the
+/// first torn frame (truncated header/payload, oversized length, or CRC
+/// mismatch); valid_bytes() then marks the end of the durable prefix.
+class FrameReader {
+ public:
+  explicit FrameReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  /// The next intact payload, or nullopt at end-of-prefix. Never throws.
+  std::optional<std::span<const std::uint8_t>> next() noexcept;
+
+  /// Offset one past the last intact frame returned so far.
+  std::size_t valid_bytes() const noexcept { return valid_; }
+  /// True once next() hit a torn/corrupt frame (bytes remain past the
+  /// valid prefix). False on a clean end.
+  bool torn() const noexcept { return torn_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+  std::size_t valid_ = 0;
+  bool torn_ = false;
+  bool stopped_ = false;
+};
+
+/// Reads a whole file into memory; a missing file yields an empty buffer
+/// (recovery treats "never written" and "empty" the same way).
+/// @throws std::runtime_error on a read error other than non-existence.
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+/// Crash-consistent replace: writes @p bytes to `path + ".tmp"`, fsyncs the
+/// file, renames it over @p path, and fsyncs the parent directory so the
+/// rename itself is durable. A crash at any instant leaves either the old
+/// file or the new one, never a hybrid. @throws std::runtime_error on I/O
+/// failure.
+void write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes);
+
+}  // namespace sift::io

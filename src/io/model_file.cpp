@@ -1,15 +1,31 @@
 #include "io/model_file.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "io/framed.hpp"
 #include "ml/serialize.hpp"
 
 namespace sift::io {
 namespace {
 
-constexpr const char* kMagic = "sift-user-model v1";
+// v2 adds an integrity header so a truncated or bit-flipped artefact fails
+// load with a clear error instead of feeding garbage weights downstream:
+//
+//   sift-user-model v2
+//   crc32 <8-hex> <payload-bytes>
+//   <v1 body>
+//
+// v1 files (no checksum) remain readable for already-provisioned fleets.
+constexpr const char* kMagic = "sift-user-model v2";
+constexpr const char* kMagicV1 = "sift-user-model v1";
+
+std::uint32_t body_crc(const std::string& body) noexcept {
+  return crc32({reinterpret_cast<const std::uint8_t*>(body.data()),
+                body.size()});
+}
 
 core::DetectorVersion version_from(const std::string& s) {
   if (s == "Original") return core::DetectorVersion::kOriginal;
@@ -45,14 +61,21 @@ std::string expect_field(std::istream& is, const std::string& key) {
 }  // namespace
 
 void write_user_model(std::ostream& os, const core::UserModel& model) {
+  std::ostringstream body;
+  body << "user_id " << model.user_id << '\n';
+  body << "version " << core::to_string(model.config.version) << '\n';
+  body << "arithmetic " << core::to_string(model.config.arithmetic) << '\n';
+  body.precision(17);
+  body << "window_s " << model.config.window_s << '\n';
+  body << "grid_n " << model.config.grid_n << '\n';
+  ml::save_model(body, {model.scaler, model.svm});
+
+  const std::string payload = body.str();
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof crc_hex, "%08x", body_crc(payload));
   os << kMagic << '\n';
-  os << "user_id " << model.user_id << '\n';
-  os << "version " << core::to_string(model.config.version) << '\n';
-  os << "arithmetic " << core::to_string(model.config.arithmetic) << '\n';
-  os.precision(17);
-  os << "window_s " << model.config.window_s << '\n';
-  os << "grid_n " << model.config.grid_n << '\n';
-  ml::save_model(os, {model.scaler, model.svm});
+  os << "crc32 " << crc_hex << ' ' << payload.size() << '\n';
+  os << payload;
 }
 
 void save_user_model(const std::string& path, const core::UserModel& model) {
@@ -61,16 +84,9 @@ void save_user_model(const std::string& path, const core::UserModel& model) {
   write_user_model(os, model);
 }
 
-core::UserModel read_user_model(std::istream& is) {
-  std::string line;
-  while (std::getline(is, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    if (line != kMagic) {
-      throw std::runtime_error("model file: bad magic '" + line + "'");
-    }
-    break;
-  }
+namespace {
 
+core::UserModel read_model_body(std::istream& is) {
   core::UserModel model;
   model.user_id = std::stoi(expect_field(is, "user_id"));
   model.config.version = version_from(expect_field(is, "version"));
@@ -90,6 +106,53 @@ core::UserModel read_user_model(std::istream& is) {
   model.scaler = std::move(artifact.scaler);
   model.svm = std::move(artifact.svm);
   return model;
+}
+
+}  // namespace
+
+core::UserModel read_user_model(std::istream& is) {
+  std::string line;
+  bool v2 = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == kMagic) {
+      v2 = true;
+    } else if (line != kMagicV1) {
+      throw std::runtime_error("model file: bad magic '" + line + "'");
+    }
+    break;
+  }
+  if (!v2) return read_model_body(is);  // legacy, unchecksummed
+
+  std::string crc_line;
+  if (!std::getline(is, crc_line)) {
+    throw std::runtime_error("model file: truncated before crc32 header");
+  }
+  std::istringstream ss(crc_line);
+  std::string key;
+  std::string hex;
+  std::size_t expected_size = 0;
+  if (!(ss >> key >> hex >> expected_size) || key != "crc32") {
+    throw std::runtime_error("model file: malformed crc32 header '" +
+                             crc_line + "'");
+  }
+  const std::uint32_t expected_crc =
+      static_cast<std::uint32_t>(std::stoul(hex, nullptr, 16));
+
+  std::string payload(expected_size, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(expected_size));
+  if (static_cast<std::size_t>(is.gcount()) != expected_size) {
+    throw std::runtime_error(
+        "model file: truncated body (expected " +
+        std::to_string(expected_size) + " bytes, got " +
+        std::to_string(is.gcount()) + ")");
+  }
+  if (body_crc(payload) != expected_crc) {
+    throw std::runtime_error(
+        "model file: crc32 mismatch — file is corrupt or was edited by hand");
+  }
+  std::istringstream body(payload);
+  return read_model_body(body);
 }
 
 core::UserModel load_user_model(const std::string& path) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "io/state.hpp"
 #include "signal/fft.hpp"
 
 namespace sift::wiot {
@@ -187,6 +188,119 @@ void BaseStation::classify_ready_windows() {
         if (p >= w) s->peaks[kept++] = p - w;
       }
       s->peaks.resize(kept);
+    }
+  }
+}
+
+namespace {
+
+constexpr std::uint8_t kReportAltered = 1;
+constexpr std::uint8_t kReportDegraded = 2;
+constexpr std::uint8_t kReportHrMismatch = 4;
+constexpr std::uint8_t kReportUnscored = 8;
+
+}  // namespace
+
+void BaseStation::export_state(io::StateWriter& w) const {
+  // Geometry guard: a checkpoint only makes sense inside the same station
+  // shape it was taken from.
+  w.u32(static_cast<std::uint32_t>(config_.window_samples));
+  w.u32(static_cast<std::uint32_t>(config_.samples_per_packet));
+  w.u32(static_cast<std::uint32_t>(config_.max_buffered_windows));
+  w.u64(config_.max_report_history);
+  w.u32(config_.max_seq_jump);
+
+  w.u64(stats_.packets_received);
+  w.u64(stats_.duplicates_ignored);
+  w.u64(stats_.malformed_rejected);
+  w.u64(stats_.seq_rejected);
+  w.u64(stats_.gaps_filled);
+  w.u64(stats_.overflow_dropped);
+  w.u64(stats_.windows_classified);
+  w.u64(stats_.unscored_windows);
+  w.u64(stats_.alerts);
+
+  w.u32(static_cast<std::uint32_t>(reports_.size()));
+  for (const WindowReport& rep : reports_) {
+    w.u64(rep.window_index);
+    w.u8(static_cast<std::uint8_t>((rep.altered ? kReportAltered : 0) |
+                                   (rep.degraded ? kReportDegraded : 0) |
+                                   (rep.hr_mismatch ? kReportHrMismatch : 0) |
+                                   (rep.unscored ? kReportUnscored : 0)));
+    w.f64(rep.decision_value);
+    w.u8(static_cast<std::uint8_t>(rep.tier));
+  }
+
+  for (const Stream* s : {&ecg_, &abp_}) {
+    w.u32(s->next_seq);
+    w.u32(static_cast<std::uint32_t>(s->samples.size()));
+    for (std::size_t i = 0; i < s->samples.size(); ++i) {
+      w.f64(s->samples.at(i));
+    }
+    w.u32(static_cast<std::uint32_t>(s->filled.size()));
+    for (std::size_t i = 0; i < s->filled.size(); ++i) {
+      w.u8(s->filled.at(i));
+    }
+    w.u32(static_cast<std::uint32_t>(s->peaks.size()));
+    for (std::size_t p : s->peaks) w.u64(p);
+  }
+}
+
+void BaseStation::import_state(io::StateReader& r) {
+  if (r.u32() != config_.window_samples ||
+      r.u32() != config_.samples_per_packet ||
+      r.u32() != config_.max_buffered_windows ||
+      r.u64() != config_.max_report_history ||
+      r.u32() != config_.max_seq_jump) {
+    throw std::runtime_error(
+        "BaseStation: checkpoint geometry does not match this station");
+  }
+
+  stats_.packets_received = r.u64();
+  stats_.duplicates_ignored = r.u64();
+  stats_.malformed_rejected = r.u64();
+  stats_.seq_rejected = r.u64();
+  stats_.gaps_filled = r.u64();
+  stats_.overflow_dropped = r.u64();
+  stats_.windows_classified = r.u64();
+  stats_.unscored_windows = r.u64();
+  stats_.alerts = r.u64();
+
+  const std::uint32_t n_reports = r.u32();
+  reports_.clear();
+  reports_.reserve(n_reports);
+  for (std::uint32_t i = 0; i < n_reports; ++i) {
+    WindowReport rep;
+    rep.window_index = r.u64();
+    const std::uint8_t flags = r.u8();
+    rep.altered = (flags & kReportAltered) != 0;
+    rep.degraded = (flags & kReportDegraded) != 0;
+    rep.hr_mismatch = (flags & kReportHrMismatch) != 0;
+    rep.unscored = (flags & kReportUnscored) != 0;
+    rep.decision_value = r.f64();
+    rep.tier = static_cast<core::DetectorVersion>(r.u8());
+    reports_.push_back(rep);
+  }
+
+  for (Stream* s : {&ecg_, &abp_}) {
+    s->next_seq = r.u32();
+    const std::uint32_t n_samples = r.u32();
+    if (n_samples > s->samples.capacity()) {
+      throw std::runtime_error("BaseStation: checkpoint residue overflows");
+    }
+    s->samples.clear();
+    for (std::uint32_t i = 0; i < n_samples; ++i) s->samples.push(r.f64());
+    const std::uint32_t n_filled = r.u32();
+    if (n_filled > s->filled.capacity()) {
+      throw std::runtime_error("BaseStation: checkpoint residue overflows");
+    }
+    s->filled.clear();
+    for (std::uint32_t i = 0; i < n_filled; ++i) s->filled.push(r.u8());
+    const std::uint32_t n_peaks = r.u32();
+    s->peaks.clear();
+    s->peaks.reserve(n_peaks);
+    for (std::uint32_t i = 0; i < n_peaks; ++i) {
+      s->peaks.push_back(static_cast<std::size_t>(r.u64()));
     }
   }
 }

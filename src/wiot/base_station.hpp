@@ -20,6 +20,11 @@
 #include "signal/ring_buffer.hpp"
 #include "wiot/packet.hpp"
 
+namespace sift::io {
+class StateWriter;
+class StateReader;
+}  // namespace sift::io
+
 namespace sift::wiot {
 
 class BaseStation {
@@ -118,6 +123,18 @@ class BaseStation {
   const Stats& stats() const noexcept { return stats_; }
   /// Precondition: has_detector().
   const core::Detector& detector() const noexcept { return *detector_; }
+
+  /// Serializes the reassembly state a restart cannot recompute: stats,
+  /// report history, and per-channel sequence cursors, ring residue
+  /// (samples + gap-fill flags), and peak annotations. The detector is
+  /// deliberately excluded — models are re-provided by the fleet registry.
+  void export_state(io::StateWriter& w) const;
+
+  /// Inverse of export_state. The stored geometry (window size, packet
+  /// size, buffer bound) must match this station's config — restoring a
+  /// checkpoint into a differently-shaped station would silently shear the
+  /// streams. @throws std::runtime_error on mismatch or truncation.
+  void import_state(io::StateReader& r);
 
  private:
   /// Bounded reassembly state; samples move through the ring buffers in

@@ -224,5 +224,59 @@ TEST_F(IoTest, UserModelRejectsCorruption) {
   }
 }
 
+TEST_F(IoTest, UserModelV2CarriesIntegrityHeader) {
+  std::stringstream ss;
+  write_user_model(ss, *model_);
+  const std::string text = ss.str();
+  EXPECT_EQ(text.rfind("sift-user-model v2\n", 0), 0u);
+  EXPECT_NE(text.find("\ncrc32 "), std::string::npos);
+}
+
+TEST_F(IoTest, UserModelCrcCatchesBitFlips) {
+  std::stringstream ss;
+  write_user_model(ss, *model_);
+  const std::string good = ss.str();
+  const std::size_t payload = good.find('\n', good.find("crc32 ")) + 1;
+
+  // Flip a byte deep in the weight block — without the checksum this would
+  // load as a subtly different model.
+  std::string text = good;
+  const std::size_t pos = payload + (good.size() - payload) * 3 / 4;
+  text[pos] = static_cast<char>(text[pos] ^ 0x04);
+  std::stringstream bad(text);
+  try {
+    (void)read_user_model(bad);
+    FAIL() << "corrupted payload loaded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("crc32"), std::string::npos);
+  }
+}
+
+TEST_F(IoTest, UserModelCrcCatchesTruncation) {
+  std::stringstream ss;
+  write_user_model(ss, *model_);
+  const std::string good = ss.str();
+  for (const double fraction : {0.25, 0.5, 0.9, 0.99}) {
+    std::stringstream bad(
+        good.substr(0, static_cast<std::size_t>(good.size() * fraction)));
+    EXPECT_THROW(read_user_model(bad), std::runtime_error) << fraction;
+  }
+}
+
+TEST_F(IoTest, UserModelV1FilesRemainReadable) {
+  // An already-provisioned fleet has unchecksummed v1 artefacts on disk;
+  // synthesize one by swapping the v2 framing for the v1 magic.
+  std::stringstream ss;
+  write_user_model(ss, *model_);
+  const std::string v2 = ss.str();
+  const std::size_t payload = v2.find('\n', v2.find("crc32 ")) + 1;
+  std::stringstream v1("sift-user-model v1\n" + v2.substr(payload));
+
+  const core::UserModel restored = read_user_model(v1);
+  EXPECT_EQ(restored.user_id, model_->user_id);
+  EXPECT_EQ(restored.config.version, model_->config.version);
+  EXPECT_EQ(restored.svm.w, model_->svm.w);
+}
+
 }  // namespace
 }  // namespace sift::io

@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -26,6 +27,7 @@
 #include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "amulet/amulet_c_check.hpp"
@@ -35,6 +37,7 @@
 #include "attack/scenario.hpp"
 #include "core/detector.hpp"
 #include "core/trainer.hpp"
+#include "fleet/durable/durability.hpp"
 #include "fleet/engine.hpp"
 #include "fleet/faults.hpp"
 #include "fleet/replay.hpp"
@@ -67,7 +70,12 @@ int usage() {
                "        [--policy block|drop-oldest] [--models K]\n"
                "        [--chaos SEED]   inject a deterministic fault schedule\n"
                "                         (corruption, provider failures,\n"
-               "                         worker throws, overload bursts)\n");
+               "                         worker throws, overload bursts)\n"
+               "        [--checkpoint-dir DIR]  journal every verdict and\n"
+               "                         checkpoint session state into DIR\n"
+               "        [--checkpoint-interval MS]  cadence (default 500)\n"
+               "        [--recover]      restore DIR's newest checkpoint and\n"
+               "                         resume the replay past its cursors\n");
   return 2;
 }
 
@@ -243,9 +251,17 @@ int cmd_fleet(std::span<const std::string> args) {
   std::size_t producers = 4;
   bool chaos = false;
   std::uint64_t chaos_seed = 1;
-  for (std::size_t i = 0; i + 1 < args.size(); i += 2) {
+  std::string checkpoint_dir;
+  std::size_t checkpoint_interval_ms = 500;
+  bool recover = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
-    const std::string& value = args[i + 1];
+    if (flag == "--recover") {
+      recover = true;
+      continue;
+    }
+    if (i + 1 >= args.size()) return usage();
+    const std::string& value = args[++i];
     if (flag == "--sessions") {
       replay.sessions = std::stoul(value);
     } else if (flag == "--seconds") {
@@ -263,6 +279,10 @@ int cmd_fleet(std::span<const std::string> args) {
     } else if (flag == "--chaos") {
       chaos = true;
       chaos_seed = std::stoull(value);
+    } else if (flag == "--checkpoint-dir") {
+      checkpoint_dir = value;
+    } else if (flag == "--checkpoint-interval") {
+      checkpoint_interval_ms = std::stoul(value);
     } else if (flag == "--policy") {
       if (value == "block") {
         config.backpressure = fleet::BackpressurePolicy::kBlock;
@@ -313,6 +333,16 @@ int cmd_fleet(std::span<const std::string> args) {
     config.load_shed.high_watermark = config.queue_capacity / 2;
   }
 
+  std::optional<fleet::durable::Durability> durability;
+  if (!checkpoint_dir.empty()) {
+    std::filesystem::create_directories(checkpoint_dir);
+    durability.emplace(checkpoint_dir);
+    config.durability = &*durability;
+  } else if (recover) {
+    std::fprintf(stderr, "fleet: --recover needs --checkpoint-dir\n");
+    return usage();
+  }
+
   std::optional<fleet::FleetEngine> engine_holder;
   if (chaos) {
     engine_holder.emplace(injector->wrap_provider(fixture.provider_tiered()),
@@ -321,13 +351,66 @@ int cmd_fleet(std::span<const std::string> args) {
     engine_holder.emplace(fixture.provider(), config);
   }
   fleet::FleetEngine& engine = *engine_holder;
+
+  fleet::durable::RecoveryResult recovered;
+  if (recover) {
+    recovered = durability->recover_into(engine);
+    std::fprintf(stderr,
+                 "fleet: recovered %zu session(s) from %s "
+                 "(checkpoint %s, %llu journal frame(s), %llu torn "
+                 "tail(s) truncated)\n",
+                 recovered.sessions_restored, checkpoint_dir.c_str(),
+                 recovered.checkpoint_loaded ? "loaded" : "absent",
+                 static_cast<unsigned long long>(recovered.frames_replayed),
+                 static_cast<unsigned long long>(
+                     recovered.frames_discarded_torn));
+  }
+
   std::fprintf(stderr,
                "fleet: replaying %zu packets over %zu worker(s), %zu "
                "shard(s), policy %s...\n",
                fixture.total_packets(), engine.workers(), config.shards,
                fleet::to_string(config.backpressure));
+
+  // Background checkpoint cadence, the way a deployment would run it: the
+  // snapshot thread races live ingest on purpose (checkpoints are taken
+  // under the shard locks, so this is safe by construction).
+  std::jthread checkpointer;
+  if (durability) {
+    checkpointer = std::jthread([&](std::stop_token stop) {
+      const auto interval =
+          std::chrono::milliseconds(std::max<std::size_t>(
+              1, checkpoint_interval_ms));
+      while (!stop.stop_requested()) {
+        std::this_thread::sleep_for(interval);
+        if (stop.stop_requested()) break;
+        durability->checkpoint(engine);
+      }
+    });
+  }
+
   const auto result =
-      fleet::replay_through(engine, fixture, producers, injector.get());
+      recover ? fleet::replay_resume(engine, fixture, recovered.cursors,
+                                     injector.get())
+              : fleet::replay_through(engine, fixture, producers,
+                                      injector.get());
+  if (checkpointer.joinable()) {
+    checkpointer.request_stop();
+    checkpointer.join();
+  }
+  if (durability) {
+    durability->checkpoint(engine);  // final: cover the drained tail
+    std::fprintf(stderr,
+                 "durable: %llu checkpoint(s), %llu journal bytes, %llu "
+                 "verdict(s) journaled, %llu deduplicated\n",
+                 static_cast<unsigned long long>(
+                     durability->checkpoints_written()),
+                 static_cast<unsigned long long>(durability->journal_bytes()),
+                 static_cast<unsigned long long>(
+                     durability->journal().appends()),
+                 static_cast<unsigned long long>(
+                     durability->frames_deduplicated()));
+  }
 
   const double secs =
       std::chrono::duration<double>(result.elapsed).count();
