@@ -7,8 +7,11 @@
 // validate its *relative* shape on real hardware.)
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <random>
+#include <vector>
 
 #include "core/count_matrix.hpp"
 #include "core/features.hpp"
@@ -16,6 +19,7 @@
 #include "core/windows.hpp"
 #include "physio/dataset.hpp"
 #include "physio/user_profile.hpp"
+#include "simd/simd.hpp"
 
 namespace {
 
@@ -83,6 +87,140 @@ void BM_FullWindowClassificationPath(benchmark::State& state) {
   state.SetLabel(core::to_string(version));
 }
 BENCHMARK(BM_FullWindowClassificationPath)->DenseRange(0, 2);
+
+// --- SIMD kernel layer ------------------------------------------------------
+//
+// Per-kernel cost at every dispatch level the host can run, bypassing the
+// active-table indirection so the numbers isolate the kernel itself. With
+// items = elements, google-benchmark's items_per_second column reads as
+// elements/sec — invert for ns/element. Levels the host lacks are skipped
+// (the dispatch table would silently degrade them to scalar, which would
+// bench the wrong code).
+
+bool level_available(simd::Level level) {
+  for (const auto l : simd::available_levels()) {
+    if (l == level) return true;
+  }
+  return false;
+}
+
+/// One window's worth of realistic samples (ECG channel, padded by tiling)
+/// so the kernels see physiological data, not a synthetic ramp.
+std::vector<double> kernel_input(std::size_t n) {
+  const auto& rec = window_record();
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = rec.ecg[i % rec.ecg.size()];
+  return xs;
+}
+
+constexpr std::int64_t kKernelN = 4096;
+
+#define SIFT_SKIP_IF_UNAVAILABLE(state, level)                       \
+  if (!level_available(level)) {                                     \
+    (state).SkipWithError("level unavailable on this host");         \
+    return;                                                          \
+  }                                                                  \
+  (state).SetLabel(sift::simd::to_string(level))
+
+void BM_SimdDot(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  SIFT_SKIP_IF_UNAVAILABLE(state, level);
+  const auto& k = simd::kernels(level);
+  const auto xs = kernel_input(kKernelN);
+  const auto ys = kernel_input(kKernelN);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.dot(xs.data(), ys.data(), xs.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelN);
+}
+BENCHMARK(BM_SimdDot)->ArgName("level")->DenseRange(0, 3);
+
+void BM_SimdAxpy(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  SIFT_SKIP_IF_UNAVAILABLE(state, level);
+  const auto& k = simd::kernels(level);
+  const auto xs = kernel_input(kKernelN);
+  std::vector<double> ys = kernel_input(kKernelN);
+  for (auto _ : state) {
+    k.axpy(1e-9, xs.data(), ys.data(), xs.size());
+    benchmark::DoNotOptimize(ys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelN);
+}
+BENCHMARK(BM_SimdAxpy)->ArgName("level")->DenseRange(0, 3);
+
+void BM_SimdMinMax(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  SIFT_SKIP_IF_UNAVAILABLE(state, level);
+  const auto& k = simd::kernels(level);
+  const auto xs = kernel_input(kKernelN);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.min_max(xs.data(), xs.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelN);
+}
+BENCHMARK(BM_SimdMinMax)->ArgName("level")->DenseRange(0, 3);
+
+void BM_SimdMeanVar(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  SIFT_SKIP_IF_UNAVAILABLE(state, level);
+  const auto& k = simd::kernels(level);
+  const auto xs = kernel_input(kKernelN);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.mean_var(xs.data(), xs.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelN);
+}
+BENCHMARK(BM_SimdMeanVar)->ArgName("level")->DenseRange(0, 3);
+
+void BM_SimdNormalize01(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  SIFT_SKIP_IF_UNAVAILABLE(state, level);
+  const auto& k = simd::kernels(level);
+  const auto xs = kernel_input(kKernelN);
+  std::vector<double> out(xs.size());
+  const auto mm = simd::min_max(xs);
+  for (auto _ : state) {
+    k.normalize01(xs.data(), mm.min, mm.max - mm.min, out.data(), xs.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelN);
+}
+BENCHMARK(BM_SimdNormalize01)->ArgName("level")->DenseRange(0, 3);
+
+void BM_SimdFivePointDerivative(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  SIFT_SKIP_IF_UNAVAILABLE(state, level);
+  const auto& k = simd::kernels(level);
+  const auto xs = kernel_input(kKernelN);
+  std::vector<double> out(xs.size());
+  for (auto _ : state) {
+    k.five_point_derivative(xs.data(), out.data(), xs.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelN);
+}
+BENCHMARK(BM_SimdFivePointDerivative)->ArgName("level")->DenseRange(0, 3);
+
+void BM_SimdHist2d(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  SIFT_SKIP_IF_UNAVAILABLE(state, level);
+  const auto& k = simd::kernels(level);
+  // Interleaved (x, y) pairs in [0, 1): the count-matrix binning layout.
+  std::vector<double> xy(2 * kKernelN);
+  std::mt19937 rng(2017);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  for (auto& v : xy) v = uni(rng);
+  std::vector<std::uint32_t> counts(
+      core::kDefaultGridSize * core::kDefaultGridSize);
+  for (auto _ : state) {
+    std::fill(counts.begin(), counts.end(), 0u);
+    k.hist2d(xy.data(), kKernelN, core::kDefaultGridSize, counts.data());
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelN);
+}
+BENCHMARK(BM_SimdHist2d)->ArgName("level")->DenseRange(0, 3);
 
 }  // namespace
 

@@ -147,6 +147,43 @@ BENCHMARK(BM_FleetDurableWindowsPerSec)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Batch-depth sweep at the stress point (4 workers × 64 sessions):
+// max_batch=1 is the legacy one-envelope-per-lock path; deeper batches
+// amortise the queue and session-table locks. The curve should rise from
+// 1 and flatten once lock cost stops dominating per-window detection.
+void BM_FleetBatchSweep(benchmark::State& state) {
+  const auto max_batch = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kSessions = 64;
+  const auto& fixture = fixture_for(kSessions);
+
+  std::uint64_t windows = 0;
+  for (auto _ : state) {
+    fleet::FleetConfig config;
+    config.workers = 4;
+    config.shards = 8;
+    config.queue_capacity = 1024;
+    config.max_batch = max_batch;
+    config.backpressure = fleet::BackpressurePolicy::kBlock;
+    fleet::FleetEngine engine(fixture.provider(), config);
+    const auto result = fleet::replay_through(engine, fixture, /*producers=*/1);
+    windows += result.windows_classified;
+  }
+  state.counters["windows_per_sec"] =
+      benchmark::Counter(static_cast<double>(windows),
+                         benchmark::Counter::kIsRate);
+  state.counters["max_batch"] = static_cast<double>(max_batch);
+  state.SetItemsProcessed(static_cast<std::int64_t>(windows));
+}
+
+BENCHMARK(BM_FleetBatchSweep)
+    ->ArgName("max_batch")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // --- machine-readable snapshot (--json <path>) -----------------------------------
 
 /// Steady-state allocations per classified window for one session: replay
@@ -193,6 +230,7 @@ int write_json_snapshot(const std::string& path) {
   config.workers = kWorkers;
   config.shards = 8;
   config.queue_capacity = 1024;
+  config.max_batch = 1;  // unbatched: comparable with pre-batching baselines
   config.backpressure = fleet::BackpressurePolicy::kBlock;
   fleet::FleetEngine engine(fixture.provider(), config);
   const auto result = fleet::replay_through(engine, fixture, /*producers=*/1);
@@ -202,6 +240,21 @@ int write_json_snapshot(const std::string& path) {
   const double windows_per_sec =
       static_cast<double>(result.windows_classified) / elapsed_s;
   const double allocs_per_window = session_allocs_per_window(fixture);
+
+  // Batched run: same replay with the default batch depth, so the snapshot
+  // carries both sides of the batching claim.
+  fleet::FleetConfig batched_config = config;
+  batched_config.max_batch = fleet::FleetConfig{}.max_batch;
+  fleet::FleetEngine batched_engine(fixture.provider(), batched_config);
+  const auto batched_result =
+      fleet::replay_through(batched_engine, fixture, /*producers=*/1);
+  const double batched_elapsed_s =
+      std::chrono::duration<double>(batched_result.elapsed).count();
+  const double windows_per_sec_batched =
+      static_cast<double>(batched_result.windows_classified) /
+      batched_elapsed_s;
+  const double batched_speedup =
+      windows_per_sec > 0.0 ? windows_per_sec_batched / windows_per_sec : 0.0;
 
   // Durable run: identical replay with the verdict journal on the hot path
   // and a checkpoint mid-stream + at the end — the overhead figure CI
@@ -252,6 +305,9 @@ int write_json_snapshot(const std::string& path) {
                "  \"sessions\": %zu,\n"
                "  \"windows\": %llu,\n"
                "  \"windows_per_sec\": %.1f,\n"
+               "  \"windows_per_sec_batched\": %.1f,\n"
+               "  \"max_batch\": %zu,\n"
+               "  \"batched_speedup\": %.3f,\n"
                "  \"detect_p50_us\": %.3f,\n"
                "  \"detect_p99_us\": %.3f,\n"
                "  \"session_allocs_per_window\": %.4f,\n"
@@ -271,7 +327,9 @@ int write_json_snapshot(const std::string& path) {
                "}\n",
                kWorkers, kSessions,
                static_cast<unsigned long long>(result.windows_classified),
-               windows_per_sec, latency.quantile_us(0.5),
+               windows_per_sec, windows_per_sec_batched,
+               batched_config.max_batch, batched_speedup,
+               latency.quantile_us(0.5),
                latency.quantile_us(0.99), allocs_per_window,
                count("fleet.packets_rejected"),
                count("fleet.sessions_quarantined"),
@@ -288,10 +346,12 @@ int write_json_snapshot(const std::string& path) {
                static_cast<unsigned long long>(
                    durability.frames_deduplicated()));
   std::fclose(f);
-  std::printf("fleet: %.0f windows/s (%zu workers), durable %.0f windows/s "
+  std::printf("fleet: %.0f windows/s unbatched, %.0f batched (x%.2f at "
+              "max_batch %zu, %zu workers), durable %.0f windows/s "
               "(%.1f%% overhead), detect p50 %.2f us, p99 %.2f us, "
               "%.4f allocs/window -> %s\n",
-              windows_per_sec, kWorkers, durable_windows_per_sec,
+              windows_per_sec, windows_per_sec_batched, batched_speedup,
+              batched_config.max_batch, kWorkers, durable_windows_per_sec,
               durable_overhead_pct, latency.quantile_us(0.5),
               latency.quantile_us(0.99), allocs_per_window, path.c_str());
   return 0;

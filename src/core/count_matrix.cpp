@@ -1,6 +1,9 @@
 #include "core/count_matrix.hpp"
 
+#include <cstddef>
 #include <stdexcept>
+
+#include "simd/simd.hpp"
 
 namespace sift::core {
 
@@ -8,25 +11,24 @@ void CountMatrix::rebuild(const Portrait& portrait, std::size_t n) {
   if (n == 0) throw std::invalid_argument("CountMatrix: n must be positive");
   n_ = n;
   counts_.assign(n_ * n_, 0);  // reuses capacity once warm
-  for (const Point& p : portrait.points()) {
-    auto i = static_cast<std::size_t>(p.x * static_cast<double>(n_));
-    auto j = static_cast<std::size_t>(p.y * static_cast<double>(n_));
-    if (i >= n_) i = n_ - 1;  // x == 1.0 lands in the last column
-    if (j >= n_) j = n_ - 1;
-    ++counts_[i * n_ + j];
+  // Portrait points are interleaved (x, y) double pairs, exactly the
+  // layout the 2-D histogram kernel bins: i = trunc(clamp(x * n, 0,
+  // n - 1)), so x == 1.0 lands in the last column as before.
+  static_assert(sizeof(Point) == 2 * sizeof(double) &&
+                    offsetof(Point, y) == sizeof(double),
+                "Point must be an interleaved (x, y) double pair");
+  const std::vector<Point>& pts = portrait.points();
+  if (!pts.empty()) {
+    simd::active().hist2d(&pts[0].x, pts.size(), n_, counts_.data());
   }
-  total_ = portrait.points().size();  // every point lands in some cell
+  total_ = pts.size();  // every point lands in some cell
 }
 
 void CountMatrix::column_averages_into(std::span<double> out) const {
   if (out.size() != n_) {
     throw std::invalid_argument("CountMatrix: column-average span size");
   }
-  for (std::size_t i = 0; i < n_; ++i) {
-    std::uint64_t sum = 0;
-    for (std::size_t j = 0; j < n_; ++j) sum += counts_[i * n_ + j];
-    out[i] = static_cast<double>(sum) / static_cast<double>(n_);
-  }
+  simd::active().column_averages(counts_.data(), n_, out.data());
 }
 
 std::vector<double> CountMatrix::column_averages() const {

@@ -1,8 +1,10 @@
 #include "core/portrait.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "peaks/pairing.hpp"
+#include "simd/simd.hpp"
 
 namespace sift::core {
 
@@ -16,9 +18,9 @@ struct Normalizer {
   double range = 0.0;
 
   explicit Normalizer(std::span<const double> xs) {
-    const auto [mn_it, mx_it] = std::minmax_element(xs.begin(), xs.end());
-    mn = *mn_it;
-    range = *mx_it - mn;
+    const auto mm = simd::min_max(xs);
+    mn = mm.min;
+    range = mm.max - mn;
   }
 
   double operator()(double x) const noexcept {
@@ -62,15 +64,16 @@ void Portrait::rebuild(const PortraitInput& in) {
   Point* const pts = points_.data();
   if (norm_a.range > 0.0 && norm_e.range > 0.0) {
     // Hot case: both ranges non-degenerate, so the per-sample branch in
-    // Normalizer::operator() is loop-invariant — hoisting it leaves a
-    // tight divide loop the compiler can vectorise. Same IEEE operations
-    // per element, so results stay bit-identical to the generic path.
-    const double mn_a = norm_a.mn, range_a = norm_a.range;
-    const double mn_e = norm_e.mn, range_e = norm_e.range;
-    for (std::size_t t = 0; t < n; ++t) {
-      pts[t].x = (in.abp[t] - mn_a) / range_a;
-      pts[t].y = (in.ecg[t] - mn_e) / range_e;
-    }
+    // Normalizer::operator() is loop-invariant — the fused dual-channel
+    // kernel normalises both channels and writes the interleaved (x, y)
+    // pairs in one pass. Same IEEE operations per element, so results
+    // stay bit-identical to the generic path.
+    static_assert(sizeof(Point) == 2 * sizeof(double) &&
+                      offsetof(Point, y) == sizeof(double),
+                  "Point must be an interleaved (x, y) double pair");
+    simd::active().normalize01_interleave2(
+        in.abp.data(), in.ecg.data(), norm_a.mn, norm_a.range, norm_e.mn,
+        norm_e.range, &pts[0].x, n);
   } else {
     for (std::size_t t = 0; t < n; ++t) {
       pts[t] = {norm_a(in.abp[t]), norm_e(in.ecg[t])};

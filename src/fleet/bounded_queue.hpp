@@ -13,6 +13,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "signal/ring_buffer.hpp"
 
@@ -59,6 +60,23 @@ class BoundedQueue {
     lock.unlock();
     not_empty_.notify_one();
     return result;
+  }
+
+  /// Drains up to @p max elements into @p out under ONE lock acquisition —
+  /// the fleet workers' batched dequeue. Appends in FIFO order and returns
+  /// the number popped (0 when empty). The caller reuses @p out with
+  /// pre-reserved capacity, so a steady-state drain never allocates.
+  std::size_t try_pop_n(std::vector<T>& out, std::size_t max) {
+    std::unique_lock lock(mu_);
+    std::size_t popped = 0;
+    while (popped < max && !buffer_.empty()) {
+      out.push_back(buffer_.pop());
+      ++popped;
+    }
+    lock.unlock();
+    // Several producers may be blocked on the several slots just freed.
+    if (popped > 0) not_full_.notify_all();
+    return popped;
   }
 
   /// Non-blocking pop; the fleet workers use this after their shard signal.

@@ -71,6 +71,8 @@ void FleetEngine::resolve_instruments() {
   worker_states_.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
     worker_states_.push_back(std::make_unique<WorkerState>());
+    worker_states_.back()->batch.reserve(
+        std::max<std::size_t>(1, config_.max_batch));
   }
   for (std::size_t s = 0; s < config_.shards; ++s) {
     worker_states_[s % n_workers]->shards.push_back(s);
@@ -175,10 +177,13 @@ bool FleetEngine::ingest(int user_id, wiot::Packet packet) {
 
 std::size_t FleetEngine::sweep_owned_shards(WorkerState& self) {
   std::size_t processed = 0;
+  const std::size_t max_batch = std::max<std::size_t>(1, config_.max_batch);
   for (std::size_t shard : self.shards) {
-    while (auto env = queues_[shard]->try_pop()) {
-      process(std::move(*env));
-      ++processed;
+    for (;;) {
+      self.batch.clear();
+      if (queues_[shard]->try_pop_n(self.batch, max_batch) == 0) break;
+      process_batch(shard, self.batch);
+      processed += self.batch.size();
     }
   }
   return processed;
@@ -237,17 +242,40 @@ void FleetEngine::maybe_shift_tier(Session& session, int user_id,
   }
 }
 
-void FleetEngine::process(Envelope env) {
-  std::optional<std::size_t> forced_depth;
+void FleetEngine::process_batch(std::size_t shard,
+                                std::vector<Envelope>& batch) {
   if (config_.injector) {
-    forced_depth = config_.injector->on_worker_dequeue(env.shard);
+    // The dequeue hook fires exactly once per envelope, in dequeue order,
+    // before any shard lock is held — so chaos stalls never extend lock
+    // hold times and burst windows keyed on dequeue index stay exact.
+    for (Envelope& env : batch) {
+      env.forced_depth = config_.injector->on_worker_dequeue(shard);
+    }
   }
+  const std::size_t n = batch.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch[i].handled) continue;
+    const int user = batch[i].user_id;
+    table_.with_session(shard, user, [&](Session& session) {
+      // One shard-lock acquisition covers every packet this user has in
+      // the batch, classified back-to-back in FIFO order.
+      for (std::size_t j = i; j < n; ++j) {
+        if (batch[j].user_id != user) continue;
+        batch[j].handled = true;
+        process_one(session, batch[j], n - j - 1);
+      }
+    });
+  }
+}
+
+void FleetEngine::process_one(Session& session, Envelope& env,
+                              std::size_t backlog) {
   const auto start = std::chrono::steady_clock::now();
   std::size_t new_windows = 0;
   std::size_t new_alerts = 0;
   std::size_t new_degraded = 0;
   std::size_t new_unscored = 0;
-  table_.with_session(env.shard, env.user_id, [&](Session& session) {
+  [&] {
     // Durability cursor: every delivered packet counts, even ones the
     // quarantine or fault paths below consume without classifying —
     // recovery must not re-feed anything that already mutated this state.
@@ -265,8 +293,11 @@ void FleetEngine::process(Envelope env) {
       }
       probing = true;
     }
-    const std::size_t depth =
-        forced_depth ? *forced_depth : queues_[env.shard]->size();
+    // The backlog a shed decision should see is everything still waiting:
+    // the shard queue plus this batch's not-yet-processed envelopes.
+    const std::size_t depth = env.forced_depth
+                                  ? *env.forced_depth
+                                  : queues_[env.shard]->size() + backlog;
     maybe_shift_tier(session, env.user_id, env.shard, depth);
     const wiot::BaseStation::Stats before = session.stats();
     try {
@@ -313,7 +344,7 @@ void FleetEngine::process(Envelope env) {
         config_.durability->on_verdict(env.user_id, reports[i], health);
       }
     }
-  });
+  }();
   const auto end = std::chrono::steady_clock::now();
   if (new_windows > 0) {
     windows_->add(new_windows);

@@ -81,6 +81,11 @@ struct FleetConfig {
   std::size_t workers = 0;  ///< 0 = hardware concurrency
   std::size_t shards = 8;
   std::size_t queue_capacity = 256;  ///< envelopes per shard queue
+  /// Packets a worker drains from a shard queue per lock acquisition.
+  /// Batched envelopes are grouped by user and classified back-to-back
+  /// under one session-table shard lock, amortising both lock costs while
+  /// keeping per-user FIFO order (0 is treated as 1 = unbatched).
+  std::size_t max_batch = 16;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   std::size_t model_cache_capacity = 64;  ///< LRU registry residency bound
   wiot::BaseStation::Config station;      ///< per-session window config
@@ -162,6 +167,10 @@ class FleetEngine {
     std::size_t shard = 0;
     wiot::Packet packet;
     std::chrono::steady_clock::time_point enqueued;
+    /// Injector-forced shed depth, resolved once per dequeue at batch
+    /// start (the hook must fire exactly once per envelope, outside locks).
+    std::optional<std::size_t> forced_depth;
+    bool handled = false;  ///< consumed by an earlier user group this batch
   };
 
   /// Wake-up channel for one worker. `signal` is an epoch counter: a
@@ -174,11 +183,21 @@ class FleetEngine {
     std::condition_variable cv;
     std::uint64_t signal = 0;
     std::vector<std::size_t> shards;  ///< owned shard indexes
+    /// Reusable dequeue scratch, reserved to max_batch at startup so the
+    /// steady-state batched drain never allocates.
+    std::vector<Envelope> batch;
   };
 
   void worker_loop(WorkerState& self);
   std::size_t sweep_owned_shards(WorkerState& self);
-  void process(Envelope env);
+  /// Classifies one drained batch: envelopes are grouped by user (order
+  /// within a user preserved) and each group runs back-to-back under a
+  /// single SessionTable::with_session shard-lock acquisition.
+  void process_batch(std::size_t shard, std::vector<Envelope>& batch);
+  /// The per-packet detection path, run under the session's shard lock.
+  /// @p backlog is how many envelopes of this batch are still unprocessed —
+  /// it counts toward the queue depth the load-shed check observes.
+  void process_one(Session& session, Envelope& env, std::size_t backlog);
   void resolve_instruments();
   /// Steps @p session along the degradation ladder based on the shard
   /// queue depth (possibly overridden by the injector during a burst).

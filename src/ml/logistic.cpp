@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/simd.hpp"
+
 namespace sift::ml {
 namespace {
 
@@ -40,9 +42,7 @@ double LogisticModel::decision_value(const std::vector<double>& x) const {
   if (x.size() != w.size()) {
     throw std::invalid_argument("LogisticModel: dimension mismatch");
   }
-  double s = b;
-  for (std::size_t j = 0; j < w.size(); ++j) s += w[j] * x[j];
-  return s;
+  return b + simd::dot(w, x);
 }
 
 double LogisticModel::probability(const std::vector<double>& x) const {
@@ -67,7 +67,7 @@ LogisticModel train_logistic(const Dataset& data,
       const double z = model.decision_value(p.x);
       const double coeff =
           -static_cast<double>(p.y) * sigmoid(-static_cast<double>(p.y) * z);
-      for (std::size_t j = 0; j < d; ++j) grad_w[j] += coeff * p.x[j];
+      simd::axpy(coeff, p.x, grad_w);
       grad_b += coeff;
     }
     for (std::size_t j = 0; j < d; ++j) {

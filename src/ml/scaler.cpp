@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/simd.hpp"
+
 namespace sift::ml {
 
 void StandardScaler::fit(const Dataset& data) {
@@ -35,9 +37,7 @@ void StandardScaler::transform_into(std::span<const double> x,
   if (out.size() != x.size()) {
     throw std::invalid_argument("StandardScaler: output span size mismatch");
   }
-  for (std::size_t j = 0; j < x.size(); ++j) {
-    out[j] = (x[j] - mean_[j]) / scale_[j];
-  }
+  simd::scale_shift(x, mean_, scale_, out);
 }
 
 std::vector<double> StandardScaler::transform(

@@ -6,13 +6,13 @@
 #include <random>
 #include <stdexcept>
 
+#include "simd/simd.hpp"
+
 namespace sift::ml {
 namespace {
 
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return simd::dot(a, b);
 }
 
 void validate(const Dataset& data) {
@@ -39,9 +39,7 @@ double LinearSvmModel::decision_value(std::span<const double> x) const {
   if (x.size() != w.size()) {
     throw std::invalid_argument("LinearSvmModel: dimension mismatch");
   }
-  double s = 0.0;
-  for (std::size_t i = 0; i < w.size(); ++i) s += w[i] * x[i];
-  return s + b;
+  return simd::dot(w, x) + b;
 }
 
 LinearSvmModel SmoTrainer::train(const Dataset& data,
@@ -114,10 +112,8 @@ LinearSvmModel SmoTrainer::train(const Dataset& data,
         b = (b1 + b2) / 2.0;
       }
 
-      for (std::size_t k = 0; k < d; ++k) {
-        w[k] += yi * (ai_new - ai_old) * data[i].x[k] +
-                yj * (aj_new - aj_old) * data[j].x[k];
-      }
+      simd::axpy(yi * (ai_new - ai_old), data[i].x, w);
+      simd::axpy(yj * (aj_new - aj_old), data[j].x, w);
       alpha[i] = ai_new;
       alpha[j] = aj_new;
       ++num_changed;
@@ -152,8 +148,9 @@ LinearSvmModel DcdTrainer::train(const Dataset& data,
     for (std::size_t i : order) {
       const auto& x = data[i].x;
       const double yi = data[i].y;
-      double wx = w[d];  // augmented constant feature
-      for (std::size_t k = 0; k < d; ++k) wx += w[k] * x[k];
+      // Augmented constant feature w[d] seeds the accumulation; the dot
+      // over the first d coordinates runs on the SIMD kernel.
+      const double wx = w[d] + simd::dot(std::span(w).first(d), x);
       const double g = yi * wx - 1.0;
 
       double pg = g;  // projected gradient
@@ -169,7 +166,7 @@ LinearSvmModel DcdTrainer::train(const Dataset& data,
       alpha[i] = std::clamp(old - g / qii[i], 0.0, cfg.c);
       const double delta = (alpha[i] - old) * yi;
       if (delta == 0.0) continue;
-      for (std::size_t k = 0; k < d; ++k) w[k] += delta * x[k];
+      simd::axpy(delta, x, std::span(w).first(d));
       w[d] += delta;
     }
     if (max_pg < cfg.tolerance) break;

@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "simd/simd.hpp"
+
 namespace sift::signal {
 namespace {
 
@@ -64,21 +66,13 @@ std::vector<double> band_pass(std::span<const double> xs, double lo_hz,
 
 std::vector<double> five_point_derivative(std::span<const double> xs) {
   std::vector<double> out(xs.size(), 0.0);
-  if (xs.empty()) return out;
-  auto tap = [&xs](std::ptrdiff_t i) {
-    return xs[i < 0 ? 0 : static_cast<std::size_t>(i)];
-  };
-  for (std::size_t n = 0; n < xs.size(); ++n) {
-    const auto i = static_cast<std::ptrdiff_t>(n);
-    out[n] = (2.0 * tap(i) + tap(i - 1) - tap(i - 3) - 2.0 * tap(i - 4)) / 8.0;
-  }
+  simd::five_point_derivative(xs, out);
   return out;
 }
 
 std::vector<double> square(std::span<const double> xs) {
-  std::vector<double> out;
-  out.reserve(xs.size());
-  for (double x : xs) out.push_back(x * x);
+  std::vector<double> out(xs.size(), 0.0);
+  simd::square(xs, out);
   return out;
 }
 
@@ -88,13 +82,7 @@ std::vector<double> moving_window_integral(std::span<const double> xs,
     throw std::invalid_argument("moving_window_integral: window must be > 0");
   }
   std::vector<double> out(xs.size(), 0.0);
-  double acc = 0.0;
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    acc += xs[i];
-    if (i >= n) acc -= xs[i - n];
-    const auto denom = static_cast<double>(i + 1 < n ? i + 1 : n);
-    out[i] = acc / denom;
-  }
+  simd::moving_window_integral(xs, n, out);
   return out;
 }
 

@@ -4,19 +4,19 @@
 #include <cmath>
 
 #include "signal/stats.hpp"
+#include "simd/simd.hpp"
 
 namespace sift::signal {
 
 void min_max_normalize_inplace(std::span<double> xs) noexcept {
   if (xs.empty()) return;
-  const auto [mn_it, mx_it] = std::minmax_element(xs.begin(), xs.end());
-  const double mn = *mn_it;
-  const double range = *mx_it - mn;
+  const auto [mn, mx] = simd::min_max(xs);
+  const double range = mx - mn;
   if (range <= 0.0) {
     std::fill(xs.begin(), xs.end(), 0.5);
     return;
   }
-  for (double& x : xs) x = (x - mn) / range;
+  simd::normalize01(xs, mn, range, xs);
 }
 
 std::vector<double> min_max_normalize(std::span<const double> xs) {
@@ -34,7 +34,7 @@ std::vector<double> z_score_normalize(std::span<const double> xs) {
     std::fill(out.begin(), out.end(), 0.0);
     return out;
   }
-  for (double& x : out) x = (x - m) / sd;
+  simd::normalize01(out, m, sd, out);
   return out;
 }
 

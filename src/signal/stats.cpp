@@ -1,27 +1,18 @@
 #include "signal/stats.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "simd/simd.hpp"
 
 namespace sift::signal {
 
 double mean(std::span<const double> xs) noexcept {
-  if (xs.empty()) return 0.0;
-  double sum = 0.0;
-  for (double x : xs) sum += x;
-  return sum / static_cast<double>(xs.size());
+  return simd::mean_var(xs).mean;
 }
 
 double variance(std::span<const double> xs) noexcept {
-  if (xs.size() < 1) return 0.0;
-  const double m = mean(xs);
-  double sum = 0.0;
-  for (double x : xs) {
-    const double d = x - m;
-    sum += d * d;
-  }
-  return sum / static_cast<double>(xs.size());
+  return simd::mean_var(xs).variance;
 }
 
 double stddev(std::span<const double> xs) noexcept {
@@ -30,12 +21,12 @@ double stddev(std::span<const double> xs) noexcept {
 
 double min_value(std::span<const double> xs) {
   if (xs.empty()) throw std::invalid_argument("min_value: empty input");
-  return *std::min_element(xs.begin(), xs.end());
+  return simd::min_max(xs).min;
 }
 
 double max_value(std::span<const double> xs) {
   if (xs.empty()) throw std::invalid_argument("max_value: empty input");
-  return *std::max_element(xs.begin(), xs.end());
+  return simd::min_max(xs).max;
 }
 
 double trapezoid_auc(std::span<const double> f, double a, double b) noexcept {

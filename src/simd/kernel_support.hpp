@@ -1,0 +1,88 @@
+// Internal helpers shared by every kernel translation unit (scalar, SSE2,
+// AVX2, NEON). The SIMD implementations delegate their scalar edges and
+// tails to these so the operation sequence — and therefore the bit pattern
+// of the result — is pinned in exactly one place.
+//
+// Not part of the public API; include simd.hpp instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/simd.hpp"
+
+namespace sift::simd {
+
+// Per-ISA kernel tables, one per translation unit. Only the dispatcher and
+// the tables themselves should call these; everyone else goes through
+// kernels()/active().
+const Kernels& scalar_kernels() noexcept;
+#if defined(__x86_64__) || defined(_M_X64)
+const Kernels& sse2_kernels() noexcept;
+const Kernels& avx2_kernels() noexcept;
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+const Kernels& neon_kernels() noexcept;
+#endif
+
+}  // namespace sift::simd
+
+namespace sift::simd::detail {
+
+/// Scalar twin of the x86 MINPD rule: NaN in either operand, or a tie,
+/// selects the *second* operand. Every level funnels min/max through this
+/// semantics so NaN/-0.0 propagation is identical across dispatch targets.
+inline double min2(double a, double b) noexcept { return a < b ? a : b; }
+inline double max2(double a, double b) noexcept { return a > b ? a : b; }
+
+/// Pinned lane-combination order for 4-lane blocked reductions: what the
+/// two 128-bit halves of a 256-bit accumulator reduce to.
+inline double combine_lanes(double l0, double l1, double l2,
+                            double l3) noexcept {
+  return (l0 + l2) + (l1 + l3);
+}
+
+/// The left edge of the 5-point derivative (indices < 4 clamp taps to
+/// x[0]); shared verbatim by every level.
+inline void derivative_edge(const double* x, double* out,
+                            std::size_t upto) noexcept {
+  for (std::size_t i = 0; i < upto; ++i) {
+    const double t1 = i >= 1 ? x[i - 1] : x[0];
+    const double t3 = i >= 3 ? x[i - 3] : x[0];
+    const double t4 = i >= 4 ? x[i - 4] : x[0];
+    out[i] = (2.0 * x[i] + t1 - t3 - 2.0 * t4) / 8.0;
+  }
+}
+
+/// One histogram bin index from a pre-scaled coordinate v = x * n_grid:
+/// trunc after clamping to [0, n_grid - 1], NaN mapping to 0 — the scalar
+/// twin of max_pd(v, 0) / min_pd(v, n-1) / cvttpd.
+inline std::size_t hist_index(double v, double grid_max) noexcept {
+  double c = v > 0.0 ? v : 0.0;  // NaN compares false -> 0
+  if (c > grid_max) c = grid_max;
+  return static_cast<std::size_t>(c);
+}
+
+/// Moving-window integration, the one genuinely sequential kernel: the
+/// running sum is a loop-carried dependency, so a vector version would
+/// have to reassociate the accumulator and break cross-level bit identity.
+/// Every dispatch level points at this implementation; the denominator
+/// branch is hoisted out of the steady-state loop, which is all the
+/// optimisation the dependency chain allows.
+inline void moving_window_integral_impl(const double* x, std::size_t window,
+                                        double* out, std::size_t n) noexcept {
+  double acc = 0.0;
+  const std::size_t warm = window - 1 < n ? window - 1 : n;
+  for (std::size_t i = 0; i < warm; ++i) {
+    acc += x[i];
+    out[i] = acc / static_cast<double>(i + 1);
+  }
+  const double denom = static_cast<double>(window);
+  for (std::size_t i = warm; i < n; ++i) {
+    acc += x[i];
+    if (i >= window) acc -= x[i - window];
+    out[i] = acc / denom;
+  }
+}
+
+}  // namespace sift::simd::detail

@@ -1,0 +1,248 @@
+// AVX2 dispatch target: the four accumulator lanes are one 4-wide ymm
+// register. Reductions extract the two 128-bit halves, add them, and sum
+// the surviving pair — exactly the pinned (l0 + l2) + (l1 + l3) order —
+// so results are bit-identical to the scalar and SSE2 tables. This
+// translation unit is the only one compiled with -mavx2; dispatch never
+// reaches it unless cpuid reports AVX2. No FMA: the library is built with
+// -ffp-contract=off and only explicit mul/add intrinsics are used.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernel_support.hpp"
+#include "simd/simd.hpp"
+
+namespace sift::simd {
+namespace {
+
+inline double hsum_combined(__m256d acc) {
+  // {l0 + l2, l1 + l3} from the two halves, then element 0 + element 1.
+  const __m128d pair =
+      _mm_add_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+  return _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+}
+
+double dot_avx2(const double* a, const double* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  double s = hsum_combined(acc);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy_avx2(double a, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d r = _mm256_add_pd(
+        _mm256_loadu_pd(y + i), _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(y + i, r);
+  }
+  for (; i < n; ++i) y[i] = y[i] + a * x[i];
+}
+
+MinMax min_max_avx2(const double* x, std::size_t n) {
+  if (n == 0) return {};
+  __m256d mn = _mm256_set1_pd(x[0]);
+  __m256d mx = mn;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    mn = _mm256_min_pd(mn, v);
+    mx = _mm256_max_pd(mx, v);
+  }
+  // {min2(l0, l2), min2(l1, l3)}, VMINPD operand order matching min2.
+  const __m128d mn2 =
+      _mm_min_pd(_mm256_castpd256_pd128(mn), _mm256_extractf128_pd(mn, 1));
+  const __m128d mx2 =
+      _mm_max_pd(_mm256_castpd256_pd128(mx), _mm256_extractf128_pd(mx, 1));
+  MinMax r;
+  r.min = detail::min2(_mm_cvtsd_f64(mn2),
+                       _mm_cvtsd_f64(_mm_unpackhi_pd(mn2, mn2)));
+  r.max = detail::max2(_mm_cvtsd_f64(mx2),
+                       _mm_cvtsd_f64(_mm_unpackhi_pd(mx2, mx2)));
+  for (; i < n; ++i) {
+    r.min = detail::min2(r.min, x[i]);
+    r.max = detail::max2(r.max, x[i]);
+  }
+  return r;
+}
+
+MeanVar mean_var_avx2(const double* x, std::size_t n) {
+  if (n == 0) return {};
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  double sum = hsum_combined(acc);
+  for (; i < n; ++i) sum += x[i];
+  const double mean = sum / static_cast<double>(n);
+
+  const __m256d vmean = _mm256_set1_pd(mean);
+  __m256d ssacc = _mm256_setzero_pd();
+  i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(x + i), vmean);
+    ssacc = _mm256_add_pd(ssacc, _mm256_mul_pd(d, d));
+  }
+  double ss = hsum_combined(ssacc);
+  for (; i < n; ++i) {
+    const double d = x[i] - mean;
+    ss += d * d;
+  }
+  return {mean, ss / static_cast<double>(n)};
+}
+
+void scale_shift_avx2(const double* x, const double* shift,
+                      const double* scale, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d r = _mm256_div_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(shift + i)),
+        _mm256_loadu_pd(scale + i));
+    _mm256_storeu_pd(out + i, r);
+  }
+  for (; i < n; ++i) out[i] = (x[i] - shift[i]) / scale[i];
+}
+
+void normalize01_avx2(const double* x, double shift, double scale, double* out,
+                      std::size_t n) {
+  const __m256d vshift = _mm256_set1_pd(shift);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d r =
+        _mm256_div_pd(_mm256_sub_pd(_mm256_loadu_pd(x + i), vshift), vscale);
+    _mm256_storeu_pd(out + i, r);
+  }
+  for (; i < n; ++i) out[i] = (x[i] - shift) / scale;
+}
+
+void normalize01_interleave2_avx2(const double* a, const double* b,
+                                  double shift_a, double scale_a,
+                                  double shift_b, double scale_b, double* out,
+                                  std::size_t n) {
+  const __m256d vsa = _mm256_set1_pd(shift_a);
+  const __m256d vca = _mm256_set1_pd(scale_a);
+  const __m256d vsb = _mm256_set1_pd(shift_b);
+  const __m256d vcb = _mm256_set1_pd(scale_b);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d na =
+        _mm256_div_pd(_mm256_sub_pd(_mm256_loadu_pd(a + i), vsa), vca);
+    const __m256d nb =
+        _mm256_div_pd(_mm256_sub_pd(_mm256_loadu_pd(b + i), vsb), vcb);
+    // {na0, nb0, na2, nb2} / {na1, nb1, na3, nb3} -> interleaved pairs.
+    const __m256d lo = _mm256_unpacklo_pd(na, nb);
+    const __m256d hi = _mm256_unpackhi_pd(na, nb);
+    _mm256_storeu_pd(out + 2 * i, _mm256_permute2f128_pd(lo, hi, 0x20));
+    _mm256_storeu_pd(out + 2 * i + 4, _mm256_permute2f128_pd(lo, hi, 0x31));
+  }
+  for (; i < n; ++i) {
+    out[2 * i] = (a[i] - shift_a) / scale_a;
+    out[2 * i + 1] = (b[i] - shift_b) / scale_b;
+  }
+}
+
+void square_avx2(const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(v, v));
+  }
+  for (; i < n; ++i) out[i] = x[i] * x[i];
+}
+
+void five_point_derivative_avx2(const double* x, double* out, std::size_t n) {
+  const std::size_t edge = n < 4 ? n : 4;
+  detail::derivative_edge(x, out, edge);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d eighth = _mm256_set1_pd(8.0);
+  std::size_t i = edge;
+  for (; i + 4 <= n; i += 4) {
+    __m256d r = _mm256_mul_pd(two, _mm256_loadu_pd(x + i));
+    r = _mm256_add_pd(r, _mm256_loadu_pd(x + i - 1));
+    r = _mm256_sub_pd(r, _mm256_loadu_pd(x + i - 3));
+    r = _mm256_sub_pd(r, _mm256_mul_pd(two, _mm256_loadu_pd(x + i - 4)));
+    _mm256_storeu_pd(out + i, _mm256_div_pd(r, eighth));
+  }
+  for (; i < n; ++i) {
+    out[i] = (2.0 * x[i] + x[i - 1] - x[i - 3] - 2.0 * x[i - 4]) / 8.0;
+  }
+}
+
+void hist2d_avx2(const double* xy, std::size_t n_points, std::size_t n_grid,
+                 std::uint32_t* counts) {
+  const __m256d vdn = _mm256_set1_pd(static_cast<double>(n_grid));
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vmax = _mm256_set1_pd(static_cast<double>(n_grid - 1));
+  alignas(16) std::int32_t idx[4];
+  std::size_t p = 0;
+  for (; p + 2 <= n_points; p += 2) {
+    // {x0, y0, x1, y1}; VMAXPD(v, 0) sends NaN to 0 like hist_index.
+    __m256d v = _mm256_mul_pd(_mm256_loadu_pd(xy + 2 * p), vdn);
+    v = _mm256_min_pd(_mm256_max_pd(v, vzero), vmax);
+    _mm_store_si128(reinterpret_cast<__m128i*>(idx), _mm256_cvttpd_epi32(v));
+    ++counts[static_cast<std::size_t>(idx[0]) * n_grid +
+             static_cast<std::size_t>(idx[1])];
+    ++counts[static_cast<std::size_t>(idx[2]) * n_grid +
+             static_cast<std::size_t>(idx[3])];
+  }
+  const double dn = static_cast<double>(n_grid);
+  const double grid_max = static_cast<double>(n_grid - 1);
+  for (; p < n_points; ++p) {
+    const std::size_t i = detail::hist_index(xy[2 * p] * dn, grid_max);
+    const std::size_t j = detail::hist_index(xy[2 * p + 1] * dn, grid_max);
+    ++counts[i * n_grid + j];
+  }
+}
+
+void column_averages_avx2(const std::uint32_t* cells, std::size_t n,
+                          double* out) {
+  alignas(32) std::uint64_t lanes[4];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t* row = cells + i * n;
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + j));
+      acc = _mm256_add_epi64(acc, _mm256_cvtepu32_epi64(v));
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    std::uint64_t sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (; j < n; ++j) sum += row[j];
+    out[i] = static_cast<double>(sum) / static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+const Kernels& avx2_kernels() noexcept {
+  static constexpr Kernels table = {
+      Level::kAvx2,
+      dot_avx2,
+      axpy_avx2,
+      min_max_avx2,
+      mean_var_avx2,
+      scale_shift_avx2,
+      normalize01_avx2,
+      normalize01_interleave2_avx2,
+      square_avx2,
+      five_point_derivative_avx2,
+      detail::moving_window_integral_impl,
+      hist2d_avx2,
+      column_averages_avx2,
+  };
+  return table;
+}
+
+}  // namespace sift::simd
+
+#endif  // x86_64

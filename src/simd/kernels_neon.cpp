@@ -1,0 +1,214 @@
+// NEON (AArch64) dispatch target: two 2-wide float64x2_t registers hold
+// the four accumulator lanes, mirroring the SSE2 layout, and lane
+// combination follows the same pinned (l0 + l2) + (l1 + l3) order. Two
+// deliberate deviations from "obvious" NEON code keep cross-ISA bit
+// identity:
+//   * min/max go through a compare-and-select (vbsl) twin of x86
+//     MINPD/MAXPD instead of FMIN/FMAX, whose NaN rule differs;
+//   * multiplies and adds stay separate (no vfma), matching
+//     -ffp-contract=off on the x86 side.
+// The integer kernels (hist2d, column_averages) are exact in any order and
+// simply reuse the scalar implementations.
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernel_support.hpp"
+#include "simd/simd.hpp"
+
+namespace sift::simd {
+namespace {
+
+// a[i] < b[i] ? a[i] : b[i] — NaN or tie selects b, like x86 MINPD.
+inline float64x2_t vmin2(float64x2_t a, float64x2_t b) {
+  return vbslq_f64(vcltq_f64(a, b), a, b);
+}
+inline float64x2_t vmax2(float64x2_t a, float64x2_t b) {
+  return vbslq_f64(vcgtq_f64(a, b), a, b);
+}
+
+inline double hsum_combined(float64x2_t acc01, float64x2_t acc23) {
+  const float64x2_t pair = vaddq_f64(acc01, acc23);
+  return vgetq_lane_f64(pair, 0) + vgetq_lane_f64(pair, 1);
+}
+
+double dot_neon(const double* a, const double* b, std::size_t n) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = vaddq_f64(acc01, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+    acc23 = vaddq_f64(acc23,
+                      vmulq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2)));
+  }
+  double s = hsum_combined(acc01, acc23);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy_neon(double a, const double* x, double* y, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(a);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(y + i,
+              vaddq_f64(vld1q_f64(y + i), vmulq_f64(va, vld1q_f64(x + i))));
+  }
+  for (; i < n; ++i) y[i] = y[i] + a * x[i];
+}
+
+MinMax min_max_neon(const double* x, std::size_t n) {
+  if (n == 0) return {};
+  float64x2_t mn01 = vdupq_n_f64(x[0]);
+  float64x2_t mn23 = mn01;
+  float64x2_t mx01 = mn01;
+  float64x2_t mx23 = mn01;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float64x2_t v01 = vld1q_f64(x + i);
+    const float64x2_t v23 = vld1q_f64(x + i + 2);
+    mn01 = vmin2(mn01, v01);
+    mn23 = vmin2(mn23, v23);
+    mx01 = vmax2(mx01, v01);
+    mx23 = vmax2(mx23, v23);
+  }
+  const float64x2_t mn = vmin2(mn01, mn23);
+  const float64x2_t mx = vmax2(mx01, mx23);
+  MinMax r;
+  r.min = detail::min2(vgetq_lane_f64(mn, 0), vgetq_lane_f64(mn, 1));
+  r.max = detail::max2(vgetq_lane_f64(mx, 0), vgetq_lane_f64(mx, 1));
+  for (; i < n; ++i) {
+    r.min = detail::min2(r.min, x[i]);
+    r.max = detail::max2(r.max, x[i]);
+  }
+  return r;
+}
+
+MeanVar mean_var_neon(const double* x, std::size_t n) {
+  if (n == 0) return {};
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = vaddq_f64(acc01, vld1q_f64(x + i));
+    acc23 = vaddq_f64(acc23, vld1q_f64(x + i + 2));
+  }
+  double sum = hsum_combined(acc01, acc23);
+  for (; i < n; ++i) sum += x[i];
+  const double mean = sum / static_cast<double>(n);
+
+  const float64x2_t vmean = vdupq_n_f64(mean);
+  float64x2_t ss01 = vdupq_n_f64(0.0);
+  float64x2_t ss23 = vdupq_n_f64(0.0);
+  i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float64x2_t d01 = vsubq_f64(vld1q_f64(x + i), vmean);
+    const float64x2_t d23 = vsubq_f64(vld1q_f64(x + i + 2), vmean);
+    ss01 = vaddq_f64(ss01, vmulq_f64(d01, d01));
+    ss23 = vaddq_f64(ss23, vmulq_f64(d23, d23));
+  }
+  double ss = hsum_combined(ss01, ss23);
+  for (; i < n; ++i) {
+    const double d = x[i] - mean;
+    ss += d * d;
+  }
+  return {mean, ss / static_cast<double>(n)};
+}
+
+void scale_shift_neon(const double* x, const double* shift,
+                      const double* scale, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i,
+              vdivq_f64(vsubq_f64(vld1q_f64(x + i), vld1q_f64(shift + i)),
+                        vld1q_f64(scale + i)));
+  }
+  for (; i < n; ++i) out[i] = (x[i] - shift[i]) / scale[i];
+}
+
+void normalize01_neon(const double* x, double shift, double scale, double* out,
+                      std::size_t n) {
+  const float64x2_t vshift = vdupq_n_f64(shift);
+  const float64x2_t vscale = vdupq_n_f64(scale);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i,
+              vdivq_f64(vsubq_f64(vld1q_f64(x + i), vshift), vscale));
+  }
+  for (; i < n; ++i) out[i] = (x[i] - shift) / scale;
+}
+
+void normalize01_interleave2_neon(const double* a, const double* b,
+                                  double shift_a, double scale_a,
+                                  double shift_b, double scale_b, double* out,
+                                  std::size_t n) {
+  const float64x2_t vsa = vdupq_n_f64(shift_a);
+  const float64x2_t vca = vdupq_n_f64(scale_a);
+  const float64x2_t vsb = vdupq_n_f64(shift_b);
+  const float64x2_t vcb = vdupq_n_f64(scale_b);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t na = vdivq_f64(vsubq_f64(vld1q_f64(a + i), vsa), vca);
+    const float64x2_t nb = vdivq_f64(vsubq_f64(vld1q_f64(b + i), vsb), vcb);
+    vst1q_f64(out + 2 * i, vzip1q_f64(na, nb));
+    vst1q_f64(out + 2 * i + 2, vzip2q_f64(na, nb));
+  }
+  for (; i < n; ++i) {
+    out[2 * i] = (a[i] - shift_a) / scale_a;
+    out[2 * i + 1] = (b[i] - shift_b) / scale_b;
+  }
+}
+
+void square_neon(const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vld1q_f64(x + i);
+    vst1q_f64(out + i, vmulq_f64(v, v));
+  }
+  for (; i < n; ++i) out[i] = x[i] * x[i];
+}
+
+void five_point_derivative_neon(const double* x, double* out, std::size_t n) {
+  const std::size_t edge = n < 4 ? n : 4;
+  detail::derivative_edge(x, out, edge);
+  const float64x2_t two = vdupq_n_f64(2.0);
+  const float64x2_t eighth = vdupq_n_f64(8.0);
+  std::size_t i = edge;
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t r = vmulq_f64(two, vld1q_f64(x + i));
+    r = vaddq_f64(r, vld1q_f64(x + i - 1));
+    r = vsubq_f64(r, vld1q_f64(x + i - 3));
+    r = vsubq_f64(r, vmulq_f64(two, vld1q_f64(x + i - 4)));
+    vst1q_f64(out + i, vdivq_f64(r, eighth));
+  }
+  for (; i < n; ++i) {
+    out[i] = (2.0 * x[i] + x[i - 1] - x[i - 3] - 2.0 * x[i - 4]) / 8.0;
+  }
+}
+
+}  // namespace
+
+const Kernels& neon_kernels() noexcept {
+  static const Kernels table = {
+      Level::kNeon,
+      dot_neon,
+      axpy_neon,
+      min_max_neon,
+      mean_var_neon,
+      scale_shift_neon,
+      normalize01_neon,
+      normalize01_interleave2_neon,
+      square_neon,
+      five_point_derivative_neon,
+      detail::moving_window_integral_impl,
+      scalar_kernels().hist2d,
+      scalar_kernels().column_averages,
+  };
+  return table;
+}
+
+}  // namespace sift::simd
+
+#endif  // __aarch64__ && __ARM_NEON

@@ -1,0 +1,264 @@
+// SSE2 dispatch target: the four virtual accumulator lanes live in two
+// 2-wide registers, {l0, l1} and {l2, l3}. Adding the two registers and
+// then the two elements reproduces the pinned (l0 + l2) + (l1 + l3) lane
+// combination exactly, so results match the scalar table bit-for-bit.
+// SSE2 only — no SSE4.1 instructions (the baseline x86-64 guarantee).
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernel_support.hpp"
+#include "simd/simd.hpp"
+
+namespace sift::simd {
+namespace {
+
+inline double hsum_combined(__m128d acc01, __m128d acc23) {
+  // {l0 + l2, l1 + l3}, then element 0 + element 1.
+  const __m128d pair = _mm_add_pd(acc01, acc23);
+  return _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+}
+
+double dot_sse2(const double* a, const double* b, std::size_t n) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = _mm_add_pd(acc01, _mm_mul_pd(_mm_loadu_pd(a + i),
+                                         _mm_loadu_pd(b + i)));
+    acc23 = _mm_add_pd(acc23, _mm_mul_pd(_mm_loadu_pd(a + i + 2),
+                                         _mm_loadu_pd(b + i + 2)));
+  }
+  double s = hsum_combined(acc01, acc23);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy_sse2(double a, const double* x, double* y, std::size_t n) {
+  const __m128d va = _mm_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d r =
+        _mm_add_pd(_mm_loadu_pd(y + i), _mm_mul_pd(va, _mm_loadu_pd(x + i)));
+    _mm_storeu_pd(y + i, r);
+  }
+  for (; i < n; ++i) y[i] = y[i] + a * x[i];
+}
+
+MinMax min_max_sse2(const double* x, std::size_t n) {
+  if (n == 0) return {};
+  __m128d mn01 = _mm_set1_pd(x[0]);
+  __m128d mn23 = mn01;
+  __m128d mx01 = mn01;
+  __m128d mx23 = mn01;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d v01 = _mm_loadu_pd(x + i);
+    const __m128d v23 = _mm_loadu_pd(x + i + 2);
+    mn01 = _mm_min_pd(mn01, v01);
+    mn23 = _mm_min_pd(mn23, v23);
+    mx01 = _mm_max_pd(mx01, v01);
+    mx23 = _mm_max_pd(mx23, v23);
+  }
+  // {min2(l0, l2), min2(l1, l3)} — MINPD's operand order matches min2.
+  const __m128d mn = _mm_min_pd(mn01, mn23);
+  const __m128d mx = _mm_max_pd(mx01, mx23);
+  MinMax r;
+  r.min = detail::min2(_mm_cvtsd_f64(mn),
+                       _mm_cvtsd_f64(_mm_unpackhi_pd(mn, mn)));
+  r.max = detail::max2(_mm_cvtsd_f64(mx),
+                       _mm_cvtsd_f64(_mm_unpackhi_pd(mx, mx)));
+  for (; i < n; ++i) {
+    r.min = detail::min2(r.min, x[i]);
+    r.max = detail::max2(r.max, x[i]);
+  }
+  return r;
+}
+
+MeanVar mean_var_sse2(const double* x, std::size_t n) {
+  if (n == 0) return {};
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = _mm_add_pd(acc01, _mm_loadu_pd(x + i));
+    acc23 = _mm_add_pd(acc23, _mm_loadu_pd(x + i + 2));
+  }
+  double sum = hsum_combined(acc01, acc23);
+  for (; i < n; ++i) sum += x[i];
+  const double mean = sum / static_cast<double>(n);
+
+  const __m128d vmean = _mm_set1_pd(mean);
+  __m128d ss01 = _mm_setzero_pd();
+  __m128d ss23 = _mm_setzero_pd();
+  i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d d01 = _mm_sub_pd(_mm_loadu_pd(x + i), vmean);
+    const __m128d d23 = _mm_sub_pd(_mm_loadu_pd(x + i + 2), vmean);
+    ss01 = _mm_add_pd(ss01, _mm_mul_pd(d01, d01));
+    ss23 = _mm_add_pd(ss23, _mm_mul_pd(d23, d23));
+  }
+  double ss = hsum_combined(ss01, ss23);
+  for (; i < n; ++i) {
+    const double d = x[i] - mean;
+    ss += d * d;
+  }
+  return {mean, ss / static_cast<double>(n)};
+}
+
+void scale_shift_sse2(const double* x, const double* shift,
+                      const double* scale, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d r =
+        _mm_div_pd(_mm_sub_pd(_mm_loadu_pd(x + i), _mm_loadu_pd(shift + i)),
+                   _mm_loadu_pd(scale + i));
+    _mm_storeu_pd(out + i, r);
+  }
+  for (; i < n; ++i) out[i] = (x[i] - shift[i]) / scale[i];
+}
+
+void normalize01_sse2(const double* x, double shift, double scale, double* out,
+                      std::size_t n) {
+  const __m128d vshift = _mm_set1_pd(shift);
+  const __m128d vscale = _mm_set1_pd(scale);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d r =
+        _mm_div_pd(_mm_sub_pd(_mm_loadu_pd(x + i), vshift), vscale);
+    _mm_storeu_pd(out + i, r);
+  }
+  for (; i < n; ++i) out[i] = (x[i] - shift) / scale;
+}
+
+void normalize01_interleave2_sse2(const double* a, const double* b,
+                                  double shift_a, double scale_a,
+                                  double shift_b, double scale_b, double* out,
+                                  std::size_t n) {
+  const __m128d vsa = _mm_set1_pd(shift_a);
+  const __m128d vca = _mm_set1_pd(scale_a);
+  const __m128d vsb = _mm_set1_pd(shift_b);
+  const __m128d vcb = _mm_set1_pd(scale_b);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d na =
+        _mm_div_pd(_mm_sub_pd(_mm_loadu_pd(a + i), vsa), vca);
+    const __m128d nb =
+        _mm_div_pd(_mm_sub_pd(_mm_loadu_pd(b + i), vsb), vcb);
+    _mm_storeu_pd(out + 2 * i, _mm_unpacklo_pd(na, nb));
+    _mm_storeu_pd(out + 2 * i + 2, _mm_unpackhi_pd(na, nb));
+  }
+  for (; i < n; ++i) {
+    out[2 * i] = (a[i] - shift_a) / scale_a;
+    out[2 * i + 1] = (b[i] - shift_b) / scale_b;
+  }
+}
+
+void square_sse2(const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d v = _mm_loadu_pd(x + i);
+    _mm_storeu_pd(out + i, _mm_mul_pd(v, v));
+  }
+  for (; i < n; ++i) out[i] = x[i] * x[i];
+}
+
+void five_point_derivative_sse2(const double* x, double* out, std::size_t n) {
+  const std::size_t edge = n < 4 ? n : 4;
+  detail::derivative_edge(x, out, edge);
+  const __m128d two = _mm_set1_pd(2.0);
+  const __m128d eighth = _mm_set1_pd(8.0);
+  std::size_t i = edge;
+  for (; i + 2 <= n; i += 2) {
+    // ((2 x[i] + x[i-1]) - x[i-3]) - 2 x[i-4], matching the scalar
+    // left-to-right evaluation order.
+    __m128d r = _mm_mul_pd(two, _mm_loadu_pd(x + i));
+    r = _mm_add_pd(r, _mm_loadu_pd(x + i - 1));
+    r = _mm_sub_pd(r, _mm_loadu_pd(x + i - 3));
+    r = _mm_sub_pd(r, _mm_mul_pd(two, _mm_loadu_pd(x + i - 4)));
+    _mm_storeu_pd(out + i, _mm_div_pd(r, eighth));
+  }
+  for (; i < n; ++i) {
+    out[i] = (2.0 * x[i] + x[i - 1] - x[i - 3] - 2.0 * x[i - 4]) / 8.0;
+  }
+}
+
+void hist2d_sse2(const double* xy, std::size_t n_points, std::size_t n_grid,
+                 std::uint32_t* counts) {
+  const __m128d vdn = _mm_set1_pd(static_cast<double>(n_grid));
+  const __m128d vzero = _mm_setzero_pd();
+  const __m128d vmax = _mm_set1_pd(static_cast<double>(n_grid - 1));
+  alignas(16) std::int32_t idx[4];
+  std::size_t p = 0;
+  for (; p + 2 <= n_points; p += 2) {
+    // Two (x, y) pairs; MAXPD(v, 0) sends NaN to 0 like hist_index.
+    __m128d v0 = _mm_mul_pd(_mm_loadu_pd(xy + 2 * p), vdn);
+    __m128d v1 = _mm_mul_pd(_mm_loadu_pd(xy + 2 * p + 2), vdn);
+    v0 = _mm_min_pd(_mm_max_pd(v0, vzero), vmax);
+    v1 = _mm_min_pd(_mm_max_pd(v1, vzero), vmax);
+    const __m128i i0 = _mm_cvttpd_epi32(v0);  // {i0, j0, 0, 0}
+    const __m128i i1 = _mm_cvttpd_epi32(v1);  // {i1, j1, 0, 0}
+    _mm_store_si128(reinterpret_cast<__m128i*>(idx),
+                    _mm_unpacklo_epi64(i0, i1));
+    ++counts[static_cast<std::size_t>(idx[0]) * n_grid +
+             static_cast<std::size_t>(idx[1])];
+    ++counts[static_cast<std::size_t>(idx[2]) * n_grid +
+             static_cast<std::size_t>(idx[3])];
+  }
+  const double dn = static_cast<double>(n_grid);
+  const double grid_max = static_cast<double>(n_grid - 1);
+  for (; p < n_points; ++p) {
+    const std::size_t i = detail::hist_index(xy[2 * p] * dn, grid_max);
+    const std::size_t j = detail::hist_index(xy[2 * p + 1] * dn, grid_max);
+    ++counts[i * n_grid + j];
+  }
+}
+
+void column_averages_sse2(const std::uint32_t* cells, std::size_t n,
+                          double* out) {
+  const __m128i zero = _mm_setzero_si128();
+  alignas(16) std::uint64_t lanes[2];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t* row = cells + i * n;
+    __m128i acc = zero;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + j));
+      acc = _mm_add_epi64(acc, _mm_unpacklo_epi32(v, zero));
+      acc = _mm_add_epi64(acc, _mm_unpackhi_epi32(v, zero));
+    }
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+    std::uint64_t sum = lanes[0] + lanes[1];
+    for (; j < n; ++j) sum += row[j];
+    out[i] = static_cast<double>(sum) / static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+const Kernels& sse2_kernels() noexcept {
+  static constexpr Kernels table = {
+      Level::kSse2,
+      dot_sse2,
+      axpy_sse2,
+      min_max_sse2,
+      mean_var_sse2,
+      scale_shift_sse2,
+      normalize01_sse2,
+      normalize01_interleave2_sse2,
+      square_sse2,
+      five_point_derivative_sse2,
+      detail::moving_window_integral_impl,
+      hist2d_sse2,
+      column_averages_sse2,
+  };
+  return table;
+}
+
+}  // namespace sift::simd
+
+#endif  // x86_64

@@ -1,0 +1,182 @@
+// Runtime-dispatched SIMD kernel layer for the sample -> verdict hot path.
+//
+// Every arithmetic primitive the detection pipeline leans on (dot products,
+// axpy updates, min/max scans, mean/variance, the fused scaler transform,
+// squaring, the Pan-Tompkins FIR derivative and moving-window integration,
+// 2-D histogram binning for the count matrix, and count-matrix column
+// averages) is provided here as a table of kernels with implementations for
+// AVX2, SSE2, NEON, and portable scalar. The best level the host supports
+// is selected once at startup (cpuid / compile-time ISA), overridable with
+// the SIFT_SIMD_LEVEL environment variable (scalar|sse2|avx2|neon) for
+// testing and field diagnosis.
+//
+// Determinism contract — the reason this layer can sit under a detector
+// whose verdicts must not drift: every kernel uses a *fixed blocked
+// reduction order* of four virtual accumulator lanes. The scalar fallback
+// runs the same four lanes in plain code; SSE2/NEON run them as two 2-wide
+// registers; AVX2 as one 4-wide register. Lane combination is pinned to
+//   (l0 + l2) + (l1 + l3)
+// (exactly what the 128-bit halves of a 256-bit register reduce to), and
+// fused-multiply-add contraction is disabled for the whole library, so
+// every dispatch target produces BIT-IDENTICAL results on identical input
+// — including NaN/Inf propagation, which follows the x86 min/max "return
+// the second operand" rule at every level. tests/simd_test.cpp enforces
+// this bitwise across all levels the host can run; the golden-cohort suite
+// pins the resulting detector verdicts.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace sift::simd {
+
+/// Dispatch targets, ordered by preference (higher = wider/faster).
+enum class Level : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kNeon = 2,
+  kAvx2 = 3,
+};
+
+const char* to_string(Level level) noexcept;
+
+/// Levels this host can execute, best first (scalar is always present and
+/// always last). Detected once; stable for the process lifetime.
+std::span<const Level> available_levels() noexcept;
+
+/// The level the dispatched kernels currently run at. Resolved on first
+/// use: SIFT_SIMD_LEVEL if set to an available level, otherwise the best
+/// available one.
+Level active_level() noexcept;
+
+/// Forces the dispatch table to @p level. Returns false (and changes
+/// nothing) if the host cannot execute it. Intended for tests and
+/// benchmarks; not thread-safe against in-flight kernel calls.
+bool set_active_level(Level level) noexcept;
+
+struct MinMax {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct MeanVar {
+  double mean = 0.0;
+  double variance = 0.0;  ///< population variance (divides by N)
+};
+
+/// One dispatch target: raw-pointer kernels, all safe for n == 0.
+/// Prefer the std::span wrappers below.
+struct Kernels {
+  Level level = Level::kScalar;
+
+  /// Blocked 4-lane dot product of a[0..n) and b[0..n).
+  double (*dot)(const double* a, const double* b, std::size_t n);
+  /// y[i] += a * x[i] (elementwise; no reduction, bit-stable everywhere).
+  void (*axpy)(double a, const double* x, double* y, std::size_t n);
+  /// Blocked 4-lane min/max scan; {0, 0} for n == 0. NaN handling follows
+  /// the x86 MINPD/MAXPD rule (NaN or tie selects the newer operand) at
+  /// every level, scalar included.
+  MinMax (*min_max)(const double* x, std::size_t n);
+  /// Blocked two-pass mean and population variance; {0, 0} for n == 0.
+  MeanVar (*mean_var)(const double* x, std::size_t n);
+  /// out[i] = (x[i] - shift[i]) / scale[i] — the fused scaler transform.
+  void (*scale_shift)(const double* x, const double* shift,
+                      const double* scale, double* out, std::size_t n);
+  /// out[i] = (x[i] - shift) / scale, broadcast affine (min-max and
+  /// z-score normalisation). In-place (out == x) allowed.
+  void (*normalize01)(const double* x, double shift, double scale,
+                      double* out, std::size_t n);
+  /// Fused dual-channel normalise with interleaved (x, y) pair output:
+  /// out[2i] = (a[i] - shift_a) / scale_a, out[2i+1] = (b[i] - shift_b) /
+  /// scale_b — writes portrait trajectory points in one pass.
+  void (*normalize01_interleave2)(const double* a, const double* b,
+                                  double shift_a, double scale_a,
+                                  double shift_b, double scale_b, double* out,
+                                  std::size_t n);
+  /// out[i] = x[i]^2. In-place allowed.
+  void (*square)(const double* x, double* out, std::size_t n);
+  /// Pan-Tompkins 5-point FIR derivative with clamped left edge:
+  /// out[i] = (2 x[i] + x[i-1] - x[i-3] - 2 x[i-4]) / 8, indices < 0
+  /// reading x[0]. out must not alias x.
+  void (*five_point_derivative)(const double* x, double* out, std::size_t n);
+  /// Causal moving-window mean over @p window samples with a growing
+  /// denominator during warm-up. Loop-carried running sum: sequential at
+  /// every level by design (see kernels_scalar.cpp). out must not alias x.
+  void (*moving_window_integral)(const double* x, std::size_t window,
+                                 double* out, std::size_t n);
+  /// 2-D histogram binning over interleaved (x, y) pairs in the unit
+  /// square: i = trunc(clamp(x * n_grid, 0, n_grid - 1)) (NaN -> 0), j
+  /// likewise from y, ++counts[i * n_grid + j]. counts must be pre-zeroed
+  /// (or carry a prior histogram to accumulate into).
+  void (*hist2d)(const double* xy, std::size_t n_points, std::size_t n_grid,
+                 std::uint32_t* counts);
+  /// Count-matrix column averages: out[i] = sum(cells[i*n .. i*n+n)) / n.
+  /// Integer accumulation is exact, so every level matches bit-for-bit.
+  void (*column_averages)(const std::uint32_t* cells, std::size_t n,
+                          double* out);
+};
+
+/// Kernel table for a specific level. @p level must be in
+/// available_levels(); the scalar table is returned for anything else.
+const Kernels& kernels(Level level) noexcept;
+
+/// The currently dispatched table (see active_level()).
+const Kernels& active() noexcept;
+
+// ---------------------------------------------------------------------------
+// Span convenience wrappers over the active dispatch table.
+// ---------------------------------------------------------------------------
+
+inline double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  return active().dot(a.data(), b.data(), a.size());
+}
+
+inline void axpy(double a, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  active().axpy(a, x.data(), y.data(), x.size());
+}
+
+inline MinMax min_max(std::span<const double> x) {
+  return active().min_max(x.data(), x.size());
+}
+
+inline MeanVar mean_var(std::span<const double> x) {
+  return active().mean_var(x.data(), x.size());
+}
+
+inline void scale_shift(std::span<const double> x,
+                        std::span<const double> shift,
+                        std::span<const double> scale, std::span<double> out) {
+  assert(x.size() == shift.size() && x.size() == scale.size() &&
+         x.size() == out.size());
+  active().scale_shift(x.data(), shift.data(), scale.data(), out.data(),
+                       x.size());
+}
+
+inline void normalize01(std::span<const double> x, double shift, double scale,
+                        std::span<double> out) {
+  assert(x.size() == out.size());
+  active().normalize01(x.data(), shift, scale, out.data(), x.size());
+}
+
+inline void square(std::span<const double> x, std::span<double> out) {
+  assert(x.size() == out.size());
+  active().square(x.data(), out.data(), x.size());
+}
+
+inline void five_point_derivative(std::span<const double> x,
+                                  std::span<double> out) {
+  assert(x.size() == out.size());
+  active().five_point_derivative(x.data(), out.data(), x.size());
+}
+
+inline void moving_window_integral(std::span<const double> x,
+                                   std::size_t window, std::span<double> out) {
+  assert(x.size() == out.size());
+  active().moving_window_integral(x.data(), window, out.data(), x.size());
+}
+
+}  // namespace sift::simd

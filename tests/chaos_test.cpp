@@ -291,12 +291,16 @@ TEST_F(ChaosTest, OverloadBurstWalksTheDegradationLadderAndRecovers) {
   // ~10 burst packets per shard-0 session: enough for both downgrades
   // (cooldown 4 ⇒ the second lands on the session's 6th packet).
   fc.overload_until_dequeue = 10 * n0;
-  fc.overload_forced_depth = config.queue_capacity + 2;
+  // The depth a shed check observes is the shard queue plus the worker's
+  // remaining batch, so a naturally saturated queue can read as high as
+  // capacity + max_batch - 1. Put the watermark past that: only the
+  // injector's forced depth can cross it.
+  fc.overload_forced_depth = config.queue_capacity + config.max_batch + 2;
   FaultInjector injector(fc);
 
   config.injector = &injector;
   config.load_shed.enabled = true;
-  config.load_shed.high_watermark = config.queue_capacity + 2;  // burst only
+  config.load_shed.high_watermark = fc.overload_forced_depth;  // burst only
   // Any real depth allows stepping back up: recovery is deterministic the
   // moment the burst window closes.
   config.load_shed.low_watermark = config.queue_capacity;

@@ -12,6 +12,7 @@
 #include "core/trainer.hpp"
 #include "core/windows.hpp"
 #include "physio/dataset.hpp"
+#include "simd/simd.hpp"
 
 namespace sift::core {
 namespace {
@@ -234,6 +235,73 @@ TEST_F(PipelineTest, SteadyStateClassifyIsAllocationFree) {
   EXPECT_EQ(guard.count(), 0u)
       << "steady-state classify must not heap-allocate";
   EXPECT_EQ(warm, steady) << "warm-up must not change verdicts";
+}
+
+TEST_F(PipelineTest, SteadyStateClassifyIsAllocationFreeAtEverySimdLevel) {
+  // The kernel rewiring (portrait normalise, hist2d binning, column
+  // averages, scaler, SVM dot) must preserve the zero-steady-state-alloc
+  // invariant at every dispatch level, and every level must produce the
+  // same verdicts.
+  const Detector detector(train(DetectorVersion::kOriginal));
+  const auto& rec = (*testing_)[0];
+  WindowScratch scratch;
+  constexpr std::size_t kWindow = 1080;
+
+  auto classify_all = [&] {
+    double sink = 0.0;
+    for (std::size_t start = 0; start + kWindow <= rec.ecg.size();
+         start += kWindow) {
+      make_window_portrait_into(rec, start, kWindow, scratch);
+      sink += detector.classify(scratch.portrait, scratch).decision_value;
+    }
+    return sink;
+  };
+
+  const sift::simd::Level before = sift::simd::active_level();
+  const double warm = classify_all();
+  for (const sift::simd::Level level : sift::simd::available_levels()) {
+    ASSERT_TRUE(sift::simd::set_active_level(level));
+    sift::testing::AllocGuard guard;
+    const double sum = classify_all();
+    EXPECT_EQ(guard.count(), 0u)
+        << "allocation on the hot path at level "
+        << sift::simd::to_string(level);
+    EXPECT_EQ(sum, warm) << "decision values drifted at level "
+                         << sift::simd::to_string(level);
+  }
+  ASSERT_TRUE(sift::simd::set_active_level(before));
+}
+
+TEST_F(PipelineTest, ColumnAveragesIntoIsAllocationFreeAndLevelInvariant) {
+  // CountMatrix::column_averages_into now runs on the integer SIMD kernel:
+  // exact in any order, so every level must agree bit-for-bit, and filling
+  // a caller-provided span must never allocate.
+  const auto& rec = (*testing_)[0];
+  WindowScratch scratch;
+  make_window_portrait_into(rec, 0, 1080, scratch);
+  CountMatrix matrix;
+  matrix.rebuild(scratch.portrait, 50);
+
+  std::vector<double> avg(matrix.n());
+  const sift::simd::Level before = sift::simd::active_level();
+  std::vector<double> reference;
+  for (const sift::simd::Level level : sift::simd::available_levels()) {
+    ASSERT_TRUE(sift::simd::set_active_level(level));
+    {
+      sift::testing::AllocGuard guard;
+      matrix.column_averages_into(avg);
+      EXPECT_EQ(guard.count(), 0u)
+          << "column_averages_into allocated at level "
+          << sift::simd::to_string(level);
+    }
+    if (reference.empty()) {
+      reference = avg;
+    } else {
+      EXPECT_EQ(avg, reference)
+          << "column averages differ at level " << sift::simd::to_string(level);
+    }
+  }
+  ASSERT_TRUE(sift::simd::set_active_level(before));
 }
 
 // --- experiment harness -----------------------------------------------------------

@@ -114,6 +114,49 @@ TEST(BoundedQueue, BlockPolicyWaitsForSpace) {
   EXPECT_EQ(q.dropped(), 0u);
 }
 
+TEST(BoundedQueue, TryPopNDrainsFifoUpToMax) {
+  BoundedQueue<int> q(8, BackpressurePolicy::kBlock);
+  for (int v = 1; v <= 5; ++v) EXPECT_TRUE(q.push(v).accepted);
+  std::vector<int> out;
+  out.reserve(8);
+  {
+    // The batched drain is on the worker hot path: with pre-reserved
+    // capacity it must never allocate.
+    sift::testing::AllocGuard guard;
+    EXPECT_EQ(q.try_pop_n(out, 3), 3u);
+    EXPECT_EQ(q.try_pop_n(out, 8), 2u) << "drains what is there";
+    EXPECT_EQ(q.try_pop_n(out, 8), 0u) << "empty queue pops nothing";
+    EXPECT_EQ(guard.count(), 0u);
+  }
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5})) << "FIFO preserved";
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPopNFreesSpaceForBlockedProducers) {
+  BoundedQueue<int> q(2, BackpressurePolicy::kBlock);
+  EXPECT_TRUE(q.push(1).accepted);
+  EXPECT_TRUE(q.push(2).accepted);
+  std::atomic<int> pushed{0};
+  std::thread p1([&] {
+    EXPECT_TRUE(q.push(3).accepted);
+    ++pushed;
+  });
+  std::thread p2([&] {
+    EXPECT_TRUE(q.push(4).accepted);
+    ++pushed;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(pushed.load(), 0) << "both producers parked on a full queue";
+  std::vector<int> out;
+  out.reserve(2);
+  // One batched drain frees two slots and must wake *both* producers.
+  EXPECT_EQ(q.try_pop_n(out, 2), 2u);
+  p1.join();
+  p2.join();
+  EXPECT_EQ(pushed.load(), 2);
+  EXPECT_EQ(q.size(), 2u);
+}
+
 TEST(BoundedQueue, CloseWakesBlockedProducerAndDrains) {
   BoundedQueue<int> q(1, BackpressurePolicy::kBlock);
   EXPECT_TRUE(q.push(1).accepted);
@@ -459,6 +502,42 @@ TEST_F(FleetEngineTest, StressMatchesSingleThreadedReference) {
   EXPECT_EQ(engine.windows_classified(), total_windows);
   EXPECT_EQ(engine.metrics().counter("fleet.queue_dropped").value(), 0u)
       << "block policy never sheds";
+}
+
+// Batched execution is a lock-amortisation strategy, not a semantic change:
+// max_batch=1 (the legacy one-envelope path) and a deep batch must produce
+// the same per-user verdict stream as the single-threaded reference.
+TEST_F(FleetEngineTest, BatchedExecutionMatchesUnbatched) {
+  const auto reference = single_thread_reference(*fixture_, {});
+  for (const std::size_t max_batch : {std::size_t{1}, std::size_t{64}}) {
+    FleetConfig config;
+    config.workers = 4;
+    config.shards = 8;
+    config.queue_capacity = 64;
+    config.max_batch = max_batch;
+    FleetEngine engine(fixture_->provider(), config);
+    replay_through(engine, *fixture_, /*producers=*/4);
+
+    std::unordered_map<int, const Session*> by_user;
+    engine.sessions().for_each(
+        [&](int user, const Session& s) { by_user[user] = &s; });
+    ASSERT_EQ(by_user.size(), fixture_->sessions());
+    std::uint64_t total_windows = 0;
+    for (std::size_t s = 0; s < fixture_->sessions(); ++s) {
+      const auto it = by_user.find(static_cast<int>(s));
+      ASSERT_NE(it, by_user.end());
+      const auto& got = it->second->stats();
+      const auto& want = reference[s];
+      EXPECT_EQ(got.windows_classified, want.windows_classified)
+          << "user " << s << " max_batch " << max_batch;
+      EXPECT_EQ(got.alerts, want.alerts)
+          << "user " << s << " max_batch " << max_batch;
+      EXPECT_EQ(got.packets_received, want.packets_received)
+          << "user " << s << " max_batch " << max_batch;
+      total_windows += got.windows_classified;
+    }
+    EXPECT_EQ(engine.windows_classified(), total_windows);
+  }
 }
 
 TEST_F(FleetEngineTest, VerdictsAreBitIdenticalToReference) {

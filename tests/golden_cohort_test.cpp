@@ -1,0 +1,164 @@
+// Verdict-identity golden test for the 12-user cohort.
+//
+// The SIMD kernel layer (src/simd) reassociates floating-point reductions
+// into a fixed blocked order, which is allowed to perturb decision values
+// at the last-ulp level but must never flip a verdict. This suite pins
+// that contract against a golden file recorded from the pre-SIMD scalar
+// pipeline: for every (user, detector version, trace, window) the
+// classification and peak-check flags must match exactly, and the signed
+// SVM margin must agree within 1e-12.
+//
+// Regenerate (only when the protocol itself changes, never to paper over a
+// numeric drift):
+//   SIFT_GOLDEN_WRITE=tests/data/cohort_golden.csv ./golden_cohort_test
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/trainer.hpp"
+#include "physio/dataset.hpp"
+#include "physio/user_profile.hpp"
+
+namespace {
+
+using namespace sift;
+
+#ifndef SIFT_SOURCE_DIR
+#define SIFT_SOURCE_DIR "."
+#endif
+
+constexpr std::size_t kUsers = 12;
+constexpr double kTrainSeconds = 60.0;
+constexpr double kTestSeconds = 30.0;
+
+struct GoldenRow {
+  int user = 0;
+  int version = 0;
+  int trace = 0;  ///< 0 = own unseen trace, 1 = impostor (next user's)
+  int window = 0;
+  int altered = 0;
+  int peak_check_failed = 0;
+  double decision_value = 0.0;
+};
+
+/// Runs the fixed protocol and returns one row per classified window.
+/// Every detector version is exercised so the matrix features (count
+/// matrix, column averages, AUC) and the reduced geometric path all feed
+/// the comparison.
+std::vector<GoldenRow> run_protocol() {
+  const auto cohort = physio::synthetic_cohort(kUsers, 2017);
+  const auto training = physio::generate_cohort_records(cohort, kTrainSeconds);
+  std::vector<physio::Record> testing;
+  testing.reserve(kUsers);
+  for (const auto& user : cohort) {
+    testing.push_back(
+        physio::generate_record(user, kTestSeconds, physio::kDefaultRateHz,
+                                /*salt=*/3));
+  }
+
+  std::vector<GoldenRow> rows;
+  for (std::size_t k = 0; k < kUsers; ++k) {
+    std::vector<physio::Record> donors;
+    donors.reserve(kUsers - 1);
+    for (std::size_t j = 0; j < kUsers; ++j) {
+      if (j != k) donors.push_back(training[j]);
+    }
+    for (int v = 0; v < 3; ++v) {
+      core::SiftConfig config;
+      config.version = static_cast<core::DetectorVersion>(v);
+      const core::Detector detector(
+          core::train_user_model(training[k], donors, config));
+      for (int trace = 0; trace < 2; ++trace) {
+        // Trace 1 swaps in the next wearer's signals: a wholesale hijack,
+        // so both margins' signs appear in the golden set.
+        const auto& rec = testing[trace == 0 ? k : (k + 1) % kUsers];
+        const auto verdicts = detector.classify_record(rec);
+        for (std::size_t w = 0; w < verdicts.size(); ++w) {
+          rows.push_back({static_cast<int>(k), v, trace, static_cast<int>(w),
+                          verdicts[w].altered ? 1 : 0,
+                          verdicts[w].peak_check_failed ? 1 : 0,
+                          verdicts[w].decision_value});
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+std::string golden_path() {
+  return std::string(SIFT_SOURCE_DIR) + "/tests/data/cohort_golden.csv";
+}
+
+std::vector<GoldenRow> load_golden(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    ADD_FAILURE() << "cannot open golden file " << path;
+    return {};
+  }
+  std::vector<GoldenRow> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    GoldenRow row;
+    for (char& c : line) {
+      if (c == ',') c = ' ';
+    }
+    std::istringstream ws(line);
+    ws >> row.user >> row.version >> row.trace >> row.window >> row.altered >>
+        row.peak_check_failed >> row.decision_value;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TEST(GoldenCohort, VerdictsMatchPreSimdScalarPipeline) {
+  const auto rows = run_protocol();
+  ASSERT_FALSE(rows.empty());
+
+  if (const char* out = std::getenv("SIFT_GOLDEN_WRITE")) {
+    std::FILE* f = std::fopen(out, "w");
+    ASSERT_NE(f, nullptr) << "cannot write " << out;
+    std::fprintf(f,
+                 "# user,version,trace,window,altered,peak_check_failed,"
+                 "decision_value\n");
+    for (const auto& r : rows) {
+      std::fprintf(f, "%d,%d,%d,%d,%d,%d,%.17g\n", r.user, r.version, r.trace,
+                   r.window, r.altered, r.peak_check_failed,
+                   r.decision_value);
+    }
+    std::fclose(f);
+    GTEST_SKIP() << "golden file written to " << out;
+  }
+
+  const auto golden = load_golden(golden_path());
+  ASSERT_EQ(rows.size(), golden.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& got = rows[i];
+    const auto& want = golden[i];
+    ASSERT_EQ(got.user, want.user) << "row " << i;
+    ASSERT_EQ(got.version, want.version) << "row " << i;
+    ASSERT_EQ(got.trace, want.trace) << "row " << i;
+    ASSERT_EQ(got.window, want.window) << "row " << i;
+    EXPECT_EQ(got.altered, want.altered)
+        << "classification flipped at row " << i << " (user " << got.user
+        << ", version " << got.version << ", trace " << got.trace
+        << ", window " << got.window << ")";
+    EXPECT_EQ(got.peak_check_failed, want.peak_check_failed) << "row " << i;
+    const double delta = std::abs(got.decision_value - want.decision_value);
+    worst = std::max(worst, delta);
+    EXPECT_LE(delta, 1e-12)
+        << "decision value drifted at row " << i << ": got "
+        << got.decision_value << ", golden " << want.decision_value;
+  }
+  RecordProperty("worst_decision_delta", std::to_string(worst));
+}
+
+}  // namespace

@@ -1,0 +1,358 @@
+// Cross-level bit-identity suite for the SIMD kernel layer.
+//
+// The dispatch contract (src/simd/simd.hpp) says every level — scalar,
+// SSE2, AVX2, NEON — produces bit-identical results on identical input,
+// NaN/Inf propagation included. These tests run every kernel at every
+// level the host can execute against the scalar table and compare raw bit
+// patterns, over random data and adversarial inputs (NaN, infinities,
+// denormals, signed zero, empty and odd-length buffers). A second group
+// pins the kernels to the original textbook formulas so the SIMD layer
+// cannot drift away from the pre-SIMD pipeline it replaced.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "simd/simd.hpp"
+
+namespace {
+
+using sift::simd::Kernels;
+using sift::simd::Level;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kDenorm = std::numeric_limits<double>::denorm_min();
+
+// The sizes sweep every tail shape of a 4-wide blocked loop.
+const std::vector<std::size_t> kSizes = {0,  1,  2,  3,  4,   5,   7,  8,
+                                         9,  12, 15, 16, 17,  31,  64, 100,
+                                         255, 1023};
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+::testing::AssertionResult BitEq(double a, double b) {
+  if (bits(a) == bits(b)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bits " << std::hex << bits(a) << " vs "
+         << bits(b) << ")";
+}
+
+::testing::AssertionResult BitEq(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size mismatch";
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (bits(a[i]) != bits(b[i])) {
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a[i] << " != " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<double> random_vector(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+/// Sprinkles adversarial values over a random base so vector lanes and
+/// scalar tails both see them.
+std::vector<double> adversarial_vector(std::size_t n, std::uint32_t seed) {
+  std::vector<double> v = random_vector(n, seed);
+  const double specials[] = {kNan, kInf, -kInf, kDenorm, -kDenorm, -0.0, 0.0};
+  for (std::size_t i = 0; i < n; i += 3) {
+    v[i] = specials[(i / 3) % std::size(specials)];
+  }
+  return v;
+}
+
+class SimdLevelTest : public ::testing::TestWithParam<Level> {
+ protected:
+  const Kernels& k() const { return sift::simd::kernels(GetParam()); }
+  const Kernels& ref() const { return sift::simd::kernels(Level::kScalar); }
+};
+
+TEST_P(SimdLevelTest, TableReportsItsLevel) {
+  EXPECT_EQ(k().level, GetParam());
+}
+
+TEST_P(SimdLevelTest, DotMatchesScalarBitwise) {
+  for (std::size_t n : kSizes) {
+    for (std::uint32_t seed : {1u, 2u}) {
+      const auto a = seed == 1 ? random_vector(n, 10 + seed)
+                               : adversarial_vector(n, 10 + seed);
+      const auto b = random_vector(n, 90 + seed);
+      EXPECT_TRUE(BitEq(k().dot(a.data(), b.data(), n),
+                        ref().dot(a.data(), b.data(), n)))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(SimdLevelTest, AxpyMatchesScalarBitwise) {
+  for (std::size_t n : kSizes) {
+    const auto x = adversarial_vector(n, 3);
+    auto y0 = random_vector(n, 4);
+    auto y1 = y0;
+    k().axpy(2.5, x.data(), y0.data(), n);
+    ref().axpy(2.5, x.data(), y1.data(), n);
+    EXPECT_TRUE(BitEq(y0, y1)) << "n=" << n;
+  }
+}
+
+TEST_P(SimdLevelTest, MinMaxMatchesScalarBitwise) {
+  for (std::size_t n : kSizes) {
+    for (std::uint32_t seed : {5u, 6u}) {
+      const auto x = seed == 5 ? random_vector(n, seed)
+                               : adversarial_vector(n, seed);
+      const auto got = k().min_max(x.data(), n);
+      const auto want = ref().min_max(x.data(), n);
+      EXPECT_TRUE(BitEq(got.min, want.min)) << "n=" << n << " seed=" << seed;
+      EXPECT_TRUE(BitEq(got.max, want.max)) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(SimdLevelTest, MinMaxExactOnFiniteData) {
+  // For finite data the blocked scan must equal the true min/max, not just
+  // agree across levels.
+  const auto x = random_vector(257, 7);
+  const auto got = k().min_max(x.data(), x.size());
+  double mn = x[0], mx = x[0];
+  for (double v : x) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_TRUE(BitEq(got.min, mn));
+  EXPECT_TRUE(BitEq(got.max, mx));
+}
+
+TEST_P(SimdLevelTest, MeanVarMatchesScalarBitwise) {
+  for (std::size_t n : kSizes) {
+    for (std::uint32_t seed : {8u, 9u}) {
+      const auto x = seed == 8 ? random_vector(n, seed)
+                               : adversarial_vector(n, seed);
+      const auto got = k().mean_var(x.data(), n);
+      const auto want = ref().mean_var(x.data(), n);
+      EXPECT_TRUE(BitEq(got.mean, want.mean)) << "n=" << n << " seed=" << seed;
+      EXPECT_TRUE(BitEq(got.variance, want.variance))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(SimdLevelTest, ScaleShiftMatchesScalarBitwise) {
+  for (std::size_t n : kSizes) {
+    const auto x = adversarial_vector(n, 11);
+    const auto shift = random_vector(n, 12);
+    auto scale = random_vector(n, 13);
+    for (double& s : scale) {
+      if (s == 0.0) s = 1.0;
+    }
+    std::vector<double> out0(n, -1.0), out1(n, -1.0);
+    k().scale_shift(x.data(), shift.data(), scale.data(), out0.data(), n);
+    ref().scale_shift(x.data(), shift.data(), scale.data(), out1.data(), n);
+    EXPECT_TRUE(BitEq(out0, out1)) << "n=" << n;
+  }
+}
+
+TEST_P(SimdLevelTest, Normalize01MatchesScalarBitwiseAndInPlace) {
+  for (std::size_t n : kSizes) {
+    const auto x = adversarial_vector(n, 14);
+    std::vector<double> out0(n, -1.0), out1(n, -1.0);
+    k().normalize01(x.data(), 0.25, 3.0, out0.data(), n);
+    ref().normalize01(x.data(), 0.25, 3.0, out1.data(), n);
+    EXPECT_TRUE(BitEq(out0, out1)) << "n=" << n;
+
+    auto inplace = x;
+    k().normalize01(inplace.data(), 0.25, 3.0, inplace.data(), n);
+    EXPECT_TRUE(BitEq(inplace, out1)) << "in-place n=" << n;
+  }
+}
+
+TEST_P(SimdLevelTest, Normalize01Interleave2MatchesScalarBitwise) {
+  for (std::size_t n : kSizes) {
+    const auto a = adversarial_vector(n, 15);
+    const auto b = random_vector(n, 16);
+    std::vector<double> out0(2 * n, -1.0), out1(2 * n, -1.0);
+    k().normalize01_interleave2(a.data(), b.data(), 0.1, 2.0, -0.5, 0.75,
+                                out0.data(), n);
+    ref().normalize01_interleave2(a.data(), b.data(), 0.1, 2.0, -0.5, 0.75,
+                                  out1.data(), n);
+    EXPECT_TRUE(BitEq(out0, out1)) << "n=" << n;
+  }
+}
+
+TEST_P(SimdLevelTest, SquareMatchesScalarBitwiseAndInPlace) {
+  for (std::size_t n : kSizes) {
+    const auto x = adversarial_vector(n, 17);
+    std::vector<double> out0(n, -1.0), out1(n, -1.0);
+    k().square(x.data(), out0.data(), n);
+    ref().square(x.data(), out1.data(), n);
+    EXPECT_TRUE(BitEq(out0, out1)) << "n=" << n;
+
+    auto inplace = x;
+    k().square(inplace.data(), inplace.data(), n);
+    EXPECT_TRUE(BitEq(inplace, out1)) << "in-place n=" << n;
+  }
+}
+
+TEST_P(SimdLevelTest, FivePointDerivativeMatchesScalarBitwise) {
+  for (std::size_t n : kSizes) {
+    const auto x = adversarial_vector(n, 18);
+    std::vector<double> out0(n, -1.0), out1(n, -1.0);
+    k().five_point_derivative(x.data(), out0.data(), n);
+    ref().five_point_derivative(x.data(), out1.data(), n);
+    EXPECT_TRUE(BitEq(out0, out1)) << "n=" << n;
+  }
+}
+
+TEST_P(SimdLevelTest, FivePointDerivativeMatchesTextbookFormula) {
+  // The formula the pre-SIMD pipeline used, taps clamped to x[0] on the
+  // left edge — the kernel must reproduce it bit-for-bit.
+  const auto x = random_vector(103, 19);
+  std::vector<double> out(x.size());
+  k().five_point_derivative(x.data(), out.data(), x.size());
+  auto tap = [&x](std::ptrdiff_t i) {
+    return x[i < 0 ? 0 : static_cast<std::size_t>(i)];
+  };
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const auto i = static_cast<std::ptrdiff_t>(n);
+    const double want =
+        (2.0 * tap(i) + tap(i - 1) - tap(i - 3) - 2.0 * tap(i - 4)) / 8.0;
+    ASSERT_TRUE(BitEq(out[n], want)) << "index " << n;
+  }
+}
+
+TEST_P(SimdLevelTest, MovingWindowIntegralMatchesOriginalSemantics) {
+  for (std::size_t n : {0u, 1u, 5u, 149u, 150u, 151u, 600u}) {
+    for (std::size_t window : {1u, 2u, 5u, 150u}) {
+      const auto x = random_vector(n, 20 + static_cast<std::uint32_t>(window));
+      std::vector<double> out(n, -1.0), want(n, 0.0);
+      k().moving_window_integral(x.data(), window, out.data(), n);
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += x[i];
+        if (i >= window) acc -= x[i - window];
+        want[i] = acc / static_cast<double>(i + 1 < window ? i + 1 : window);
+      }
+      EXPECT_TRUE(BitEq(out, want)) << "n=" << n << " window=" << window;
+    }
+  }
+}
+
+TEST_P(SimdLevelTest, Hist2dMatchesScalarExactly) {
+  std::mt19937 rng(21);
+  std::uniform_real_distribution<double> dist(-0.25, 1.25);
+  for (std::size_t n_grid : {1u, 3u, 50u}) {
+    for (std::size_t n_points : {0u, 1u, 2u, 3u, 7u, 500u}) {
+      std::vector<double> xy(2 * n_points);
+      for (double& v : xy) v = dist(rng);
+      // Edge and adversarial coordinates in both vector body and tail.
+      if (n_points >= 3) {
+        xy[0] = 0.0;
+        xy[1] = 1.0;  // lands in the last row despite == 1.0
+        xy[2] = kNan;
+        xy[3] = -0.0;
+        xy[2 * n_points - 2] = kInf;
+        xy[2 * n_points - 1] = -kInf;
+      }
+      std::vector<std::uint32_t> got(n_grid * n_grid, 0);
+      std::vector<std::uint32_t> want(n_grid * n_grid, 0);
+      k().hist2d(xy.data(), n_points, n_grid, got.data());
+      ref().hist2d(xy.data(), n_points, n_grid, want.data());
+      EXPECT_EQ(got, want) << "n_grid=" << n_grid << " points=" << n_points;
+      std::uint64_t total = 0;
+      for (std::uint32_t c : got) total += c;
+      EXPECT_EQ(total, n_points) << "every point must land in some cell";
+    }
+  }
+}
+
+TEST_P(SimdLevelTest, ColumnAveragesMatchesScalarExactly) {
+  std::mt19937 rng(22);
+  std::uniform_int_distribution<std::uint32_t> dist(0, 1000000);
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 8u, 50u}) {
+    std::vector<std::uint32_t> cells(n * n);
+    for (auto& c : cells) c = dist(rng);
+    std::vector<double> got(n, -1.0), want(n, -1.0);
+    k().column_averages(cells.data(), n, got.data());
+    ref().column_averages(cells.data(), n, want.data());
+    EXPECT_TRUE(BitEq(got, want)) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, SimdLevelTest,
+    ::testing::ValuesIn(std::vector<Level>(
+        sift::simd::available_levels().begin(),
+        sift::simd::available_levels().end())),
+    [](const ::testing::TestParamInfo<Level>& info) {
+      return sift::simd::to_string(info.param);
+    });
+
+TEST(SimdDispatch, ScalarIsAlwaysAvailableAndLast) {
+  const auto levels = sift::simd::available_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.back(), Level::kScalar);
+}
+
+TEST(SimdDispatch, SetActiveLevelRoundTrips) {
+  const Level before = sift::simd::active_level();
+  for (const Level level : sift::simd::available_levels()) {
+    ASSERT_TRUE(sift::simd::set_active_level(level));
+    EXPECT_EQ(sift::simd::active_level(), level);
+    EXPECT_EQ(sift::simd::active().level, level);
+  }
+  ASSERT_TRUE(sift::simd::set_active_level(before));
+}
+
+TEST(SimdDispatch, UnavailableLevelIsRejected) {
+#if defined(__x86_64__)
+  const Level missing = Level::kNeon;
+#else
+  const Level missing = Level::kAvx2;
+#endif
+  bool listed = false;
+  for (const Level level : sift::simd::available_levels()) {
+    if (level == missing) listed = true;
+  }
+  if (listed) GTEST_SKIP() << "host unexpectedly supports the probe level";
+  const Level before = sift::simd::active_level();
+  EXPECT_FALSE(sift::simd::set_active_level(missing));
+  EXPECT_EQ(sift::simd::active_level(), before);
+  // kernels() degrades to the scalar table rather than dispatching to an
+  // ISA the host cannot run.
+  EXPECT_EQ(sift::simd::kernels(missing).level, Level::kScalar);
+}
+
+TEST(SimdDispatch, LevelNamesRoundTrip) {
+  EXPECT_STREQ(sift::simd::to_string(Level::kScalar), "scalar");
+  EXPECT_STREQ(sift::simd::to_string(Level::kSse2), "sse2");
+  EXPECT_STREQ(sift::simd::to_string(Level::kNeon), "neon");
+  EXPECT_STREQ(sift::simd::to_string(Level::kAvx2), "avx2");
+}
+
+TEST(SimdSpanWrappers, RouteThroughActiveTable) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> b = {2.0, 0.5, -1.0, 3.0, 0.25};
+  EXPECT_TRUE(BitEq(sift::simd::dot(a, b),
+                    sift::simd::active().dot(a.data(), b.data(), a.size())));
+  const auto mm = sift::simd::min_max(a);
+  EXPECT_EQ(mm.min, 1.0);
+  EXPECT_EQ(mm.max, 5.0);
+  const auto mv = sift::simd::mean_var(a);
+  EXPECT_DOUBLE_EQ(mv.mean, 3.0);
+  EXPECT_DOUBLE_EQ(mv.variance, 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Perf guardrail: compare bench JSON snapshots against the committed baseline.
+
+Usage:
+    bench_check.py --baseline BENCH_baseline.json [--tolerance 0.25]
+                   [--fleet fleet_now.json] pipe_run1.json [pipe_run2.json ...]
+
+The gate is the MEDIAN `windows_per_sec` across the given bench_pipeline
+snapshots (run it several times; single runs on shared CI boxes are noisy):
+it must stay within --tolerance (default 25%) of the baseline's
+`pipeline.windows_per_sec`, else exit 1.
+
+Everything else — pipeline p50/p99, allocs/window, and all fleet numbers
+(the engine benchmark multiplexes worker threads over whatever cores the
+runner happens to have, so its absolute throughput is not comparable across
+machines) — is printed as ADVISORY and never fails the check.
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def fmt_delta(current, base):
+    if base <= 0:
+        return "n/a"
+    pct = (current / base - 1.0) * 100.0
+    return f"{pct:+.1f}%"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional windows_per_sec drop")
+    parser.add_argument("--fleet", default=None,
+                        help="bench_fleet --json snapshot (advisory only)")
+    parser.add_argument("runs", nargs="+",
+                        help="bench_pipeline --json snapshots")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    base_pipe = baseline["pipeline"]
+    base_wps = float(base_pipe["windows_per_sec"])
+
+    runs = [load(p) for p in args.runs]
+    rates = [float(r["windows_per_sec"]) for r in runs]
+    median_wps = statistics.median(rates)
+    floor = base_wps * (1.0 - args.tolerance)
+
+    print(f"pipeline windows_per_sec: runs {[round(r) for r in rates]} "
+          f"-> median {median_wps:.0f}")
+    print(f"  baseline {base_wps:.0f}, floor {floor:.0f} "
+          f"(-{args.tolerance:.0%}), delta {fmt_delta(median_wps, base_wps)}")
+
+    for key in ("p50_us", "p99_us", "allocs_per_window"):
+        if key in base_pipe and key in runs[0]:
+            cur = statistics.median(float(r[key]) for r in runs)
+            print(f"  advisory {key}: {cur:.3f} "
+                  f"(baseline {float(base_pipe[key]):.3f})")
+
+    # Pipeline determinism rides along for free: every snapshot reports the
+    # checksum of its decision-value stream, which must not drift.
+    checksums = {r.get("checksum") for r in runs}
+    base_checksum = base_pipe.get("checksum")
+    if base_checksum is not None and checksums != {base_checksum}:
+        print(f"FAIL: decision-value checksum drifted: "
+              f"{sorted(checksums)} != {base_checksum}")
+        return 1
+
+    if args.fleet:
+        fleet = load(args.fleet)
+        base_fleet = baseline.get("fleet", {})
+        for key in ("windows_per_sec", "windows_per_sec_batched",
+                    "windows_per_sec_durable", "batched_speedup"):
+            if key in fleet:
+                base_val = float(base_fleet.get(key, 0.0))
+                note = (f" (baseline {base_val:.0f}, "
+                        f"{fmt_delta(float(fleet[key]), base_val)})"
+                        if base_val > 0 else "")
+                print(f"  advisory fleet {key}: {float(fleet[key]):.1f}{note}")
+
+    if median_wps < floor:
+        print(f"FAIL: windows_per_sec regressed more than "
+              f"{args.tolerance:.0%}: {median_wps:.0f} < {floor:.0f}")
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

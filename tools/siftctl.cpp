@@ -46,6 +46,7 @@
 #include "peaks/pan_tompkins.hpp"
 #include "peaks/systolic.hpp"
 #include "physio/dataset.hpp"
+#include "simd/simd.hpp"
 
 namespace {
 
@@ -66,7 +67,8 @@ int usage() {
                "  check <source.c> [--no-libm]\n"
                "  profile <model.txt> <trace.csv>\n"
                "  fleet [--sessions N] [--seconds S] [--workers N]\n"
-               "        [--shards N] [--queue-capacity N] [--producers N]\n"
+               "        [--shards N] [--queue-capacity N] [--max-batch N]\n"
+               "        [--producers N]\n"
                "        [--policy block|drop-oldest] [--models K]\n"
                "        [--chaos SEED]   inject a deterministic fault schedule\n"
                "                         (corruption, provider failures,\n"
@@ -215,6 +217,13 @@ int cmd_emit_qm(std::span<const std::string> args) {
 
 int cmd_check(std::span<const std::string> args) {
   if (args.empty()) return usage();
+  // The check gates code destined for scalar-only MCUs, so surface what the
+  // *host* pipeline dispatches to — the two must not be conflated.
+  std::printf("host simd: %s (available:", simd::to_string(simd::active_level()));
+  for (const auto level : simd::available_levels()) {
+    std::printf(" %s", simd::to_string(level));
+  }
+  std::printf(")\n");
   std::ifstream is(args[0]);
   if (!is.good()) throw std::runtime_error("cannot open " + args[0]);
   std::stringstream ss;
@@ -272,6 +281,8 @@ int cmd_fleet(std::span<const std::string> args) {
       config.shards = std::stoul(value);
     } else if (flag == "--queue-capacity") {
       config.queue_capacity = std::stoul(value);
+    } else if (flag == "--max-batch") {
+      config.max_batch = std::stoul(value);
     } else if (flag == "--producers") {
       producers = std::stoul(value);
     } else if (flag == "--models") {
