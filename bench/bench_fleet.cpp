@@ -34,6 +34,9 @@
 #include "fleet/engine.hpp"
 #include "fleet/replay.hpp"
 #include "fleet/session.hpp"
+#include "net/client.hpp"
+#include "net/packet_pool.hpp"
+#include "net/server.hpp"
 
 namespace {
 
@@ -286,6 +289,51 @@ int write_json_snapshot(const std::string& path) {
           ? (1.0 - durable_windows_per_sec / windows_per_sec) * 100.0
           : 0.0;
 
+  // Closed-loop net run: the same fixture streamed over a Unix socket into
+  // a served engine (8 connections, greedy send, settle on stats). The
+  // delta against the in-process figures is the price of the wire — frame
+  // encode/decode, the event loop, and backpressure round-trips.
+  BenchDir net_dir;
+  net::PacketPool pool;
+  fleet::FleetConfig served_config = config;
+  served_config.max_batch = fleet::FleetConfig{}.max_batch;
+  served_config.packet_return = pool.returner();
+  fleet::FleetEngine served_engine(fixture.provider(), served_config);
+  net::NetServerConfig server_config;
+  server_config.listen = "unix:" + net_dir.path + "/bench.sock";
+  net::NetServer server(served_engine, server_config, &pool);
+  server.start();
+  net::DriveConfig drive;
+  drive.address = server.address();
+  drive.connections = 8;
+  std::vector<std::vector<wiot::Packet>> streams;
+  streams.reserve(fixture.sessions());
+  for (std::size_t s = 0; s < fixture.sessions(); ++s) {
+    streams.push_back(fixture.session_packets(s));
+  }
+  const net::DriveResult net_result = net::drive_load(drive, streams);
+  server.stop();
+  served_engine.drain();
+  const double net_windows_per_sec =
+      net_result.total_seconds > 0.0
+          ? static_cast<double>(net_result.after.windows_classified -
+                                net_result.before.windows_classified) /
+                net_result.total_seconds
+          : 0.0;
+  const double net_packets_per_sec =
+      net_result.total_seconds > 0.0
+          ? static_cast<double>(net_result.packets_sent) /
+                net_result.total_seconds
+          : 0.0;
+  const double net_mb_per_sec =
+      net_result.total_seconds > 0.0
+          ? static_cast<double>(
+                served_engine.metrics().counter("net.bytes_in").value()) /
+                (1.0e6 * net_result.total_seconds)
+          : 0.0;
+  const auto net_stalls =
+      served_engine.metrics().counter("net.backpressure_stalls").value();
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_fleet: cannot open %s\n", path.c_str());
@@ -323,7 +371,14 @@ int write_json_snapshot(const std::string& path) {
                "  \"journal_bytes\": %llu,\n"
                "  \"journal_flushes\": %llu,\n"
                "  \"checkpoints_written\": %llu,\n"
-               "  \"frames_deduplicated\": %llu\n"
+               "  \"frames_deduplicated\": %llu,\n"
+               "  \"net_connections\": %zu,\n"
+               "  \"net_packets\": %llu,\n"
+               "  \"net_settled\": %d,\n"
+               "  \"net_packets_per_sec\": %.1f,\n"
+               "  \"net_windows_per_sec\": %.1f,\n"
+               "  \"net_mb_per_sec\": %.2f,\n"
+               "  \"net_backpressure_stalls\": %llu\n"
                "}\n",
                kWorkers, kSessions,
                static_cast<unsigned long long>(result.windows_classified),
@@ -344,15 +399,24 @@ int write_json_snapshot(const std::string& path) {
                static_cast<unsigned long long>(
                    durability.checkpoints_written()),
                static_cast<unsigned long long>(
-                   durability.frames_deduplicated()));
+                   durability.frames_deduplicated()),
+               drive.connections,
+               static_cast<unsigned long long>(net_result.packets_sent),
+               net_result.settled ? 1 : 0, net_packets_per_sec,
+               net_windows_per_sec, net_mb_per_sec,
+               static_cast<unsigned long long>(net_stalls));
   std::fclose(f);
   std::printf("fleet: %.0f windows/s unbatched, %.0f batched (x%.2f at "
               "max_batch %zu, %zu workers), durable %.0f windows/s "
-              "(%.1f%% overhead), detect p50 %.2f us, p99 %.2f us, "
+              "(%.1f%% overhead), net %.0f windows/s / %.0f packets/s "
+              "(%zu conns, %llu stalls), detect p50 %.2f us, p99 %.2f us, "
               "%.4f allocs/window -> %s\n",
               windows_per_sec, windows_per_sec_batched, batched_speedup,
               batched_config.max_batch, kWorkers, durable_windows_per_sec,
-              durable_overhead_pct, latency.quantile_us(0.5),
+              durable_overhead_pct, net_windows_per_sec, net_packets_per_sec,
+              drive.connections,
+              static_cast<unsigned long long>(net_stalls),
+              latency.quantile_us(0.5),
               latency.quantile_us(0.99), allocs_per_window, path.c_str());
   return 0;
 }

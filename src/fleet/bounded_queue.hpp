@@ -36,6 +36,15 @@ class BoundedQueue {
     bool dropped_oldest = false;
   };
 
+  struct TryPushResult {
+    bool accepted = false;       ///< element enqueued
+    bool dropped_oldest = false;
+    /// Queue full under kBlock and the caller chose not to wait. The
+    /// element was NOT consumed — retry later (the network front end's
+    /// per-connection backpressure path).
+    bool would_block = false;
+  };
+
   /// @throws std::invalid_argument via RingBuffer when capacity == 0.
   BoundedQueue(std::size_t capacity, BackpressurePolicy policy)
       : buffer_(capacity), policy_(policy) {}
@@ -57,6 +66,31 @@ class BoundedQueue {
       result.dropped_oldest = true;
     }
     buffer_.push(std::move(v));
+    lock.unlock();
+    not_empty_.notify_one();
+    return result;
+  }
+
+  /// Non-blocking push: never waits for space. Under kBlock a full queue
+  /// reports would_block and leaves @p v untouched, so the caller can park
+  /// the element and retry — this is how an event loop maps queue pressure
+  /// onto per-connection read gating without stalling its other
+  /// connections. Under kDropOldest it behaves exactly like push().
+  TryPushResult try_push(T& v) {
+    std::unique_lock lock(mu_);
+    if (closed_) return {};
+    TryPushResult result;
+    if (buffer_.full()) {
+      if (policy_ == BackpressurePolicy::kBlock) {
+        result.would_block = true;
+        return result;
+      }
+      buffer_.pop();
+      ++dropped_;
+      result.dropped_oldest = true;
+    }
+    buffer_.push(std::move(v));
+    result.accepted = true;
     lock.unlock();
     not_empty_.notify_one();
     return result;

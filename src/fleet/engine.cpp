@@ -125,9 +125,19 @@ SessionCursors FleetEngine::restore_session(int user_id,
 }
 
 bool FleetEngine::ingest(int user_id, wiot::Packet packet) {
+  return ingest_impl(user_id, packet, /*blocking=*/true) ==
+         IngestStatus::kAccepted;
+}
+
+IngestStatus FleetEngine::try_ingest(int user_id, wiot::Packet& packet) {
+  return ingest_impl(user_id, packet, /*blocking=*/false);
+}
+
+IngestStatus FleetEngine::ingest_impl(int user_id, wiot::Packet& packet,
+                                      bool blocking) {
   if (draining_.load(std::memory_order_relaxed)) {
     rejected_->add();
-    return false;
+    return IngestStatus::kClosed;
   }
   // Validation gate: a NaN sample or an insane sequence number must never
   // reach the queue, let alone a worker. Rejects are charged to the
@@ -144,12 +154,12 @@ bool FleetEngine::ingest(int user_id, wiot::Packet packet) {
       std::uint32_t& seen = packet.kind == wiot::ChannelKind::kEcg
                                 ? st.ecg_seen
                                 : st.abp_seen;
-      if (packet.seq < seen) return false;
+      if (packet.seq < seen) return IngestStatus::kInvalid;
       seen = packet.seq + 1;
     }
     packets_rejected_->add();
     ++st.count;
-    return false;
+    return IngestStatus::kInvalid;
   }
   Envelope env;
   env.user_id = user_id;
@@ -158,12 +168,27 @@ bool FleetEngine::ingest(int user_id, wiot::Packet packet) {
   env.enqueued = std::chrono::steady_clock::now();
   const std::size_t shard = env.shard;
 
-  const auto result = queues_[shard]->push(std::move(env));
-  if (!result.accepted) {  // engine started draining while we waited
-    rejected_->add();
-    return false;
+  bool dropped_oldest = false;
+  if (blocking) {
+    const auto result = queues_[shard]->push(std::move(env));
+    if (!result.accepted) {  // engine started draining while we waited
+      rejected_->add();
+      return IngestStatus::kClosed;
+    }
+    dropped_oldest = result.dropped_oldest;
+  } else {
+    const auto result = queues_[shard]->try_push(env);
+    if (result.would_block) {
+      packet = std::move(env.packet);  // hand the packet back for a retry
+      return IngestStatus::kWouldBlock;
+    }
+    if (!result.accepted) {
+      rejected_->add();
+      return IngestStatus::kClosed;
+    }
+    dropped_oldest = result.dropped_oldest;
   }
-  if (result.dropped_oldest) dropped_->add();
+  if (dropped_oldest) dropped_->add();
   ingested_->add();
 
   WorkerState& owner = *worker_states_[shard % worker_states_.size()];
@@ -172,7 +197,7 @@ bool FleetEngine::ingest(int user_id, wiot::Packet packet) {
     ++owner.signal;
   }
   owner.cv.notify_one();
-  return true;
+  return IngestStatus::kAccepted;
 }
 
 std::size_t FleetEngine::sweep_owned_shards(WorkerState& self) {
@@ -183,6 +208,13 @@ std::size_t FleetEngine::sweep_owned_shards(WorkerState& self) {
       self.batch.clear();
       if (queues_[shard]->try_pop_n(self.batch, max_batch) == 0) break;
       process_batch(shard, self.batch);
+      if (config_.packet_return) {
+        // Recycle spent sample/peak buffers back to the front end (pool
+        // hook), outside every lock — the wire path's zero-alloc loop.
+        for (Envelope& env : self.batch) {
+          config_.packet_return(std::move(env.packet));
+        }
+      }
       processed += self.batch.size();
     }
   }
@@ -378,10 +410,15 @@ void FleetEngine::drain() {
   });
 }
 
+std::size_t FleetEngine::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& q : queues_) depth += q->size();
+  return depth;
+}
+
 std::string FleetEngine::metrics_json() {
-  std::int64_t depth = 0;
-  for (const auto& q : queues_) depth += static_cast<std::int64_t>(q->size());
-  metrics_.gauge("fleet.queue_depth").set(depth);
+  metrics_.gauge("fleet.queue_depth")
+      .set(static_cast<std::int64_t>(queue_depth()));
   metrics_.gauge("fleet.sessions_active")
       .set(static_cast<std::int64_t>(table_.active_sessions()));
   metrics_.gauge("fleet.sessions_created")

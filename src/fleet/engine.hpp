@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -104,6 +105,20 @@ struct FleetConfig {
   /// journaled under the session's shard lock, and validation rejects are
   /// deduplicated across restarts (see fleet/durable/durability.hpp).
   durable::Durability* durability = nullptr;
+  /// Buffer-recycling hook (may be null): a worker hands every envelope's
+  /// spent packet back after processing it, outside any lock. A network
+  /// front end uses this to return sample/peak buffers to its packet pool
+  /// so the wire→engine handoff stays allocation-free at steady state.
+  /// Must be thread-safe; called from worker threads.
+  std::function<void(wiot::Packet&&)> packet_return;
+};
+
+/// Outcome of a non-blocking ingest attempt (see FleetEngine::try_ingest).
+enum class IngestStatus : std::uint8_t {
+  kAccepted,    ///< enqueued (possibly shedding the oldest under kDropOldest)
+  kInvalid,     ///< failed packet validation; rejected and counted
+  kClosed,      ///< engine is draining; rejected and counted
+  kWouldBlock,  ///< shard queue full under kBlock; packet NOT consumed
 };
 
 class FleetEngine {
@@ -125,6 +140,14 @@ class FleetEngine {
   /// fleet.ingest_rejected.
   bool ingest(int user_id, wiot::Packet packet);
 
+  /// Non-blocking ingest for event-loop front ends: identical validation
+  /// and accounting to ingest(), but a full shard queue under kBlock
+  /// returns kWouldBlock *without consuming the packet* instead of
+  /// stalling the caller — the socket server parks the packet, gates the
+  /// connection's reads, and retries, so one hot shard slows only the
+  /// connections feeding it.
+  IngestStatus try_ingest(int user_id, wiot::Packet& packet);
+
   /// Graceful shutdown: stops accepting, processes everything already
   /// queued, joins the workers. Idempotent; called by the destructor.
   void drain();
@@ -139,6 +162,10 @@ class FleetEngine {
     return windows_->value();
   }
   std::uint64_t alerts() const noexcept { return alerts_->value(); }
+
+  /// Point-in-time sum of all shard queue depths (what a stats reply and
+  /// the load driver's settle loop observe).
+  std::size_t queue_depth() const;
 
   /// Ingest-side validation rejects charged to @p user_id (0 if none).
   std::uint64_t rejects_for(int user_id) const;
@@ -190,6 +217,7 @@ class FleetEngine {
 
   void worker_loop(WorkerState& self);
   std::size_t sweep_owned_shards(WorkerState& self);
+  IngestStatus ingest_impl(int user_id, wiot::Packet& packet, bool blocking);
   /// Classifies one drained batch: envelopes are grouped by user (order
   /// within a user preserved) and each group runs back-to-back under a
   /// single SessionTable::with_session shard-lock acquisition.

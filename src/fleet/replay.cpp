@@ -13,6 +13,35 @@
 
 namespace sift::fleet {
 
+std::vector<std::vector<wiot::Packet>> build_session_streams(
+    const ReplayConfig& config) {
+  const std::size_t cohort_n = std::max<std::size_t>(2, config.distinct_users);
+  const auto cohort = physio::synthetic_cohort(cohort_n, config.seed);
+  std::vector<std::vector<wiot::Packet>> streams;
+  streams.reserve(config.sessions);
+  for (std::size_t s = 0; s < config.sessions; ++s) {
+    const auto& profile = cohort[s % config.distinct_users];
+    // Distinct salt per session: same physiology, fresh trace.
+    const auto record = physio::generate_record(
+        profile, config.seconds, physio::kDefaultRateHz,
+        /*salt=*/1000 + s);
+    wiot::SensorNode ecg(wiot::ChannelKind::kEcg, record,
+                         config.samples_per_packet);
+    wiot::SensorNode abp(wiot::ChannelKind::kAbp, record,
+                         config.samples_per_packet);
+    std::vector<wiot::Packet> stream;
+    for (;;) {
+      auto e = ecg.poll();
+      auto a = abp.poll();
+      if (!e && !a) break;
+      if (e) stream.push_back(std::move(*e));
+      if (a) stream.push_back(std::move(*a));
+    }
+    streams.push_back(std::move(stream));
+  }
+  return streams;
+}
+
 ReplayFixture ReplayFixture::build(const ReplayConfig& config) {
   if (config.sessions == 0 || config.distinct_users == 0) {
     throw std::invalid_argument(
@@ -50,28 +79,22 @@ ReplayFixture ReplayFixture::build(const ReplayConfig& config) {
     }
   }
 
-  fixture.packets_.reserve(config.sessions);
-  for (std::size_t s = 0; s < config.sessions; ++s) {
-    const auto& profile = cohort[s % config.distinct_users];
-    // Distinct salt per session: same physiology, fresh trace.
-    const auto record = physio::generate_record(
-        profile, config.seconds, physio::kDefaultRateHz,
-        /*salt=*/1000 + s);
-    wiot::SensorNode ecg(wiot::ChannelKind::kEcg, record,
-                         config.samples_per_packet);
-    wiot::SensorNode abp(wiot::ChannelKind::kAbp, record,
-                         config.samples_per_packet);
-    std::vector<wiot::Packet> stream;
-    for (;;) {
-      auto e = ecg.poll();
-      auto a = abp.poll();
-      if (!e && !a) break;
-      if (e) stream.push_back(std::move(*e));
-      if (a) stream.push_back(std::move(*a));
-    }
+  fixture.packets_ = build_session_streams(config);
+  for (const auto& stream : fixture.packets_) {
     fixture.total_packets_ += stream.size();
-    fixture.packets_.push_back(std::move(stream));
   }
+  return fixture;
+}
+
+ReplayFixture ReplayFixture::build_models_only(ReplayConfig config) {
+  // Reuse build()'s training path with the cheapest possible stream
+  // synthesis, then drop the streams: one session of one packet's worth of
+  // trace keeps generate_record out of the budget entirely.
+  config.sessions = 1;
+  config.seconds = 1.0;
+  ReplayFixture fixture = build(config);
+  fixture.packets_.clear();
+  fixture.total_packets_ = 0;
   return fixture;
 }
 

@@ -41,6 +41,11 @@ class ReplayFixture {
   /// @throws std::invalid_argument if sessions or distinct_users is 0.
   static ReplayFixture build(const ReplayConfig& config);
 
+  /// Models only, no packet streams — what `siftctl serve` needs: the
+  /// gateway provisions detectors, the wire delivers the packets.
+  /// @throws std::invalid_argument if distinct_users is 0.
+  static ReplayFixture build_models_only(ReplayConfig config);
+
   /// user_id → model[user_id % distinct_users], shared (never copied).
   ModelProvider provider() const;
 
@@ -71,6 +76,15 @@ struct ReplayResult {
   std::uint64_t packets_offered = 0;
   std::uint64_t windows_classified = 0;
 };
+
+/// Deterministic per-session packet streams (both channels, time-ordered
+/// interleave) for @p config — the exact streams a ReplayFixture built
+/// from the same config carries. Factored out so a load-driver client can
+/// synthesize the wire traffic without paying for model training: serve
+/// and drive built from one config agree packet-for-packet, which is what
+/// makes the closed loop comparable against in-process ingest.
+std::vector<std::vector<wiot::Packet>> build_session_streams(
+    const ReplayConfig& config);
 
 /// Feeds every session's packets through @p engine from @p producers
 /// threads (sessions are partitioned across producers; each session's

@@ -64,33 +64,43 @@ void append_frame(std::vector<std::uint8_t>& out,
   out.insert(out.end(), payload.begin(), payload.end());
 }
 
-std::optional<std::span<const std::uint8_t>> FrameReader::next() noexcept {
-  if (stopped_) return std::nullopt;
-  if (cursor_ == bytes_.size()) {  // clean end: no trailing garbage
-    stopped_ = true;
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (corrupt_) return;  // framing is lost; nothing downstream is usable
+  fed_ += bytes.size();
+  // Compact the consumed prefix before appending, so the buffer never
+  // holds more than one partial frame plus the incoming chunk. (This is
+  // the call that invalidates previously returned payload spans.)
+  if (head_ == buffer_.size()) {
+    buffer_.clear();
+    head_ = 0;
+  } else if (head_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::span<const std::uint8_t>> FrameDecoder::next() noexcept {
+  if (corrupt_) return std::nullopt;
+  const std::size_t avail = buffer_.size() - head_;
+  if (avail < kFrameHeaderBytes) return std::nullopt;
+  const std::uint32_t len = get_u32_le(buffer_.data() + head_);
+  const std::uint32_t want_crc = get_u32_le(buffer_.data() + head_ + 4);
+  if (len > max_payload_ || len > kMaxFramePayload) {
+    // A bit-flipped length field must neither provoke a giant buffer nor
+    // let the cursor resynchronise on garbage: poison immediately.
+    corrupt_ = true;
     return std::nullopt;
   }
-  if (bytes_.size() - cursor_ < kFrameHeaderBytes) {
-    stopped_ = true;
-    torn_ = true;
-    return std::nullopt;
-  }
-  const std::uint32_t len = get_u32_le(bytes_.data() + cursor_);
-  const std::uint32_t want_crc = get_u32_le(bytes_.data() + cursor_ + 4);
-  if (len > kMaxFramePayload ||
-      bytes_.size() - cursor_ - kFrameHeaderBytes < len) {
-    stopped_ = true;
-    torn_ = true;
-    return std::nullopt;
-  }
-  const auto payload = bytes_.subspan(cursor_ + kFrameHeaderBytes, len);
+  if (avail - kFrameHeaderBytes < len) return std::nullopt;  // need more
+  const std::span<const std::uint8_t> payload(
+      buffer_.data() + head_ + kFrameHeaderBytes, len);
   if (crc32(payload) != want_crc) {
-    stopped_ = true;
-    torn_ = true;
+    corrupt_ = true;
     return std::nullopt;
   }
-  cursor_ += kFrameHeaderBytes + len;
-  valid_ = cursor_;
+  head_ += kFrameHeaderBytes + len;
   return payload;
 }
 

@@ -40,26 +40,100 @@ inline constexpr std::size_t kMaxFramePayload = 1u << 20;
 void append_frame(std::vector<std::uint8_t>& out,
                   std::span<const std::uint8_t> payload);
 
+/// Incremental frame decoder: the streaming core shared by the journal
+/// reader (whole file at once) and the network ingest path (arbitrary
+/// read() chunks). Bytes go in via feed() at whatever boundaries the
+/// source produced them; next() yields each complete, CRC-verified payload
+/// as soon as its last byte has arrived. A frame split across any number
+/// of feeds decodes identically to one delivered whole.
+///
+/// Corruption is terminal: an oversized length field or a CRC mismatch
+/// poisons the decoder (corrupt() == true) and next() never yields again —
+/// the byte stream has lost framing and nothing after the failure can be
+/// trusted. A socket owner closes the connection; a file reader treats it
+/// as the torn tail.
+///
+/// Memory contract: the internal buffer only ever holds the bytes of the
+/// frame currently being assembled (bounded by @p max_payload) plus
+/// whatever trailing fragment the last feed carried, and its capacity is
+/// retained across frames — a connection that reserve()s once decodes
+/// frames with zero steady-state allocation. Spans returned by next() point
+/// into that buffer and stay valid until the next feed() call.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kMaxFramePayload) noexcept
+      : max_payload_(max_payload) {}
+
+  /// Pre-sizes the internal buffer (steady-state decode then allocates
+  /// nothing as long as feeds stay within the reserved capacity).
+  void reserve(std::size_t bytes) { buffer_.reserve(bytes); }
+
+  /// Appends raw stream bytes. Bytes already consumed as intact frames are
+  /// compacted away first, which invalidates spans returned by next().
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Back to the freshly-constructed state, retaining buffer capacity — a
+  /// connection slot reuses one decoder across many connections without
+  /// reallocating.
+  void reset() noexcept {
+    buffer_.clear();
+    head_ = 0;
+    fed_ = 0;
+    corrupt_ = false;
+  }
+
+  /// The next complete intact payload, or nullopt when more bytes are
+  /// needed (or the stream is poisoned). Never throws.
+  std::optional<std::span<const std::uint8_t>> next() noexcept;
+
+  /// True once a frame failed (oversized length or CRC mismatch); the
+  /// decoder is then permanently stopped.
+  bool corrupt() const noexcept { return corrupt_; }
+  /// Total stream offset one past the last intact frame consumed — the
+  /// "durable prefix" a file reader truncates back to.
+  std::size_t consumed_bytes() const noexcept { return fed_ - pending_bytes(); }
+  /// Bytes fed but not yet consumed as complete frames (a partial frame,
+  /// or everything after the corruption point).
+  std::size_t pending_bytes() const noexcept { return buffer_.size() - head_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t head_ = 0;   ///< first unconsumed byte in buffer_
+  std::size_t fed_ = 0;    ///< total bytes ever fed
+  bool corrupt_ = false;
+};
+
 /// Forward scanner over a framed byte buffer. Stops permanently at the
 /// first torn frame (truncated header/payload, oversized length, or CRC
 /// mismatch); valid_bytes() then marks the end of the durable prefix.
+/// A thin wrapper over FrameDecoder fed the whole buffer up front — the
+/// one-shot view of the same grammar the incremental paths consume.
 class FrameReader {
  public:
-  explicit FrameReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  explicit FrameReader(std::span<const std::uint8_t> bytes) {
+    decoder_.reserve(bytes.size());
+    decoder_.feed(bytes);
+  }
 
   /// The next intact payload, or nullopt at end-of-prefix. Never throws.
-  std::optional<std::span<const std::uint8_t>> next() noexcept;
+  std::optional<std::span<const std::uint8_t>> next() noexcept {
+    if (stopped_) return std::nullopt;
+    if (auto payload = decoder_.next()) return payload;
+    // End of input: anything left pending is a torn/corrupt tail.
+    stopped_ = true;
+    torn_ = decoder_.corrupt() || decoder_.pending_bytes() > 0;
+    return std::nullopt;
+  }
 
   /// Offset one past the last intact frame returned so far.
-  std::size_t valid_bytes() const noexcept { return valid_; }
+  std::size_t valid_bytes() const noexcept { return decoder_.consumed_bytes(); }
   /// True once next() hit a torn/corrupt frame (bytes remain past the
   /// valid prefix). False on a clean end.
   bool torn() const noexcept { return torn_; }
 
  private:
-  std::span<const std::uint8_t> bytes_;
-  std::size_t cursor_ = 0;
-  std::size_t valid_ = 0;
+  FrameDecoder decoder_;
   bool torn_ = false;
   bool stopped_ = false;
 };

@@ -1,0 +1,185 @@
+#include "net/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "fleet/replay.hpp"
+
+namespace sift::net {
+
+namespace {
+
+/// Flush watermark: large enough to amortise syscalls, small enough that
+/// backpressure reaches the pacing loop quickly.
+constexpr std::size_t kAutoFlushBytes = 1u << 16;
+
+}  // namespace
+
+Client::Client(const std::string& address, bool greet) {
+  fd_ = connect_to(parse_address(address));
+  if (greet) encoder_.hello(buf_);
+}
+
+void Client::send_packet(std::int32_t user_id, const wiot::Packet& packet) {
+  encoder_.packet(buf_, user_id, packet);
+  if (buf_.size() >= kAutoFlushBytes) flush();
+}
+
+void Client::flush() {
+  if (buf_.empty()) return;
+  write_all(buf_);
+  buf_.clear();
+}
+
+void Client::send_raw(std::span<const std::uint8_t> bytes) {
+  flush();
+  write_all(bytes);
+}
+
+wire::Stats Client::stats(std::chrono::milliseconds timeout) {
+  flush();
+  std::vector<std::uint8_t> request;
+  encoder_.stats_request(request);
+  write_all(request);
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (const auto payload = decoder_.next()) {
+      return wire::decode_stats_reply(*payload);
+    }
+    if (decoder_.corrupt()) {
+      throw wire::Error("client: corrupt reply stream");
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) throw wire::Error("client: stats timeout");
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw wire::Error(std::string("client: poll: ") + std::strerror(errno));
+    }
+    if (rc == 0) throw wire::Error("client: stats timeout");
+    const ssize_t n = ::recv(fd_.get(), rx_.data(), rx_.size(), 0);
+    if (n == 0) throw wire::Error("client: server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw wire::Error(std::string("client: recv: ") + std::strerror(errno));
+    }
+    decoder_.feed({rx_.data(), static_cast<std::size_t>(n)});
+  }
+}
+
+void Client::close() {
+  flush();
+  fd_.reset();
+}
+
+void Client::write_all(std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_.get(), bytes.data() + off,
+                             bytes.size() - off, MSG_NOSIGNAL);
+    if (n >= 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw wire::Error(std::string("client: send: ") + std::strerror(errno));
+  }
+}
+
+DriveResult drive_load(const DriveConfig& config) {
+  fleet::ReplayConfig replay;
+  replay.sessions = config.users;
+  replay.seconds = config.seconds;
+  replay.distinct_users = config.distinct_users;
+  replay.samples_per_packet = config.samples_per_packet;
+  replay.seed = config.seed;
+  return drive_load(config, fleet::build_session_streams(replay));
+}
+
+DriveResult drive_load(const DriveConfig& config,
+                       const std::vector<std::vector<wiot::Packet>>& streams) {
+  DriveResult result;
+  if (streams.empty()) return result;
+
+  Client observer(config.address);
+  result.before = observer.stats();
+
+  const std::size_t connections =
+      std::max<std::size_t>(1, std::min(config.connections, streams.size()));
+  std::atomic<std::uint64_t> sent{0};
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> senders;
+    senders.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+      senders.emplace_back([&, c] {
+        Client client(config.address);
+        std::uint64_t my_sent = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        // Time-major over this connection's sessions: packet 0 of each,
+        // then packet 1, ... — concurrent wearers, per-user FIFO intact.
+        bool more = true;
+        for (std::size_t step = 0; more; ++step) {
+          more = false;
+          for (std::size_t s = c; s < streams.size(); s += connections) {
+            if (step >= streams[s].size()) continue;
+            more = true;
+            client.send_packet(static_cast<std::int32_t>(s),
+                               streams[s][step]);
+            ++my_sent;
+          }
+          if (config.rate_hz > 0) {
+            const auto due =
+                t0 + std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(
+                             static_cast<double>(step + 1) / config.rate_hz));
+            std::this_thread::sleep_until(due);
+          }
+        }
+        client.close();
+        sent.fetch_add(my_sent, std::memory_order_relaxed);
+      });
+    }
+  }
+  const auto sent_at = std::chrono::steady_clock::now();
+  result.packets_sent = sent.load();
+  result.send_seconds =
+      std::chrono::duration<double>(sent_at - start).count();
+
+  // Settle: everything sent must be accounted for (accepted or rejected),
+  // the shard queues empty, and the window count stable across two polls
+  // (in-flight batches finish between them).
+  const auto deadline = sent_at + config.settle_timeout;
+  std::uint64_t last_windows = ~std::uint64_t{0};
+  for (;;) {
+    const wire::Stats now = observer.stats();
+    const std::uint64_t accounted =
+        (now.packets_accepted - result.before.packets_accepted) +
+        (now.packets_rejected - result.before.packets_rejected);
+    result.after = now;
+    if (accounted >= result.packets_sent && now.queue_depth == 0 &&
+        now.windows_classified == last_windows) {
+      result.settled = true;
+      break;
+    }
+    last_windows = now.windows_classified;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  result.total_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  return result;
+}
+
+}  // namespace sift::net

@@ -1,0 +1,105 @@
+// Wire-protocol client and the closed-loop load driver.
+//
+// Client is deliberately simple and blocking — it models a base station
+// uplink (or a test), not another event loop. Writes are buffered so a
+// session's packets coalesce into few syscalls; stats() is the one
+// request/response exchange, used by the driver to close the loop.
+//
+// drive_load() is the other end of `siftctl serve`: it synthesises the
+// exact per-session packet streams fleet::build_session_streams produces
+// for a config, fans them over N connections (sessions partitioned by
+// connection, time-major order per connection, so per-user FIFO order is
+// preserved end to end), then polls server stats until everything it sent
+// has been accepted or rejected and the queues are empty. With the same
+// seed/users/seconds, an in-process replay of the same config must produce
+// identical per-user verdict streams — that equality is the subsystem's
+// correctness test.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/framed.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "wiot/packet.hpp"
+
+namespace sift::net {
+
+class Client {
+ public:
+  /// Connects (blocking) and, when @p greet is set, buffers the hello
+  /// frame the server requires first. @throws std::runtime_error on
+  /// connect failure.
+  explicit Client(const std::string& address, bool greet = true);
+
+  /// Buffers one packet frame; auto-flushes past the buffer watermark.
+  /// @throws wire::Error / std::runtime_error on encode or socket failure.
+  void send_packet(std::int32_t user_id, const wiot::Packet& packet);
+
+  /// Writes everything buffered.
+  void flush();
+
+  /// Raw bytes on the wire, after flushing the buffer — the malformed-
+  /// input fuzzing seam (corrupted frames go out exactly as given).
+  void send_raw(std::span<const std::uint8_t> bytes);
+
+  /// Round-trips a stats request. @throws wire::Error on timeout, a
+  /// corrupt reply stream, or the server closing the connection.
+  wire::Stats stats(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+  /// Half-closes gracefully (flush + FIN); the object is then spent.
+  void close();
+
+  int fd() const noexcept { return fd_.get(); }
+
+ private:
+  void write_all(std::span<const std::uint8_t> bytes);
+
+  Fd fd_;
+  wire::Encoder encoder_;
+  std::vector<std::uint8_t> buf_;
+  io::FrameDecoder decoder_;  ///< reply stream (stats)
+  std::array<std::uint8_t, 4096> rx_{};
+};
+
+struct DriveConfig {
+  std::string address;
+  std::size_t connections = 4;
+  std::size_t users = 32;          ///< concurrent sessions to synthesise
+  double seconds = 12.0;           ///< trace length per session
+  /// Per-session packet pacing (packets/s). 0 = closed-loop as fast as the
+  /// server accepts (TCP/backpressure-limited).
+  double rate_hz = 0.0;
+  std::size_t distinct_users = 4;  ///< physiologies behind the sessions
+  std::size_t samples_per_packet = 180;
+  std::uint64_t seed = 2017;
+  std::chrono::milliseconds settle_timeout{60000};
+};
+
+struct DriveResult {
+  std::uint64_t packets_sent = 0;
+  double send_seconds = 0.0;   ///< wall time for the send fan-out
+  double total_seconds = 0.0;  ///< send + settle
+  bool settled = false;        ///< everything sent was accounted for
+  wire::Stats before;          ///< server counters when the drive began
+  wire::Stats after;           ///< ... and after settling
+};
+
+/// Synthesises the streams for @p config and drives them; see file header.
+/// @throws std::runtime_error on connect failure.
+DriveResult drive_load(const DriveConfig& config);
+
+/// Same, over caller-provided per-session streams (streams.size() sessions;
+/// the bench reuses its fixture's streams so driver and in-process baseline
+/// share one synthesis cost).
+DriveResult drive_load(const DriveConfig& config,
+                       const std::vector<std::vector<wiot::Packet>>& streams);
+
+}  // namespace sift::net

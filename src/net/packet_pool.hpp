@@ -1,0 +1,89 @@
+// Recycles sample/peak buffers between the fleet workers and the socket
+// server's parse scratch.
+//
+// Accepting a packet moves its heap buffers into the engine; without
+// recycling, every decoded frame would pay two allocations (samples +
+// peaks) to replace them. Instead the engine's packet_return hook hands
+// each spent packet back here after classification, and the server refills
+// its per-connection scratch from the spares — so at steady state buffers
+// just circulate wire → engine → pool → wire and the per-frame ingest path
+// allocates nothing.
+//
+// Thread-safety: refill() runs on the event-loop thread, release() on
+// worker threads; one mutex over a vector of spares is plenty at packet
+// granularity (the classify work dwarfs the lock).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "wiot/packet.hpp"
+
+namespace sift::net {
+
+class PacketPool {
+ public:
+  explicit PacketPool(std::size_t capacity = 4096) : capacity_(capacity) {
+    spares_.reserve(capacity);
+  }
+
+  /// Gives @p packet a spare's buffers when its own were moved away by an
+  /// accepted ingest. A packet that still owns capacity (the last offer
+  /// was rejected or parked) is left alone — its buffers are already warm.
+  void refill(wiot::Packet& packet) {
+    if (packet.samples.capacity() != 0) return;
+    std::lock_guard lock(mu_);
+    if (spares_.empty()) {
+      ++misses_;
+      return;
+    }
+    wiot::Packet& spare = spares_.back();
+    packet.samples.swap(spare.samples);
+    packet.peaks.swap(spare.peaks);
+    spares_.pop_back();
+    ++hits_;
+  }
+
+  /// Returns a spent packet's buffers to the pool (worker-thread side).
+  /// Beyond capacity the packet is simply dropped — the pool bounds memory,
+  /// it does not guarantee reuse.
+  void release(wiot::Packet&& packet) {
+    packet.samples.clear();
+    packet.peaks.clear();
+    std::lock_guard lock(mu_);
+    if (spares_.size() >= capacity_) return;
+    spares_.push_back(std::move(packet));
+  }
+
+  /// The FleetConfig::packet_return hook, bound to this pool. The pool
+  /// must outlive the engine it is wired into.
+  std::function<void(wiot::Packet&&)> returner() {
+    return [this](wiot::Packet&& packet) { release(std::move(packet)); };
+  }
+
+  std::size_t spares() const {
+    std::lock_guard lock(mu_);
+    return spares_.size();
+  }
+  std::uint64_t hits() const {
+    std::lock_guard lock(mu_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard lock(mu_);
+    return misses_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<wiot::Packet> spares_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sift::net

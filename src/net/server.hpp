@@ -1,0 +1,181 @@
+// The network ingest plane: a single-threaded epoll event loop that
+// terminates the framed wire protocol and feeds the fleet engine.
+//
+//   accept ──► Connection slot (preallocated, recycled)
+//                 │ read() chunks into one shared scratch buffer
+//                 ▼
+//              io::FrameDecoder (per connection, capacity retained)
+//                 │ complete CRC-verified payloads
+//                 ▼
+//              wire::decode_packet ──► FleetEngine::try_ingest
+//
+// Ownership: every socket, buffer, and decoder belongs to the loop thread.
+// Workers never touch a connection; the loop never touches a session. The
+// only cross-thread traffic is try_ingest (a queue push under the shard
+// lock) and the packet pool (mutexed buffer recycling), so the loop is
+// data-race-free by construction rather than by locking discipline.
+//
+// Backpressure: a full shard queue under kBlock surfaces as kWouldBlock.
+// The loop parks the decoded packet in its connection, gates that
+// connection's reads (EPOLLIN removed), and retries on short ticks; the
+// kernel socket buffer then fills and TCP pushes the stall all the way
+// back to the sender. One hot shard slows only the connections feeding
+// it — everyone else keeps streaming.
+//
+// Protocol errors are terminal per connection: a corrupt frame, unknown
+// message, bad hello, or malformed packet closes the socket and counts
+// net.protocol_errors. The framed stream cannot resynchronise mid-
+// connection, and a peer that framed garbage once will frame it again.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/engine.hpp"
+#include "io/framed.hpp"
+#include "net/packet_pool.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace sift::net {
+
+struct NetServerConfig {
+  /// unix:PATH or tcp:HOST:PORT (port 0 = ephemeral; see address()).
+  std::string listen = "tcp:127.0.0.1:0";
+  std::size_t max_connections = 256;
+  int backlog = 128;
+  /// Per-frame payload bound on this listener (tighter than the io-layer
+  /// kMaxFramePayload; a sensor packet is ~1.5 KB).
+  std::size_t max_frame_payload = 1u << 16;
+  /// Bytes handed to one read() call.
+  std::size_t read_chunk = 1u << 15;
+  /// Idle connections are closed after this long without a byte (0 = never).
+  std::chrono::milliseconds idle_timeout{0};
+};
+
+class NetServer {
+ public:
+  /// Binds and arms the listener immediately (constructed == accepting as
+  /// soon as the loop runs). @p pool may be null (buffers then come from
+  /// the allocator); when set, wire FleetConfig::packet_return to
+  /// pool->returner() so spent buffers circulate back.
+  /// @throws std::runtime_error on bind/listen/epoll failure.
+  NetServer(fleet::FleetEngine& engine, NetServerConfig config,
+            PacketPool* pool = nullptr);
+  ~NetServer();  ///< stops (gracefully) if the caller has not
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Spawns the event-loop thread. Alternative to poll_once-driving.
+  void start();
+
+  /// Graceful shutdown: stops the loop, then flushes every connection's
+  /// parked packet and already-decoded frames into the engine via blocking
+  /// ingest (lossless under kBlock) before closing the sockets — a frame
+  /// the kernel acked to the sender is never dropped by a clean shutdown.
+  /// The listener is closed (and a unix socket path unlinked) so the
+  /// address is immediately rebindable. Idempotent; not re-entrant.
+  void stop();
+
+  /// Runs one event-loop cycle on the CALLER's thread: wait (bounded by
+  /// @p max_wait, shortened when stalls or idle scans are due), dispatch
+  /// readiness, retry gated connections, reap idle ones. This is both the
+  /// body of the loop thread and the test seam that lets an allocation
+  /// guard watch the per-frame path from its own thread.
+  void poll_once(std::chrono::milliseconds max_wait);
+
+  /// Canonical listen address with any ephemeral port resolved.
+  const std::string& address() const noexcept { return address_; }
+  std::size_t open_connections() const noexcept {
+    return open_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    explicit Connection(std::size_t max_payload) : decoder(max_payload) {}
+
+    Fd fd;
+    io::FrameDecoder decoder;
+    /// Parse target; doubles as the parked packet while backpressured.
+    wiot::Packet packet;
+    std::int32_t pending_user = 0;
+    bool has_pending = false;  ///< packet decoded but engine said would-block
+    bool greeted = false;      ///< hello seen (required first frame)
+    bool gated = false;        ///< EPOLLIN removed (backpressure)
+    bool saw_eof = false;
+    bool want_write = false;   ///< EPOLLOUT armed for a partial reply
+    std::vector<std::uint8_t> out;  ///< pending reply bytes
+    std::size_t out_head = 0;
+    std::chrono::steady_clock::time_point last_activity{};
+    std::size_t slot = 0;
+    bool in_use = false;
+  };
+
+  enum class FrameAction { kContinue, kStall, kClose };
+
+  void loop();
+  void wake();
+  void accept_ready();
+  /// Read→decode→ingest until the socket would block, the engine pushes
+  /// back (gates the connection), or the connection ends.
+  void pump(Connection& conn);
+  FrameAction on_frame(Connection& conn, std::span<const std::uint8_t> payload);
+  FrameAction offer(Connection& conn, std::int32_t user_id);
+  bool retry_pending(Connection& conn);
+  void retry_stalled();
+  void scan_idle();
+  void send_stats(Connection& conn);
+  /// @returns false when the socket errored (caller closes).
+  bool flush_out(Connection& conn);
+  void set_gated(Connection& conn, bool gate);
+  void update_epoll(Connection& conn);
+  void close_conn(Connection& conn);
+  void shutdown_flush();
+
+  fleet::FleetEngine& engine_;
+  NetServerConfig config_;
+  PacketPool* pool_;
+  std::string address_;
+
+  Fd listen_;
+  Fd epoll_;
+  Fd wake_fd_;
+  std::vector<Connection> slots_;
+  std::vector<std::size_t> free_slots_;
+  std::vector<std::uint8_t> scratch_;  ///< shared read buffer
+  wire::Encoder encoder_;
+  int stalled_ = 0;  ///< gated connections (drives the short retry tick)
+  std::chrono::steady_clock::time_point next_idle_scan_{};
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::size_t> open_count_{0};
+  bool flushed_ = false;
+
+  // net.* instruments, resolved once against the engine's registry so the
+  // gateway shows up in the same metrics_json() snapshot as the fleet.
+  fleet::Counter* accepted_ = nullptr;
+  fleet::Counter* closed_ = nullptr;
+  fleet::Counter* refused_ = nullptr;
+  fleet::Counter* frames_in_ = nullptr;
+  fleet::Counter* bytes_in_ = nullptr;
+  fleet::Counter* packets_in_ = nullptr;
+  fleet::Counter* streamed_ = nullptr;
+  fleet::Counter* stalls_ = nullptr;
+  fleet::Counter* protocol_errors_ = nullptr;
+  fleet::Counter* idle_timeouts_ = nullptr;
+  fleet::Counter* abandoned_ = nullptr;
+  fleet::Counter* fleet_rejected_ = nullptr;  ///< fleet.packets_rejected
+  fleet::Gauge* open_gauge_ = nullptr;
+
+  std::jthread thread_;  ///< last member: joins before teardown
+};
+
+}  // namespace sift::net

@@ -1,0 +1,169 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sift::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// sockaddr_un for @p path; @throws std::invalid_argument when the path
+/// does not fit (sun_path is ~108 bytes — a real deployment constraint,
+/// not a theoretical one, for runtime dirs nested in temp trees).
+sockaddr_un unix_sockaddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("socket: unix path empty or too long: " +
+                                path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_sockaddr(const ParsedAddress& address) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(address.port);
+  if (inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("socket: host must be a numeric IPv4: " +
+                                address.host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ParsedAddress parse_address(const std::string& address) {
+  ParsedAddress out;
+  if (address.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path = address.substr(5);
+    if (out.path.empty()) {
+      throw std::invalid_argument("socket: empty unix path in: " + address);
+    }
+    return out;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      throw std::invalid_argument("socket: want tcp:HOST:PORT, got: " +
+                                  address);
+    }
+    out.host = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    unsigned long value = 0;
+    try {
+      std::size_t used = 0;
+      value = std::stoul(port, &used);
+      if (used != port.size()) throw std::invalid_argument(port);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("socket: bad port in: " + address);
+    }
+    if (value > 65535) {
+      throw std::invalid_argument("socket: port out of range in: " + address);
+    }
+    out.port = static_cast<std::uint16_t>(value);
+    // Validate the host eagerly so a typo fails at parse, not at bind.
+    (void)tcp_sockaddr(out);
+    return out;
+  }
+  throw std::invalid_argument(
+      "socket: address must be unix:PATH or tcp:HOST:PORT, got: " + address);
+}
+
+std::string to_string(const ParsedAddress& address) {
+  if (address.is_unix) return "unix:" + address.path;
+  return "tcp:" + address.host + ":" + std::to_string(address.port);
+}
+
+Fd listen_on(const ParsedAddress& address, int backlog) {
+  Fd fd(::socket(address.is_unix ? AF_UNIX : AF_INET,
+                 SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket: socket()");
+  if (address.is_unix) {
+    const sockaddr_un addr = unix_sockaddr(address.path);
+    ::unlink(address.path.c_str());  // stale file from a crashed predecessor
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw_errno("socket: bind(" + address.path + ")");
+    }
+  } else {
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = tcp_sockaddr(address);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw_errno("socket: bind(" + to_string(address) + ")");
+    }
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw_errno("socket: listen(" + to_string(address) + ")");
+  }
+  return fd;
+}
+
+Fd connect_to(const ParsedAddress& address) {
+  Fd fd(::socket(address.is_unix ? AF_UNIX : AF_INET,
+                 SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket: socket()");
+  int rc = 0;
+  if (address.is_unix) {
+    const sockaddr_un addr = unix_sockaddr(address.path);
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    const sockaddr_in addr = tcp_sockaddr(address);
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (rc != 0) throw_errno("socket: connect(" + to_string(address) + ")");
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("socket: fcntl(O_NONBLOCK)");
+  }
+}
+
+std::string local_address(int fd) {
+  sockaddr_storage storage{};
+  socklen_t len = sizeof(storage);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&storage), &len) != 0) {
+    throw_errno("socket: getsockname");
+  }
+  if (storage.ss_family == AF_UNIX) {
+    const auto* addr = reinterpret_cast<const sockaddr_un*>(&storage);
+    return std::string("unix:") + addr->sun_path;
+  }
+  const auto* addr = reinterpret_cast<const sockaddr_in*>(&storage);
+  char host[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &addr->sin_addr, host, sizeof(host));
+  return std::string("tcp:") + host + ":" +
+         std::to_string(ntohs(addr->sin_port));
+}
+
+}  // namespace sift::net

@@ -1,0 +1,82 @@
+// POSIX socket plumbing for the ingest gateway: the address grammar plus
+// the RAII descriptors and listen/connect helpers that the event loop and
+// the load driver share.
+//
+// Addresses are `unix:/path/to.sock` or `tcp:HOST:PORT` with HOST a
+// numeric IPv4 literal. The gateway fronts base stations inside a
+// deployment, not the open internet, so there is deliberately no resolver
+// — a getaddrinfo() that blocks the event-loop thread would be a worse
+// bug than the missing feature.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sift::net {
+
+/// RAII file descriptor (any kind — socket, epoll, eventfd).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  /// Relinquishes ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path;  ///< unix: socket path
+  std::string host;  ///< tcp: numeric IPv4 literal
+  std::uint16_t port = 0;
+};
+
+/// Parses `unix:PATH` or `tcp:HOST:PORT`.
+/// @throws std::invalid_argument on any other shape (including a
+/// non-numeric host or an out-of-range port).
+ParsedAddress parse_address(const std::string& address);
+
+/// Canonical string form (round-trips through parse_address).
+std::string to_string(const ParsedAddress& address);
+
+/// Binds and listens. A stale unix socket file is unlinked first (the
+/// crashed-predecessor rebind case); TCP sockets get SO_REUSEADDR so a
+/// restart does not wait out TIME_WAIT. The returned socket is blocking —
+/// the server flips it nonblocking itself.
+/// @throws std::runtime_error on socket/bind/listen failure.
+Fd listen_on(const ParsedAddress& address, int backlog);
+
+/// Blocking connect. @throws std::runtime_error on failure.
+Fd connect_to(const ParsedAddress& address);
+
+/// O_NONBLOCK via fcntl. @throws std::runtime_error on failure.
+void set_nonblocking(int fd);
+
+/// The socket's actual local address (getsockname) in canonical string
+/// form — how a `tcp:HOST:0` listener learns its ephemeral port.
+/// @throws std::runtime_error on failure.
+std::string local_address(int fd);
+
+}  // namespace sift::net

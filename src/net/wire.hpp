@@ -1,0 +1,99 @@
+// The ingest wire protocol: typed messages inside CRC32 frames.
+//
+// Transport framing is io/framed (length + CRC, torn/corrupt tails
+// detectable from the header alone); this layer only defines what a frame
+// payload means. Every payload starts with a one-byte message type and is
+// encoded with the io::StateWriter codec — explicit little-endian fields,
+// no struct memcpy — so the wire format is the checkpoint format's
+// grammar, read and written by the same primitives.
+//
+//   kHello         version handshake; must be a connection's first frame
+//   kPacket        one sensor packet for one wearer (the hot path)
+//   kStatsRequest  → kStatsReply: server-side counter snapshot, which is
+//                  what lets a load driver close the loop ("did everything
+//                  I sent come out the other side?") without a side channel
+//
+// Decoders are strict: unknown type, short payload, oversized counts, or
+// trailing bytes all throw wire::Error. The server maps any decode throw
+// to a protocol error and closes the connection — a malformed frame means
+// the peer is broken, and the stream has no way to resynchronise
+// mid-connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "wiot/packet.hpp"
+
+namespace sift::net::wire {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Bounds a decoder accepts before resizing anything — a hostile count
+/// field must not provoke a giant allocation (same posture as
+/// io::kMaxFramePayload one layer down).
+inline constexpr std::size_t kMaxSamplesPerPacket = 8192;
+inline constexpr std::size_t kMaxPeaksPerPacket = 1024;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kPacket = 2,
+  kStatsRequest = 3,
+  kStatsReply = 4,
+};
+
+/// Malformed payload (short, oversized, unknown type, trailing bytes).
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Server-side counter snapshot carried by kStatsReply. All deltas are
+/// computed client-side against an earlier snapshot.
+struct Stats {
+  std::uint64_t frames_in = 0;        ///< wire frames decoded by the server
+  std::uint64_t packets_offered = 0;  ///< kPacket messages decoded
+  std::uint64_t packets_accepted = 0; ///< accepted by the engine via this server
+  std::uint64_t packets_rejected = 0; ///< engine validation rejects (global)
+  std::uint64_t queue_depth = 0;      ///< shard queues, point in time
+  std::uint64_t windows_classified = 0;
+  std::uint64_t alerts = 0;
+  std::uint64_t connections_open = 0;
+};
+
+/// Appends complete frames (header + CRC + payload) to caller-owned byte
+/// buffers. The payload scratch lives in the encoder, so steady-state
+/// encoding reuses its capacity and allocates nothing.
+class Encoder {
+ public:
+  void hello(std::vector<std::uint8_t>& out);
+  /// @throws Error when the packet exceeds the wire bounds.
+  void packet(std::vector<std::uint8_t>& out, std::int32_t user_id,
+              const wiot::Packet& packet);
+  void stats_request(std::vector<std::uint8_t>& out);
+  void stats_reply(std::vector<std::uint8_t>& out, const Stats& stats);
+
+ private:
+  std::vector<std::uint8_t> payload_;
+};
+
+/// First byte of @p payload as a MsgType.
+/// @throws Error on an empty payload or unknown type.
+MsgType message_type(std::span<const std::uint8_t> payload);
+
+/// @returns the peer's protocol version. @throws Error on malformed bytes.
+std::uint32_t decode_hello(std::span<const std::uint8_t> payload);
+
+/// Decodes a kPacket payload into @p into, reusing its sample/peak buffer
+/// capacity (the zero-alloc wire→engine handoff), and returns the wearer's
+/// user id. @throws Error on malformed bytes or out-of-bounds counts.
+std::int32_t decode_packet(std::span<const std::uint8_t> payload,
+                           wiot::Packet& into);
+
+/// @throws Error on malformed bytes.
+Stats decode_stats_reply(std::span<const std::uint8_t> payload);
+
+}  // namespace sift::net::wire

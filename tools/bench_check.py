@@ -80,7 +80,8 @@ def main():
         fleet = load(args.fleet)
         base_fleet = baseline.get("fleet", {})
         for key in ("windows_per_sec", "windows_per_sec_batched",
-                    "windows_per_sec_durable", "batched_speedup"):
+                    "windows_per_sec_durable", "batched_speedup",
+                    "net_windows_per_sec", "net_packets_per_sec"):
             if key in fleet:
                 base_val = float(base_fleet.get(key, 0.0))
                 note = (f" (baseline {base_val:.0f}, "

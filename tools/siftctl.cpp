@@ -15,8 +15,12 @@
 //   siftctl profile <model.txt> <trace.csv>      ARP-view resource profile
 //   siftctl fleet [opts]                  replay a cohort through the fleet
 //                                         engine, print a metrics report
+//   siftctl serve [opts]                  run the network ingest gateway
+//   siftctl drive [opts]                  closed-loop load driver against
+//                                         a running gateway
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -43,6 +47,9 @@
 #include "fleet/replay.hpp"
 #include "io/csv.hpp"
 #include "io/model_file.hpp"
+#include "net/client.hpp"
+#include "net/packet_pool.hpp"
+#include "net/server.hpp"
 #include "peaks/pan_tompkins.hpp"
 #include "peaks/systolic.hpp"
 #include "physio/dataset.hpp"
@@ -77,7 +84,24 @@ int usage() {
                "                         checkpoint session state into DIR\n"
                "        [--checkpoint-interval MS]  cadence (default 500)\n"
                "        [--recover]      restore DIR's newest checkpoint and\n"
-               "                         resume the replay past its cursors\n");
+               "                         resume the replay past its cursors\n"
+               "  serve --listen ADDR   network ingest gateway (ADDR is\n"
+               "                         unix:PATH or tcp:HOST:PORT; port 0\n"
+               "                         picks an ephemeral port)\n"
+               "        [--models K] [--train-seconds S] [--seed N]\n"
+               "        [--workers N] [--shards N] [--queue-capacity N]\n"
+               "        [--max-batch N] [--policy block|drop-oldest]\n"
+               "        [--max-connections N] [--idle-timeout-ms MS]\n"
+               "        [--checkpoint-dir DIR] [--checkpoint-interval MS]\n"
+               "        [--recover]\n"
+               "        SIGTERM/SIGINT drain gracefully and print a final\n"
+               "        metrics snapshot on stdout\n"
+               "  drive --connect ADDR  closed-loop load driver\n"
+               "        [--connections N] [--users N] [--seconds S]\n"
+               "        [--rate HZ] [--models K] [--seed N]\n"
+               "        [--samples-per-packet N] [--settle-timeout-ms MS]\n"
+               "        exits nonzero unless every packet sent was accounted\n"
+               "        for by the server\n");
   return 2;
 }
 
@@ -450,6 +474,224 @@ int cmd_fleet(std::span<const std::string> args) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+int cmd_serve(std::span<const std::string> args) {
+  std::string listen;
+  fleet::ReplayConfig replay;
+  fleet::FleetConfig config;
+  net::NetServerConfig net_config;
+  std::string checkpoint_dir;
+  std::size_t checkpoint_interval_ms = 500;
+  bool recover = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--recover") {
+      recover = true;
+      continue;
+    }
+    if (i + 1 >= args.size()) return usage();
+    const std::string& value = args[++i];
+    if (flag == "--listen") {
+      listen = value;
+    } else if (flag == "--models") {
+      replay.distinct_users = std::stoul(value);
+    } else if (flag == "--train-seconds") {
+      replay.train_seconds = std::stod(value);
+    } else if (flag == "--seed") {
+      replay.seed = std::stoull(value);
+    } else if (flag == "--workers") {
+      config.workers = std::stoul(value);
+    } else if (flag == "--shards") {
+      config.shards = std::stoul(value);
+    } else if (flag == "--queue-capacity") {
+      config.queue_capacity = std::stoul(value);
+    } else if (flag == "--max-batch") {
+      config.max_batch = std::stoul(value);
+    } else if (flag == "--max-connections") {
+      net_config.max_connections = std::stoul(value);
+    } else if (flag == "--idle-timeout-ms") {
+      net_config.idle_timeout = std::chrono::milliseconds(std::stoul(value));
+    } else if (flag == "--checkpoint-dir") {
+      checkpoint_dir = value;
+    } else if (flag == "--checkpoint-interval") {
+      checkpoint_interval_ms = std::stoul(value);
+    } else if (flag == "--policy") {
+      if (value == "block") {
+        config.backpressure = fleet::BackpressurePolicy::kBlock;
+      } else if (value == "drop-oldest") {
+        config.backpressure = fleet::BackpressurePolicy::kDropOldest;
+      } else {
+        return usage();
+      }
+    } else {
+      return usage();
+    }
+  }
+  if (listen.empty()) return usage();
+  net_config.listen = listen;
+  config.model_cache_capacity =
+      std::max<std::size_t>(1, replay.distinct_users);
+
+  std::fprintf(stderr, "serve: training %zu model(s) (%.0f s each)...\n",
+               replay.distinct_users, replay.train_seconds);
+  const auto fixture = fleet::ReplayFixture::build_models_only(replay);
+
+  std::optional<fleet::durable::Durability> durability;
+  if (!checkpoint_dir.empty()) {
+    std::filesystem::create_directories(checkpoint_dir);
+    durability.emplace(checkpoint_dir);
+    config.durability = &*durability;
+  } else if (recover) {
+    std::fprintf(stderr, "serve: --recover needs --checkpoint-dir\n");
+    return usage();
+  }
+
+  // The pool outlives the engine (packet_return fires from workers until
+  // drain) and the engine outlives the server — declaration order is the
+  // teardown contract.
+  net::PacketPool pool;
+  config.packet_return = pool.returner();
+  fleet::FleetEngine engine(fixture.provider(), config);
+
+  if (recover) {
+    const auto recovered = durability->recover_into(engine);
+    std::fprintf(stderr,
+                 "serve: recovered %zu session(s) (checkpoint %s, %llu "
+                 "journal frame(s))\n",
+                 recovered.sessions_restored,
+                 recovered.checkpoint_loaded ? "loaded" : "absent",
+                 static_cast<unsigned long long>(recovered.frames_replayed));
+  }
+
+  net::NetServer server(engine, net_config, &pool);
+  server.start();
+  std::fprintf(stderr,
+               "serve: listening on %s (%zu worker(s), %zu shard(s), "
+               "policy %s); SIGTERM to drain\n",
+               server.address().c_str(), engine.workers(), config.shards,
+               fleet::to_string(config.backpressure));
+
+  std::jthread checkpointer;
+  if (durability) {
+    checkpointer = std::jthread([&](std::stop_token stop) {
+      const auto interval = std::chrono::milliseconds(
+          std::max<std::size_t>(1, checkpoint_interval_ms));
+      while (!stop.stop_requested()) {
+        std::this_thread::sleep_for(interval);
+        if (stop.stop_requested()) break;
+        durability->checkpoint(engine);
+      }
+    });
+  }
+
+  g_stop_requested = 0;
+  struct sigaction action = {};
+  action.sa_handler = handle_stop_signal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  while (!g_stop_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::fprintf(stderr, "serve: draining...\n");
+  server.stop();    // flush buffered frames into the engine, close sockets
+  engine.drain();   // classify everything accepted
+  if (checkpointer.joinable()) {
+    checkpointer.request_stop();
+    checkpointer.join();
+  }
+  if (durability) durability->checkpoint(engine);
+
+  auto& metrics = engine.metrics();
+  std::fprintf(
+      stderr,
+      "serve: %llu conn(s) accepted, %llu frame(s) / %llu byte(s) in, "
+      "%llu packet(s) streamed, %llu backpressure stall(s), %llu protocol "
+      "error(s), %llu idle timeout(s)\n",
+      static_cast<unsigned long long>(
+          metrics.counter("net.connections_accepted").value()),
+      static_cast<unsigned long long>(metrics.counter("net.frames_in").value()),
+      static_cast<unsigned long long>(metrics.counter("net.bytes_in").value()),
+      static_cast<unsigned long long>(
+          metrics.counter("net.packets_streamed").value()),
+      static_cast<unsigned long long>(
+          metrics.counter("net.backpressure_stalls").value()),
+      static_cast<unsigned long long>(
+          metrics.counter("net.protocol_errors").value()),
+      static_cast<unsigned long long>(
+          metrics.counter("net.idle_timeouts").value()));
+  std::printf("%s\n", engine.metrics_json().c_str());
+  return 0;
+}
+
+int cmd_drive(std::span<const std::string> args) {
+  net::DriveConfig config;
+  for (std::size_t i = 0; i + 1 < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    const std::string& value = args[i + 1];
+    if (flag == "--connect") {
+      config.address = value;
+    } else if (flag == "--connections") {
+      config.connections = std::stoul(value);
+    } else if (flag == "--users") {
+      config.users = std::stoul(value);
+    } else if (flag == "--seconds") {
+      config.seconds = std::stod(value);
+    } else if (flag == "--rate") {
+      config.rate_hz = std::stod(value);
+    } else if (flag == "--models") {
+      config.distinct_users = std::stoul(value);
+    } else if (flag == "--seed") {
+      config.seed = std::stoull(value);
+    } else if (flag == "--samples-per-packet") {
+      config.samples_per_packet = std::stoul(value);
+    } else if (flag == "--settle-timeout-ms") {
+      config.settle_timeout = std::chrono::milliseconds(std::stoul(value));
+    } else {
+      return usage();
+    }
+  }
+  if (config.address.empty() || args.size() % 2 != 0) return usage();
+
+  std::fprintf(stderr,
+               "drive: %zu session(s) of %.0f s over %zu connection(s) "
+               "to %s...\n",
+               config.users, config.seconds, config.connections,
+               config.address.c_str());
+  const auto result = net::drive_load(config);
+  const auto delta = [&](std::uint64_t net::wire::Stats::* field) {
+    return result.after.*field - result.before.*field;
+  };
+  std::fprintf(stderr,
+               "drive: sent %llu packet(s) in %.3f s, settled in %.3f s "
+               "total (%.0f packets/s, %.0f windows/s)\n",
+               static_cast<unsigned long long>(result.packets_sent),
+               result.send_seconds, result.total_seconds,
+               static_cast<double>(result.packets_sent) / result.send_seconds,
+               static_cast<double>(delta(&net::wire::Stats::windows_classified)) /
+                   result.total_seconds);
+  std::printf("drive: sent=%llu accepted=%llu rejected=%llu windows=%llu "
+              "alerts=%llu frames=%llu settled=%d\n",
+              static_cast<unsigned long long>(result.packets_sent),
+              static_cast<unsigned long long>(
+                  delta(&net::wire::Stats::packets_accepted)),
+              static_cast<unsigned long long>(
+                  delta(&net::wire::Stats::packets_rejected)),
+              static_cast<unsigned long long>(
+                  delta(&net::wire::Stats::windows_classified)),
+              static_cast<unsigned long long>(delta(&net::wire::Stats::alerts)),
+              static_cast<unsigned long long>(delta(&net::wire::Stats::frames_in)),
+              result.settled ? 1 : 0);
+  if (!result.settled) {
+    std::fprintf(stderr, "drive: NOT settled (server still owes packets)\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -468,6 +710,8 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(args);
     if (command == "profile") return cmd_profile(args);
     if (command == "fleet") return cmd_fleet(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "drive") return cmd_drive(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "siftctl %s: %s\n", command.c_str(), e.what());
     return 1;
