@@ -421,10 +421,100 @@ int write_json_snapshot(const std::string& path) {
   return 0;
 }
 
+// --- core-scaling snapshot (--scaling <path>) ------------------------------------
+
+// Sweeps worker count 1 → hardware_concurrency (doubling, plus the top)
+// with cores pinned, and records windows/sec + detect p99 per point. Each
+// point is the best of several replays — the fixture is small, so a single
+// replay is scheduler-noise-dominated and the *capacity* at that core
+// count is what the scaling claim is about. tools/bench_check.py gates the
+// curve: each point must not fall below the previous one beyond tolerance
+// (on a 1-core host the sweep is a single point and trivially passes).
+int write_scaling_snapshot(const std::string& path) {
+  constexpr std::size_t kSessions = 64;
+  constexpr int kReps = 5;
+  const auto& fixture = fixture_for(kSessions);
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::vector<std::size_t> sweep;
+  for (std::size_t w = 1; w < hw; w *= 2) sweep.push_back(w);
+  sweep.push_back(hw);
+
+  struct Point {
+    std::size_t workers = 0;
+    double windows_per_sec = 0.0;
+    double detect_p99_us = 0.0;
+  };
+  std::vector<Point> points;
+  points.reserve(sweep.size());
+  for (const std::size_t w : sweep) {
+    Point pt;
+    pt.workers = w;
+    for (int rep = 0; rep < kReps; ++rep) {
+      fleet::FleetConfig config;
+      config.workers = w;
+      config.shards = std::max<std::size_t>(2 * w, 8);
+      config.queue_capacity = 1024;
+      config.backpressure = fleet::BackpressurePolicy::kBlock;
+      config.pin_cores = true;
+      fleet::FleetEngine engine(fixture.provider(), config);
+      const auto result =
+          fleet::replay_through(engine, fixture, /*producers=*/1);
+      const double elapsed_s =
+          std::chrono::duration<double>(result.elapsed).count();
+      const double wps =
+          elapsed_s > 0.0
+              ? static_cast<double>(result.windows_classified) / elapsed_s
+              : 0.0;
+      if (wps > pt.windows_per_sec) {
+        pt.windows_per_sec = wps;
+        pt.detect_p99_us =
+            engine.metrics().histogram("fleet.detect_latency")
+                .quantile_us(0.99);
+      }
+    }
+    points.push_back(pt);
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_fleet: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fleet_scaling\",\n"
+               "  \"sessions\": %zu,\n"
+               "  \"reps_per_point\": %d,\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"points\": [\n",
+               kSessions, kReps, hw);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"workers\": %zu, \"windows_per_sec\": %.1f, "
+                 "\"detect_p99_us\": %.3f}%s\n",
+                 points[i].workers, points[i].windows_per_sec,
+                 points[i].detect_p99_us,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  for (const auto& pt : points) {
+    std::printf("scaling: %zu worker%s -> %.0f windows/s (p99 %.2f us)\n",
+                pt.workers, pt.workers == 1 ? "" : "s", pt.windows_per_sec,
+                pt.detect_p99_us);
+  }
+  std::printf("scaling snapshot (%zu points, %zu cores) -> %s\n",
+              points.size(), hw, path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string scaling_path;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -432,7 +522,15 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
       continue;
     }
+    if (std::string_view(argv[i]) == "--scaling" && i + 1 < argc) {
+      scaling_path = argv[++i];
+      continue;
+    }
     args.push_back(argv[i]);
+  }
+  if (!scaling_path.empty()) {
+    const int rc = write_scaling_snapshot(scaling_path);
+    if (rc != 0 || json_path.empty()) return rc;
   }
   if (!json_path.empty()) return write_json_snapshot(json_path);
 

@@ -1,11 +1,16 @@
 // Thread-safe bounded MPMC queue over signal::RingBuffer.
 //
-// This is the fleet's backpressure point. A full queue either blocks the
-// producer (kBlock — lossless, pushes the pressure back to the ingest
-// socket) or sheds the *oldest* staged element (kDropOldest — bounded
-// latency, mirrors RingBuffer::push_evict: stale sensor windows are worth
-// less than fresh ones, and every shed element is accounted so operators
-// see the loss instead of guessing at it).
+// Since the thread-per-core refactor the fleet's hot path hands
+// envelopes through lock-free SpscRing lanes (spsc_ring.hpp, DESIGN.md
+// §13); this queue remains as the general MPMC utility and as the
+// semantic reference the ring is tested bit-identical against
+// (tests/spsc_ring_test.cpp). The BackpressurePolicy enum defined here
+// still names the engine-wide policy either path enforces: a full lane
+// either blocks the producer (kBlock — lossless, pushes the pressure
+// back to the ingest socket) or sheds the *oldest* staged element
+// (kDropOldest — bounded latency, mirrors RingBuffer::push_evict: stale
+// sensor windows are worth less than fresh ones, and every shed element
+// is accounted so operators see the loss instead of guessing at it).
 #pragma once
 
 #include <condition_variable>

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <utility>
 #include <vector>
 
@@ -14,7 +15,10 @@ namespace sift::fleet::durable {
 namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x4B464953;  // "SIFK"
-constexpr std::uint16_t kCheckpointVersion = 1;
+/// v1: single journal barrier. v2: per-segment barrier list (the
+/// thread-per-core WAL). Readers accept both; writers emit v2.
+constexpr std::uint16_t kCheckpointVersionV1 = 1;
+constexpr std::uint16_t kCheckpointVersion = 2;
 
 void fsync_dir(const std::string& dir) {
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
@@ -27,34 +31,72 @@ void fsync_dir(const std::string& dir) {
 }  // namespace
 
 struct Durability::ParsedCheckpoint {
-  std::uint64_t journal_barrier = 0;
+  std::vector<std::uint64_t> journal_barriers;
   std::unordered_map<int, RejectState> rejects;
   std::vector<std::vector<std::uint8_t>> sessions;  ///< raw frame payloads
 };
 
+std::string Durability::segment_file(const std::string& dir,
+                                     std::size_t segment) {
+  if (segment == 0) return dir + "/journal.bin";  // legacy single-WAL name
+  return dir + "/journal." + std::to_string(segment) + ".bin";
+}
+
 Durability::Durability(std::string dir, DurabilityConfig config)
-    : dir_(std::move(dir)),
-      config_(config),
-      journal_(dir_ + "/journal.bin", config.journal) {
-  // The journal constructor already truncated any torn tail; scanning the
-  // now-clean file seeds the exactly-once dedupe map with each user's
-  // high-water seq, so recomputed verdicts from a replay are dropped.
-  const auto scan = Journal::scan(journal_path());
+    : dir_(std::move(dir)), config_(config) {
+  // Segment 0 always exists; further segments are discovered from a
+  // previous run (the engine re-attaches up to its worker count later,
+  // but records written by a wider fleet must merge into recovery even if
+  // this run uses fewer cores). Each journal constructor truncates any
+  // torn tail; scanning the now-clean files seeds the exactly-once dedupe
+  // maps with each user's high-water seq, so recomputed verdicts from a
+  // replay are dropped.
+  open_segment(0);
+  for (std::size_t i = 1; std::filesystem::exists(segment_file(dir_, i));
+       ++i) {
+    open_segment(i);
+  }
+  for (auto& seg : segments_) {
+    seg->next_seq = seed_next_seq_;
+  }
+}
+
+void Durability::open_segment(std::size_t index) {
+  auto seg = std::make_unique<SegmentState>();
+  seg->journal = std::make_unique<Journal>(segment_file(dir_, index),
+                                           config_.journal);
+  const auto scan = Journal::scan(segment_file(dir_, index));
   for (const auto& rec : scan.records) {
-    auto& next = next_seq_[rec.user_id];
+    auto& next = seed_next_seq_[rec.user_id];
     if (rec.seq >= next) next = rec.seq + 1;
   }
-  frames_replayed_ = scan.records.size();
-  frames_discarded_torn_ = journal_.recovered_torn() ? 1 : 0;
+  frames_replayed_ += scan.records.size();
+  if (seg->journal->recovered_torn()) ++frames_discarded_torn_;
+  seg->next_seq = seed_next_seq_;
+  segments_.push_back(std::move(seg));
+  std::lock_guard lock(barrier_mu_);
+  barrier_bytes_.resize(segments_.size(), 0);
+}
+
+void Durability::attach_segments(std::size_t count) {
+  // Grow-only, called before traffic flows (engine construction precedes
+  // its worker threads touching on_verdict). Every new segment inherits
+  // the union dedupe map: a user that journaled on core A last run may be
+  // owned by core B this run, and B must still drop A's replayed seqs.
+  while (segments_.size() < count) {
+    open_segment(segments_.size());
+  }
 }
 
 void Durability::on_verdict(int user_id,
                             const wiot::BaseStation::WindowReport& report,
-                            const Session::Health& health) {
+                            const Session::Health& health,
+                            std::size_t segment) {
+  SegmentState& seg = *segments_[segment % segments_.size()];
   const std::uint64_t seq = report.window_index;
   {
-    std::lock_guard lock(mu_);
-    auto [it, inserted] = next_seq_.try_emplace(user_id, 0);
+    std::lock_guard lock(seg.mu);
+    auto [it, inserted] = seg.next_seq.try_emplace(user_id, 0);
     if (seq < it->second) {
       // Already durable from before the crash: replay recomputed it (that
       // is how the session state catches up) but it must not re-journal.
@@ -76,7 +118,39 @@ void Durability::on_verdict(int user_id,
   rec.faults_total = static_cast<std::uint32_t>(health.faults_total);
   rec.quarantine_dropped =
       static_cast<std::uint32_t>(health.quarantine_dropped);
-  journal_.append(rec);
+  seg.journal->append(rec);
+}
+
+void Durability::flush() {
+  for (auto& seg : segments_) seg->journal->flush();
+}
+
+std::uint64_t Durability::journal_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& seg : segments_) total += seg->journal->durable_bytes();
+  return total;
+}
+
+std::uint64_t Durability::journal_appends() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& seg : segments_) total += seg->journal->appends();
+  return total;
+}
+
+std::uint64_t Durability::journal_barrier_bytes(std::size_t segment) const {
+  std::lock_guard lock(barrier_mu_);
+  return segment < barrier_bytes_.size() ? barrier_bytes_[segment] : 0;
+}
+
+std::vector<VerdictRecord> Durability::scan_merged(const std::string& dir) {
+  std::vector<VerdictRecord> out;
+  for (std::size_t i = 0;; ++i) {
+    const std::string path = segment_file(dir, i);
+    if (i > 0 && !std::filesystem::exists(path)) break;
+    const auto scan = Journal::scan(path);
+    out.insert(out.end(), scan.records.begin(), scan.records.end());
+  }
+  return out;
 }
 
 void Durability::checkpoint(FleetEngine& engine) {
@@ -98,16 +172,21 @@ void Durability::checkpoint(FleetEngine& engine) {
   //    session's snapshot is guaranteed to be in this map (never lost),
   //    and the per-channel high-waters dedupe anything counted twice.
   const auto rejects = engine.rejects_snapshot();
-  // 3. WAL order: the journal must be durable before the checkpoint that
-  //    summarises it becomes visible.
-  journal_.flush();
-  const std::uint64_t barrier = journal_.durable_bytes();
+  // 3. WAL order: every segment must be durable before the checkpoint that
+  //    summarises them becomes visible.
+  std::vector<std::uint64_t> barriers;
+  barriers.reserve(segments_.size());
+  for (auto& seg : segments_) {
+    seg->journal->flush();
+    barriers.push_back(seg->journal->durable_bytes());
+  }
 
   payload.clear();
   io::StateWriter h(payload);
   h.u32(kCheckpointMagic);
   h.u16(kCheckpointVersion);
-  h.u64(barrier);
+  h.u32(static_cast<std::uint32_t>(barriers.size()));
+  for (const std::uint64_t b : barriers) h.u64(b);
   h.u32(count);
   h.u32(static_cast<std::uint32_t>(rejects.size()));
   for (const auto& [user_id, st] : rejects) {
@@ -135,7 +214,13 @@ void Durability::checkpoint(FleetEngine& engine) {
   }
   fsync_dir(dir_);
 
-  barrier_bytes_.store(barrier, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(barrier_mu_);
+    for (std::size_t i = 0; i < barriers.size() && i < barrier_bytes_.size();
+         ++i) {
+      barrier_bytes_[i] = barriers[i];
+    }
+  }
   checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -155,8 +240,19 @@ bool Durability::try_load(const std::string& path,
     if (!header) return false;
     io::StateReader h(*header);
     if (h.u32() != kCheckpointMagic) return false;
-    if (h.u16() != kCheckpointVersion) return false;
-    out.journal_barrier = h.u64();
+    const std::uint16_t version = h.u16();
+    if (version == kCheckpointVersionV1) {
+      out.journal_barriers.push_back(h.u64());
+    } else if (version == kCheckpointVersion) {
+      const std::uint32_t n_segments = h.u32();
+      if (n_segments > 4096) return false;  // sanity bound, not a format
+      out.journal_barriers.reserve(n_segments);
+      for (std::uint32_t i = 0; i < n_segments; ++i) {
+        out.journal_barriers.push_back(h.u64());
+      }
+    } else {
+      return false;
+    }
     const std::uint32_t session_count = h.u32();
     const std::uint32_t reject_count = h.u32();
     for (std::uint32_t i = 0; i < reject_count; ++i) {
@@ -211,7 +307,15 @@ RecoveryResult Durability::recover_into(FleetEngine& engine) {
     out.cursors[user_id] = engine.restore_session(user_id, r);
     ++out.sessions_restored;
   }
-  barrier_bytes_.store(parsed.journal_barrier, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(barrier_mu_);
+    if (barrier_bytes_.size() < parsed.journal_barriers.size()) {
+      barrier_bytes_.resize(parsed.journal_barriers.size(), 0);
+    }
+    for (std::size_t i = 0; i < parsed.journal_barriers.size(); ++i) {
+      barrier_bytes_[i] = parsed.journal_barriers[i];
+    }
+  }
   out.checkpoint_loaded = true;
   return out;
 }

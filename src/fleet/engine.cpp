@@ -8,20 +8,81 @@
 #include "fleet/faults.hpp"
 #include "io/state.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace sift::fleet {
 
 namespace {
 
+/// Explicit worker counts are clamped to the machine: running more workers
+/// than cores only adds context-switch noise (the historical workers=4
+/// default on a 1-core container is why fleet benchmarks were advisory).
 std::size_t resolve_workers(std::size_t requested) {
-  if (requested > 0) return requested;
-  return std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  if (requested == 0) return hw;
+  return std::min(requested, hw);
 }
 
 FleetConfig resolve_validation(FleetConfig config) {
   if (config.validation.expected_samples == 0) {
     config.validation.expected_samples = config.station.samples_per_packet;
   }
+  if (config.max_producers < 2) config.max_producers = 2;
   return config;
+}
+
+/// Process-wide recycled producer tokens. A thread acquires a token on its
+/// first ingest and returns it when the thread exits; reuse keeps the slot
+/// arrays small even when tests/benchmarks spawn producer threads in waves.
+/// The pool mutex orders "old holder's last push" before "new holder's
+/// first", so a recycled token never has two live writers.
+class TokenPool {
+ public:
+  static TokenPool& instance() {
+    static TokenPool pool;
+    return pool;
+  }
+  std::uint64_t acquire() {
+    std::lock_guard lock(mu_);
+    if (!free_.empty()) {
+      const std::uint64_t t = free_.back();
+      free_.pop_back();
+      return t;
+    }
+    return next_++;
+  }
+  void release(std::uint64_t token) {
+    std::lock_guard lock(mu_);
+    free_.push_back(token);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::uint64_t> free_;
+  std::uint64_t next_ = 1;
+};
+
+std::uint64_t thread_token() {
+  struct Holder {
+    std::uint64_t value = TokenPool::instance().acquire();
+    ~Holder() { TokenPool::instance().release(value); }
+  };
+  thread_local Holder holder;
+  return holder.value;
+}
+
+void pin_thread_to_core(std::size_t core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
 }
 
 }  // namespace
@@ -60,27 +121,39 @@ void FleetEngine::resolve_instruments() {
   e2e_latency_ = &metrics_.histogram("fleet.e2e_latency");
   detect_latency_ = &metrics_.histogram("fleet.detect_latency");
 
-  queues_.reserve(config_.shards);
-  for (std::size_t s = 0; s < config_.shards; ++s) {
-    queues_.push_back(std::make_unique<BoundedQueue<Envelope>>(
-        config_.queue_capacity, config_.backpressure));
-  }
-
   const std::size_t n_workers =
       std::min(resolve_workers(config_.workers), config_.shards);
+  slots_.reserve(config_.max_producers);
+  for (std::size_t p = 0; p < config_.max_producers; ++p) {
+    slots_.push_back(std::make_unique<ProducerSlot>());
+  }
   worker_states_.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
-    worker_states_.push_back(std::make_unique<WorkerState>());
-    worker_states_.back()->batch.reserve(
-        std::max<std::size_t>(1, config_.max_batch));
+    auto state = std::make_unique<WorkerState>();
+    state->index = w;
+    state->rings.reserve(config_.max_producers);
+    for (std::size_t p = 0; p < config_.max_producers; ++p) {
+      state->rings.push_back(
+          std::make_unique<SpscRing<Envelope>>(config_.queue_capacity));
+    }
+    state->batch.reserve(std::max<std::size_t>(1, config_.max_batch));
+    const std::string prefix = "fleet.worker." + std::to_string(w);
+    state->packets = &metrics_.counter(prefix + ".packets");
+    state->batches = &metrics_.counter(prefix + ".batches");
+    state->batch_size = &metrics_.size_histogram(prefix + ".batch_size");
+    worker_states_.push_back(std::move(state));
   }
-  for (std::size_t s = 0; s < config_.shards; ++s) {
-    worker_states_[s % n_workers]->shards.push_back(s);
+  if (config_.durability) {
+    // Per-core WAL: worker w appends verdicts to journal segment w; the
+    // segments merge deterministically at checkpoint/recovery time.
+    config_.durability->attach_segments(n_workers);
   }
   threads_.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
-    threads_.emplace_back(
-        [this, state = worker_states_[w].get()] { worker_loop(*state); });
+    threads_.emplace_back([this, state = worker_states_[w].get()] {
+      if (config_.pin_cores) pin_thread_to_core(state->index);
+      worker_loop(*state);
+    });
   }
 }
 
@@ -133,14 +206,52 @@ IngestStatus FleetEngine::try_ingest(int user_id, wiot::Packet& packet) {
   return ingest_impl(user_id, packet, /*blocking=*/false);
 }
 
+FleetEngine::ProducerSlot& FleetEngine::acquire_slot(std::size_t& index) {
+  const std::uint64_t token = thread_token();
+  const std::size_t overflow = slots_.size() - 1;
+  for (std::size_t p = 0; p < overflow; ++p) {
+    const std::uint64_t owner =
+        slots_[p]->owner.load(std::memory_order_acquire);
+    if (owner == token) {
+      index = p;
+      return *slots_[p];
+    }
+    if (owner == 0) {
+      std::uint64_t expected = 0;
+      if (slots_[p]->owner.compare_exchange_strong(
+              expected, token, std::memory_order_acq_rel)) {
+        index = p;
+        return *slots_[p];
+      }
+      if (expected == token) {  // lost the race to ourselves: impossible,
+        index = p;              // but harmless to honour
+        return *slots_[p];
+      }
+    }
+  }
+  index = overflow;  // shared overflow lane, serialised by its mutex
+  return *slots_[overflow];
+}
+
+void FleetEngine::wake_worker(WorkerState& w) {
+  // seq_cst pairing with the worker's sleeping-store / signal-load: either
+  // we observe sleeping==true and notify under the mutex, or the worker
+  // observes our signal bump and skips the wait entirely.
+  w.signal.fetch_add(1, std::memory_order_seq_cst);
+  if (w.sleeping.load(std::memory_order_seq_cst)) {
+    std::lock_guard lock(w.mu);
+    w.cv.notify_one();
+  }
+}
+
 IngestStatus FleetEngine::ingest_impl(int user_id, wiot::Packet& packet,
                                       bool blocking) {
-  if (draining_.load(std::memory_order_relaxed)) {
+  if (draining_.load(std::memory_order_seq_cst)) {
     rejected_->add();
     return IngestStatus::kClosed;
   }
   // Validation gate: a NaN sample or an insane sequence number must never
-  // reach the queue, let alone a worker. Rejects are charged to the
+  // reach a ring, let alone a worker. Rejects are charged to the
   // session so one hostile wearer's garbage is visible as *their* problem.
   if (config_.validate_ingest &&
       wiot::validate_packet(packet, config_.validation) !=
@@ -161,53 +272,114 @@ IngestStatus FleetEngine::ingest_impl(int user_id, wiot::Packet& packet,
     ++st.count;
     return IngestStatus::kInvalid;
   }
+
+  std::size_t slot_index = 0;
+  ProducerSlot& slot = acquire_slot(slot_index);
+  const bool serialized = slot_index == slots_.size() - 1;
+
+  // Drain handshake: raise in_flight, then re-check draining (seq_cst on
+  // both sides). Either drain() sees our in_flight and waits for the push
+  // to land, or we see draining_ and bail before touching a ring.
+  slot.in_flight.fetch_add(1, std::memory_order_seq_cst);
+  if (draining_.load(std::memory_order_seq_cst)) {
+    slot.in_flight.fetch_sub(1, std::memory_order_release);
+    rejected_->add();
+    return IngestStatus::kClosed;
+  }
+
   Envelope env;
   env.user_id = user_id;
   env.shard = table_.shard_of(user_id);
   env.packet = std::move(packet);
   env.enqueued = std::chrono::steady_clock::now();
-  const std::size_t shard = env.shard;
 
-  bool dropped_oldest = false;
-  if (blocking) {
-    const auto result = queues_[shard]->push(std::move(env));
-    if (!result.accepted) {  // engine started draining while we waited
-      rejected_->add();
-      return IngestStatus::kClosed;
+  WorkerState& owner = *worker_states_[env.shard % worker_states_.size()];
+  SpscRing<Envelope>& ring = *owner.rings[slot_index];
+
+  bool accepted = false;
+  {
+    // The overflow lane restores the SPSC invariant for slot-exhausted
+    // threads by serialising their pushes; dedicated slots pass through
+    // lock-free.
+    std::unique_lock<std::mutex> overflow_lock;
+    if (serialized) {
+      overflow_lock = std::unique_lock<std::mutex>(slot.overflow_mu);
     }
-    dropped_oldest = result.dropped_oldest;
-  } else {
-    const auto result = queues_[shard]->try_push(env);
-    if (result.would_block) {
-      packet = std::move(env.packet);  // hand the packet back for a retry
+    if (ring.try_push(env)) {
+      accepted = true;
+    } else if (config_.backpressure == BackpressurePolicy::kDropOldest) {
+      // Drop-oldest re-phrased for SPSC: ask the consumer to evict from
+      // the head, then spin until our push lands. The fresh packet is
+      // always accepted; the oldest ones pay (counted when the worker
+      // executes the shed).
+      std::size_t spins = 0;
+      for (;;) {
+        ring.request_shed();
+        wake_worker(owner);
+        if (ring.try_push(env)) {
+          accepted = true;
+          break;
+        }
+        if (!blocking && ++spins >= 256) break;  // event loop: park & retry
+        std::this_thread::yield();
+      }
+    } else if (blocking) {
+      // kBlock: wait for the worker to make room (or for drain to start).
+      for (;;) {
+        if (draining_.load(std::memory_order_seq_cst)) break;
+        std::this_thread::yield();
+        if (ring.try_push(env)) {
+          accepted = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!accepted) {
+    slot.in_flight.fetch_sub(1, std::memory_order_release);
+    packet = std::move(env.packet);  // hand the packet back to the caller
+    if (!blocking &&
+        !draining_.load(std::memory_order_seq_cst)) {
       return IngestStatus::kWouldBlock;
     }
-    if (!result.accepted) {
-      rejected_->add();
-      return IngestStatus::kClosed;
-    }
-    dropped_oldest = result.dropped_oldest;
+    rejected_->add();
+    return IngestStatus::kClosed;
   }
-  if (dropped_oldest) dropped_->add();
   ingested_->add();
-
-  WorkerState& owner = *worker_states_[shard % worker_states_.size()];
-  {
-    std::lock_guard lock(owner.mu);
-    ++owner.signal;
-  }
-  owner.cv.notify_one();
+  slot.in_flight.fetch_sub(1, std::memory_order_release);
+  wake_worker(owner);
   return IngestStatus::kAccepted;
 }
 
-std::size_t FleetEngine::sweep_owned_shards(WorkerState& self) {
+std::size_t FleetEngine::inbound_depth(const WorkerState& w) const {
+  std::size_t depth = 0;
+  for (const auto& ring : w.rings) depth += ring->size();
+  return depth;
+}
+
+std::size_t FleetEngine::sweep_inbound_rings(WorkerState& self) {
   std::size_t processed = 0;
   const std::size_t max_batch = std::max<std::size_t>(1, config_.max_batch);
-  for (std::size_t shard : self.shards) {
+  for (auto& ring_ptr : self.rings) {
+    SpscRing<Envelope>& ring = *ring_ptr;
+    // Execute pending shed requests first: under kDropOldest a producer
+    // facing a full ring asked us to evict from the head so its fresh
+    // packet wins. Evicted envelopes count as queue drops and their
+    // buffers go back to the pool, exactly like the mutexed queue did.
+    if (const std::size_t shed = ring.take_shed_requests()) {
+      const std::size_t evicted = ring.discard_n(shed, [&](Envelope&& env) {
+        if (config_.packet_return) {
+          config_.packet_return(std::move(env.packet));
+        }
+      });
+      if (evicted > 0) dropped_->add(evicted);
+    }
     for (;;) {
       self.batch.clear();
-      if (queues_[shard]->try_pop_n(self.batch, max_batch) == 0) break;
-      process_batch(shard, self.batch);
+      if (ring.pop_n(self.batch, max_batch) == 0) break;
+      self.batches->add();
+      self.batch_size->observe(static_cast<double>(self.batch.size()));
+      process_batch(self, self.batch);
       if (config_.packet_return) {
         // Recycle spent sample/peak buffers back to the front end (pool
         // hook), outside every lock — the wire path's zero-alloc loop.
@@ -218,33 +390,40 @@ std::size_t FleetEngine::sweep_owned_shards(WorkerState& self) {
       processed += self.batch.size();
     }
   }
+  self.packets->add(processed);
   return processed;
 }
 
 void FleetEngine::worker_loop(WorkerState& self) {
   for (;;) {
-    std::uint64_t seen;
-    {
-      std::lock_guard lock(self.mu);
-      seen = self.signal;
-    }
-    if (sweep_owned_shards(self) > 0) continue;
+    const std::uint64_t seen = self.signal.load(std::memory_order_acquire);
+    if (sweep_inbound_rings(self) > 0) continue;
     if (stop_requested_.load(std::memory_order_acquire)) {
-      // Queues are closed by now, so nothing new can arrive: one final
-      // sweep empties anything that raced the stop flag, then we exit.
-      sweep_owned_shards(self);
+      // Drain has already waited out every in-flight producer, so nothing
+      // new can land: one final sweep empties anything that raced the stop
+      // flag, then we exit.
+      sweep_inbound_rings(self);
       return;
     }
     std::unique_lock lock(self.mu);
+    self.sleeping.store(true, std::memory_order_seq_cst);
+    // Advertise-sleep then re-check (Dekker store/load): a producer that
+    // bumped signal after our sweep either sees sleeping==true and will
+    // notify, or we see its bump here and skip the wait.
+    if (self.signal.load(std::memory_order_seq_cst) != seen ||
+        stop_requested_.load(std::memory_order_acquire)) {
+      self.sleeping.store(false, std::memory_order_relaxed);
+      continue;
+    }
     self.cv.wait(lock, [&] {
-      return self.signal != seen ||
+      return self.signal.load(std::memory_order_relaxed) != seen ||
              stop_requested_.load(std::memory_order_acquire);
     });
+    self.sleeping.store(false, std::memory_order_relaxed);
   }
 }
 
 void FleetEngine::maybe_shift_tier(Session& session, int user_id,
-                                   std::size_t /*shard*/,
                                    std::size_t observed_depth) {
   const LoadShedConfig& shed = config_.load_shed;
   if (!shed.enabled || !registry_.tiered() || !session.scored()) return;
@@ -274,34 +453,42 @@ void FleetEngine::maybe_shift_tier(Session& session, int user_id,
   }
 }
 
-void FleetEngine::process_batch(std::size_t shard,
+void FleetEngine::process_batch(WorkerState& self,
                                 std::vector<Envelope>& batch) {
   if (config_.injector) {
     // The dequeue hook fires exactly once per envelope, in dequeue order,
     // before any shard lock is held — so chaos stalls never extend lock
     // hold times and burst windows keyed on dequeue index stay exact.
     for (Envelope& env : batch) {
-      env.forced_depth = config_.injector->on_worker_dequeue(shard);
+      env.forced_depth = config_.injector->on_worker_dequeue(env.shard);
     }
   }
+  // The backlog a shed decision should see is everything still waiting on
+  // this core; resolved once per batch (rings are this worker's own, so
+  // the value only shrinks as the batch progresses).
+  const std::size_t ring_depth = inbound_depth(self);
   const std::size_t n = batch.size();
   for (std::size_t i = 0; i < n; ++i) {
     if (batch[i].handled) continue;
     const int user = batch[i].user_id;
+    const std::size_t shard = batch[i].shard;
     table_.with_session(shard, user, [&](Session& session) {
       // One shard-lock acquisition covers every packet this user has in
-      // the batch, classified back-to-back in FIFO order.
+      // the batch, classified back-to-back in FIFO order. The lock is
+      // uncontended on the detection path: this worker owns the shard,
+      // only checkpoint/stats readers ever share it.
       for (std::size_t j = i; j < n; ++j) {
         if (batch[j].user_id != user) continue;
         batch[j].handled = true;
-        process_one(session, batch[j], n - j - 1);
+        process_one(self, session, batch[j], n - j - 1, ring_depth);
       }
     });
   }
 }
 
-void FleetEngine::process_one(Session& session, Envelope& env,
-                              std::size_t backlog) {
+void FleetEngine::process_one(WorkerState& self, Session& session,
+                              Envelope& env, std::size_t backlog,
+                              std::size_t ring_depth) {
   const auto start = std::chrono::steady_clock::now();
   std::size_t new_windows = 0;
   std::size_t new_alerts = 0;
@@ -326,11 +513,10 @@ void FleetEngine::process_one(Session& session, Envelope& env,
       probing = true;
     }
     // The backlog a shed decision should see is everything still waiting:
-    // the shard queue plus this batch's not-yet-processed envelopes.
-    const std::size_t depth = env.forced_depth
-                                  ? *env.forced_depth
-                                  : queues_[env.shard]->size() + backlog;
-    maybe_shift_tier(session, env.user_id, env.shard, depth);
+    // the inbound rings plus this batch's not-yet-processed envelopes.
+    const std::size_t depth =
+        env.forced_depth ? *env.forced_depth : ring_depth + backlog;
+    maybe_shift_tier(session, env.user_id, depth);
     const wiot::BaseStation::Stats before = session.stats();
     try {
       if (config_.injector) {
@@ -370,10 +556,11 @@ void FleetEngine::process_one(Session& session, Envelope& env,
          ++i) {
       if (reports[i].degraded) ++new_degraded;
       if (config_.durability) {
-        // Journaled under the shard lock: the append happens-before any
-        // checkpoint snapshot of this session, which is the WAL invariant
-        // recovery depends on.
-        config_.durability->on_verdict(env.user_id, reports[i], health);
+        // Journaled under the shard lock into this core's own segment: the
+        // append happens-before any checkpoint snapshot of this session,
+        // which is the WAL invariant recovery depends on.
+        config_.durability->on_verdict(env.user_id, reports[i], health,
+                                       self.index);
       }
     }
   }();
@@ -395,30 +582,43 @@ void FleetEngine::process_one(Session& session, Envelope& env,
 
 void FleetEngine::drain() {
   std::call_once(drain_once_, [this] {
-    draining_.store(true, std::memory_order_relaxed);
-    // Close queues first: blocked producers wake and get rejected, and any
-    // push that wins the race is fully enqueued before close() returns —
-    // so the workers' final sweep is complete, not best-effort.
-    for (auto& q : queues_) q->close();
+    // 1. Stop accepting: every producer re-checks draining_ after raising
+    //    its in_flight count, so once we observe in_flight == 0 on every
+    //    slot, all envelopes that will ever exist are already in a ring
+    //    (blocked kBlock producers also watch draining_ and bail).
+    draining_.store(true, std::memory_order_seq_cst);
+    for (auto& slot : slots_) {
+      while (slot->in_flight.load(std::memory_order_seq_cst) != 0) {
+        std::this_thread::yield();
+      }
+    }
+    // 2. Stop the workers: each runs one final sweep after observing the
+    //    flag, so everything enqueued above is processed, not stranded.
     stop_requested_.store(true, std::memory_order_release);
     for (auto& state : worker_states_) {
+      state->signal.fetch_add(1, std::memory_order_seq_cst);
       std::lock_guard lock(state->mu);
-      ++state->signal;
+      state->cv.notify_all();
     }
-    for (auto& state : worker_states_) state->cv.notify_all();
     for (auto& t : threads_) t.join();
   });
 }
 
 std::size_t FleetEngine::queue_depth() const {
   std::size_t depth = 0;
-  for (const auto& q : queues_) depth += q->size();
+  for (const auto& w : worker_states_) depth += inbound_depth(*w);
   return depth;
 }
 
 std::string FleetEngine::metrics_json() {
   metrics_.gauge("fleet.queue_depth")
       .set(static_cast<std::int64_t>(queue_depth()));
+  metrics_.gauge("fleet.workers")
+      .set(static_cast<std::int64_t>(worker_states_.size()));
+  for (const auto& w : worker_states_) {
+    metrics_.gauge("fleet.worker." + std::to_string(w->index) + ".ring_depth")
+        .set(static_cast<std::int64_t>(inbound_depth(*w)));
+  }
   metrics_.gauge("fleet.sessions_active")
       .set(static_cast<std::int64_t>(table_.active_sessions()));
   metrics_.gauge("fleet.sessions_created")
@@ -474,6 +674,8 @@ std::string FleetEngine::metrics_json() {
         .set(static_cast<std::int64_t>(d.checkpoints_written()));
     metrics_.gauge("fleet.journal_bytes")
         .set(static_cast<std::int64_t>(d.journal_bytes()));
+    metrics_.gauge("fleet.journal_segments")
+        .set(static_cast<std::int64_t>(d.segment_count()));
     metrics_.gauge("fleet.frames_replayed")
         .set(static_cast<std::int64_t>(d.frames_replayed()));
     metrics_.gauge("fleet.frames_discarded_torn")

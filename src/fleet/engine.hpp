@@ -1,19 +1,25 @@
 // The fleet runtime: one engine multiplexes many wearers' detection
-// pipelines over a fixed worker pool.
+// pipelines over a thread-per-core worker pool.
 //
-//   ingest(user, packet)
+//   ingest(user, packet)                       producer slot p (per thread)
 //        │  shard = hash(user) % shards
+//        │  worker = shard % workers           (pinned for the session's life)
 //        ▼
-//   per-shard BoundedQueue  ──(backpressure: block / drop-oldest)──┐
-//        │                                                         │
-//        ▼  shard s is owned by worker s % workers                 ▼
+//   SpscRing[p → worker]  ──(lock-free; backpressure: block / shed-request)──┐
+//        │                                                                   │
+//        ▼  every shard (and so every session) is owned by ONE worker        ▼
 //   worker threads ── SessionTable::with_session ── BaseStation ── verdicts
 //
-// Because a user maps to exactly one shard and a shard to exactly one
-// worker, each session sees its packets in ingest order with no cross-
-// worker locking on the detection path — the per-shard queues are the only
-// producer/consumer handoff. Metrics are wired through every stage so the
-// engine is observable under load (see fleet/metrics.hpp).
+// Shard-per-core ownership: a user maps to exactly one shard and a shard to
+// exactly one worker, so session state never crosses cores and each session
+// sees its packets in ingest order. The only producer/consumer handoff is a
+// lock-free single-producer/single-consumer ring per (producer slot, worker)
+// edge — ingesting threads claim a slot once (CAS on a small owner array;
+// the last slot is a mutex-serialised overflow lane so an unbounded number
+// of threads stays correct) and then push without ever taking a lock.
+// Verdict durability is per-core too: worker w appends to journal segment w
+// (see fleet/durable/durability.hpp). Metrics are wired through every stage
+// so the engine is observable under load (see fleet/metrics.hpp).
 #pragma once
 
 #include <atomic>
@@ -33,6 +39,7 @@
 #include "fleet/metrics.hpp"
 #include "fleet/model_registry.hpp"
 #include "fleet/session_table.hpp"
+#include "fleet/spsc_ring.hpp"
 #include "wiot/packet.hpp"
 #include "wiot/validate.hpp"
 
@@ -68,25 +75,37 @@ struct SupervisionConfig {
 };
 
 /// Load-shed degradation down the paper's detector ladder
-/// (Original → Simplified → Reduced) when a shard queue stays hot.
-/// Requires a TieredModelProvider; silently inactive otherwise.
+/// (Original → Simplified → Reduced) when a worker's inbound rings stay
+/// hot. Requires a TieredModelProvider; silently inactive otherwise.
 struct LoadShedConfig {
   bool enabled = false;
-  std::size_t high_watermark = 192;  ///< queue depth that forces a step down
-  std::size_t low_watermark = 8;     ///< queue depth that allows a step up
+  std::size_t high_watermark = 192;  ///< inbound depth that forces a step down
+  std::size_t low_watermark = 8;     ///< inbound depth that allows a step up
   /// Packets a session waits between tier moves (hysteresis).
   std::size_t cooldown_packets = 4;
 };
 
 struct FleetConfig {
-  std::size_t workers = 0;  ///< 0 = hardware concurrency
+  /// 0 = one worker per available core. Explicit values are clamped to
+  /// hardware_concurrency() — oversubscribing a small container only adds
+  /// context-switch noise, never throughput (and made every BENCH fleet
+  /// number advisory before the thread-per-core refactor).
+  std::size_t workers = 0;
   std::size_t shards = 8;
-  std::size_t queue_capacity = 256;  ///< envelopes per shard queue
-  /// Packets a worker drains from a shard queue per lock acquisition.
-  /// Batched envelopes are grouped by user and classified back-to-back
-  /// under one session-table shard lock, amortising both lock costs while
-  /// keeping per-user FIFO order (0 is treated as 1 = unbatched).
+  std::size_t queue_capacity = 256;  ///< envelopes per (producer, worker) ring
+  /// Packets a worker drains from one ring per sweep step. Batched
+  /// envelopes are grouped by user and classified back-to-back under one
+  /// session-table shard lock, amortising lock costs while keeping
+  /// per-user FIFO order (0 is treated as 1 = unbatched).
   std::size_t max_batch = 16;
+  /// Ingesting threads that get a private lock-free lane to every worker.
+  /// The last slot is a mutex-serialised overflow shared by any further
+  /// threads, so correctness never depends on this bound. Thread slots are
+  /// recycled through a token pool when producer threads exit.
+  std::size_t max_producers = 8;
+  /// Pin worker w to core w (pthread affinity, Linux only; no-op
+  /// elsewhere). Off by default: tests and embedders share machines.
+  bool pin_cores = false;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   std::size_t model_cache_capacity = 64;  ///< LRU registry residency bound
   wiot::BaseStation::Config station;      ///< per-session window config
@@ -102,8 +121,10 @@ struct FleetConfig {
   /// depth, and throws on the per-packet path per its seeded schedule.
   FaultInjector* injector = nullptr;
   /// Durability hook (non-owning, may be null): every fresh verdict is
-  /// journaled under the session's shard lock, and validation rejects are
-  /// deduplicated across restarts (see fleet/durable/durability.hpp).
+  /// journaled under the session's shard lock into the owning worker's
+  /// journal segment (the engine attaches one segment per worker at
+  /// construction), and validation rejects are deduplicated across
+  /// restarts (see fleet/durable/durability.hpp).
   durable::Durability* durability = nullptr;
   /// Buffer-recycling hook (may be null): a worker hands every envelope's
   /// spent packet back after processing it, outside any lock. A network
@@ -118,15 +139,15 @@ enum class IngestStatus : std::uint8_t {
   kAccepted,    ///< enqueued (possibly shedding the oldest under kDropOldest)
   kInvalid,     ///< failed packet validation; rejected and counted
   kClosed,      ///< engine is draining; rejected and counted
-  kWouldBlock,  ///< shard queue full under kBlock; packet NOT consumed
+  kWouldBlock,  ///< inbound ring full under kBlock; packet NOT consumed
 };
 
 class FleetEngine {
  public:
   /// Workers start immediately. @throws std::invalid_argument on zero
-  /// shards/queue capacity (via the members) — workers=0 resolves to the
-  /// host's hardware concurrency. The tiered overload enables the
-  /// load-shed degradation ladder.
+  /// shards/queue capacity (via the members) — workers=0 resolves to one
+  /// per available core, explicit counts are clamped to the core count.
+  /// The tiered overload enables the load-shed degradation ladder.
   FleetEngine(ModelProvider provider, FleetConfig config);
   FleetEngine(TieredModelProvider provider, FleetConfig config);
   ~FleetEngine();  ///< drains if the caller has not
@@ -134,22 +155,23 @@ class FleetEngine {
   FleetEngine(const FleetEngine&) = delete;
   FleetEngine& operator=(const FleetEngine&) = delete;
 
-  /// Enqueues one packet onto the user's shard, applying the backpressure
-  /// policy (kBlock may wait). Returns false when the engine is draining —
-  /// the packet was rejected, which is also counted in
+  /// Enqueues one packet onto the owning worker's ring, applying the
+  /// backpressure policy (kBlock may wait). Returns false when the engine
+  /// is draining — the packet was rejected, which is also counted in
   /// fleet.ingest_rejected.
   bool ingest(int user_id, wiot::Packet packet);
 
   /// Non-blocking ingest for event-loop front ends: identical validation
-  /// and accounting to ingest(), but a full shard queue under kBlock
-  /// returns kWouldBlock *without consuming the packet* instead of
-  /// stalling the caller — the socket server parks the packet, gates the
-  /// connection's reads, and retries, so one hot shard slows only the
-  /// connections feeding it.
+  /// and accounting to ingest(), but a full ring under kBlock returns
+  /// kWouldBlock *without consuming the packet* instead of stalling the
+  /// caller — the socket server parks the packet, gates the connection's
+  /// reads, and retries, so one hot worker slows only the connections
+  /// feeding it.
   IngestStatus try_ingest(int user_id, wiot::Packet& packet);
 
-  /// Graceful shutdown: stops accepting, processes everything already
-  /// queued, joins the workers. Idempotent; called by the destructor.
+  /// Graceful shutdown: stops accepting, waits for in-flight producers to
+  /// land, processes everything already enqueued, joins the workers.
+  /// Idempotent; called by the destructor.
   void drain();
 
   std::size_t workers() const noexcept { return worker_states_.size(); }
@@ -163,9 +185,14 @@ class FleetEngine {
   }
   std::uint64_t alerts() const noexcept { return alerts_->value(); }
 
-  /// Point-in-time sum of all shard queue depths (what a stats reply and
-  /// the load driver's settle loop observe).
+  /// Point-in-time sum of every inbound ring's depth (what a stats reply
+  /// and the load driver's settle loop observe).
   std::size_t queue_depth() const;
+
+  /// The worker that owns @p user_id's session for this engine's lifetime.
+  std::size_t worker_of(int user_id) const {
+    return table_.shard_of(user_id) % worker_states_.size();
+  }
 
   /// Ingest-side validation rejects charged to @p user_id (0 if none).
   std::uint64_t rejects_for(int user_id) const;
@@ -184,8 +211,9 @@ class FleetEngine {
   /// @throws std::runtime_error on geometry mismatch or truncated state.
   SessionCursors restore_session(int user_id, io::StateReader& reader);
 
-  /// Refreshes the level gauges (queue depth, residency, per-station
-  /// aggregates) and returns the full JSON snapshot.
+  /// Refreshes the level gauges (queue depth, per-worker ring depth,
+  /// residency, per-station aggregates) and returns the full JSON
+  /// snapshot.
   std::string metrics_json();
 
  private:
@@ -200,43 +228,73 @@ class FleetEngine {
     bool handled = false;  ///< consumed by an earlier user group this batch
   };
 
-  /// Wake-up channel for one worker. `signal` is an epoch counter: a
-  /// producer bumps it after every push, and the worker re-scans its
-  /// shards whenever the value moved past what it last saw — this closes
-  /// the race between "worker found all queues empty" and "producer pushed
-  /// just before the worker went to sleep".
+  /// One ingest lane. Producer threads claim a slot with a CAS on `owner`
+  /// (keyed by a process-wide recycled thread token) and keep it for the
+  /// thread's lifetime; the final slot is the shared overflow lane, where
+  /// `overflow_mu` restores the single-producer invariant by serialising
+  /// pushes. `in_flight` is the drain handshake: a producer holds it
+  /// non-zero across the draining_ re-check and the push, so drain() can
+  /// wait until every in-flight envelope has landed in a ring before it
+  /// lets the workers run their final sweep.
+  struct ProducerSlot {
+    std::atomic<std::uint64_t> owner{0};  ///< thread token; 0 = free
+    std::atomic<std::uint32_t> in_flight{0};
+    std::mutex overflow_mu;  ///< used only by the overflow slot
+  };
+
+  /// Wake-up channel + inbound rings for one worker. `signal` is an epoch
+  /// counter adapted from the mutexed design to the lock-free rings: a
+  /// producer bumps it (seq_cst) after every push and only takes the mutex
+  /// to notify when the worker has advertised `sleeping` — the seq_cst
+  /// store/load pairing closes the race between "worker found all rings
+  /// empty" and "producer pushed just before the worker went to sleep".
   struct WorkerState {
+    std::size_t index = 0;
     std::mutex mu;
     std::condition_variable cv;
-    std::uint64_t signal = 0;
-    std::vector<std::size_t> shards;  ///< owned shard indexes
+    std::atomic<std::uint64_t> signal{0};
+    std::atomic<bool> sleeping{false};
+    /// rings[p] is the SPSC lane from producer slot p to this worker.
+    std::vector<std::unique_ptr<SpscRing<Envelope>>> rings;
     /// Reusable dequeue scratch, reserved to max_batch at startup so the
     /// steady-state batched drain never allocates.
     std::vector<Envelope> batch;
+    // Per-core observability, resolved once at construction.
+    Counter* packets = nullptr;        ///< envelopes processed by this core
+    Counter* batches = nullptr;        ///< sweeps that drained ≥1 envelope
+    LatencyHistogram* batch_size = nullptr;  ///< envelopes per drained batch
   };
 
   void worker_loop(WorkerState& self);
-  std::size_t sweep_owned_shards(WorkerState& self);
+  std::size_t sweep_inbound_rings(WorkerState& self);
   IngestStatus ingest_impl(int user_id, wiot::Packet& packet, bool blocking);
+  /// Claims (or finds) this thread's producer slot.
+  ProducerSlot& acquire_slot(std::size_t& index);
+  /// Sum of one worker's inbound ring depths (the load-shed signal).
+  std::size_t inbound_depth(const WorkerState& w) const;
+  void wake_worker(WorkerState& w);
   /// Classifies one drained batch: envelopes are grouped by user (order
   /// within a user preserved) and each group runs back-to-back under a
-  /// single SessionTable::with_session shard-lock acquisition.
-  void process_batch(std::size_t shard, std::vector<Envelope>& batch);
+  /// single SessionTable::with_session shard-lock acquisition. All
+  /// envelopes were popped from this worker's own rings, so every session
+  /// touched is core-local by construction.
+  void process_batch(WorkerState& self, std::vector<Envelope>& batch);
   /// The per-packet detection path, run under the session's shard lock.
   /// @p backlog is how many envelopes of this batch are still unprocessed —
-  /// it counts toward the queue depth the load-shed check observes.
-  void process_one(Session& session, Envelope& env, std::size_t backlog);
+  /// it counts toward the depth the load-shed check observes.
+  void process_one(WorkerState& self, Session& session, Envelope& env,
+                   std::size_t backlog, std::size_t ring_depth);
   void resolve_instruments();
-  /// Steps @p session along the degradation ladder based on the shard
-  /// queue depth (possibly overridden by the injector during a burst).
-  void maybe_shift_tier(Session& session, int user_id, std::size_t shard,
+  /// Steps @p session along the degradation ladder based on the worker's
+  /// inbound depth (possibly overridden by the injector during a burst).
+  void maybe_shift_tier(Session& session, int user_id,
                         std::size_t observed_depth);
 
   FleetConfig config_;
   MetricsRegistry metrics_;
   ModelRegistry registry_;
   SessionTable table_;
-  std::vector<std::unique_ptr<BoundedQueue<Envelope>>> queues_;
+  std::vector<std::unique_ptr<ProducerSlot>> slots_;
   std::vector<std::unique_ptr<WorkerState>> worker_states_;
 
   std::atomic<bool> draining_{false};

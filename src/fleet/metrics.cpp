@@ -81,6 +81,13 @@ LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+LatencyHistogram& MetricsRegistry::size_histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = size_histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
 namespace {
 
 void append_number(std::string& out, double v) {
@@ -122,6 +129,14 @@ std::string MetricsRegistry::snapshot_json() const {
     append_entry(out, first, name + ".p50_us", h->quantile_us(0.50));
     append_entry(out, first, name + ".p90_us", h->quantile_us(0.90));
     append_entry(out, first, name + ".p99_us", h->quantile_us(0.99));
+  }
+  for (const auto& [name, h] : size_histograms_) {
+    append_entry(out, first, name + ".count",
+                 static_cast<double>(h->count()));
+    append_entry(out, first, name + ".mean", h->mean_us());
+    append_entry(out, first, name + ".p50", h->quantile_us(0.50));
+    append_entry(out, first, name + ".p90", h->quantile_us(0.90));
+    append_entry(out, first, name + ".p99", h->quantile_us(0.99));
   }
   out += "\n}";
   return out;

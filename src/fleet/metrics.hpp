@@ -64,6 +64,9 @@ class LatencyHistogram {
   static const std::array<double, kBuckets>& bounds_us();
 
   void observe_us(double us) noexcept;
+  /// Unit-agnostic alias: the same 1-2-5 buckets resolve counts (batch
+  /// sizes, depths) just as well as microseconds.
+  void observe(double v) noexcept { observe_us(v); }
 
   std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -86,9 +89,13 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   LatencyHistogram& histogram(const std::string& name);
+  /// A histogram of unit-less sizes (e.g. envelopes per drained batch):
+  /// same buckets, but serialised without the _us suffix.
+  LatencyHistogram& size_histogram(const std::string& name);
 
   /// One flat JSON object, keys sorted; histograms expand to
-  /// name.count / name.mean_us / name.p50_us / name.p90_us / name.p99_us.
+  /// name.count / name.mean_us / name.p50_us / name.p90_us / name.p99_us
+  /// (size histograms use .mean / .p50 / .p90 / .p99).
   std::string snapshot_json() const;
 
  private:
@@ -96,6 +103,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> size_histograms_;
 };
 
 }  // namespace sift::fleet

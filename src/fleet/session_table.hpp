@@ -1,11 +1,15 @@
 // Sharded per-user session storage.
 //
 // Users hash onto a fixed set of shards; each shard owns its sessions
-// behind its own mutex, so the engine's workers (which partition the
-// shards) never contend with each other on the hot path — the locks exist
-// so that metrics snapshots and post-drain inspection can walk live
-// sessions safely. Sessions are created lazily on first traffic, with the
-// model pulled through the LRU ModelRegistry.
+// behind its own mutex. Under the thread-per-core engine a shard — and
+// therefore every session in it — is owned by exactly one worker for
+// the engine's lifetime (worker = shard % workers), so on the hot path
+// the owning worker is the only thread that ever takes a shard lock and
+// workers never contend with each other. The locks exist for the rare
+// cross-thread readers: metrics snapshots, checkpointing, and
+// post-drain inspection walking live sessions safely. Sessions are
+// created lazily on first traffic, with the model pulled through the
+// LRU ModelRegistry.
 #pragma once
 
 #include <atomic>

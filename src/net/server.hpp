@@ -11,11 +11,12 @@
 //
 // Ownership: every socket, buffer, and decoder belongs to the loop thread.
 // Workers never touch a connection; the loop never touches a session. The
-// only cross-thread traffic is try_ingest (a queue push under the shard
-// lock) and the packet pool (mutexed buffer recycling), so the loop is
-// data-race-free by construction rather than by locking discipline.
+// only cross-thread traffic is try_ingest (a lock-free push onto the
+// loop's own SPSC ring toward the owning worker) and the packet pool
+// (mutexed buffer recycling), so the loop is data-race-free by
+// construction rather than by locking discipline.
 //
-// Backpressure: a full shard queue under kBlock surfaces as kWouldBlock.
+// Backpressure: a full worker ring under kBlock surfaces as kWouldBlock.
 // The loop parks the decoded packet in its connection, gates that
 // connection's reads (EPOLLIN removed), and retries on short ticks; the
 // kernel socket buffer then fills and TCP pushes the stall all the way

@@ -6,9 +6,11 @@
 // SIFT_SANITIZE=thread.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -598,11 +600,68 @@ TEST_F(FleetEngineTest, MetricsJsonReportsTheOperationalSurface) {
         "fleet.windows_classified", "fleet.alerts", "fleet.sessions_active",
         "fleet.models_resident", "fleet.detect_latency.p50_us",
         "fleet.detect_latency.p99_us", "fleet.e2e_latency.p99_us",
-        "fleet.station.overflow_dropped"}) {
+        "fleet.station.overflow_dropped",
+        // Per-core surface: worker 0 always exists regardless of how the
+        // host clamps the requested count.
+        "fleet.workers", "fleet.worker.0.packets", "fleet.worker.0.batches",
+        "fleet.worker.0.ring_depth", "fleet.worker.0.batch_size.p50"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   EXPECT_EQ(engine.metrics().gauge("fleet.queue_depth").value(), 0)
       << "drained engine has empty queues";
+  std::uint64_t per_worker_packets = 0;
+  for (std::size_t w = 0; w < engine.workers(); ++w) {
+    per_worker_packets += engine.metrics()
+                              .counter("fleet.worker." + std::to_string(w) +
+                                       ".packets")
+                              .value();
+  }
+  EXPECT_EQ(per_worker_packets,
+            engine.metrics().counter("fleet.ingest_packets").value() -
+                engine.metrics().counter("fleet.queue_dropped").value())
+      << "every accepted envelope is charged to exactly one core";
+}
+
+TEST_F(FleetEngineTest, WorkerCountResolvesPerCoreAndClamps) {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  {
+    FleetConfig config;
+    config.workers = 0;  // per-core default
+    config.shards = 64;
+    FleetEngine engine(fixture_->provider(), config);
+    EXPECT_EQ(engine.workers(), std::min<std::size_t>(hw, 64));
+    engine.drain();
+  }
+  {
+    FleetConfig config;
+    config.workers = 64;  // more than any sane host: clamp, don't oversubscribe
+    config.shards = 64;
+    FleetEngine engine(fixture_->provider(), config);
+    EXPECT_LE(engine.workers(), hw);
+    EXPECT_GE(engine.workers(), 1u);
+    engine.drain();
+  }
+  {
+    FleetConfig config;
+    config.workers = 8;
+    config.shards = 2;  // ownership is per shard: never more workers than shards
+    FleetEngine engine(fixture_->provider(), config);
+    EXPECT_LE(engine.workers(), 2u);
+    engine.drain();
+  }
+}
+
+TEST_F(FleetEngineTest, SessionsPinToOneWorkerForTheEngineLifetime) {
+  FleetConfig config;
+  config.workers = 0;
+  config.shards = 16;
+  FleetEngine engine(fixture_->provider(), config);
+  for (int user = 0; user < 100; ++user) {
+    const std::size_t first = engine.worker_of(user);
+    EXPECT_LT(first, engine.workers());
+    EXPECT_EQ(engine.worker_of(user), first) << "stable for user " << user;
+  }
+  engine.drain();
 }
 
 TEST_F(FleetEngineTest, IngestAfterDrainIsRejectedAndCounted) {

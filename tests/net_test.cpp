@@ -463,9 +463,9 @@ TEST(NetServerTest, GracefulStopFlushesEveryDecodedFrame) {
       }
     }
     engine.drain();
-    durability.journal().flush();
+    durability.flush();
     golden = records_by_user(
-        Journal::scan(durability.journal_path()).records);
+        fleet::durable::Durability::scan_merged(golden_dir.path));
   }
 
   // Net run: send both sessions, poll only until *some* frames landed,
@@ -489,7 +489,7 @@ TEST(NetServerTest, GracefulStopFlushesEveryDecodedFrame) {
       h.poll_until([&] { return h.counter("net.packets_in") >= 1u; }));
   h.server->stop();
   h.engine->drain();
-  durability.journal().flush();
+  durability.flush();
 
   EXPECT_EQ(h.counter("net.packets_abandoned"), 0u);
   EXPECT_EQ(h.counter("net.packets_streamed") +
@@ -498,7 +498,7 @@ TEST(NetServerTest, GracefulStopFlushesEveryDecodedFrame) {
   EXPECT_LE(h.counter("net.packets_in"), sent);
 
   const auto net_records =
-      records_by_user(Journal::scan(durability.journal_path()).records);
+      records_by_user(fleet::durable::Durability::scan_merged(net_dir.path));
   for (const auto& [user, records] : net_records) {
     ASSERT_TRUE(golden.count(user)) << "unexpected user " << user;
     const auto& golden_records = golden[user];
@@ -603,9 +603,9 @@ TEST(NetClosedLoopTest, DriveMatchesInProcessVerdictStreams) {
     fleet::replay_through(engine, shared_fixture(), /*producers=*/8);
     golden_windows = engine.windows_classified();
     golden_alerts = engine.alerts();
-    durability.journal().flush();
+    durability.flush();
     golden = records_by_user(
-        Journal::scan(durability.journal_path()).records);
+        fleet::durable::Durability::scan_merged(golden_dir.path));
   }
   ASSERT_EQ(golden.size(), kUsers);
 
@@ -634,7 +634,7 @@ TEST(NetClosedLoopTest, DriveMatchesInProcessVerdictStreams) {
 
   h.server->stop();
   h.engine->drain();
-  durability.journal().flush();
+  durability.flush();
 
   EXPECT_EQ(h.engine->windows_classified(), golden_windows);
   EXPECT_EQ(h.engine->alerts(), golden_alerts);
@@ -645,7 +645,7 @@ TEST(NetClosedLoopTest, DriveMatchesInProcessVerdictStreams) {
   // per-user verdict streams must be bit-identical — same windows, same
   // decision values, same tiers, same flags, same order.
   const auto net_records =
-      records_by_user(Journal::scan(durability.journal_path()).records);
+      records_by_user(fleet::durable::Durability::scan_merged(net_dir.path));
   ASSERT_EQ(net_records.size(), golden.size());
   for (const auto& [user, records] : net_records) {
     ASSERT_TRUE(golden.count(user)) << "unexpected user " << user;

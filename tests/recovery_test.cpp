@@ -24,6 +24,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -140,12 +141,23 @@ class RecoveryTest : public ::testing::Test {
     return out;
   }
 
-  /// Journal file → per-user verdict streams, in append order.
+  /// Merged per-core journal segments → per-user verdict streams. Within
+  /// one run a user's records live in a single segment in append order; a
+  /// crash boundary may re-pin the user to a different core, so seq order
+  /// (strictly increasing per user, enforced by the dedupe maps) is the
+  /// canonical stream either way.
   static std::map<int, std::vector<durable::VerdictRecord>> journal_by_user(
-      const std::string& path) {
+      const std::string& dir) {
     std::map<int, std::vector<durable::VerdictRecord>> out;
-    for (const auto& rec : durable::Journal::scan(path).records) {
+    for (const auto& rec : durable::Durability::scan_merged(dir)) {
       out[rec.user_id].push_back(rec);
+    }
+    for (auto& [user, recs] : out) {
+      std::stable_sort(
+          recs.begin(), recs.end(),
+          [](const durable::VerdictRecord& a, const durable::VerdictRecord& b) {
+            return a.seq < b.seq;
+          });
     }
     return out;
   }
@@ -186,11 +198,11 @@ class RecoveryTest : public ::testing::Test {
     config.durability = &durability;
     FleetEngine engine(fixture_->provider(), config);
     replay_through(engine, *fixture_, /*producers=*/1, &injector);
-    durability.journal().flush();
+    durability.flush();
     RunArtifacts out;
     out.outcomes = collect(engine);
     out.rejects = collect_rejects(engine);
-    out.journal = journal_by_user(durability.journal_path());
+    out.journal = journal_by_user(dir);
     return out;
   }
 
@@ -301,16 +313,21 @@ TEST_F(RecoveryTest, KillAtAnyPointRecoversExactlyOnce) {
       engine.drain();
       if (k % 2 == 1) {
         // Odd kill points: a durable-but-uncheckpointed journal tail, so
-        // the torn cut below lands past the checkpoint barrier.
-        durability.journal().flush();
+        // the torn cuts below land past the checkpoint barriers.
+        durability.flush();
       }
-      const std::uint64_t barrier = durability.journal_barrier_bytes();
-      const std::uint64_t durable = durability.journal().durable_bytes();
-      ASSERT_GE(durable, barrier);
-      const std::size_t cut =
-          static_cast<std::size_t>(rng() % (durable - barrier + 1));
-      const std::size_t junk = (k % 3 == 0) ? rng() % 12 : 0;
-      durability.journal().simulate_crash(cut, junk);
+      // Every per-core segment dies independently: each loses a random
+      // slice of its own durable-but-unbarriered tail, modelling a power
+      // cut that catches N in-flight write streams at different offsets.
+      for (std::size_t seg = 0; seg < durability.segment_count(); ++seg) {
+        const std::uint64_t barrier = durability.journal_barrier_bytes(seg);
+        const std::uint64_t durable = durability.journal(seg).durable_bytes();
+        ASSERT_GE(durable, barrier);
+        const std::size_t cut =
+            static_cast<std::size_t>(rng() % (durable - barrier + 1));
+        const std::size_t junk = (k % 3 == 0) ? rng() % 12 : 0;
+        durability.journal(seg).simulate_crash(cut, junk);
+      }
     }
 
     // --- the restarted process: recover, resume past the cursors, finish.
@@ -328,12 +345,12 @@ TEST_F(RecoveryTest, KillAtAnyPointRecoversExactlyOnce) {
       EXPECT_TRUE(recovered.checkpoint_loaded);
     }
     replay_resume(engine, *fixture_, recovered.cursors, &injector);
-    durability.journal().flush();
+    durability.flush();
 
     RunArtifacts got;
     got.outcomes = collect(engine);
     got.rejects = collect_rejects(engine);
-    got.journal = journal_by_user(durability.journal_path());
+    got.journal = journal_by_user(dir.path);
     expect_matches_control(got, want, "kill " + std::to_string(k));
   }
 }
@@ -356,8 +373,9 @@ TEST_F(RecoveryTest, JournalOnlyRecoveryIsExactlyOnce) {
     FleetEngine engine(fixture_->provider(), config);
     feed_steps(engine, injector, nullptr, 0, steps / 2, 0);  // no checkpoints
     engine.drain();
-    durability.journal().flush();
-    durability.journal().simulate_crash(0, 5);  // clean tail, then garbage
+    durability.flush();
+    // Garbage only on segment 0: the reopen must spot exactly one tear.
+    durability.journal(0).simulate_crash(0, 5);  // clean tail, then garbage
   }
 
   FaultInjector injector(fault_config());
@@ -373,12 +391,12 @@ TEST_F(RecoveryTest, JournalOnlyRecoveryIsExactlyOnce) {
   EXPECT_EQ(recovered.sessions_restored, 0u);
   EXPECT_GT(recovered.frames_replayed, 0u);
   replay_resume(engine, *fixture_, recovered.cursors, &injector);
-  durability.journal().flush();
+  durability.flush();
 
   RunArtifacts got;
   got.outcomes = collect(engine);
   got.rejects = collect_rejects(engine);
-  got.journal = journal_by_user(durability.journal_path());
+  got.journal = journal_by_user(dir.path);
   expect_matches_control(got, want, "cold start");
 
   const std::string json = engine.metrics_json();
@@ -408,7 +426,7 @@ TEST_F(RecoveryTest, CorruptCheckpointFallsBackToPreviousGeneration) {
                /*checkpoint_every=*/5);  // ≥2 checkpoints → prev exists
     engine.drain();
     durability.checkpoint(engine);
-    durability.journal().flush();
+    durability.flush();
     ASSERT_GE(durability.checkpoints_written(), 2u);
   }
   ASSERT_TRUE(std::filesystem::exists(dir.path + "/checkpoint.prev"));
@@ -441,12 +459,12 @@ TEST_F(RecoveryTest, CorruptCheckpointFallsBackToPreviousGeneration) {
       << "checkpoint.prev must still be usable";
   EXPECT_GT(recovered.sessions_restored, 0u);
   replay_resume(engine, *fixture_, recovered.cursors, &injector);
-  durability.journal().flush();
+  durability.flush();
 
   RunArtifacts got;
   got.outcomes = collect(engine);
   got.rejects = collect_rejects(engine);
-  got.journal = journal_by_user(durability.journal_path());
+  got.journal = journal_by_user(dir.path);
   expect_matches_control(got, want, "rotation fallback");
 }
 
@@ -482,6 +500,86 @@ TEST_F(RecoveryTest, TornJournalTailIsTruncatedOnReopen) {
     EXPECT_EQ(scan.records[i].user_id, 7);
     EXPECT_EQ(scan.records[i].decision_value, 1.25);
   }
+}
+
+// Per-core WAL property, forced to multiple segments regardless of the
+// host's core count: verdicts routed to per-worker segments land in
+// separate files, a reopen discovers and replays them all, the union
+// dedupe map drops a replayed seq even when the user is re-pinned to a
+// different core, and the merged scan reconstructs every user's canonical
+// seq-ordered stream independent of the segment layout.
+TEST_F(RecoveryTest, PerCoreSegmentsMergeDeterministically) {
+  ScopedDir dir("segments");
+  constexpr std::size_t kSegments = 3;
+  constexpr int kUsers = 6;
+  constexpr std::uint64_t kWindows = 4;
+  wiot::BaseStation::WindowReport report;
+  Session::Health health;
+  {
+    durable::Durability durability(dir.path);
+    durability.attach_segments(kSegments);
+    ASSERT_EQ(durability.segment_count(), kSegments);
+    for (std::uint64_t seq = 0; seq < kWindows; ++seq) {
+      for (int user = 0; user < kUsers; ++user) {
+        report.window_index = seq;
+        report.decision_value = user * 10.0 + static_cast<double>(seq);
+        // The engine's worker_of analogue: each user pinned to one core.
+        durability.on_verdict(user, report, health,
+                              static_cast<std::size_t>(user) % kSegments);
+      }
+    }
+    durability.flush();
+    for (std::size_t seg = 0; seg < kSegments; ++seg) {
+      EXPECT_GT(durability.journal(seg).durable_bytes(), 0u)
+          << "segment " << seg << " must hold its own cores' verdicts";
+      EXPECT_TRUE(std::filesystem::exists(
+          durable::Durability::segment_file(dir.path, seg)));
+    }
+  }
+
+  durable::Durability reopened(dir.path);
+  EXPECT_EQ(reopened.segment_count(), kSegments)
+      << "reopen discovers every per-core segment";
+  EXPECT_EQ(reopened.frames_replayed(), kUsers * kWindows);
+
+  // A replayed verdict below the high-water must dedupe even on a segment
+  // that never saw this user (restart with a different core count re-pins
+  // sessions): the seed map is the union of every segment's scan.
+  report.window_index = kWindows - 1;
+  report.decision_value = 0.0;
+  reopened.on_verdict(0, report, health, /*segment=*/1);
+  EXPECT_EQ(reopened.frames_deduplicated(), 1u);
+  // ... and the next fresh seq appends normally to the new owner.
+  report.window_index = kWindows;
+  report.decision_value = 99.0;
+  reopened.on_verdict(0, report, health, /*segment=*/1);
+  reopened.flush();
+
+  const auto merged = durable::Durability::scan_merged(dir.path);
+  EXPECT_EQ(merged.size(), kUsers * kWindows + 1);
+  std::map<int, std::vector<durable::VerdictRecord>> by_user;
+  for (const auto& rec : merged) by_user[rec.user_id].push_back(rec);
+  ASSERT_EQ(by_user.size(), static_cast<std::size_t>(kUsers));
+  for (int user = 0; user < kUsers; ++user) {
+    auto& recs = by_user[user];
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const durable::VerdictRecord& a,
+                        const durable::VerdictRecord& b) {
+                       return a.seq < b.seq;
+                     });
+    const std::size_t expect_n = user == 0 ? kWindows + 1 : kWindows;
+    ASSERT_EQ(recs.size(), expect_n) << "user " << user;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      EXPECT_EQ(recs[i].seq, i) << "user " << user;
+      if (i < kWindows) {
+        EXPECT_EQ(recs[i].decision_value,
+                  user * 10.0 + static_cast<double>(i))
+            << "user " << user << " frame " << i;
+      }
+    }
+  }
+  EXPECT_EQ(by_user[0].back().decision_value, 99.0)
+      << "post-recovery verdicts extend the canonical stream";
 }
 
 // The hot-path contract: once the ring is warm, journaling a verdict is

@@ -3,17 +3,33 @@
 
 Usage:
     bench_check.py --baseline BENCH_baseline.json [--tolerance 0.25]
-                   [--fleet fleet_now.json] pipe_run1.json [pipe_run2.json ...]
+                   [--fleet fleet_now.json] [--fleet-tolerance 0.35]
+                   [--scaling scaling_now.json]
+                   pipe_run1.json [pipe_run2.json ...]
 
-The gate is the MEDIAN `windows_per_sec` across the given bench_pipeline
-snapshots (run it several times; single runs on shared CI boxes are noisy):
-it must stay within --tolerance (default 25%) of the baseline's
-`pipeline.windows_per_sec`, else exit 1.
+Three gates, each exits 1 on failure:
 
-Everything else — pipeline p50/p99, allocs/window, and all fleet numbers
-(the engine benchmark multiplexes worker threads over whatever cores the
-runner happens to have, so its absolute throughput is not comparable across
-machines) — is printed as ADVISORY and never fails the check.
+  1. Pipeline: the MEDIAN `windows_per_sec` across the given bench_pipeline
+     snapshots (run it several times; single runs on shared CI boxes are
+     noisy) must stay within --tolerance (default 25%) of the baseline's
+     `pipeline.windows_per_sec`. The decision-value checksum must match
+     bit-for-bit (at 6 decimals).
+
+  2. Fleet (--fleet): `windows_per_sec` must stay within --fleet-tolerance
+     (default 35% — the engine multiplexes worker threads over whatever
+     cores the runner has, so it needs more headroom than the
+     single-threaded pipeline) of the baseline's `fleet.windows_per_sec`.
+     The batched/durable/net fleet numbers stay advisory.
+
+  3. Scaling (--scaling): the bench_fleet --scaling curve must be
+     monotone within --fleet-tolerance — each point's windows/sec must be
+     at least (1 - tolerance) x the previous point's. More cores must
+     never make the fleet meaningfully slower; a contended lock on the
+     hot path is exactly what this catches. A 1-core runner produces a
+     single point and passes trivially.
+
+Everything else (pipeline p50/p99, allocs/window, batched/durable/net
+fleet throughput) is printed as ADVISORY and never fails the check.
 
 Stdlib only; no third-party imports.
 """
@@ -40,12 +56,20 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional windows_per_sec drop")
+                        help="allowed fractional pipeline windows_per_sec drop")
     parser.add_argument("--fleet", default=None,
-                        help="bench_fleet --json snapshot (advisory only)")
+                        help="bench_fleet --json snapshot (gated)")
+    parser.add_argument("--fleet-tolerance", type=float, default=0.35,
+                        help="allowed fractional fleet windows_per_sec drop, "
+                             "also the scaling monotonicity slack")
+    parser.add_argument("--scaling", default=None,
+                        help="bench_fleet --scaling snapshot "
+                             "(monotonicity gated)")
     parser.add_argument("runs", nargs="+",
                         help="bench_pipeline --json snapshots")
     args = parser.parse_args()
+
+    failures = []
 
     baseline = load(args.baseline)
     base_pipe = baseline["pipeline"]
@@ -60,6 +84,10 @@ def main():
           f"-> median {median_wps:.0f}")
     print(f"  baseline {base_wps:.0f}, floor {floor:.0f} "
           f"(-{args.tolerance:.0%}), delta {fmt_delta(median_wps, base_wps)}")
+    if median_wps < floor:
+        failures.append(
+            f"pipeline windows_per_sec regressed more than "
+            f"{args.tolerance:.0%}: {median_wps:.0f} < {floor:.0f}")
 
     for key in ("p50_us", "p99_us", "allocs_per_window"):
         if key in base_pipe and key in runs[0]:
@@ -72,16 +100,28 @@ def main():
     checksums = {r.get("checksum") for r in runs}
     base_checksum = base_pipe.get("checksum")
     if base_checksum is not None and checksums != {base_checksum}:
-        print(f"FAIL: decision-value checksum drifted: "
-              f"{sorted(checksums)} != {base_checksum}")
-        return 1
+        failures.append(f"decision-value checksum drifted: "
+                        f"{sorted(checksums)} != {base_checksum}")
 
     if args.fleet:
         fleet = load(args.fleet)
         base_fleet = baseline.get("fleet", {})
-        for key in ("windows_per_sec", "windows_per_sec_batched",
-                    "windows_per_sec_durable", "batched_speedup",
-                    "net_windows_per_sec", "net_packets_per_sec"):
+        fleet_wps = float(fleet.get("windows_per_sec", 0.0))
+        base_fleet_wps = float(base_fleet.get("windows_per_sec", 0.0))
+        if base_fleet_wps > 0.0:
+            fleet_floor = base_fleet_wps * (1.0 - args.fleet_tolerance)
+            print(f"fleet windows_per_sec: {fleet_wps:.0f}")
+            print(f"  baseline {base_fleet_wps:.0f}, floor {fleet_floor:.0f} "
+                  f"(-{args.fleet_tolerance:.0%}), "
+                  f"delta {fmt_delta(fleet_wps, base_fleet_wps)}")
+            if fleet_wps < fleet_floor:
+                failures.append(
+                    f"fleet windows_per_sec regressed more than "
+                    f"{args.fleet_tolerance:.0%}: "
+                    f"{fleet_wps:.0f} < {fleet_floor:.0f}")
+        for key in ("windows_per_sec_batched", "windows_per_sec_durable",
+                    "batched_speedup", "net_windows_per_sec",
+                    "net_packets_per_sec"):
             if key in fleet:
                 base_val = float(base_fleet.get(key, 0.0))
                 note = (f" (baseline {base_val:.0f}, "
@@ -89,9 +129,26 @@ def main():
                         if base_val > 0 else "")
                 print(f"  advisory fleet {key}: {float(fleet[key]):.1f}{note}")
 
-    if median_wps < floor:
-        print(f"FAIL: windows_per_sec regressed more than "
-              f"{args.tolerance:.0%}: {median_wps:.0f} < {floor:.0f}")
+    if args.scaling:
+        scaling = load(args.scaling)
+        points = scaling.get("points", [])
+        desc = ", ".join(f"{p['workers']}w={float(p['windows_per_sec']):.0f}"
+                         for p in points)
+        print(f"fleet scaling ({len(points)} points): {desc}")
+        for prev, cur in zip(points, points[1:]):
+            prev_wps = float(prev["windows_per_sec"])
+            cur_wps = float(cur["windows_per_sec"])
+            scale_floor = prev_wps * (1.0 - args.fleet_tolerance)
+            if cur_wps < scale_floor:
+                failures.append(
+                    f"scaling not monotone: {cur['workers']} workers "
+                    f"({cur_wps:.0f} w/s) fell below "
+                    f"{prev['workers']} workers ({prev_wps:.0f} w/s) "
+                    f"by more than {args.fleet_tolerance:.0%}")
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}")
         return 1
     print("OK: within tolerance")
     return 0

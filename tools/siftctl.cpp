@@ -74,6 +74,10 @@ int usage() {
                "  check <source.c> [--no-libm]\n"
                "  profile <model.txt> <trace.csv>\n"
                "  fleet [--sessions N] [--seconds S] [--workers N]\n"
+               "        (--workers 0, the default, runs one worker per\n"
+               "         core; explicit counts are clamped to the cores\n"
+               "         actually present)\n"
+               "        [--pin-cores]    pin worker w to CPU core w\n"
                "        [--shards N] [--queue-capacity N] [--max-batch N]\n"
                "        [--producers N]\n"
                "        [--policy block|drop-oldest] [--models K]\n"
@@ -89,7 +93,8 @@ int usage() {
                "                         unix:PATH or tcp:HOST:PORT; port 0\n"
                "                         picks an ephemeral port)\n"
                "        [--models K] [--train-seconds S] [--seed N]\n"
-               "        [--workers N] [--shards N] [--queue-capacity N]\n"
+               "        [--workers N]    0 (default) = one per core, clamped\n"
+               "        [--pin-cores] [--shards N] [--queue-capacity N]\n"
                "        [--max-batch N] [--policy block|drop-oldest]\n"
                "        [--max-connections N] [--idle-timeout-ms MS]\n"
                "        [--checkpoint-dir DIR] [--checkpoint-interval MS]\n"
@@ -293,6 +298,10 @@ int cmd_fleet(std::span<const std::string> args) {
       recover = true;
       continue;
     }
+    if (flag == "--pin-cores") {
+      config.pin_cores = true;
+      continue;
+    }
     if (i + 1 >= args.size()) return usage();
     const std::string& value = args[++i];
     if (flag == "--sessions") {
@@ -436,13 +445,15 @@ int cmd_fleet(std::span<const std::string> args) {
   if (durability) {
     durability->checkpoint(engine);  // final: cover the drained tail
     std::fprintf(stderr,
-                 "durable: %llu checkpoint(s), %llu journal bytes, %llu "
-                 "verdict(s) journaled, %llu deduplicated\n",
+                 "durable: %llu checkpoint(s), %llu journal bytes over %zu "
+                 "segment(s), %llu verdict(s) journaled, %llu "
+                 "deduplicated\n",
                  static_cast<unsigned long long>(
                      durability->checkpoints_written()),
                  static_cast<unsigned long long>(durability->journal_bytes()),
+                 durability->segment_count(),
                  static_cast<unsigned long long>(
-                     durability->journal().appends()),
+                     durability->journal_appends()),
                  static_cast<unsigned long long>(
                      durability->frames_deduplicated()));
   }
@@ -455,6 +466,22 @@ int cmd_fleet(std::span<const std::string> args) {
                static_cast<unsigned long long>(result.windows_classified),
                secs, static_cast<double>(result.windows_classified) / secs,
                static_cast<double>(result.packets_offered) / secs);
+  for (std::size_t w = 0; w < engine.workers(); ++w) {
+    const std::string prefix = "fleet.worker." + std::to_string(w);
+    auto& metrics = engine.metrics();
+    std::fprintf(stderr,
+                 "  worker %zu: %llu packet(s) in %llu batch(es), "
+                 "batch p50 %.0f / p99 %.0f\n",
+                 w,
+                 static_cast<unsigned long long>(
+                     metrics.counter(prefix + ".packets").value()),
+                 static_cast<unsigned long long>(
+                     metrics.counter(prefix + ".batches").value()),
+                 metrics.size_histogram(prefix + ".batch_size")
+                     .quantile_us(0.50),
+                 metrics.size_histogram(prefix + ".batch_size")
+                     .quantile_us(0.99));
+  }
   if (injector) {
     const auto c = injector->counts();
     std::fprintf(stderr,
@@ -490,6 +517,10 @@ int cmd_serve(std::span<const std::string> args) {
     const std::string& flag = args[i];
     if (flag == "--recover") {
       recover = true;
+      continue;
+    }
+    if (flag == "--pin-cores") {
+      config.pin_cores = true;
       continue;
     }
     if (i + 1 >= args.size()) return usage();
