@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "peaks/pan_tompkins.hpp"
+
 namespace sift::attack {
 namespace {
 
@@ -127,6 +129,86 @@ void TimeShiftAttack::alter(signal::Series& ecg,
   insert_peaks_sorted(r_peaks, shifted);
 }
 
+void GradualDriftAttack::alter(signal::Series& ecg,
+                               std::vector<std::size_t>& /*r_peaks*/,
+                               std::size_t start, std::size_t len,
+                               const physio::Record& /*donor*/,
+                               std::mt19937_64& rng) {
+  check_range(ecg, start, len, "GradualDriftAttack");
+  auto window = ecg.samples().subspan(start, len);
+  const auto [mn, mx] = std::minmax_element(window.begin(), window.end());
+  const double span = std::max(1e-9, *mx - *mn);
+  // Randomise the polarity so the corpus covers upward and downward wander.
+  std::uniform_int_distribution<int> flip(0, 1);
+  const double total = (flip(rng) ? 1.0 : -1.0) * relative_drift_ * span;
+  for (std::size_t i = 0; i < len; ++i) {
+    window[i] += total * static_cast<double>(i + 1) / static_cast<double>(len);
+  }
+  // Baseline wander moves the whole waveform; peak locations stay valid.
+}
+
+void GradualScalingAttack::alter(signal::Series& ecg,
+                                 std::vector<std::size_t>& /*r_peaks*/,
+                                 std::size_t start, std::size_t len,
+                                 const physio::Record& /*donor*/,
+                                 std::mt19937_64& rng) {
+  check_range(ecg, start, len, "GradualScalingAttack");
+  auto window = ecg.samples().subspan(start, len);
+  double mean = 0.0;
+  for (double v : window) mean += v;
+  mean /= static_cast<double>(len);
+  // Ramp toward attenuation or amplification, chosen per invocation.
+  std::uniform_int_distribution<int> flip(0, 1);
+  const double target = flip(rng) ? target_gain_ : 2.0 - target_gain_;
+  for (std::size_t i = 0; i < len; ++i) {
+    const double t = static_cast<double>(i + 1) / static_cast<double>(len);
+    const double gain = 1.0 + (target - 1.0) * t;
+    window[i] = mean + (window[i] - mean) * gain;
+  }
+  // Scaling about the mean keeps every extremum in place; annotations hold.
+}
+
+void BeatSplicingAttack::alter(signal::Series& ecg,
+                               std::vector<std::size_t>& r_peaks,
+                               std::size_t start, std::size_t len,
+                               const physio::Record& donor,
+                               std::mt19937_64& rng) {
+  check_range(ecg, start, len, "BeatSplicingAttack");
+  if (start + len > donor.ecg.size()) {
+    throw std::invalid_argument("BeatSplicingAttack: donor trace too short");
+  }
+  const double rate = ecg.sample_rate_hz();
+  auto half = static_cast<std::size_t>(half_beat_s_ * rate);
+  if (half == 0) half = 1;
+
+  // Locate donor beats with the run-time detector — splice points come from
+  // the signal itself, exactly what an attacker with a captured trace has.
+  const auto donor_slice = donor.ecg.samples().subspan(start, len);
+  const std::vector<std::size_t> donor_peaks =
+      peaks::detect_r_peaks(donor_slice, donor.ecg.sample_rate_hz());
+  if (donor_peaks.empty()) return;  // featureless donor: nothing to splice
+
+  std::uniform_int_distribution<std::size_t> pick(0, donor_peaks.size() - 1);
+  for (std::size_t vp : r_peaks) {
+    if (vp < start || vp >= start + len) continue;
+    const std::size_t dp = start + donor_peaks[pick(rng)];
+    // Copy the donor beat centred on its R peak onto the victim beat centred
+    // on the victim's R peak, clamped to the attacked range and both traces.
+    for (std::size_t off = 0; off <= 2 * half; ++off) {
+      const std::size_t v = vp + off;
+      const std::size_t d = dp + off;
+      if (v < start + half || d < half) continue;  // underflow guard
+      const std::size_t vi = v - half;
+      const std::size_t di = d - half;
+      if (vi < start || vi >= start + len) continue;
+      if (di >= donor.ecg.size()) continue;
+      ecg[vi] = donor.ecg[di];
+    }
+  }
+  // R-peak annotations stay untouched by design: the attack preserves the
+  // victim's beat timing so the ECG–ABP pairing check still passes.
+}
+
 std::vector<std::unique_ptr<Attack>> make_all_attacks() {
   std::vector<std::unique_ptr<Attack>> out;
   out.push_back(std::make_unique<SubstitutionAttack>());
@@ -134,6 +216,9 @@ std::vector<std::unique_ptr<Attack>> make_all_attacks() {
   out.push_back(std::make_unique<FlatlineAttack>());
   out.push_back(std::make_unique<NoiseInjectionAttack>());
   out.push_back(std::make_unique<TimeShiftAttack>());
+  out.push_back(std::make_unique<GradualDriftAttack>());
+  out.push_back(std::make_unique<GradualScalingAttack>());
+  out.push_back(std::make_unique<BeatSplicingAttack>());
   return out;
 }
 

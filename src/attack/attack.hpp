@@ -105,8 +105,63 @@ class TimeShiftAttack final : public Attack {
   double max_shift_s_;
 };
 
+/// Additive baseline ramp that grows linearly from zero to
+/// @p relative_drift of the range's dynamic range. Each 3-second window sees
+/// only a sliver of the total offset, so per-window thresholds that tolerate
+/// baseline wander miss the early phase — the "gradual manipulation" family
+/// from the intelligent-tampering literature.
+class GradualDriftAttack final : public Attack {
+ public:
+  explicit GradualDriftAttack(double relative_drift = 2.0)
+      : relative_drift_(relative_drift) {}
+  std::string_view name() const noexcept override { return "drift-ramp"; }
+  void alter(signal::Series& ecg, std::vector<std::size_t>& r_peaks,
+             std::size_t start, std::size_t len, const physio::Record& donor,
+             std::mt19937_64& rng) override;
+
+ private:
+  double relative_drift_;
+};
+
+/// Multiplicative amplitude ramp about the range mean: gain moves linearly
+/// from 1.0 to @p target_gain across the range. Morphology and R-peak timing
+/// are preserved exactly; only the beat amplitude creeps, staying under any
+/// single window's anomaly budget while the cumulative distortion grows.
+class GradualScalingAttack final : public Attack {
+ public:
+  explicit GradualScalingAttack(double target_gain = 0.35)
+      : target_gain_(target_gain) {}
+  std::string_view name() const noexcept override { return "scale-ramp"; }
+  void alter(signal::Series& ecg, std::vector<std::size_t>& r_peaks,
+             std::size_t start, std::size_t len, const physio::Record& donor,
+             std::mt19937_64& rng) override;
+
+ private:
+  double target_gain_;
+};
+
+/// Beat-aligned splice: replaces the morphology around each of the victim's
+/// R peaks with a donor beat, aligned R-peak-to-R-peak so the victim's beat
+/// *timing* (and therefore the ECG–ABP pairing the detector cross-checks)
+/// is untouched. Donor beats are located by running the run-time
+/// Pan-Tompkins detector over the donor trace — the attacker only needs the
+/// donor's raw signal, not annotations. The most surgical attack in the
+/// gallery: every RR interval validates, only the waveform shape lies.
+class BeatSplicingAttack final : public Attack {
+ public:
+  explicit BeatSplicingAttack(double half_beat_s = 0.25)
+      : half_beat_s_(half_beat_s) {}
+  std::string_view name() const noexcept override { return "beat-splice"; }
+  void alter(signal::Series& ecg, std::vector<std::size_t>& r_peaks,
+             std::size_t start, std::size_t len, const physio::Record& donor,
+             std::mt19937_64& rng) override;
+
+ private:
+  double half_beat_s_;
+};
+
 /// Factory for every attack in the gallery (used by the generalisation
-/// ablation and the attack_gallery example).
+/// ablation, the attack-matrix harness, and the attack_gallery example).
 std::vector<std::unique_ptr<Attack>> make_all_attacks();
 
 }  // namespace sift::attack

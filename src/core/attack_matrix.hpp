@@ -1,0 +1,67 @@
+// The attack-matrix harness: every attack family × every detector tier.
+//
+// Table II scores one attack (substitution) against one detector. The
+// matrix generalises the protocol: the full src/attack gallery is run over
+// the synthetic cohort against all three tiers of the detector ladder
+// (Original / Simplified / Reduced), producing per-cell ROC/accuracy plus a
+// detection-latency probe — so every future model change is judged against
+// the whole threat corpus, not a single attack. Output is consumed three
+// ways: a JSON snapshot (gated in CI against golden detection-rate floors),
+// a markdown table (EXPERIMENTS.md), and ad-hoc runs via
+// `siftctl attack-matrix`.
+//
+// Everything is deterministic under ExperimentConfig::cohort_seed: the
+// cohort, both record sets, each per-user corruption schedule
+// (seed * 131 + user, matching run_detection_experiment), and the
+// contiguous-onset latency probe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace sift::core {
+
+struct AttackMatrixConfig {
+  /// Cohort, durations and seed. sift.version is ignored — the matrix
+  /// sweeps all three tiers itself.
+  ExperimentConfig experiment;
+  /// Operating-point probe: the TPR reachable while FPR stays within this
+  /// budget (alert-budget deployments pick thresholds this way).
+  double fpr_budget = 0.05;
+};
+
+/// One (attack family, detector tier) cell.
+struct AttackCell {
+  std::string attack;
+  DetectorVersion tier = DetectorVersion::kOriginal;
+  ml::MetricSummary metrics;  ///< per-subject averages at the deployed threshold
+  double auc = 0.0;           ///< per-subject ROC AUC, averaged
+  double tpr_at_budget = 0.0; ///< per-subject TPR @ fpr_budget, averaged
+  /// Latency probe: the attack switches on at the midpoint of each test
+  /// trace and stays on; this is the mean number of windows from onset to
+  /// the first alert (a subject never alerting contributes the full
+  /// remaining span — the censored worst case).
+  double detection_latency_windows = 0.0;
+};
+
+struct AttackMatrixResult {
+  AttackMatrixConfig config;
+  std::size_t windows_per_subject = 0;
+  /// Attack-major, tier-minor (Original, Simplified, Reduced per attack).
+  std::vector<AttackCell> cells;
+};
+
+/// Runs the full matrix: trains n_users models per tier once, then scores
+/// every gallery attack against every tier. Deterministic under the
+/// config's cohort_seed.
+AttackMatrixResult run_attack_matrix(const AttackMatrixConfig& config);
+
+/// JSON snapshot (stable key order; machine-diffable for the CI gate).
+std::string attack_matrix_json(const AttackMatrixResult& result);
+
+/// Markdown tables (one per tier), in EXPERIMENTS.md style.
+std::string attack_matrix_markdown(const AttackMatrixResult& result);
+
+}  // namespace sift::core

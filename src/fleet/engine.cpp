@@ -118,6 +118,9 @@ void FleetEngine::resolve_instruments() {
   quarantine_dropped_ = &metrics_.counter("fleet.quarantine_dropped");
   tier_downgrades_ = &metrics_.counter("fleet.tier_downgrades");
   tier_upgrades_ = &metrics_.counter("fleet.tier_upgrades");
+  seq_anomalies_ = &metrics_.counter("fleet.seq_anomalies");
+  replay_dropped_ = &metrics_.counter("fleet.replay_dropped");
+  suspect_sessions_ = &metrics_.counter("fleet.suspect_sessions");
   e2e_latency_ = &metrics_.histogram("fleet.e2e_latency");
   detect_latency_ = &metrics_.histogram("fleet.detect_latency");
 
@@ -495,13 +498,61 @@ void FleetEngine::process_one(WorkerState& self, Session& session,
   std::size_t new_degraded = 0;
   std::size_t new_unscored = 0;
   [&] {
+    Session::Health& health = session.health();
+    // Anti-replay gate, ahead of the cursor advance: the session's
+    // per-channel cursors are the defender's state, already core-local.
+    bool spoofed_forward = false;
+    if (config_.anti_replay.enabled) {
+      const SessionCursors& cur = session.cursors();
+      const std::uint32_t next =
+          env.packet.kind == wiot::ChannelKind::kEcg ? cur.ecg : cur.abp;
+      const std::uint32_t seq = env.packet.seq;
+      const bool replayed = seq < next &&
+                            next - seq > config_.anti_replay.replay_window;
+      spoofed_forward = config_.station.max_seq_jump != 0 && seq > next &&
+                        seq - next > config_.station.max_seq_jump;
+      if (replayed || spoofed_forward) {
+        ++health.seq_anomalies;
+        seq_anomalies_->add();
+        health.suspicion += config_.anti_replay.suspicion_step;
+        if (!health.quarantined &&
+            health.suspicion >= config_.anti_replay.suspicion_threshold) {
+          // Suspect session: withhold verdicts and shed packets, but keep
+          // it alive — the probe machinery below re-admits it as soon as
+          // clean traffic resumes (graceful degradation, not a hard drop).
+          health.quarantined = true;
+          ++health.quarantine_entries;
+          ++health.suspect_entries;
+          quarantine_entries_->add();
+          suspect_sessions_->add();
+          health.probe_countdown = config_.supervision.probe_interval;
+        }
+        if (replayed) {
+          // Dropped before it can touch reassembly state or recount
+          // against the durability dedupe cursors.
+          replay_dropped_->add();
+          return;
+        }
+        // A forward spoof falls through to the station, which refuses it
+        // (seq_rejected) exactly as before — but it must NOT advance the
+        // ingest cursor, or the forged far-future seq would orphan every
+        // genuine packet a post-crash replay should re-feed.
+      }
+    }
     // Durability cursor: every delivered packet counts, even ones the
     // quarantine or fault paths below consume without classifying —
     // recovery must not re-feed anything that already mutated this state.
-    session.note_packet(env.packet);
-    Session::Health& health = session.health();
+    if (!spoofed_forward) session.note_packet(env.packet);
     bool probing = false;
     if (health.quarantined) {
+      if (spoofed_forward) {
+        // A hostile packet must never serve as the recovery probe — the
+        // station would refuse it without throwing, which would read as a
+        // clean probe and re-admit a session that is still under attack.
+        ++health.quarantine_dropped;
+        quarantine_dropped_->add();
+        return;
+      }
       // Poisoned session: shed its packets, but let one through every
       // probe_interval drops to test whether the poison has passed.
       if (health.probe_countdown > 0) {
@@ -524,10 +575,16 @@ void FleetEngine::process_one(WorkerState& self, Session& session,
       }
       session.receive(env.packet);
       health.consecutive_faults = 0;
+      // Leaky bucket: clean traffic drains suspicion one unit per packet,
+      // so a burst of anomalies ages out instead of condemning forever.
+      if (!spoofed_forward && health.suspicion > 0) --health.suspicion;
       if (probing) {
         health.quarantined = false;
         ++health.quarantine_exits;
         quarantine_exits_->add();
+        // Re-admission halves suspicion rather than clearing it: a session
+        // that keeps attacking re-trips the threshold in half the time.
+        health.suspicion /= 2;
       }
     } catch (...) {
       // Worker supervision: a throwing pipeline must cost exactly one
@@ -641,10 +698,14 @@ std::string FleetEngine::metrics_json() {
   metrics_.gauge("fleet.provider_failures")
       .set(static_cast<std::int64_t>(registry_.provider_failures()));
 
-  // Station-level aggregates (reassembly health across every session).
+  // Station-level aggregates (reassembly health across every session),
+  // plus the anti-replay surface: suspect sessions currently shedding and a
+  // per-user seq-anomaly breakdown (only wearers with anomalies appear, so
+  // the snapshot stays bounded by offenders, not fleet size).
   wiot::BaseStation::Stats total;
   std::int64_t unscored_sessions = 0;
-  table_.for_each([&](int, const Session& session) {
+  std::int64_t suspect_active = 0;
+  table_.for_each([&](int user, const Session& session) {
     const auto& s = session.stats();
     total.packets_received += s.packets_received;
     total.duplicates_ignored += s.duplicates_ignored;
@@ -653,7 +714,14 @@ std::string FleetEngine::metrics_json() {
     total.gaps_filled += s.gaps_filled;
     total.overflow_dropped += s.overflow_dropped;
     if (!session.scored()) ++unscored_sessions;
+    const Session::Health& h = session.health();
+    if (h.quarantined && h.suspect_entries > 0) ++suspect_active;
+    if (h.seq_anomalies > 0) {
+      metrics_.gauge("fleet.user." + std::to_string(user) + ".seq_anomalies")
+          .set(static_cast<std::int64_t>(h.seq_anomalies));
+    }
   });
+  metrics_.gauge("fleet.suspect_sessions_active").set(suspect_active);
   metrics_.gauge("fleet.station.packets_received")
       .set(static_cast<std::int64_t>(total.packets_received));
   metrics_.gauge("fleet.station.duplicates_ignored")

@@ -85,6 +85,31 @@ struct LoadShedConfig {
   std::size_t cooldown_packets = 4;
 };
 
+/// Worker-side anti-replay defense. The ingest validation gate is
+/// stateless; this gate runs on the owning worker, where the session's
+/// per-channel consume cursors are already core-local, and catches what
+/// statelessness cannot:
+///   * backward jumps beyond replay_window packets — a captured trace
+///     replayed past the reassembly dedupe — are dropped before they touch
+///     station state or recount against the durability cursors, counted in
+///     fleet.seq_anomalies (+ per-user Health::seq_anomalies);
+///   * forward jumps beyond the station's max_seq_jump — seq spoofing —
+///     are handed to the station (which refuses them, as before) but are
+///     additionally charged as anomalies, and crucially do NOT advance the
+///     ingest cursor, so a forged far-future seq can no longer orphan the
+///     genuine stream across a recovery.
+/// Repeated anomalies accumulate per-session suspicion; past the threshold
+/// the session is quarantined — verdicts withheld, packets shed, and the
+/// PR 3 probe machinery re-admits it once clean traffic resumes — rather
+/// than hard-dropped.
+struct AntiReplayConfig {
+  bool enabled = true;
+  /// Backward slack (packets, per channel) treated as a benign retransmit.
+  std::uint32_t replay_window = 16;
+  std::uint64_t suspicion_step = 16;       ///< charged per anomaly
+  std::uint64_t suspicion_threshold = 64;  ///< quarantine at/above this
+};
+
 struct FleetConfig {
   /// 0 = one worker per available core. Explicit values are clamped to
   /// hardware_concurrency() — oversubscribing a small container only adds
@@ -117,6 +142,7 @@ struct FleetConfig {
   BreakerPolicy breaker;  ///< model-load retry/backoff/breaker policy
   SupervisionConfig supervision;
   LoadShedConfig load_shed;
+  AntiReplayConfig anti_replay;
   /// Chaos hook (non-owning, may be null): stalls workers, forces shed
   /// depth, and throws on the per-packet path per its seeded schedule.
   FaultInjector* injector = nullptr;
@@ -316,6 +342,9 @@ class FleetEngine {
   Counter* quarantine_dropped_ = nullptr;
   Counter* tier_downgrades_ = nullptr;
   Counter* tier_upgrades_ = nullptr;
+  Counter* seq_anomalies_ = nullptr;   ///< replay/spoof events (all users)
+  Counter* replay_dropped_ = nullptr;  ///< packets dropped at the replay gate
+  Counter* suspect_sessions_ = nullptr;  ///< quarantines entered by suspicion
   LatencyHistogram* e2e_latency_ = nullptr;
   LatencyHistogram* detect_latency_ = nullptr;
 

@@ -52,6 +52,13 @@ class Session {
     std::size_t probe_countdown = 0;  ///< drops left before the next probe
     std::size_t shed_cooldown = 0;    ///< packets until next tier move
     std::uint64_t validation_rejects = 0;  ///< ingest-side rejects
+    // Anti-replay accounting (see FleetConfig::anti_replay). Suspicion is a
+    // leaky bucket: each sequence anomaly adds suspicion_step, each cleanly
+    // processed packet drains one unit; crossing suspicion_threshold moves
+    // the session into quarantine (verdicts withheld, probe-based exit).
+    std::uint64_t seq_anomalies = 0;  ///< replay/spoof events on this session
+    std::uint64_t suspicion = 0;      ///< leaky-bucket level
+    std::uint64_t suspect_entries = 0;  ///< quarantines entered via suspicion
   };
 
   /// @p model may be null: the session then starts unscored and can be
@@ -116,6 +123,9 @@ class Session {
     w.u64(health_.probe_countdown);
     w.u64(health_.shed_cooldown);
     w.u64(health_.validation_rejects);
+    w.u64(health_.seq_anomalies);
+    w.u64(health_.suspicion);
+    w.u64(health_.suspect_entries);
     station_.export_state(w);
   }
 
@@ -146,6 +156,9 @@ class Session {
     health_.probe_countdown = static_cast<std::size_t>(r.u64());
     health_.shed_cooldown = static_cast<std::size_t>(r.u64());
     health_.validation_rejects = r.u64();
+    health_.seq_anomalies = r.u64();
+    health_.suspicion = r.u64();
+    health_.suspect_entries = r.u64();
     station_.import_state(r);
     return out;
   }

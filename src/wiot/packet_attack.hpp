@@ -1,0 +1,72 @@
+// Packet-level attack driver: adversarial transforms over packet streams.
+//
+// The signal corpus in src/attack models tampering *inside* the payload;
+// this driver models an adversary who owns the transport. Given a clean,
+// ordered per-user packet stream (what a ReplayFixture or SensorNode
+// emits), it produces the stream a hostile network would deliver:
+//
+//   * kSeqSpoof          — forward sequence jumps past the wraparound
+//                          guard, forcing phantom gap-fill if accepted.
+//   * kReplayPastCursor  — verbatim copies of packets far behind the live
+//                          cursor (a captured trace replayed later), aimed
+//                          past the reassembly dedupe and at the durability
+//                          layer's per-user next-seq cursor.
+//   * kStaleCursorResume — the whole prefix of the stream delivered again
+//                          mid-flight (a cloned or rolled-back device
+//                          resuming from a stale cursor).
+//   * kDuplicateFlood    — bursts of immediate duplicates (a jammed ARQ
+//                          loop), which must be deduped without penalty.
+//
+// Every decision is a pure function of (seed, packet index), so the same
+// config yields a bit-identical attacked stream on every run, every worker
+// count, and every batching mode — the chaos-determinism contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "wiot/packet.hpp"
+
+namespace sift::wiot {
+
+enum class StreamAttackKind : std::uint8_t {
+  kSeqSpoof,
+  kReplayPastCursor,
+  kStaleCursorResume,
+  kDuplicateFlood,
+};
+
+const char* to_string(StreamAttackKind k) noexcept;
+
+struct StreamAttackConfig {
+  StreamAttackKind kind = StreamAttackKind::kReplayPastCursor;
+  std::uint64_t seed = 1;
+  /// Fraction of eligible packets targeted (spoof / replay / flood).
+  double probability = 0.05;
+  /// Forward seq offset for kSeqSpoof; must clear the station's
+  /// max_seq_jump guard to register as an anomaly rather than a gap.
+  std::uint32_t spoof_jump = 1u << 20;
+  /// How many packets back (per stream index) a replayed copy reaches.
+  /// Must exceed the defender's replay window to test the hard case.
+  std::size_t replay_depth = 64;
+  /// Copies emitted per triggered flood / replays per triggered burst.
+  std::size_t burst = 3;
+  /// Stream index at which the attack switches on (clean warm-up before).
+  std::size_t onset = 0;
+};
+
+/// What the driver actually injected, for exact assertions.
+struct StreamAttackStats {
+  std::size_t clean = 0;     ///< untouched originals delivered
+  std::size_t injected = 0;  ///< adversarial packets added or mutated
+};
+
+/// Returns the attacked stream. Original packets always appear, in order
+/// (the adversary reorders/duplicates/mutates but this driver never drops —
+/// loss is LossyChannel's job); adversarial packets are woven between them.
+std::vector<Packet> apply_stream_attack(const std::vector<Packet>& clean,
+                                        const StreamAttackConfig& config,
+                                        StreamAttackStats* stats = nullptr);
+
+}  // namespace sift::wiot

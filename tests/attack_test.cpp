@@ -142,12 +142,78 @@ TEST_F(AttackTest, TimeShiftRotatesSamplesWithinRange) {
                                 v.ecg.data().begin() + len));
 }
 
-TEST(AttackFactory, GalleryContainsFiveDistinctAttacks) {
+TEST_F(AttackTest, GradualDriftRampsFromZeroAndKeepsPeaks) {
+  physio::Record v = *victim_;
+  GradualDriftAttack attack(2.0);
+  const std::size_t start = 1080;
+  const std::size_t len = 2160;
+  attack.alter(v.ecg, v.r_peaks, start, len, *donor_, rng_);
+  // The offset grows linearly: the first altered sample moves by ~1/len of
+  // the total drift, the last by the full amount.
+  const double first = std::abs(v.ecg[start] - victim_->ecg[start]);
+  const double last =
+      std::abs(v.ecg[start + len - 1] - victim_->ecg[start + len - 1]);
+  EXPECT_GT(last, 100.0 * first) << "ramp must start near zero";
+  EXPECT_GT(last, 0.1) << "and end with a material offset";
+  // Additive drift never moves R-peak positions.
+  EXPECT_EQ(v.r_peaks, victim_->r_peaks);
+  EXPECT_DOUBLE_EQ(v.ecg[start - 1], victim_->ecg[start - 1]);
+  EXPECT_DOUBLE_EQ(v.ecg[start + len], victim_->ecg[start + len]);
+}
+
+TEST_F(AttackTest, GradualScalingRampsGainAboutTheMean) {
+  physio::Record v = *victim_;
+  GradualScalingAttack attack(0.35);
+  const std::size_t start = 1080;
+  const std::size_t len = 2160;
+  attack.alter(v.ecg, v.r_peaks, start, len, *donor_, rng_);
+  // Early in the ramp the gain is ~1 so samples barely move; by the end the
+  // excursion about the range mean is rescaled by 0.35x or 1.65x.
+  const double first = std::abs(v.ecg[start] - victim_->ecg[start]);
+  const double last =
+      std::abs(v.ecg[start + len - 1] - victim_->ecg[start + len - 1]);
+  EXPECT_LT(first, 0.01);
+  EXPECT_GT(last, 10.0 * std::max(first, 1e-12));
+  EXPECT_EQ(v.r_peaks, victim_->r_peaks) << "scaling preserves peak timing";
+  EXPECT_DOUBLE_EQ(v.ecg[start + len], victim_->ecg[start + len]);
+}
+
+TEST_F(AttackTest, BeatSplicePreservesRPeakTiming) {
+  physio::Record v = *victim_;
+  BeatSplicingAttack attack;
+  const std::size_t start = 1080;
+  const std::size_t len = 4 * 1080;
+  attack.alter(v.ecg, v.r_peaks, start, len, *donor_, rng_);
+  // The whole point of splicing: donor morphology, victim rhythm. Peak
+  // annotations are untouched and something in the range actually changed.
+  EXPECT_EQ(v.r_peaks, victim_->r_peaks);
+  bool changed = false;
+  for (std::size_t i = start; i < start + len; ++i) {
+    if (v.ecg[i] != victim_->ecg[i]) {
+      changed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(changed) << "donor beats must be grafted in";
+  EXPECT_DOUBLE_EQ(v.ecg[start - 1], victim_->ecg[start - 1]);
+  EXPECT_DOUBLE_EQ(v.ecg[start + len], victim_->ecg[start + len]);
+}
+
+TEST_F(AttackTest, BeatSpliceRejectsShortDonor) {
+  physio::Record v = *victim_;
+  BeatSplicingAttack attack;
+  physio::Record short_donor = *donor_;
+  short_donor.ecg = short_donor.ecg.slice(0, 100);
+  EXPECT_THROW(attack.alter(v.ecg, v.r_peaks, 200, 1080, short_donor, rng_),
+               std::invalid_argument);
+}
+
+TEST(AttackFactory, GalleryContainsEightDistinctAttacks) {
   const auto all = make_all_attacks();
-  ASSERT_EQ(all.size(), 5u);
+  ASSERT_EQ(all.size(), 8u);
   std::set<std::string_view> names;
   for (const auto& a : all) names.insert(a->name());
-  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.size(), 8u);
 }
 
 // --- corrupt_windows ----------------------------------------------------------
@@ -243,6 +309,20 @@ TEST_F(ScenarioTest, ValidatesArguments) {
   EXPECT_THROW(
       corrupt_windows(victim, donors, attack, 0.5, victim.ecg.size() + 1, 1),
       std::invalid_argument);
+}
+
+TEST_F(ScenarioTest, EveryGalleryAttackIsDeterministicUnderSeed) {
+  // The attack-matrix golden gate relies on this: for a fixed seed every
+  // family must emit a bit-identical attacked stream on every run.
+  const auto& victim = (*records_)[0];
+  const std::span donors(records_->data() + 1, 3);
+  for (const auto& attack : make_all_attacks()) {
+    const auto a = corrupt_windows(victim, donors, *attack, 0.5, 1080, 99);
+    const auto b = corrupt_windows(victim, donors, *attack, 0.5, 1080, 99);
+    EXPECT_EQ(a.window_altered, b.window_altered) << attack->name();
+    EXPECT_EQ(a.record.ecg.data(), b.record.ecg.data()) << attack->name();
+    EXPECT_EQ(a.record.r_peaks, b.record.r_peaks) << attack->name();
+  }
 }
 
 TEST_F(ScenarioTest, DonorFreeAttacksWorkWithoutDonors) {

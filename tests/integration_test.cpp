@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <span>
 #include <sstream>
+#include <string_view>
 
 #include "amulet/profiler.hpp"
 #include "attack/attack.hpp"
@@ -95,17 +96,21 @@ TEST_F(IntegrationTest, DetectorGeneralisesAcrossAttackTypes) {
   cfg.sift.version = core::DetectorVersion::kOriginal;
   for (const auto& attack : attack::make_all_attacks()) {
     const auto result = run_detection_experiment(cfg, *data_, *attack);
-    if (attack->name() == "noise") {
-      // Known limitation: noise positives are absent from training and the
-      // peak annotations survive the attack, so detection is weak — the
-      // gallery example and EXPERIMENTS.md document this. Only require
-      // that the detector doesn't start false-alarming on clean windows.
-      EXPECT_LT(result.summary.fp_rate, 0.2) << "attack: noise";
+    const std::string_view name = attack->name();
+    if (name == "noise" || name == "drift-ramp" || name == "scale-ramp" ||
+        name == "beat-splice") {
+      // Known limitations: noise positives are absent from training and the
+      // peak annotations survive the attack, so detection is weak; the
+      // intelligent-tampering family (ramps that stay under per-window
+      // thresholds, beat splices that preserve R-peak timing) is *designed*
+      // to evade this detector — their per-tier floors are tracked by the
+      // attack-matrix golden gate instead. Here only require that none of
+      // them drives false alarms on clean windows.
+      EXPECT_LT(result.summary.fp_rate, 0.2) << "attack: " << name;
       continue;
     }
-    EXPECT_GT(result.summary.accuracy, 0.75)
-        << "attack: " << attack->name();
-    EXPECT_LT(result.summary.fn_rate, 0.5) << "attack: " << attack->name();
+    EXPECT_GT(result.summary.accuracy, 0.75) << "attack: " << name;
+    EXPECT_LT(result.summary.fn_rate, 0.5) << "attack: " << name;
   }
 }
 

@@ -404,6 +404,48 @@ TEST(NetServerTest, PacketBeforeHelloIsAProtocolError) {
   EXPECT_EQ(h.counter("net.packets_in"), 0u);
 }
 
+TEST(NetServerTest, MidStreamHelloAndReplayedFrameKeepConnectionAlive) {
+  // A reconnecting (or cloned) sensor re-sends its HELLO mid-stream and
+  // then replays a captured early frame verbatim. Neither is a wire error:
+  // the re-handshake is idempotent and the replayed packet rides to the
+  // fleet's anti-replay gate, which drops it with attribution — the
+  // connection itself must stay up and keep streaming.
+  FleetConfig config = base_config();
+  config.anti_replay.replay_window = 4;  // fixture streams are short
+  Harness h(config);
+  Client client(h.address());
+  const auto& packets = shared_fixture().session_packets(0);
+  for (const auto& p : packets) client.send_packet(0, p);
+  client.flush();
+  ASSERT_TRUE(h.poll_until([&] {
+    return h.counter("net.packets_streamed") == packets.size();
+  }));
+
+  wire::Encoder encoder;
+  std::vector<std::uint8_t> frames;
+  encoder.hello(frames);                 // stale re-handshake
+  encoder.packet(frames, 0, packets[0]);  // replayed capture
+  client.send_raw(frames);
+  ASSERT_TRUE(h.poll_until(
+      [&] { return h.counter("fleet.replay_dropped") == 1u; }));
+  EXPECT_EQ(h.counter("fleet.seq_anomalies"), 1u);
+  EXPECT_EQ(h.counter("net.protocol_errors"), 0u);
+  EXPECT_EQ(h.counter("net.connections_closed"), 0u);
+  EXPECT_EQ(h.server->open_connections(), 1u);
+
+  // Still alive: fresh traffic on the same connection keeps streaming.
+  const std::uint64_t streamed = h.counter("net.packets_streamed");
+  for (const auto& p : shared_fixture().session_packets(1)) {
+    client.send_packet(1, p);
+  }
+  client.flush();
+  ASSERT_TRUE(h.poll_until([&] {
+    return h.counter("net.packets_streamed") ==
+           streamed + shared_fixture().session_packets(1).size();
+  }));
+  EXPECT_EQ(h.counter("net.connections_closed"), 0u);
+}
+
 TEST(NetServerTest, IdleConnectionsAreReaped) {
   NetServerConfig net_config;
   net_config.listen = unique_unix_address("idle");

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Detection-power guardrail: compare an attack-matrix snapshot against the
+committed golden baseline.
+
+Usage:
+    attack_matrix_check.py --baseline ATTACK_MATRIX_baseline.json
+                           [--tolerance 0.10] [--fp-tolerance 0.05]
+                           matrix_now.json
+
+The attack-matrix harness (`siftctl attack-matrix`) scores every attack
+family in the gallery against every detector tier. This gate fails (exit 1)
+when any cell's detection power regresses below its golden floor:
+
+  1. detection_rate (1 - FN rate at the deployed threshold) must stay
+     within --tolerance (default 0.10) of the baseline cell.
+  2. ROC AUC must stay within --tolerance of the baseline cell.
+  3. fp_rate must not grow by more than --fp-tolerance (default 0.05) —
+     detection bought by false-alarming on clean windows is not detection.
+
+Cells present in the baseline but missing from the current snapshot fail
+outright (an attack family or tier silently dropped from the corpus is a
+coverage regression, not a tuning choice). New cells in the current
+snapshot are reported as advisory — commit a refreshed baseline to start
+gating them. The configs (users, seed, durations, fpr budget) must match,
+since the floors are only meaningful for the same experiment.
+
+latency_windows and tpr_at_budget are printed as ADVISORY and never fail
+the check.
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def cells_by_key(snapshot):
+    return {(c["attack"], c["tier"]): c for c in snapshot["cells"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed absolute drop in detection_rate / auc")
+    parser.add_argument("--fp-tolerance", type=float, default=0.05,
+                        help="allowed absolute growth in fp_rate")
+    parser.add_argument("current", help="siftctl attack-matrix --json output")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    failures = []
+
+    for key in ("users", "seed", "train_s", "test_s", "altered_fraction",
+                "fpr_budget"):
+        base_val = baseline["config"].get(key)
+        cur_val = current["config"].get(key)
+        if base_val != cur_val:
+            failures.append(f"config mismatch on {key}: "
+                            f"baseline {base_val} vs current {cur_val}")
+
+    base_cells = cells_by_key(baseline)
+    cur_cells = cells_by_key(current)
+
+    for key, base in sorted(base_cells.items()):
+        attack, tier = key
+        label = f"{attack} x {tier}"
+        cur = cur_cells.get(key)
+        if cur is None:
+            failures.append(f"{label}: cell missing from current snapshot")
+            continue
+
+        det_floor = float(base["detection_rate"]) - args.tolerance
+        auc_floor = float(base["auc"]) - args.tolerance
+        fp_ceiling = float(base["fp_rate"]) + args.fp_tolerance
+        det = float(cur["detection_rate"])
+        auc = float(cur["auc"])
+        fp = float(cur["fp_rate"])
+
+        verdict = "ok"
+        if det < det_floor:
+            failures.append(f"{label}: detection_rate {det:.4f} fell below "
+                            f"floor {det_floor:.4f} "
+                            f"(baseline {base['detection_rate']})")
+            verdict = "FAIL"
+        if auc < auc_floor:
+            failures.append(f"{label}: auc {auc:.4f} fell below floor "
+                            f"{auc_floor:.4f} (baseline {base['auc']})")
+            verdict = "FAIL"
+        if fp > fp_ceiling:
+            failures.append(f"{label}: fp_rate {fp:.4f} exceeded ceiling "
+                            f"{fp_ceiling:.4f} (baseline {base['fp_rate']})")
+            verdict = "FAIL"
+
+        print(f"{verdict:4s} {label}: detection {det:.4f} "
+              f"(floor {det_floor:.4f}), auc {auc:.4f} "
+              f"(floor {auc_floor:.4f}), fp {fp:.4f} "
+              f"(ceiling {fp_ceiling:.4f})")
+        print(f"     advisory: tpr@budget {float(cur['tpr_at_budget']):.4f} "
+              f"(baseline {float(base['tpr_at_budget']):.4f}), "
+              f"latency {float(cur['latency_windows']):.2f}w "
+              f"(baseline {float(base['latency_windows']):.2f}w)")
+
+    for key in sorted(set(cur_cells) - set(base_cells)):
+        print(f"new  {key[0]} x {key[1]}: not in baseline (advisory only; "
+              f"refresh the baseline to gate it)")
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}")
+        return 1
+    print(f"OK: {len(base_cells)} cells within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

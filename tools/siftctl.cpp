@@ -9,6 +9,8 @@
 //   siftctl train <wearer.csv> <donor.csv>... -o <model.txt> [-v VERSION]
 //   siftctl detect <model.txt> <trace.csv>       classify every window
 //   siftctl attack <victim.csv> <donor.csv> <out.csv> [fraction]
+//   siftctl attack-matrix [opts]          score the full attack corpus
+//                                         against all three detector tiers
 //   siftctl emit-c <model.txt>                   Amulet-C translation unit
 //   siftctl emit-qm <model.txt>                  QM model XML
 //   siftctl check <source.c> [--no-libm]         Amulet-C static checker
@@ -39,6 +41,7 @@
 #include "amulet/profiler.hpp"
 #include "attack/attack.hpp"
 #include "attack/scenario.hpp"
+#include "core/attack_matrix.hpp"
 #include "core/detector.hpp"
 #include "core/trainer.hpp"
 #include "fleet/durable/durability.hpp"
@@ -69,6 +72,13 @@ int usage() {
                " [-v Original|Simplified|Reduced]\n"
                "  detect <model.txt> <trace.csv>\n"
                "  attack <victim.csv> <donor.csv> <out.csv> [fraction]\n"
+               "  attack-matrix [--users N] [--seed S] [--train-s S]\n"
+               "        [--test-s S] [--fpr-budget F] [--json PATH]\n"
+               "        [--md PATH] [--smoke]\n"
+               "        runs every attack family against every detector\n"
+               "        tier; markdown to stdout, JSON snapshot to --json.\n"
+               "        --smoke is the reduced CI corpus (4 users, 4 min\n"
+               "        training)\n"
                "  emit-c <model.txt>\n"
                "  emit-qm <model.txt>\n"
                "  check <source.c> [--no-libm]\n"
@@ -227,6 +237,59 @@ int cmd_attack(std::span<const std::string> args) {
   for (bool b : attacked.window_altered) altered += b ? 1 : 0;
   std::printf("wrote %s: %zu/%zu windows substituted\n", args[2].c_str(),
               altered, attacked.window_altered.size());
+  return 0;
+}
+
+int cmd_attack_matrix(std::span<const std::string> args) {
+  core::AttackMatrixConfig config;
+  std::string json_path;
+  std::string md_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--smoke") {
+      // The CI corpus: small enough to finish in single-digit minutes, big
+      // enough that every attack family still has both classes per user.
+      config.experiment.n_users = 4;
+      config.experiment.train_duration_s = 240.0;
+      config.experiment.test_duration_s = 120.0;
+      continue;
+    }
+    if (i + 1 >= args.size()) return usage();
+    const std::string& value = args[++i];
+    if (flag == "--users") {
+      config.experiment.n_users = std::stoul(value);
+    } else if (flag == "--seed") {
+      config.experiment.cohort_seed = std::stoull(value);
+    } else if (flag == "--train-s") {
+      config.experiment.train_duration_s = std::stod(value);
+    } else if (flag == "--test-s") {
+      config.experiment.test_duration_s = std::stod(value);
+    } else if (flag == "--fpr-budget") {
+      config.fpr_budget = std::stod(value);
+    } else if (flag == "--json") {
+      json_path = value;
+    } else if (flag == "--md") {
+      md_path = value;
+    } else {
+      return usage();
+    }
+  }
+
+  const auto result = core::run_attack_matrix(config);
+  const std::string markdown = core::attack_matrix_markdown(result);
+  std::fputs(markdown.c_str(), stdout);
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os.good()) throw std::runtime_error("cannot open " + json_path);
+    os << core::attack_matrix_json(result);
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  if (!md_path.empty()) {
+    std::ofstream os(md_path);
+    if (!os.good()) throw std::runtime_error("cannot open " + md_path);
+    os << markdown;
+    std::fprintf(stderr, "wrote %s\n", md_path.c_str());
+  }
   return 0;
 }
 
@@ -736,6 +799,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "detect") return cmd_detect(args);
     if (command == "attack") return cmd_attack(args);
+    if (command == "attack-matrix") return cmd_attack_matrix(args);
     if (command == "emit-c") return cmd_emit_c(args);
     if (command == "emit-qm") return cmd_emit_qm(args);
     if (command == "check") return cmd_check(args);
