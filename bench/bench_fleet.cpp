@@ -334,6 +334,57 @@ int write_json_snapshot(const std::string& path) {
   const auto net_stalls =
       served_engine.metrics().counter("net.backpressure_stalls").value();
 
+  // Same drive through resuming senders on a clean wire: the price of the
+  // reconnect-with-resume machinery (per-step flushes, cursor-confirmed
+  // completion) relative to the greedy baseline above.
+  BenchDir resume_dir;
+  net::PacketPool resume_pool;
+  fleet::FleetConfig resume_config = served_config;
+  resume_config.packet_return = resume_pool.returner();
+  fleet::FleetEngine resume_engine(fixture.provider(), resume_config);
+  net::NetServerConfig resume_server_config;
+  resume_server_config.listen = "unix:" + resume_dir.path + "/resume.sock";
+  net::NetServer resume_server(resume_engine, resume_server_config,
+                               &resume_pool);
+  resume_server.start();
+  net::DriveConfig resume_drive = drive;
+  resume_drive.address = resume_server.address();
+  resume_drive.resume = true;
+  const net::DriveResult resume_result =
+      net::drive_load(resume_drive, streams);
+  resume_server.stop();
+  resume_engine.drain();
+  const double net_resume_packets_per_sec =
+      resume_result.total_seconds > 0.0
+          ? static_cast<double>(resume_result.packets_sent) /
+                resume_result.total_seconds
+          : 0.0;
+
+  // And once more with the wire-fault shim compiled in, attached on both
+  // sides, but disarmed: this figure regressing against the plain drive
+  // means the fault hooks grew a hot-path cost they must not have.
+  BenchDir shim_dir;
+  net::PacketPool shim_pool;
+  fleet::FleetConfig shim_engine_config = served_config;
+  shim_engine_config.packet_return = shim_pool.returner();
+  fleet::FleetEngine shim_engine(fixture.provider(), shim_engine_config);
+  net::FaultyTransport disarmed_shim{net::NetFaultConfig{}};
+  net::NetServerConfig shim_server_config;
+  shim_server_config.listen = "unix:" + shim_dir.path + "/shim.sock";
+  shim_server_config.faults = &disarmed_shim;
+  net::NetServer shim_server(shim_engine, shim_server_config, &shim_pool);
+  shim_server.start();
+  net::DriveConfig shim_drive = drive;
+  shim_drive.address = shim_server.address();
+  const net::DriveResult shim_result = net::drive_load(shim_drive, streams);
+  shim_server.stop();
+  shim_engine.drain();
+  const double net_shim_disabled_packets_per_sec =
+      shim_result.total_seconds > 0.0
+          ? static_cast<double>(shim_result.packets_sent) /
+                shim_result.total_seconds
+          : 0.0;
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_fleet: cannot open %s\n", path.c_str());
@@ -378,7 +429,11 @@ int write_json_snapshot(const std::string& path) {
                "  \"net_packets_per_sec\": %.1f,\n"
                "  \"net_windows_per_sec\": %.1f,\n"
                "  \"net_mb_per_sec\": %.2f,\n"
-               "  \"net_backpressure_stalls\": %llu\n"
+               "  \"net_backpressure_stalls\": %llu,\n"
+               "  \"net_resume_packets_per_sec\": %.1f,\n"
+               "  \"net_resume_settled\": %d,\n"
+               "  \"net_shim_disabled_packets_per_sec\": %.1f,\n"
+               "  \"net_shim_faults_injected\": %llu\n"
                "}\n",
                kWorkers, kSessions,
                static_cast<unsigned long long>(result.windows_classified),
@@ -404,18 +459,24 @@ int write_json_snapshot(const std::string& path) {
                static_cast<unsigned long long>(net_result.packets_sent),
                net_result.settled ? 1 : 0, net_packets_per_sec,
                net_windows_per_sec, net_mb_per_sec,
-               static_cast<unsigned long long>(net_stalls));
+               static_cast<unsigned long long>(net_stalls),
+               net_resume_packets_per_sec, resume_result.settled ? 1 : 0,
+               net_shim_disabled_packets_per_sec,
+               static_cast<unsigned long long>(
+                   disarmed_shim.counts().total()));
   std::fclose(f);
   std::printf("fleet: %.0f windows/s unbatched, %.0f batched (x%.2f at "
               "max_batch %zu, %zu workers), durable %.0f windows/s "
               "(%.1f%% overhead), net %.0f windows/s / %.0f packets/s "
-              "(%zu conns, %llu stalls), detect p50 %.2f us, p99 %.2f us, "
-              "%.4f allocs/window -> %s\n",
+              "(%zu conns, %llu stalls), resume %.0f packets/s, "
+              "shim-disabled %.0f packets/s, detect p50 %.2f us, "
+              "p99 %.2f us, %.4f allocs/window -> %s\n",
               windows_per_sec, windows_per_sec_batched, batched_speedup,
               batched_config.max_batch, kWorkers, durable_windows_per_sec,
               durable_overhead_pct, net_windows_per_sec, net_packets_per_sec,
               drive.connections,
               static_cast<unsigned long long>(net_stalls),
+              net_resume_packets_per_sec, net_shim_disabled_packets_per_sec,
               latency.quantile_us(0.5),
               latency.quantile_us(0.99), allocs_per_window, path.c_str());
   return 0;

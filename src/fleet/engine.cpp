@@ -200,6 +200,35 @@ SessionCursors FleetEngine::restore_session(int user_id,
   return cursors;
 }
 
+SessionCursors FleetEngine::cursors_for_resume(int user_id) {
+  SessionCursors cursors;  // {0, 0}: unknown user starts from the beginning
+  table_.if_session(table_.shard_of(user_id), user_id, [&](Session& s) {
+    cursors = s.cursors();
+    // The client will resend from the cursor; any overlap it chooses to
+    // include (its unacked tail) must shed quietly via the station dedupe
+    // rather than charge replay anomalies.
+    s.arm_resume_grace();
+  });
+  return cursors;
+}
+
+void FleetEngine::note_suspicion(int user_id) {
+  if (!config_.anti_replay.enabled) return;
+  table_.with_session(table_.shard_of(user_id), user_id, [&](Session& s) {
+    Session::Health& health = s.health();
+    health.suspicion += config_.anti_replay.suspicion_step;
+    if (!health.quarantined &&
+        health.suspicion >= config_.anti_replay.suspicion_threshold) {
+      health.quarantined = true;
+      ++health.quarantine_entries;
+      ++health.suspect_entries;
+      quarantine_entries_->add();
+      suspect_sessions_->add();
+      health.probe_countdown = config_.supervision.probe_interval;
+    }
+  });
+}
+
 bool FleetEngine::ingest(int user_id, wiot::Packet packet) {
   return ingest_impl(user_id, packet, /*blocking=*/true) ==
          IngestStatus::kAccepted;
@@ -507,10 +536,18 @@ void FleetEngine::process_one(WorkerState& self, Session& session,
       const std::uint32_t next =
           env.packet.kind == wiot::ChannelKind::kEcg ? cur.ecg : cur.abp;
       const std::uint32_t seq = env.packet.seq;
+      // A reconnecting client legitimately resends its unacked tail from
+      // behind the cursor; while the resume grace is armed those backward
+      // seqs fall through to the station dedupe instead of counting as
+      // replay anomalies. First forward-progress packet clears the grace.
       const bool replayed = seq < next &&
-                            next - seq > config_.anti_replay.replay_window;
+                            next - seq > config_.anti_replay.replay_window &&
+                            !session.resume_grace_active(env.packet.kind);
       spoofed_forward = config_.station.max_seq_jump != 0 && seq > next &&
                         seq - next > config_.station.max_seq_jump;
+      if (seq >= next && !spoofed_forward) {
+        session.clear_resume_grace(env.packet.kind);
+      }
       if (replayed || spoofed_forward) {
         ++health.seq_anomalies;
         seq_anomalies_->add();

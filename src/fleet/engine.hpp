@@ -237,6 +237,20 @@ class FleetEngine {
   /// @throws std::runtime_error on geometry mismatch or truncated state.
   SessionCursors restore_session(int user_id, io::StateReader& reader);
 
+  /// The per-channel durable ingest cursors a reconnecting client should
+  /// resume from, arming the session's resume grace so the client's unacked
+  /// tail (seqs just behind the cursor) sheds via the station dedupe
+  /// instead of charging replay anomalies. Never creates a session: an
+  /// unknown user gets {0, 0} (start from the beginning). Thread-safe
+  /// (shard lock), callable from the network thread.
+  SessionCursors cursors_for_resume(int user_id);
+
+  /// Charges one suspicion step against @p user_id's session — the hook a
+  /// transport-level abuse signal (per-connection rate limiting) uses to
+  /// feed the anti-replay quarantine machinery without fabricating a wire
+  /// anomaly. No-op when anti-replay is disabled.
+  void note_suspicion(int user_id);
+
   /// Refreshes the level gauges (queue depth, per-worker ring depth,
   /// residency, per-station aggregates) and returns the full JSON
   /// snapshot.

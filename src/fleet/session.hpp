@@ -105,6 +105,22 @@ class Session {
   }
   const SessionCursors& cursors() const noexcept { return cursors_; }
 
+  /// Arms a per-channel resume grace: the next packets on each channel may
+  /// sit *behind* the cursor without counting as replay anomalies, because a
+  /// reconnecting client legitimately resends its unacked tail (the station
+  /// dedupe sheds the duplicates). Grace is runtime-only state — never
+  /// checkpointed — since a restart severs every connection and each
+  /// reconnect re-queries its cursors and re-arms.
+  void arm_resume_grace() noexcept { resume_grace_[0] = resume_grace_[1] = true; }
+  bool resume_grace_active(wiot::ChannelKind kind) const noexcept {
+    return resume_grace_[kind == wiot::ChannelKind::kEcg ? 0 : 1];
+  }
+  /// Cleared on the first packet that makes forward progress on the channel
+  /// — from then on, backward seqs are anomalies again.
+  void clear_resume_grace(wiot::ChannelKind kind) noexcept {
+    resume_grace_[kind == wiot::ChannelKind::kEcg ? 0 : 1] = false;
+  }
+
   /// Serializes everything a restart needs to resume this session
   /// bit-identically: tier placement, health counters, ingest cursors, and
   /// the station's full reassembly state.
@@ -175,6 +191,7 @@ class Session {
   core::DetectorVersion home_tier_;
   Health health_;
   SessionCursors cursors_;
+  bool resume_grace_[2] = {false, false};  ///< [ecg, abp]; runtime-only
 };
 
 }  // namespace sift::fleet

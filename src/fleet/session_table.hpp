@@ -67,6 +67,21 @@ class SessionTable {
     fn(it->second);
   }
 
+  /// Like with_session, but never creates: runs @p fn only if the user
+  /// already has a session and returns whether it ran. This is what cursor
+  /// probes from the network plane use — an unknown user asking "where was
+  /// I?" must not fabricate a session (that would be a free session-table
+  /// fill attack).
+  template <typename Fn>
+  bool if_session(std::size_t shard_index, int user_id, Fn&& fn) {
+    Shard& shard = *shards_.at(shard_index);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.sessions.find(user_id);
+    if (it == shard.sessions.end()) return false;
+    fn(it->second);
+    return true;
+  }
+
   /// Visits every live session (shard by shard, under each shard's lock).
   template <typename Fn>
   void for_each(Fn&& fn) const {

@@ -81,9 +81,19 @@ NetServer::NetServer(fleet::FleetEngine& engine, NetServerConfig config,
   idle_timeouts_ = &metrics.counter("net.idle_timeouts");
   abandoned_ = &metrics.counter("net.packets_abandoned");
   fleet_rejected_ = &metrics.counter("fleet.packets_rejected");
+  reconnects_ = &metrics.counter("net.reconnects");
+  resumes_ = &metrics.counter("net.resumes");
+  stall_reaps_ = &metrics.counter("net.stall_reaps");
+  rate_limited_ = &metrics.counter("net.rate_limited");
+  accept_deferrals_ = &metrics.counter("net.accept_deferrals");
   open_gauge_ = &metrics.gauge("net.connections_open");
+  // Server-side injections surface in the same snapshot as everything else;
+  // the counter exists (at zero) even without a shim so dashboards and the
+  // serve final-stats line never miss the key.
+  fleet::Counter* faults_injected = &metrics.counter("net.faults_injected");
+  if (config_.faults) config_.faults->attach_counter(faults_injected);
 
-  next_idle_scan_ = std::chrono::steady_clock::now();
+  next_deadline_scan_ = std::chrono::steady_clock::now();
 }
 
 NetServer::~NetServer() { stop(); }
@@ -114,6 +124,23 @@ void NetServer::stop() {
   }
 }
 
+void NetServer::halt() {
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+  if (thread_.joinable()) thread_.join();
+  if (flushed_) return;
+  flushed_ = true;
+  // Crash semantics: drop everything in flight. Parked packets are counted
+  // abandoned by close_conn; decoded-but-undelivered frames simply vanish,
+  // exactly as they would under SIGKILL.
+  for (Connection& conn : slots_) {
+    if (conn.in_use) close_conn(conn);
+  }
+  listen_.reset();
+  const ParsedAddress parsed = parse_address(config_.listen);
+  if (parsed.is_unix) ::unlink(parsed.path.c_str());
+}
+
 void NetServer::poll_once(std::chrono::milliseconds max_wait) {
   if (flushed_) return;
   int timeout_ms = static_cast<int>(
@@ -127,6 +154,11 @@ void NetServer::poll_once(std::chrono::milliseconds max_wait) {
         timeout_ms,
         static_cast<int>(std::max<std::int64_t>(
             1, config_.idle_timeout.count() / 4)));
+  }
+  if (const auto stall = stall_deadline(); stall.count() > 0) {
+    timeout_ms = std::min<int>(
+        timeout_ms,
+        static_cast<int>(std::max<std::int64_t>(1, stall.count() / 4)));
   }
 
   std::array<epoll_event, 64> events;
@@ -168,11 +200,20 @@ void NetServer::poll_once(std::chrono::milliseconds max_wait) {
   }
 
   if (stalled_ > 0) retry_stalled();
-  if (config_.idle_timeout.count() > 0) scan_idle();
+  if (config_.idle_timeout.count() > 0 || stall_deadline().count() > 0) {
+    scan_deadlines();
+  }
 }
 
 void NetServer::accept_ready() {
-  for (;;) {
+  for (std::size_t accepted = 0;;) {
+    if (config_.accept_burst > 0 && accepted >= config_.accept_burst) {
+      // Yield back to the loop mid-flood: established connections get
+      // their readiness serviced before the next accept batch. The
+      // listener is level-triggered, so the backlog re-fires immediately.
+      accept_deferrals_->add();
+      return;
+    }
     const int fd =
         ::accept4(listen_.get(), nullptr, nullptr,
                   SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -180,6 +221,7 @@ void NetServer::accept_ready() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       return;  // EAGAIN, or a transient accept failure: retry next cycle
     }
+    ++accepted;
     if (free_slots_.empty()) {
       ::close(fd);
       refused_->add();
@@ -204,6 +246,12 @@ void NetServer::accept_ready() {
     conn.out.clear();
     conn.out_head = 0;
     conn.last_activity = std::chrono::steady_clock::now();
+    conn.id = next_conn_id_++;
+    conn.rx_offset = 0;
+    conn.tx_offset = 0;
+    conn.tokens = config_.rate_limit_burst > 0 ? config_.rate_limit_burst
+                                               : config_.rate_limit_pps;
+    conn.token_refill = conn.last_activity;
 
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -250,8 +298,12 @@ void NetServer::pump(Connection& conn) {
       return;
     }
     const ssize_t n =
-        ::recv(conn.fd.get(), scratch_.data(), scratch_.size(), 0);
+        config_.faults
+            ? config_.faults->recv(conn.id, conn.rx_offset, conn.fd.get(),
+                                   scratch_.data(), scratch_.size(), 0)
+            : ::recv(conn.fd.get(), scratch_.data(), scratch_.size(), 0);
     if (n > 0) {
+      conn.rx_offset += static_cast<std::uint64_t>(n);
       bytes_in_->add(static_cast<std::uint64_t>(n));
       conn.last_activity = std::chrono::steady_clock::now();
       conn.decoder.feed({scratch_.data(), static_cast<std::size_t>(n)});
@@ -275,9 +327,15 @@ NetServer::FrameAction NetServer::on_frame(
   try {
     switch (wire::message_type(payload)) {
       case wire::MsgType::kHello: {
-        if (wire::decode_hello(payload) != wire::kProtocolVersion) {
+        const wire::Hello hello = wire::decode_hello(payload);
+        if (hello.version != wire::kProtocolVersion) {
           protocol_errors_->add();
           return FrameAction::kClose;
+        }
+        // Count the reconnect announcement only on the connection's first
+        // hello — a mid-stream repeat is harmless but not a new reconnect.
+        if (!conn.greeted && (hello.flags & wire::kHelloFlagReconnect) != 0) {
+          reconnects_->add();
         }
         conn.greeted = true;
         return FrameAction::kContinue;
@@ -290,6 +348,14 @@ NetServer::FrameAction NetServer::on_frame(
         if (pool_) pool_->refill(conn.packet);
         const std::int32_t user = wire::decode_packet(payload, conn.packet);
         packets_in_->add();
+        if (config_.rate_limit_pps > 0 && !take_token(conn)) {
+          // Shed after decode (the stream stays framed) and make the flood
+          // expensive: each over-rate packet walks the wearer's session
+          // toward the anti-replay quarantine.
+          rate_limited_->add();
+          engine_.note_suspicion(user);
+          return FrameAction::kContinue;
+        }
         return offer(conn, user);
       }
       case wire::MsgType::kStatsRequest: {
@@ -300,8 +366,17 @@ NetServer::FrameAction NetServer::on_frame(
         send_stats(conn);
         return conn.in_use ? FrameAction::kContinue : FrameAction::kClose;
       }
+      case wire::MsgType::kCursorRequest: {
+        if (!conn.greeted) {
+          protocol_errors_->add();
+          return FrameAction::kClose;
+        }
+        send_cursors(conn, wire::decode_cursor_request(payload));
+        return conn.in_use ? FrameAction::kContinue : FrameAction::kClose;
+      }
       case wire::MsgType::kStatsReply:
-        break;  // a client message; the server never accepts one
+      case wire::MsgType::kCursorReply:
+        break;  // client messages; the server never accepts them
     }
   } catch (const wire::Error&) {
     // fall through to the protocol-error close
@@ -347,19 +422,59 @@ void NetServer::retry_stalled() {
   }
 }
 
-void NetServer::scan_idle() {
+std::chrono::milliseconds NetServer::stall_deadline() const noexcept {
+  if (config_.stall_timeout.count() > 0) return config_.stall_timeout;
+  // A stall is not idleness — the peer (or a hot shard) may legitimately
+  // need time — but it is not immunity either: default to 4× the idle
+  // deadline so a peer that never drains cannot park a slot forever.
+  if (config_.idle_timeout.count() > 0) return config_.idle_timeout * 4;
+  return std::chrono::milliseconds{0};
+}
+
+void NetServer::scan_deadlines() {
   const auto now = std::chrono::steady_clock::now();
-  if (now < next_idle_scan_) return;
-  next_idle_scan_ =
-      now + std::max<std::chrono::milliseconds>(
-                std::chrono::milliseconds(1), config_.idle_timeout / 4);
+  if (now < next_deadline_scan_) return;
+  auto cadence = std::chrono::milliseconds::max();
+  if (config_.idle_timeout.count() > 0) cadence = config_.idle_timeout / 4;
+  if (const auto stall = stall_deadline(); stall.count() > 0) {
+    cadence = std::min(cadence, stall / 4);
+  }
+  next_deadline_scan_ =
+      now + std::max<std::chrono::milliseconds>(std::chrono::milliseconds(1),
+                                                cadence);
+  const auto stall = stall_deadline();
   for (Connection& conn : slots_) {
-    if (!conn.in_use || conn.has_pending) continue;  // a stall is not idleness
-    if (now - conn.last_activity >= config_.idle_timeout) {
+    if (!conn.in_use) continue;
+    const auto quiet = now - conn.last_activity;
+    if (conn.has_pending || conn.want_write) {
+      // Stalled: a parked would-block packet, or a reply the peer refuses
+      // to drain. retry_pending/flush_out refresh last_activity on every
+      // inch of progress, so only a *stuck* stall ages past the deadline.
+      if (stall.count() > 0 && quiet >= stall) {
+        stall_reaps_->add();
+        close_conn(conn);  // conserves the parked packet in net.packets_abandoned
+      }
+      continue;
+    }
+    if (config_.idle_timeout.count() > 0 && quiet >= config_.idle_timeout) {
       idle_timeouts_->add();
       close_conn(conn);
     }
   }
+}
+
+bool NetServer::take_token(Connection& conn) {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - conn.token_refill).count();
+  conn.token_refill = now;
+  const double burst = config_.rate_limit_burst > 0 ? config_.rate_limit_burst
+                                                    : config_.rate_limit_pps;
+  conn.tokens =
+      std::min(burst, conn.tokens + elapsed * config_.rate_limit_pps);
+  if (conn.tokens < 1.0) return false;
+  conn.tokens -= 1.0;
+  return true;
 }
 
 void NetServer::send_stats(Connection& conn) {
@@ -376,13 +491,30 @@ void NetServer::send_stats(Connection& conn) {
   if (!flush_out(conn)) close_conn(conn);
 }
 
+void NetServer::send_cursors(Connection& conn, std::int32_t user_id) {
+  wire::Cursors cursors;
+  cursors.user_id = user_id;
+  const fleet::SessionCursors resumed = engine_.cursors_for_resume(user_id);
+  cursors.ecg = resumed.ecg;
+  cursors.abp = resumed.abp;
+  resumes_->add();
+  encoder_.cursor_reply(conn.out, cursors);
+  if (!flush_out(conn)) close_conn(conn);
+}
+
 bool NetServer::flush_out(Connection& conn) {
   while (conn.out_head < conn.out.size()) {
+    const std::uint8_t* data = conn.out.data() + conn.out_head;
+    const std::size_t len = conn.out.size() - conn.out_head;
     const ssize_t n =
-        ::send(conn.fd.get(), conn.out.data() + conn.out_head,
-               conn.out.size() - conn.out_head, MSG_NOSIGNAL);
+        config_.faults
+            ? config_.faults->send(conn.id, conn.tx_offset, conn.fd.get(),
+                                   data, len, MSG_NOSIGNAL)
+            : ::send(conn.fd.get(), data, len, MSG_NOSIGNAL);
     if (n >= 0) {
       conn.out_head += static_cast<std::size_t>(n);
+      conn.tx_offset += static_cast<std::uint64_t>(n);
+      if (n > 0) conn.last_activity = std::chrono::steady_clock::now();
       continue;
     }
     if (errno == EINTR) continue;

@@ -41,6 +41,7 @@
 
 #include "fleet/engine.hpp"
 #include "io/framed.hpp"
+#include "net/faults.hpp"
 #include "net/packet_pool.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
@@ -59,6 +60,30 @@ struct NetServerConfig {
   std::size_t read_chunk = 1u << 15;
   /// Idle connections are closed after this long without a byte (0 = never).
   std::chrono::milliseconds idle_timeout{0};
+  /// Stalled connections — a parked would-block packet or an undrained
+  /// reply — get their own, longer deadline: a peer that never drains (or a
+  /// shard that never frees) must not park a slot forever. 0 derives
+  /// 4 × idle_timeout; both zero = never reaped. Reaps count
+  /// net.stall_reaps and conserve the parked packet in
+  /// net.packets_abandoned.
+  std::chrono::milliseconds stall_timeout{0};
+  /// Per-connection leaky-bucket ingest rate limit (packets/second;
+  /// 0 = unlimited). An over-rate packet is dropped *after* decode — the
+  /// frame stream stays synchronised — and charges one suspicion step
+  /// against the wearer's session, so a flooding connection walks itself
+  /// into the anti-replay quarantine.
+  double rate_limit_pps = 0;
+  /// Bucket depth in packets (0 = rate_limit_pps, i.e. one second's worth).
+  double rate_limit_burst = 0;
+  /// Connections accepted per listener wakeup before yielding back to the
+  /// event loop (0 = unbounded). Bounds how long a connect flood can
+  /// starve established sessions; the listener stays level-triggered, so
+  /// deferred accepts fire on the next cycle (counted in
+  /// net.accept_deferrals).
+  std::size_t accept_burst = 64;
+  /// Wire-fault shim (non-owning, may be null). A disarmed shim is a plain
+  /// passthrough; see net/faults.hpp.
+  FaultyTransport* faults = nullptr;
 };
 
 class NetServer {
@@ -85,6 +110,12 @@ class NetServer {
   /// The listener is closed (and a unix socket path unlinked) so the
   /// address is immediately rebindable. Idempotent; not re-entrant.
   void stop();
+
+  /// Crash-stop for the kill-matrix tests: stops the loop and closes every
+  /// socket WITHOUT flushing parked packets or decoded frames into the
+  /// engine — the in-process equivalent of SIGKILL hitting the gateway,
+  /// leaving recovery to the durability layer. Idempotent with stop().
+  void halt();
 
   /// Runs one event-loop cycle on the CALLER's thread: wait (bounded by
   /// @p max_wait, shortened when stalls or idle scans are due), dispatch
@@ -118,6 +149,13 @@ class NetServer {
     std::chrono::steady_clock::time_point last_activity{};
     std::size_t slot = 0;
     bool in_use = false;
+    /// Monotonic per-accept id: the fault shim's schedule key, so slot
+    /// recycling does not replay a previous connection's fault schedule.
+    std::uint64_t id = 0;
+    std::uint64_t rx_offset = 0;  ///< cumulative bytes received (shim key)
+    std::uint64_t tx_offset = 0;  ///< cumulative bytes sent (shim key)
+    double tokens = 0;            ///< leaky-bucket level (packets)
+    std::chrono::steady_clock::time_point token_refill{};
   };
 
   enum class FrameAction { kContinue, kStall, kClose };
@@ -132,8 +170,15 @@ class NetServer {
   FrameAction offer(Connection& conn, std::int32_t user_id);
   bool retry_pending(Connection& conn);
   void retry_stalled();
-  void scan_idle();
+  /// Reaps idle connections against idle_timeout and stalled ones against
+  /// the (longer) stall deadline.
+  void scan_deadlines();
+  /// Effective stall deadline (stall_timeout, or 4 × idle_timeout; 0 = off).
+  std::chrono::milliseconds stall_deadline() const noexcept;
+  /// Refills and consumes one leaky-bucket token; false = over rate.
+  bool take_token(Connection& conn);
   void send_stats(Connection& conn);
+  void send_cursors(Connection& conn, std::int32_t user_id);
   /// @returns false when the socket errored (caller closes).
   bool flush_out(Connection& conn);
   void set_gated(Connection& conn, bool gate);
@@ -154,7 +199,8 @@ class NetServer {
   std::vector<std::uint8_t> scratch_;  ///< shared read buffer
   wire::Encoder encoder_;
   int stalled_ = 0;  ///< gated connections (drives the short retry tick)
-  std::chrono::steady_clock::time_point next_idle_scan_{};
+  std::chrono::steady_clock::time_point next_deadline_scan_{};
+  std::uint64_t next_conn_id_ = 1;
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::size_t> open_count_{0};
@@ -174,6 +220,11 @@ class NetServer {
   fleet::Counter* idle_timeouts_ = nullptr;
   fleet::Counter* abandoned_ = nullptr;
   fleet::Counter* fleet_rejected_ = nullptr;  ///< fleet.packets_rejected
+  fleet::Counter* reconnects_ = nullptr;      ///< hellos with the reconnect flag
+  fleet::Counter* resumes_ = nullptr;         ///< cursor queries served
+  fleet::Counter* stall_reaps_ = nullptr;     ///< stalled peers reaped
+  fleet::Counter* rate_limited_ = nullptr;    ///< packets shed by the bucket
+  fleet::Counter* accept_deferrals_ = nullptr;
   fleet::Gauge* open_gauge_ = nullptr;
 
   std::jthread thread_;  ///< last member: joins before teardown

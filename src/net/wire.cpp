@@ -34,11 +34,14 @@ void expect_type(io::StateReader& reader, MsgType want, const char* what) {
 
 }  // namespace
 
-void Encoder::hello(std::vector<std::uint8_t>& out) {
+void Encoder::hello(std::vector<std::uint8_t>& out, std::uint8_t flags) {
   payload_.clear();
   io::StateWriter w(payload_);
   w.u8(static_cast<std::uint8_t>(MsgType::kHello));
   w.u32(kProtocolVersion);
+  // Zero flags encode as the bare version-1 form, so a fresh connect is
+  // byte-identical to what pre-resume peers sent.
+  if (flags != 0) w.u8(flags);
   io::append_frame(out, payload_);
 }
 
@@ -89,20 +92,43 @@ void Encoder::stats_reply(std::vector<std::uint8_t>& out,
   io::append_frame(out, payload_);
 }
 
+void Encoder::cursor_request(std::vector<std::uint8_t>& out,
+                             std::int32_t user_id) {
+  payload_.clear();
+  io::StateWriter w(payload_);
+  w.u8(static_cast<std::uint8_t>(MsgType::kCursorRequest));
+  w.i32(user_id);
+  io::append_frame(out, payload_);
+}
+
+void Encoder::cursor_reply(std::vector<std::uint8_t>& out,
+                           const Cursors& cursors) {
+  payload_.clear();
+  io::StateWriter w(payload_);
+  w.u8(static_cast<std::uint8_t>(MsgType::kCursorReply));
+  w.i32(cursors.user_id);
+  w.u32(cursors.ecg);
+  w.u32(cursors.abp);
+  io::append_frame(out, payload_);
+}
+
 MsgType message_type(std::span<const std::uint8_t> payload) {
   if (payload.empty()) throw Error("wire: empty payload");
   const std::uint8_t type = payload[0];
   if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kStatsReply)) {
+      type > static_cast<std::uint8_t>(MsgType::kCursorReply)) {
     throw Error("wire: unknown message type " + std::to_string(type));
   }
   return static_cast<MsgType>(type);
 }
 
-std::uint32_t decode_hello(std::span<const std::uint8_t> payload) {
+Hello decode_hello(std::span<const std::uint8_t> payload) {
   return strict_decode(payload, "hello", [](io::StateReader& r) {
     expect_type(r, MsgType::kHello, "hello");
-    return r.u32();
+    Hello h;
+    h.version = r.u32();
+    if (!r.exhausted()) h.flags = r.u8();
+    return h;
   });
 }
 
@@ -145,6 +171,24 @@ Stats decode_stats_reply(std::span<const std::uint8_t> payload) {
     s.alerts = r.u64();
     s.connections_open = r.u64();
     return s;
+  });
+}
+
+std::int32_t decode_cursor_request(std::span<const std::uint8_t> payload) {
+  return strict_decode(payload, "cursor request", [](io::StateReader& r) {
+    expect_type(r, MsgType::kCursorRequest, "cursor request");
+    return r.i32();
+  });
+}
+
+Cursors decode_cursor_reply(std::span<const std::uint8_t> payload) {
+  return strict_decode(payload, "cursor reply", [](io::StateReader& r) {
+    expect_type(r, MsgType::kCursorReply, "cursor reply");
+    Cursors c;
+    c.user_id = r.i32();
+    c.ecg = r.u32();
+    c.abp = r.u32();
+    return c;
   });
 }
 

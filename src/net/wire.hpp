@@ -7,11 +7,18 @@
 // no struct memcpy — so the wire format is the checkpoint format's
 // grammar, read and written by the same primitives.
 //
-//   kHello         version handshake; must be a connection's first frame
+//   kHello         version handshake; must be a connection's first frame.
+//                  Carries an optional flags byte (absent = 0) so a
+//                  reconnecting client can announce itself without breaking
+//                  version-1 peers that send the bare 5-byte form.
 //   kPacket        one sensor packet for one wearer (the hot path)
 //   kStatsRequest  → kStatsReply: server-side counter snapshot, which is
 //                  what lets a load driver close the loop ("did everything
 //                  I sent come out the other side?") without a side channel
+//   kCursorRequest → kCursorReply: the per-user durable ingest cursors
+//                  (one per channel), which is what lets a reconnecting
+//                  client resume from exactly where the fleet's dedupe
+//                  state expects the stream to continue
 //
 // Decoders are strict: unknown type, short payload, oversized counts, or
 // trailing bytes all throw wire::Error. The server maps any decode throw
@@ -43,7 +50,12 @@ enum class MsgType : std::uint8_t {
   kPacket = 2,
   kStatsRequest = 3,
   kStatsReply = 4,
+  kCursorRequest = 5,
+  kCursorReply = 6,
 };
+
+/// Hello flags (a bitfield; absent on the wire = 0).
+inline constexpr std::uint8_t kHelloFlagReconnect = 0x1;
 
 /// Malformed payload (short, oversized, unknown type, trailing bytes).
 class Error : public std::runtime_error {
@@ -64,17 +76,34 @@ struct Stats {
   std::uint64_t connections_open = 0;
 };
 
+/// Decoded kHello payload.
+struct Hello {
+  std::uint32_t version = 0;
+  std::uint8_t flags = 0;  ///< kHelloFlag* bits; 0 when absent on the wire
+};
+
+/// Per-user durable ingest cursors carried by kCursorReply: one past the
+/// highest consumed sequence number per channel (0 = nothing consumed,
+/// i.e. start from the beginning).
+struct Cursors {
+  std::int32_t user_id = 0;
+  std::uint32_t ecg = 0;
+  std::uint32_t abp = 0;
+};
+
 /// Appends complete frames (header + CRC + payload) to caller-owned byte
 /// buffers. The payload scratch lives in the encoder, so steady-state
 /// encoding reuses its capacity and allocates nothing.
 class Encoder {
  public:
-  void hello(std::vector<std::uint8_t>& out);
+  void hello(std::vector<std::uint8_t>& out, std::uint8_t flags = 0);
   /// @throws Error when the packet exceeds the wire bounds.
   void packet(std::vector<std::uint8_t>& out, std::int32_t user_id,
               const wiot::Packet& packet);
   void stats_request(std::vector<std::uint8_t>& out);
   void stats_reply(std::vector<std::uint8_t>& out, const Stats& stats);
+  void cursor_request(std::vector<std::uint8_t>& out, std::int32_t user_id);
+  void cursor_reply(std::vector<std::uint8_t>& out, const Cursors& cursors);
 
  private:
   std::vector<std::uint8_t> payload_;
@@ -84,8 +113,9 @@ class Encoder {
 /// @throws Error on an empty payload or unknown type.
 MsgType message_type(std::span<const std::uint8_t> payload);
 
-/// @returns the peer's protocol version. @throws Error on malformed bytes.
-std::uint32_t decode_hello(std::span<const std::uint8_t> payload);
+/// @returns the peer's protocol version and flags (flags = 0 when the peer
+/// sent the bare version-only form). @throws Error on malformed bytes.
+Hello decode_hello(std::span<const std::uint8_t> payload);
 
 /// Decodes a kPacket payload into @p into, reusing its sample/peak buffer
 /// capacity (the zero-alloc wire→engine handoff), and returns the wearer's
@@ -95,5 +125,12 @@ std::int32_t decode_packet(std::span<const std::uint8_t> payload,
 
 /// @throws Error on malformed bytes.
 Stats decode_stats_reply(std::span<const std::uint8_t> payload);
+
+/// @returns the user id whose cursors are requested.
+/// @throws Error on malformed bytes.
+std::int32_t decode_cursor_request(std::span<const std::uint8_t> payload);
+
+/// @throws Error on malformed bytes.
+Cursors decode_cursor_reply(std::span<const std::uint8_t> payload);
 
 }  // namespace sift::net::wire

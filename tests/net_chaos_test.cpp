@@ -1,0 +1,447 @@
+// Gateway kill matrix: SIGKILL the ingest plane (in-process) at staggered
+// points while reconnect-with-resume clients stream over a chaotic wire,
+// restart it over the recovered durability state, and prove the final
+// per-user verdict journals are bit-identical to an uninterrupted run.
+//
+// This is the transport-resilience closure of the recovery suite: where
+// recovery_test re-feeds the stream from an in-process replay cursor, here
+// the *clients* carry the retransmission — each reconnect queries the
+// server's durable cursors, rewinds (or fast-forwards) to the fleet's real
+// frontier, and re-sends only what was never consumed. halt() models the
+// kill exactly: no connection flush, parked packets dropped, decoded frames
+// vanished; the journal additionally loses a random slice of its
+// un-barriered tail on every per-core segment, like a power cut catching N
+// write streams mid-frame.
+//
+// The base seed can be overridden via SIFT_CHAOS_SEED, so CI runs this
+// suite in the same seed matrix as the other chaos tests.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fleet/durable/durability.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/replay.hpp"
+#include "net/client.hpp"
+#include "net/faults.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+
+namespace sift::net {
+namespace {
+
+using fleet::FleetConfig;
+using fleet::FleetEngine;
+using fleet::ReplayConfig;
+using fleet::ReplayFixture;
+using fleet::durable::VerdictRecord;
+
+std::uint64_t base_seed() {
+  if (const char* env = std::getenv("SIFT_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+struct ScopedDir {
+  std::string path;
+  explicit ScopedDir(const std::string& tag) {
+    path = (std::filesystem::temp_directory_path() /
+            ("sift_netchaos_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScopedDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+class NetChaosTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kSessions = 24;
+  static constexpr std::size_t kConnections = 4;
+
+  static void SetUpTestSuite() {
+    ReplayConfig config;
+    config.sessions = kSessions;
+    config.seconds = 9.0;  // 3 windows, ~36 packets per session
+    config.distinct_users = 2;
+    config.train_seconds = 60.0;
+    fixture_ = new ReplayFixture(ReplayFixture::build(config));
+  }
+  static void TearDownTestSuite() {
+    delete fixture_;
+    fixture_ = nullptr;
+  }
+
+  static FleetConfig engine_config() {
+    FleetConfig config;
+    config.workers = 2;
+    config.shards = 4;
+    config.queue_capacity = 256;
+    config.model_cache_capacity = 2;
+    // Overlap after a crash rewind routinely exceeds the dedupe window; the
+    // resume grace, not window width, must absorb it.
+    config.anti_replay.replay_window = 4;
+    return config;
+  }
+
+  static std::string unique_address(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    return "unix:" + (std::filesystem::temp_directory_path() /
+                      ("sift_netchaos_" + tag + "_" +
+                       std::to_string(::getpid()) + "_" +
+                       std::to_string(counter++) + ".sock"))
+                         .string();
+  }
+
+  /// Merged per-core segments → canonical per-user seq-ordered streams.
+  static std::map<int, std::vector<VerdictRecord>> journal_by_user(
+      const std::string& dir) {
+    std::map<int, std::vector<VerdictRecord>> out;
+    for (const auto& rec :
+         fleet::durable::Durability::scan_merged(dir)) {
+      out[rec.user_id].push_back(rec);
+    }
+    for (auto& [user, recs] : out) {
+      std::stable_sort(recs.begin(), recs.end(),
+                       [](const VerdictRecord& a, const VerdictRecord& b) {
+                         return a.seq < b.seq;
+                       });
+    }
+    return out;
+  }
+
+  /// The uninterrupted reference: the whole cohort in-process, journaled.
+  static std::map<int, std::vector<VerdictRecord>> control_run(
+      const std::string& dir) {
+    fleet::durable::Durability durability(dir);
+    FleetConfig config = engine_config();
+    config.durability = &durability;
+    FleetEngine engine(fixture_->provider(), config);
+    for (std::size_t s = 0; s < fixture_->sessions(); ++s) {
+      for (const auto& packet : fixture_->session_packets(s)) {
+        engine.ingest(static_cast<int>(s), packet);
+      }
+    }
+    engine.drain();
+    durability.flush();
+    return journal_by_user(dir);
+  }
+
+  static void expect_journal_matches(
+      const std::map<int, std::vector<VerdictRecord>>& got,
+      const std::map<int, std::vector<VerdictRecord>>& want,
+      const std::string& label) {
+    ASSERT_EQ(got.size(), want.size()) << label;
+    for (const auto& [user, w] : want) {
+      ASSERT_TRUE(got.count(user)) << label << " user " << user;
+      const auto& g = got.at(user);
+      ASSERT_EQ(g.size(), w.size()) << label << " journal user " << user;
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        if (i > 0) {
+          EXPECT_LT(g[i - 1].seq, g[i].seq)
+              << label << " user " << user
+              << ": duplicate or reordered frame";
+        }
+        EXPECT_EQ(g[i].seq, w[i].seq) << label << " user " << user;
+        EXPECT_EQ(g[i].decision_value, w[i].decision_value)
+            << label << " user " << user << " frame " << i
+            << ": restart must be bit-identical";
+        EXPECT_EQ(g[i].tier, w[i].tier) << label << " user " << user;
+        EXPECT_EQ(g[i].flags, w[i].flags) << label << " user " << user;
+      }
+    }
+  }
+
+  static ReplayFixture* fixture_;
+};
+
+ReplayFixture* NetChaosTest::fixture_ = nullptr;
+
+// The headline matrix: 8 kill points spanning the stream — early (no
+// checkpoint yet: journal-only recovery, clients resume from a rewound or
+// zero cursor), mid (checkpointed), late (most of the stream durable) —
+// each with per-segment torn journal tails. Even points run a clean wire
+// (the restart alone forces the resume path); odd points also arm the
+// client-side fault shim, so mid-frame kills, resets, and short reads are
+// in flight when the gateway dies.
+TEST_F(NetChaosTest, KillAndRestartAtAnyPointRecoversExactlyOnce) {
+  ScopedDir control_dir("control");
+  const auto want = control_run(control_dir.path);
+  ASSERT_EQ(want.size(), kSessions);
+
+  std::uint64_t total_packets = 0;
+  for (std::size_t s = 0; s < fixture_->sessions(); ++s) {
+    total_packets += fixture_->session_packets(s).size();
+  }
+
+  constexpr int kKillPoints = 8;
+  for (int k = 0; k < kKillPoints; ++k) {
+    SCOPED_TRACE("kill point " + std::to_string(k));
+    ScopedDir dir("kill" + std::to_string(k));
+    const std::string address = unique_address("kill" + std::to_string(k));
+    std::mt19937_64 rng(base_seed() * 6271 + static_cast<std::uint64_t>(k));
+
+    // Kill when roughly this much of the cohort has streamed. Senders are
+    // paced so the stream cannot complete before the kill lands.
+    const std::uint64_t kill_at =
+        std::max<std::uint64_t>(1, total_packets * (k + 1) / 12);
+
+    NetFaultConfig fault_config;
+    if (k % 2 == 1) {
+      fault_config.seed = base_seed() * 1000 + static_cast<std::uint64_t>(k);
+      fault_config.partial_write_probability = 0.2;
+      fault_config.short_read_probability = 0.1;
+      fault_config.write_eagain_probability = 0.05;
+      fault_config.reset_probability = 0.03;
+      fault_config.midframe_kill_probability = 0.03;
+      fault_config.stall = std::chrono::milliseconds(1);
+    }
+    FaultyTransport shim(fault_config);
+
+    // Resuming senders, one per connection, partitioned like drive_load.
+    // They outlive the gateway's death and carry the retransmission.
+    std::vector<ResumeResult> results(kConnections);
+    std::atomic<int> done{0};
+    std::vector<std::jthread> senders;
+    for (std::size_t c = 0; c < kConnections; ++c) {
+      senders.emplace_back([&, c] {
+        ResumeConfig resume;
+        resume.address = address;
+        resume.give_up = std::chrono::milliseconds(120000);
+        resume.rate_hz = 40.0;  // paced: the kill always lands mid-stream
+        resume.conn_id = c + 1;
+        if (shim.armed()) resume.faults = &shim;
+        std::vector<std::pair<std::int32_t, const std::vector<wiot::Packet>*>>
+            sessions;
+        for (std::size_t s = c; s < fixture_->sessions(); s += kConnections) {
+          sessions.emplace_back(static_cast<std::int32_t>(s),
+                                &fixture_->session_packets(s));
+        }
+        results[c] = send_streams_resuming(resume, sessions);
+        done.fetch_add(1, std::memory_order_release);
+      });
+    }
+
+    // --- the doomed gateway: explicit barriers only.
+    {
+      fleet::durable::DurabilityConfig dc;
+      dc.journal.flush_interval = std::chrono::hours{24};
+      fleet::durable::Durability durability(dir.path, dc);
+      FleetConfig config = engine_config();
+      config.durability = &durability;
+      FleetEngine engine(fixture_->provider(), config);
+      NetServerConfig net_config;
+      net_config.listen = address;
+      NetServer server(engine, net_config);
+      server.start();
+
+      const auto& streamed =
+          engine.metrics().counter("net.packets_streamed");
+      bool checkpointed = false;
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(60);
+      while (streamed.value() < kill_at) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "gateway never reached the kill threshold";
+        // Kill points ≥ 2 get a mid-run checkpoint, so recovery exercises
+        // snapshot + journal; 0 and 1 recover from the journal alone.
+        if (k >= 2 && !checkpointed && streamed.value() >= kill_at / 2) {
+          durability.checkpoint(engine);
+          checkpointed = true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      server.halt();  // SIGKILL semantics: nothing in flight survives
+      engine.drain();
+      if (k % 2 == 1) {
+        // Odd points: a durable-but-uncheckpointed tail, so the torn cuts
+        // below land past the checkpoint barriers.
+        durability.flush();
+      }
+      // Power-cut the WAL: every per-core segment loses a random slice of
+      // its own un-barriered tail, some with trailing garbage.
+      for (std::size_t seg = 0; seg < durability.segment_count(); ++seg) {
+        const std::uint64_t barrier = durability.journal_barrier_bytes(seg);
+        const std::uint64_t durable =
+            durability.journal(seg).durable_bytes();
+        ASSERT_GE(durable, barrier);
+        const std::size_t cut =
+            static_cast<std::size_t>(rng() % (durable - barrier + 1));
+        const std::size_t junk = (k % 3 == 0) ? rng() % 12 : 0;
+        durability.journal(seg).simulate_crash(cut, junk);
+      }
+    }
+
+    // --- the restarted gateway: recover, rebind the same address, let the
+    // clients' reconnect loops find it and finish the job.
+    fleet::durable::Durability durability(dir.path);
+    FleetConfig config = engine_config();
+    config.durability = &durability;
+    FleetEngine engine(fixture_->provider(), config);
+    const fleet::durable::RecoveryResult recovered =
+        durability.recover_into(engine);
+    if (k >= 2) {
+      EXPECT_TRUE(recovered.checkpoint_loaded);
+    }
+    NetServerConfig net_config;
+    net_config.listen = address;
+    NetServer server(engine, net_config);
+    server.start();
+
+    const auto settle_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (done.load(std::memory_order_acquire) <
+           static_cast<int>(kConnections)) {
+      ASSERT_LT(std::chrono::steady_clock::now(), settle_deadline)
+          << "senders never finished after the restart";
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    senders.clear();  // join
+    for (std::size_t c = 0; c < kConnections; ++c) {
+      ASSERT_TRUE(results[c].completed) << "connection " << c;
+      EXPECT_GE(results[c].reconnects, 1u) << "connection " << c;
+      EXPECT_GE(results[c].resumes, 1u) << "connection " << c;
+    }
+    server.stop();
+    engine.drain();
+    durability.flush();
+
+    // Resume grace must have absorbed every re-sent overlap: a reconnect
+    // is not an attack, and must not look like one.
+    EXPECT_EQ(engine.metrics().counter("fleet.seq_anomalies").value(), 0u);
+    EXPECT_EQ(engine.metrics().counter("fleet.suspect_sessions").value(),
+              0u);
+    EXPECT_GE(engine.metrics().counter("net.reconnects").value(), 1u);
+    EXPECT_GE(engine.metrics().counter("net.resumes").value(), 1u);
+
+    expect_journal_matches(journal_by_user(dir.path), want,
+                           "kill " + std::to_string(k));
+  }
+}
+
+// Double restart, journal-only (no checkpoint is ever taken): the second
+// recovery rewinds the cursors all the way back past everything the torn
+// tail lost, and clients resume from wherever the fleet's frontier landed —
+// including from zero. Exactly-once must hold across BOTH crash boundaries.
+TEST_F(NetChaosTest, DoubleRestartWithJournalOnlyRecoveryIsExactlyOnce) {
+  ScopedDir control_dir("control2");
+  const auto want = control_run(control_dir.path);
+
+  ScopedDir dir("double");
+  const std::string address = unique_address("double");
+  std::uint64_t total_packets = 0;
+  for (std::size_t s = 0; s < fixture_->sessions(); ++s) {
+    total_packets += fixture_->session_packets(s).size();
+  }
+
+  std::vector<ResumeResult> results(kConnections);
+  std::atomic<int> done{0};
+  std::vector<std::jthread> senders;
+  for (std::size_t c = 0; c < kConnections; ++c) {
+    senders.emplace_back([&, c] {
+      ResumeConfig resume;
+      resume.address = address;
+      resume.give_up = std::chrono::milliseconds(120000);
+      resume.rate_hz = 40.0;
+      resume.conn_id = 100 + c;
+      std::vector<std::pair<std::int32_t, const std::vector<wiot::Packet>*>>
+          sessions;
+      for (std::size_t s = c; s < fixture_->sessions(); s += kConnections) {
+        sessions.emplace_back(static_cast<std::int32_t>(s),
+                              &fixture_->session_packets(s));
+      }
+      results[c] = send_streams_resuming(resume, sessions);
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  const std::uint64_t kill_points[2] = {total_packets / 4,
+                                        total_packets / 2};
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    fleet::durable::DurabilityConfig dc;
+    dc.journal.flush_interval = std::chrono::hours{24};
+    fleet::durable::Durability durability(dir.path, dc);
+    FleetConfig config = engine_config();
+    config.durability = &durability;
+    FleetEngine engine(fixture_->provider(), config);
+    if (round > 0) durability.recover_into(engine);
+    NetServerConfig net_config;
+    net_config.listen = address;
+    NetServer server(engine, net_config);
+    server.start();
+
+    const auto& streamed = engine.metrics().counter("net.packets_streamed");
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (streamed.value() < kill_points[round]) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    server.halt();
+    engine.drain();
+    durability.flush();  // a durable tail...
+    fleet::durable::Journal& journal = durability.journal(0);
+    // ...then tear half of it off segment 0 (no checkpoint: the whole file
+    // is un-barriered).
+    journal.simulate_crash(
+        static_cast<std::size_t>(journal.durable_bytes() / 2),
+        /*junk_bytes=*/3);
+  }
+
+  // Final incarnation: recover and let the senders finish.
+  fleet::durable::Durability durability(dir.path);
+  FleetConfig config = engine_config();
+  config.durability = &durability;
+  FleetEngine engine(fixture_->provider(), config);
+  const fleet::durable::RecoveryResult recovered =
+      durability.recover_into(engine);
+  EXPECT_FALSE(recovered.checkpoint_loaded);
+  EXPECT_GT(recovered.frames_replayed, 0u);
+  NetServerConfig net_config;
+  net_config.listen = address;
+  NetServer server(engine, net_config);
+  server.start();
+
+  const auto settle_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (done.load(std::memory_order_acquire) <
+         static_cast<int>(kConnections)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), settle_deadline)
+        << "senders never finished after the second restart";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  senders.clear();
+  for (std::size_t c = 0; c < kConnections; ++c) {
+    ASSERT_TRUE(results[c].completed) << "connection " << c;
+    EXPECT_GE(results[c].reconnects, 2u) << "connection " << c;
+  }
+  server.stop();
+  engine.drain();
+  durability.flush();
+
+  EXPECT_EQ(engine.metrics().counter("fleet.seq_anomalies").value(), 0u);
+  EXPECT_EQ(engine.metrics().counter("fleet.suspect_sessions").value(), 0u);
+  expect_journal_matches(journal_by_user(dir.path), want, "double restart");
+}
+
+}  // namespace
+}  // namespace sift::net

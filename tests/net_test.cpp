@@ -17,13 +17,16 @@
 #include <filesystem>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "alloc_guard.hpp"
 #include "fleet/durable/durability.hpp"
 #include "fleet/engine.hpp"
+#include "fleet/faults.hpp"
 #include "fleet/replay.hpp"
 #include "io/framed.hpp"
 #include "net/client.hpp"
@@ -186,7 +189,8 @@ TEST(WireTest, HelloAndStatsRoundTrip) {
   io::FrameReader reader(bytes);
   const auto hello = reader.next();
   ASSERT_TRUE(hello.has_value());
-  EXPECT_EQ(wire::decode_hello(*hello), wire::kProtocolVersion);
+  EXPECT_EQ(wire::decode_hello(*hello).version, wire::kProtocolVersion);
+  EXPECT_EQ(wire::decode_hello(*hello).flags, 0u);
   const auto reply = reader.next();
   ASSERT_TRUE(reply.has_value());
   const wire::Stats decoded = wire::decode_stats_reply(*reply);
@@ -218,13 +222,69 @@ TEST(WireTest, MalformedPayloadsThrow) {
   w.u32(0x7fffffff);  // sample count
   EXPECT_THROW(wire::decode_packet(hostile, scratch), wire::Error);
 
-  // Trailing bytes after a valid hello.
+  // Trailing bytes after a valid hello (one extra byte is the optional
+  // flags field, so the overrun needs two).
   std::vector<std::uint8_t> trailing;
   io::StateWriter w2(trailing);
   w2.u8(static_cast<std::uint8_t>(wire::MsgType::kHello));
   w2.u32(wire::kProtocolVersion);
   w2.u8(0xee);
+  w2.u8(0xdd);
   EXPECT_THROW(wire::decode_hello(trailing), wire::Error);
+}
+
+TEST(WireTest, HelloFlagsRoundTripAndBareFormStaysCompatible) {
+  // Flagged hello: the reconnect bit survives the round trip.
+  wire::Encoder encoder;
+  std::vector<std::uint8_t> flagged;
+  encoder.hello(flagged, wire::kHelloFlagReconnect);
+  io::FrameReader reader(flagged);
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  const wire::Hello hello = wire::decode_hello(*payload);
+  EXPECT_EQ(hello.version, wire::kProtocolVersion);
+  EXPECT_EQ(hello.flags, wire::kHelloFlagReconnect);
+
+  // Zero flags encode as the original 5-byte body, byte for byte — an old
+  // server never sees a byte it does not expect from a new client.
+  std::vector<std::uint8_t> bare, zero_flagged;
+  encoder.hello(bare);
+  encoder.hello(zero_flagged, 0);
+  EXPECT_EQ(bare, zero_flagged);
+  io::FrameReader bare_reader(bare);
+  const auto bare_payload = bare_reader.next();
+  ASSERT_TRUE(bare_payload.has_value());
+  EXPECT_EQ(bare_payload->size(), 5u);
+  EXPECT_EQ(wire::decode_hello(*bare_payload).flags, 0u);
+}
+
+TEST(WireTest, CursorFramesRoundTrip) {
+  wire::Encoder encoder;
+  std::vector<std::uint8_t> bytes;
+  encoder.cursor_request(bytes, 42);
+  wire::Cursors cursors;
+  cursors.user_id = 42;
+  cursors.ecg = 17;
+  cursors.abp = 9;
+  encoder.cursor_reply(bytes, cursors);
+
+  io::FrameReader reader(bytes);
+  const auto request = reader.next();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(wire::message_type(*request), wire::MsgType::kCursorRequest);
+  EXPECT_EQ(wire::decode_cursor_request(*request), 42);
+
+  const auto reply = reader.next();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(wire::message_type(*reply), wire::MsgType::kCursorReply);
+  const wire::Cursors decoded = wire::decode_cursor_reply(*reply);
+  EXPECT_EQ(decoded.user_id, 42);
+  EXPECT_EQ(decoded.ecg, 17u);
+  EXPECT_EQ(decoded.abp, 9u);
+
+  // Truncated cursor bodies must throw, not misparse.
+  std::vector<std::uint8_t> torn(reply->begin(), reply->end() - 2);
+  EXPECT_THROW(wire::decode_cursor_reply(torn), wire::Error);
 }
 
 TEST(WireTest, AddressGrammar) {
@@ -462,6 +522,109 @@ TEST(NetServerTest, IdleConnectionsAreReaped) {
   EXPECT_EQ(h.server->open_connections(), 0u);
 }
 
+TEST(NetServerTest, BackpressureStalledPeerIsReapedOnItsOwnDeadline) {
+  // A connection parked on a would-block packet is *stalled*, not idle: it
+  // must survive the idle deadline but not park a slot forever when the
+  // shard never frees. Overload-stall every shard so the rings stay full,
+  // and give stalls a short deadline of their own.
+  fleet::FaultConfig fault_config;
+  fault_config.overload_shards = {0, 1, 2, 3};
+  fault_config.overload_stall = std::chrono::milliseconds(150);
+  fleet::FaultInjector injector(fault_config);
+  FleetConfig config = base_config();
+  config.workers = 1;
+  config.queue_capacity = 8;
+  config.injector = &injector;
+  NetServerConfig net_config;
+  net_config.listen = unique_unix_address("stall");
+  net_config.stall_timeout = std::chrono::milliseconds(60);
+  Harness h(config, net_config);
+
+  Client client(h.address());
+  const auto& packets = shared_fixture().session_packets(0);
+  for (const auto& p : packets) client.send_packet(0, p);
+  client.flush();
+  ASSERT_TRUE(h.poll_until(
+      [&] { return h.counter("net.stall_reaps") == 1u; }));
+  EXPECT_GE(h.counter("net.packets_abandoned"), 1u);
+  EXPECT_EQ(h.counter("net.idle_timeouts"), 0u);
+  EXPECT_EQ(h.counter("net.connections_closed"), 1u);
+  EXPECT_EQ(h.server->open_connections(), 0u);
+  h.engine->drain();  // the queued remainder still classifies cleanly
+  EXPECT_EQ(h.counter("net.protocol_errors"), 0u);
+}
+
+TEST(NetServerTest, WriteStalledPeerIsReaped) {
+  // The other stall shape: a peer that never drains its replies. A
+  // persistent injected EAGAIN on the server's sends pins want_write with
+  // zero progress, so the stall deadline must reap the connection.
+  NetFaultConfig fault_config;
+  fault_config.write_eagain_probability = 1.0;
+  FaultyTransport shim(fault_config);
+  NetServerConfig net_config;
+  net_config.listen = unique_unix_address("wstall");
+  net_config.stall_timeout = std::chrono::milliseconds(60);
+  net_config.faults = &shim;
+  Harness h(base_config(), net_config);
+
+  Client client(h.address());
+  wire::Encoder encoder;
+  std::vector<std::uint8_t> request;
+  encoder.stats_request(request);
+  client.send_raw(request);  // flushes the buffered hello first
+  ASSERT_TRUE(h.poll_until(
+      [&] { return h.counter("net.stall_reaps") == 1u; }));
+  EXPECT_EQ(h.counter("net.connections_closed"), 1u);
+  EXPECT_EQ(h.server->open_connections(), 0u);
+  EXPECT_GE(shim.counts().write_eagain, 1u);
+  EXPECT_GE(h.counter("net.faults_injected"), 1u);
+}
+
+TEST(NetServerTest, RateLimitedFloodWalksItselfIntoQuarantine) {
+  // Over-rate packets are shed after decode (the stream stays framed, the
+  // connection stays up) and each one charges a suspicion step, so a
+  // flooding wearer trips the same quarantine an attack would.
+  NetServerConfig net_config;
+  net_config.listen = unique_unix_address("rate");
+  net_config.rate_limit_pps = 1.0;  // burst defaults to one packet
+  Harness h(base_config(), net_config);
+
+  Client client(h.address());
+  const auto& packets = shared_fixture().session_packets(0);
+  for (const auto& p : packets) client.send_packet(0, p);
+  client.flush();
+  ASSERT_TRUE(h.poll_until(
+      [&] { return h.counter("fleet.suspect_sessions") == 1u; }));
+  EXPECT_GE(h.counter("net.rate_limited"), 4u);
+  EXPECT_GE(h.counter("net.packets_streamed"), 1u);
+  EXPECT_LT(h.counter("net.packets_streamed"),
+            static_cast<std::uint64_t>(packets.size()));
+  EXPECT_EQ(h.counter("net.protocol_errors"), 0u);
+  EXPECT_EQ(h.counter("net.connections_closed"), 0u);
+  EXPECT_EQ(h.server->open_connections(), 1u);
+  h.engine->drain();
+}
+
+TEST(NetServerTest, AcceptBurstYieldsToEstablishedConnections) {
+  NetServerConfig net_config;
+  net_config.listen = unique_unix_address("burst");
+  net_config.accept_burst = 1;
+  Harness h(base_config(), net_config);
+
+  // A connect flood deeper than the burst: every connection must still be
+  // accepted (the listener is level-triggered), just not all in one wakeup.
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<Client>(h.address()));
+    clients.back()->flush();
+  }
+  ASSERT_TRUE(h.poll_until(
+      [&] { return h.counter("net.connections_accepted") == 4u; }));
+  EXPECT_GE(h.counter("net.accept_deferrals"), 1u);
+  EXPECT_EQ(h.counter("net.connections_refused"), 0u);
+  EXPECT_EQ(h.server->open_connections(), 4u);
+}
+
 TEST(NetServerTest, UnixAddressIsRebindableAfterStop) {
   const std::string address = unique_unix_address("rebind");
   {
@@ -552,8 +715,17 @@ TEST(NetServerTest, GracefulStopFlushesEveryDecodedFrame) {
 }
 
 TEST(NetServerTest, SteadyStateIngestPathIsAllocationFree) {
-  Harness h;
+  // The wire-fault shim stays compiled into both ends of the path; with
+  // every probability at zero it must be a pure passthrough — no
+  // injections, and no allocations charged to the loop below.
+  FaultyTransport shim{NetFaultConfig{}};
+  ASSERT_FALSE(shim.armed());
+  NetServerConfig net_config;
+  net_config.listen = unique_unix_address("alloc");
+  net_config.faults = &shim;
+  Harness h(base_config(), net_config);
   Client client(h.address());
+  client.set_faults(&shim, /*conn_id=*/999);
   const auto& warm_stream = shared_fixture().session_packets(0);
 
   // Warm-up: run a full session through so every capacity on the loop
@@ -619,6 +791,190 @@ TEST(NetServerTest, SteadyStateIngestPathIsAllocationFree) {
     EXPECT_EQ(guard.count(), 0u) << "per-frame ingest path allocated";
   }
   EXPECT_EQ(h.counter("net.protocol_errors"), 0u);
+  EXPECT_EQ(shim.counts().total(), 0u);
+  EXPECT_EQ(h.counter("net.faults_injected"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect with resume
+
+/// Sleep-polls a predicate (for tests that run the server's own loop
+/// thread, where poll_until would race the loop).
+template <typename Pred>
+bool wait_until(Pred&& pred, std::chrono::milliseconds timeout =
+                                 std::chrono::milliseconds(10000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+TEST(NetResumeTest, ReconnectQueriesCursorsAndResentOverlapShedsQuietly) {
+  // Golden: session 0 in-process, so the net run's window count is known.
+  FleetConfig config = base_config();
+  config.anti_replay.replay_window = 4;  // overlap depth must exceed this
+  const auto& packets = shared_fixture().session_packets(0);
+  std::uint64_t golden_windows = 0;
+  {
+    FleetEngine engine(shared_fixture().provider(), config);
+    for (const auto& p : packets) engine.ingest(0, p);
+    engine.drain();
+    golden_windows = engine.windows_classified();
+  }
+
+  Harness h(config);
+  h.server->start();
+  {
+    Client first(h.address());
+    for (const auto& p : packets) first.send_packet(0, p);
+    first.flush();
+    ASSERT_TRUE(wait_until([&] {
+      return h.counter("net.packets_streamed") == packets.size() &&
+             h.engine->windows_classified() == golden_windows;
+    }));
+    first.close();
+  }
+
+  // Reconnect: the cursor query must hand back exactly the per-channel
+  // ingest frontier (max seq + 1 over everything consumed).
+  Client second(h.address(), /*greet=*/true, wire::kHelloFlagReconnect);
+  const wire::Cursors cursors = second.cursors(0);
+  std::uint32_t want_ecg = 0, want_abp = 0;
+  for (const auto& p : packets) {
+    std::uint32_t& want =
+        p.kind == wiot::ChannelKind::kEcg ? want_ecg : want_abp;
+    want = std::max(want, p.seq + 1);
+  }
+  EXPECT_EQ(cursors.user_id, 0);
+  EXPECT_EQ(cursors.ecg, want_ecg);
+  EXPECT_EQ(cursors.abp, want_abp);
+
+  // Resend the WHOLE stream — an overlap far beyond the replay window.
+  // With the resume grace armed by the cursor query, every duplicate must
+  // shed via the station dedupe: no anomalies, no suspicion, no windows.
+  for (const auto& p : packets) second.send_packet(0, p);
+  second.flush();
+  ASSERT_TRUE(wait_until([&] {
+    return h.counter("net.packets_streamed") == 2 * packets.size();
+  }));
+  h.server->stop();
+  h.engine->drain();
+
+  EXPECT_EQ(h.counter("fleet.seq_anomalies"), 0u);
+  EXPECT_EQ(h.counter("fleet.suspect_sessions"), 0u);
+  EXPECT_EQ(h.counter("fleet.sessions_quarantined"), 0u);
+  EXPECT_EQ(h.engine->windows_classified(), golden_windows);
+  EXPECT_EQ(h.counter("net.reconnects"), 1u);
+  EXPECT_EQ(h.counter("net.resumes"), 1u);
+}
+
+TEST(NetResumeTest, CursorQueryForUnknownUserStartsFromZeroWithoutASession) {
+  Harness h;
+  h.server->start();
+  Client client(h.address());
+  const wire::Cursors cursors = client.cursors(777);
+  EXPECT_EQ(cursors.user_id, 777);
+  EXPECT_EQ(cursors.ecg, 0u);
+  EXPECT_EQ(cursors.abp, 0u);
+  // Anti-fabrication: querying must not have created session state.
+  h.server->stop();
+  (void)h.engine->metrics_json();  // refreshes the sessions_active gauge
+  EXPECT_EQ(h.engine->metrics().gauge("fleet.sessions_active").value(), 0);
+}
+
+TEST(NetResumeTest, ChaoticWireResumesToBitIdenticalVerdictStreams) {
+  // The tentpole's live half: clients whose every send/recv runs through an
+  // armed fault shim (resets, mid-frame kills, partial writes, short
+  // reads, stalls, spurious EAGAIN) must — via reconnect + cursor resume —
+  // deliver per-user journals bit-identical to an undisturbed in-process
+  // run. The schedule is a pure function of the seed, so a failure replays.
+  constexpr std::size_t kChaosUsers = 16;
+  fleet::durable::DurabilityConfig durable_config;
+  durable_config.journal.fsync_on_flush = false;
+  FleetConfig config = base_config();
+  config.anti_replay.replay_window = 4;
+
+  ScopedDir golden_dir("chaos_golden");
+  std::map<int, std::vector<VerdictRecord>> golden;
+  std::uint64_t golden_windows = 0, golden_alerts = 0;
+  {
+    fleet::durable::Durability durability(golden_dir.path, durable_config);
+    FleetConfig golden_config = config;
+    golden_config.durability = &durability;
+    FleetEngine engine(shared_fixture().provider(), golden_config);
+    for (std::size_t user = 0; user < kChaosUsers; ++user) {
+      for (const auto& packet : shared_fixture().session_packets(user)) {
+        engine.ingest(static_cast<int>(user), packet);
+      }
+    }
+    engine.drain();
+    golden_windows = engine.windows_classified();
+    golden_alerts = engine.alerts();
+    durability.flush();
+    golden = records_by_user(
+        fleet::durable::Durability::scan_merged(golden_dir.path));
+  }
+  ASSERT_EQ(golden.size(), kChaosUsers);
+
+  ScopedDir net_dir("chaos_net");
+  fleet::durable::Durability durability(net_dir.path, durable_config);
+  Harness h(config, {}, &durability);
+  h.server->start();
+
+  NetFaultConfig fault_config;
+  // Client writes coalesce into few large sends, so per-call rates are set
+  // high enough that connection-fatal faults certainly fire for this seed.
+  fault_config.seed = 20170605;
+  fault_config.partial_write_probability = 0.25;
+  fault_config.write_eagain_probability = 0.05;
+  fault_config.write_stall_probability = 0.02;
+  fault_config.read_stall_probability = 0.02;
+  fault_config.short_read_probability = 0.10;
+  fault_config.reset_probability = 0.05;
+  fault_config.midframe_kill_probability = 0.05;
+  fault_config.stall = std::chrono::milliseconds(1);
+  FaultyTransport shim(fault_config);
+
+  DriveConfig drive;
+  drive.address = h.address();
+  drive.connections = 4;
+  drive.faults = &shim;
+  drive.settle_timeout = std::chrono::milliseconds(120000);
+  std::vector<std::vector<wiot::Packet>> streams;
+  for (std::size_t s = 0; s < kChaosUsers; ++s) {
+    streams.push_back(shared_fixture().session_packets(s));
+  }
+  const DriveResult result = drive_load(drive, streams);
+  ASSERT_TRUE(result.settled);
+  EXPECT_GT(shim.counts().total(), 0u);
+  // Connection-fatal faults fired (deterministic for this seed), so the
+  // resume path actually ran.
+  EXPECT_GE(result.reconnects, 1u);
+  EXPECT_GE(result.resumes, 1u);
+
+  h.server->stop();
+  h.engine->drain();
+  durability.flush();
+
+  // Resent overlap must shed quietly: no anomalies, no quarantines.
+  EXPECT_EQ(h.counter("fleet.seq_anomalies"), 0u);
+  EXPECT_EQ(h.counter("fleet.suspect_sessions"), 0u);
+  EXPECT_EQ(h.engine->windows_classified(), golden_windows);
+  EXPECT_EQ(h.engine->alerts(), golden_alerts);
+
+  const auto net_records =
+      records_by_user(fleet::durable::Durability::scan_merged(net_dir.path));
+  ASSERT_EQ(net_records.size(), golden.size());
+  for (const auto& [user, records] : net_records) {
+    ASSERT_TRUE(golden.count(user)) << "unexpected user " << user;
+    const auto& golden_records = golden[user];
+    ASSERT_EQ(records.size(), golden_records.size()) << "user " << user;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      expect_record_eq(records[i], golden_records[i], user, i);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -121,7 +121,8 @@ def main():
                     f"{fleet_wps:.0f} < {fleet_floor:.0f}")
         for key in ("windows_per_sec_batched", "windows_per_sec_durable",
                     "batched_speedup", "net_windows_per_sec",
-                    "net_packets_per_sec"):
+                    "net_packets_per_sec", "net_resume_packets_per_sec",
+                    "net_shim_disabled_packets_per_sec"):
             if key in fleet:
                 base_val = float(base_fleet.get(key, 0.0))
                 note = (f" (baseline {base_val:.0f}, "

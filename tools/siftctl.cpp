@@ -19,7 +19,10 @@
 //                                         engine, print a metrics report
 //   siftctl serve [opts]                  run the network ingest gateway
 //   siftctl drive [opts]                  closed-loop load driver against
-//                                         a running gateway
+//                                         a running gateway (--chaos-net
+//                                         for wire-fault chaos senders)
+//   siftctl journal-dump <dir>            print a checkpoint dir's merged
+//                                         verdict journal
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -107,6 +110,13 @@ int usage() {
                "        [--pin-cores] [--shards N] [--queue-capacity N]\n"
                "        [--max-batch N] [--policy block|drop-oldest]\n"
                "        [--max-connections N] [--idle-timeout-ms MS]\n"
+               "        [--stall-timeout-ms MS]  reap write-stalled /\n"
+               "                         backpressure-parked peers (0 =\n"
+               "                         4 x idle timeout)\n"
+               "        [--rate-limit PPS]  per-connection leaky bucket;\n"
+               "                         over-rate packets are shed and\n"
+               "                         charge anti-replay suspicion\n"
+               "        [--accept-burst N]  accepts per listener wakeup\n"
                "        [--checkpoint-dir DIR] [--checkpoint-interval MS]\n"
                "        [--recover]\n"
                "        SIGTERM/SIGINT drain gracefully and print a final\n"
@@ -115,8 +125,18 @@ int usage() {
                "        [--connections N] [--users N] [--seconds S]\n"
                "        [--rate HZ] [--models K] [--seed N]\n"
                "        [--samples-per-packet N] [--settle-timeout-ms MS]\n"
+               "        [--chaos-net SEED]  run every connection through a\n"
+               "                         deterministic wire-fault shim\n"
+               "                         (partial writes, stalls, resets,\n"
+               "                         mid-frame kills) with reconnect-\n"
+               "                         with-resume senders\n"
+               "        [--resume]       resuming senders on a clean wire\n"
+               "                         (survives gateway restarts)\n"
                "        exits nonzero unless every packet sent was accounted\n"
-               "        for by the server\n");
+               "        for by the server\n"
+               "  journal-dump <dir>    print a checkpoint dir's merged\n"
+               "                        verdict journal, one line per\n"
+               "                        record in per-user seq order\n");
   return 2;
 }
 
@@ -608,6 +628,12 @@ int cmd_serve(std::span<const std::string> args) {
       net_config.max_connections = std::stoul(value);
     } else if (flag == "--idle-timeout-ms") {
       net_config.idle_timeout = std::chrono::milliseconds(std::stoul(value));
+    } else if (flag == "--stall-timeout-ms") {
+      net_config.stall_timeout = std::chrono::milliseconds(std::stoul(value));
+    } else if (flag == "--rate-limit") {
+      net_config.rate_limit_pps = std::stod(value);
+    } else if (flag == "--accept-burst") {
+      net_config.accept_burst = std::stoul(value);
     } else if (flag == "--checkpoint-dir") {
       checkpoint_dir = value;
     } else if (flag == "--checkpoint-interval") {
@@ -717,15 +743,35 @@ int cmd_serve(std::span<const std::string> args) {
           metrics.counter("net.protocol_errors").value()),
       static_cast<unsigned long long>(
           metrics.counter("net.idle_timeouts").value()));
+  std::fprintf(
+      stderr,
+      "serve: %llu reconnect(s), %llu resume(s), %llu stall reap(s), "
+      "%llu rate-limited packet(s), %llu fault(s) injected\n",
+      static_cast<unsigned long long>(
+          metrics.counter("net.reconnects").value()),
+      static_cast<unsigned long long>(metrics.counter("net.resumes").value()),
+      static_cast<unsigned long long>(
+          metrics.counter("net.stall_reaps").value()),
+      static_cast<unsigned long long>(
+          metrics.counter("net.rate_limited").value()),
+      static_cast<unsigned long long>(
+          metrics.counter("net.faults_injected").value()));
   std::printf("%s\n", engine.metrics_json().c_str());
   return 0;
 }
 
 int cmd_drive(std::span<const std::string> args) {
   net::DriveConfig config;
-  for (std::size_t i = 0; i + 1 < args.size(); i += 2) {
+  net::NetFaultConfig fault_config;
+  bool chaos_net = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
-    const std::string& value = args[i + 1];
+    if (flag == "--resume") {
+      config.resume = true;
+      continue;
+    }
+    if (i + 1 >= args.size()) return usage();
+    const std::string& value = args[++i];
     if (flag == "--connect") {
       config.address = value;
     } else if (flag == "--connections") {
@@ -744,11 +790,28 @@ int cmd_drive(std::span<const std::string> args) {
       config.samples_per_packet = std::stoul(value);
     } else if (flag == "--settle-timeout-ms") {
       config.settle_timeout = std::chrono::milliseconds(std::stoul(value));
+    } else if (flag == "--chaos-net") {
+      chaos_net = true;
+      fault_config.seed = std::stoull(value);
     } else {
       return usage();
     }
   }
-  if (config.address.empty() || args.size() % 2 != 0) return usage();
+  if (config.address.empty()) return usage();
+
+  // The same moderate schedule the chaos tests use: rough enough that every
+  // connection reconnects at least once on a real stream, gentle enough
+  // that the drive still settles inside its timeout.
+  if (chaos_net) {
+    fault_config.partial_write_probability = 0.2;
+    fault_config.short_read_probability = 0.1;
+    fault_config.write_eagain_probability = 0.05;
+    fault_config.reset_probability = 0.03;
+    fault_config.midframe_kill_probability = 0.03;
+    fault_config.stall = std::chrono::milliseconds(1);
+  }
+  net::FaultyTransport shim(fault_config);
+  if (chaos_net) config.faults = &shim;
 
   std::fprintf(stderr,
                "drive: %zu session(s) of %.0f s over %zu connection(s) "
@@ -768,7 +831,8 @@ int cmd_drive(std::span<const std::string> args) {
                static_cast<double>(delta(&net::wire::Stats::windows_classified)) /
                    result.total_seconds);
   std::printf("drive: sent=%llu accepted=%llu rejected=%llu windows=%llu "
-              "alerts=%llu frames=%llu settled=%d\n",
+              "alerts=%llu frames=%llu reconnects=%llu resumes=%llu "
+              "skipped=%llu settled=%d\n",
               static_cast<unsigned long long>(result.packets_sent),
               static_cast<unsigned long long>(
                   delta(&net::wire::Stats::packets_accepted)),
@@ -778,11 +842,38 @@ int cmd_drive(std::span<const std::string> args) {
                   delta(&net::wire::Stats::windows_classified)),
               static_cast<unsigned long long>(delta(&net::wire::Stats::alerts)),
               static_cast<unsigned long long>(delta(&net::wire::Stats::frames_in)),
+              static_cast<unsigned long long>(result.reconnects),
+              static_cast<unsigned long long>(result.resumes),
+              static_cast<unsigned long long>(result.packets_skipped),
               result.settled ? 1 : 0);
   if (!result.settled) {
     std::fprintf(stderr, "drive: NOT settled (server still owes packets)\n");
     return 1;
   }
+  return 0;
+}
+
+int cmd_journal_dump(std::span<const std::string> args) {
+  if (args.size() != 1) return usage();
+  // Merge every per-core segment and print per-user seq order — the same
+  // canonicalisation the chaos tests diff, so two dumps being byte-equal
+  // means the journals are equivalent no matter how many cores wrote them.
+  auto records = fleet::durable::Durability::scan_merged(args[0]);
+  std::stable_sort(records.begin(), records.end(),
+                   [](const fleet::durable::VerdictRecord& a,
+                      const fleet::durable::VerdictRecord& b) {
+                     if (a.user_id != b.user_id) return a.user_id < b.user_id;
+                     return a.seq < b.seq;
+                   });
+  for (const auto& rec : records) {
+    std::printf("user=%d seq=%llu decision=%.17g tier=%u flags=%u "
+                "faults=%u quarantine=%u\n",
+                rec.user_id, static_cast<unsigned long long>(rec.seq),
+                rec.decision_value, static_cast<unsigned>(rec.tier),
+                static_cast<unsigned>(rec.flags), rec.faults_total,
+                rec.quarantine_dropped);
+  }
+  std::fprintf(stderr, "journal-dump: %zu record(s)\n", records.size());
   return 0;
 }
 
@@ -807,6 +898,7 @@ int main(int argc, char** argv) {
     if (command == "fleet") return cmd_fleet(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "drive") return cmd_drive(args);
+    if (command == "journal-dump") return cmd_journal_dump(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "siftctl %s: %s\n", command.c_str(), e.what());
     return 1;
