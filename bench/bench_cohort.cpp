@@ -1,0 +1,245 @@
+// Cohort-pipeline throughput: raw signal archives in, a filled model
+// store out, at fleet scale.
+//
+// Synthesises a cohort of users (profile -> record -> injected duplicate
+// windows -> compressed archive) behind a CachingArchiveSource, then runs
+// the offline pipeline twice: an extraction-only pass that prices the
+// streaming decode + window walk + dedup (windows/sec, duplicates
+// included), and the full training pass that adds columnar feature
+// extraction, scaler/SVM fits for all three tiers, and the sharded
+// on-disk model store (users/sec). Archive synthesis happens inside both
+// timed phases — the pipeline's contract is "archives on demand", and the
+// LRU cache absorbs the donor-pattern re-reads exactly as it would for
+// disk-backed archives.
+//
+// `bench_cohort --json <path>` emits a machine-readable snapshot; the
+// window/dedup/model counters in it are seed-deterministic for fixed
+// settings, so tools/bench_check.py gates them bit-for-bit while the
+// rates get a noise tolerance. Defaults are sized for an interactive run
+// (1000 users, ~16 windows each); CI passes --users 256 and the
+// EXPERIMENTS.md cohort row uses --users 10000.
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cohort/archive.hpp"
+#include "cohort/model_store.hpp"
+#include "cohort/trainer.hpp"
+#include "core/trainer.hpp"
+#include "physio/dataset.hpp"
+#include "physio/user_profile.hpp"
+#include "simd/simd.hpp"
+
+namespace {
+
+using namespace sift;
+
+struct Options {
+  std::size_t users = 1000;
+  double seconds = 24.0;
+  std::size_t workers = 1;
+  double dup_frac = 0.5;
+  std::size_t donors = 2;
+  std::uint64_t seed = 2017;
+  std::string json_path;
+};
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // linux: KiB
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Scratch model-store directory, removed on exit.
+struct StoreDir {
+  std::string path;
+  StoreDir() {
+    path = (std::filesystem::temp_directory_path() /
+            ("sift_bench_cohort_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~StoreDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+int run(const Options& opt) {
+  core::SiftConfig sift_config;
+  const auto window_samples = static_cast<std::size_t>(
+      std::lround(sift_config.window_s * physio::kDefaultRateHz));
+  const auto stride_samples = static_cast<std::size_t>(
+      std::lround(sift_config.train_stride_s * physio::kDefaultRateHz));
+
+  const auto profiles = physio::synthetic_cohort(opt.users, opt.seed);
+  cohort::CachingArchiveSource archives(
+      [&](int user_id) {
+        const auto& profile =
+            profiles[static_cast<std::size_t>(user_id) % profiles.size()];
+        physio::Record record = physio::generate_record(
+            profile, opt.seconds, physio::kDefaultRateHz,
+            /*salt=*/static_cast<std::uint64_t>(user_id));
+        physio::inject_duplicate_windows(record, window_samples,
+                                         stride_samples, opt.dup_frac,
+                                         opt.seed ^
+                                             static_cast<std::uint64_t>(
+                                                 user_id));
+        return cohort::encode_archive(record, cohort::kDefaultChunkSamples);
+      },
+      // Donor pattern re-reads each archive donors+1 times; workers walk
+      // ids in claim order, so a few archives per worker stay hot.
+      std::max<std::size_t>(16, opt.workers * (opt.donors + 2)));
+
+  cohort::CohortConfig config;
+  config.sift = sift_config;
+  config.donors_per_user = opt.donors;
+  config.workers = opt.workers;
+  cohort::CohortTrainer trainer(archives.as_source(), config);
+
+  std::vector<int> user_ids(opt.users);
+  for (std::size_t i = 0; i < opt.users; ++i) {
+    user_ids[i] = static_cast<int>(i);
+  }
+
+  // Phase A: stream + window-walk + dedup only.
+  const auto extract_start = std::chrono::steady_clock::now();
+  const cohort::CohortStats extract = trainer.extract_only(user_ids);
+  const double extract_s = seconds_since(extract_start);
+  const double windows_per_sec =
+      extract_s > 0.0
+          ? static_cast<double>(extract.windows_extracted) / extract_s
+          : 0.0;
+
+  // Phase B: the full pipeline into a sharded store.
+  StoreDir dir;
+  cohort::ModelStore store(dir.path);
+  const auto train_start = std::chrono::steady_clock::now();
+  const cohort::CohortStats trained = trainer.train(user_ids, store);
+  const double train_s = seconds_since(train_start);
+  const double users_per_sec =
+      train_s > 0.0 ? static_cast<double>(trained.users_trained) / train_s
+                    : 0.0;
+
+  const double dedup_ratio =
+      trained.windows_extracted > 0
+          ? static_cast<double>(trained.dedup_hits) /
+                static_cast<double>(trained.windows_extracted)
+          : 0.0;
+
+  if (!opt.json_path.empty()) {
+    std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_cohort: cannot open %s\n",
+                   opt.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"cohort_train\",\n"
+        "  \"users\": %zu,\n"
+        "  \"seconds_per_user\": %.1f,\n"
+        "  \"workers\": %zu,\n"
+        "  \"donors_per_user\": %zu,\n"
+        "  \"dup_frac\": %.3f,\n"
+        "  \"seed\": %llu,\n"
+        "  \"simd_level\": \"%s\",\n"
+        "  \"windows\": %llu,\n"
+        "  \"dedup_hits\": %llu,\n"
+        "  \"dedup_ratio\": %.4f,\n"
+        "  \"hash_collisions\": %llu,\n"
+        "  \"unique_rows\": %llu,\n"
+        "  \"models_written\": %llu,\n"
+        "  \"windows_per_sec\": %.1f,\n"
+        "  \"users_per_sec\": %.2f,\n"
+        "  \"extract_seconds\": %.2f,\n"
+        "  \"train_seconds\": %.2f,\n"
+        "  \"archive_cache_hits\": %llu,\n"
+        "  \"archive_cache_misses\": %llu,\n"
+        "  \"peak_rss_mb\": %.1f\n"
+        "}\n",
+        opt.users, opt.seconds, opt.workers, opt.donors, opt.dup_frac,
+        static_cast<unsigned long long>(opt.seed),
+        simd::to_string(simd::active_level()),
+        static_cast<unsigned long long>(trained.windows_extracted),
+        static_cast<unsigned long long>(trained.dedup_hits), dedup_ratio,
+        static_cast<unsigned long long>(trained.hash_collisions),
+        static_cast<unsigned long long>(trained.rows_stored),
+        static_cast<unsigned long long>(trained.models_written),
+        windows_per_sec, users_per_sec, extract_s, train_s,
+        static_cast<unsigned long long>(archives.hits()),
+        static_cast<unsigned long long>(archives.misses()), peak_rss_mb());
+    std::fclose(f);
+  }
+  std::printf(
+      "cohort: %zu users x %.0f s (%zu workers, %s) -> extract %.0f "
+      "windows/s (%llu windows, %llu dup hits, ratio %.3f), train %.1f "
+      "users/s (%llu models, %llu unique rows, %.2f s), peak rss %.0f MB\n",
+      opt.users, opt.seconds, opt.workers,
+      simd::to_string(simd::active_level()), windows_per_sec,
+      static_cast<unsigned long long>(trained.windows_extracted),
+      static_cast<unsigned long long>(trained.dedup_hits), dedup_ratio,
+      users_per_sec, static_cast<unsigned long long>(trained.models_written),
+      static_cast<unsigned long long>(trained.rows_stored), train_s,
+      peak_rss_mb());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_cohort: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--users") {
+      opt.users = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--seconds") {
+      opt.seconds = std::strtod(next(), nullptr);
+    } else if (arg == "--workers") {
+      opt.workers = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--dup-frac") {
+      opt.dup_frac = std::strtod(next(), nullptr);
+    } else if (arg == "--donors") {
+      opt.donors = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--json") {
+      opt.json_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_cohort [--users N] [--seconds S] "
+                   "[--workers W] [--dup-frac F] [--donors K] [--seed S] "
+                   "[--json PATH]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  if (opt.users == 0 || opt.workers == 0) {
+    std::fprintf(stderr, "bench_cohort: --users and --workers must be > 0\n");
+    return 2;
+  }
+  return run(opt);
+}

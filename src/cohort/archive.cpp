@@ -1,0 +1,246 @@
+#include "cohort/archive.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace sift::cohort {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'I', 'F', 'T', 'A', 'R', 'C', '1'};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// XOR-compresses one channel's samples. The predecessor starts at bit
+/// pattern 0, so the first sample costs its full 8 bytes and every later
+/// one costs only the bytes in which it differs from its neighbour.
+void put_samples(std::vector<std::uint8_t>& out, std::span<const double> xs) {
+  std::uint64_t prev = 0;
+  for (double x : xs) {
+    const std::uint64_t bitsx = std::bit_cast<std::uint64_t>(x);
+    std::uint64_t diff = bitsx ^ prev;
+    prev = bitsx;
+    std::uint8_t n_bytes = 0;
+    for (std::uint64_t d = diff; d != 0; d >>= 8) ++n_bytes;
+    out.push_back(n_bytes);
+    for (std::uint8_t i = 0; i < n_bytes; ++i) {
+      out.push_back(static_cast<std::uint8_t>(diff >> (8 * i)));
+    }
+  }
+}
+
+/// Peaks in [base, base + n), rebased to the chunk and delta-varint coded.
+void put_peaks(std::vector<std::uint8_t>& out,
+               const std::vector<std::size_t>& peaks, std::size_t base,
+               std::size_t n) {
+  std::size_t count = 0;
+  const std::size_t count_pos = out.size();
+  put_u32(out, 0);  // patched below
+  std::uint64_t prev = 0;
+  for (std::size_t p : peaks) {
+    if (p < base || p >= base + n) continue;
+    const std::uint64_t rel = p - base;
+    put_varint(out, rel - prev);
+    prev = rel;
+    ++count;
+  }
+  const auto c = static_cast<std::uint32_t>(count);
+  out[count_pos] = static_cast<std::uint8_t>(c);
+  out[count_pos + 1] = static_cast<std::uint8_t>(c >> 8);
+  out[count_pos + 2] = static_cast<std::uint8_t>(c >> 16);
+  out[count_pos + 3] = static_cast<std::uint8_t>(c >> 24);
+}
+
+struct Cursor {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+  bool ok = true;
+
+  std::uint32_t u32() {
+    if (end - p < 4) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    std::memcpy(&v, p, 4);
+    p += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (end - p < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, 8);
+    p += 8;
+    return v;
+  }
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (p < end) {
+      const std::uint8_t b = *p++;
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+      if (shift > 63) break;
+    }
+    ok = false;
+    return 0;
+  }
+};
+
+bool get_samples(Cursor& c, std::size_t n, std::vector<double>& out) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (c.p >= c.end) return false;
+    const std::uint8_t n_bytes = *c.p++;
+    if (n_bytes > 8 || c.end - c.p < n_bytes) return false;
+    std::uint64_t diff = 0;
+    for (std::uint8_t b = 0; b < n_bytes; ++b) {
+      diff |= static_cast<std::uint64_t>(c.p[b]) << (8 * b);
+    }
+    c.p += n_bytes;
+    prev ^= diff;
+    out.push_back(std::bit_cast<double>(prev));
+  }
+  return true;
+}
+
+bool get_peaks(Cursor& c, std::size_t base, std::size_t n,
+               std::vector<std::size_t>& out) {
+  const std::uint32_t count = c.u32();
+  if (!c.ok) return false;
+  std::uint64_t rel = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    rel += c.varint();
+    if (!c.ok || rel >= n) return false;
+    out.push_back(base + rel);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_archive(const physio::Record& rec,
+                                         std::size_t chunk_samples) {
+  if (rec.ecg.size() != rec.abp.size()) {
+    throw std::invalid_argument("encode_archive: ECG/ABP length mismatch");
+  }
+  if (rec.ecg.empty() || chunk_samples == 0) {
+    throw std::invalid_argument("encode_archive: empty record or chunk");
+  }
+
+  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> payload;
+  payload.insert(payload.end(), kMagic, kMagic + sizeof(kMagic));
+  put_u32(payload, static_cast<std::uint32_t>(rec.user_id));
+  put_u64(payload, std::bit_cast<std::uint64_t>(rec.ecg.sample_rate_hz()));
+  put_u32(payload, static_cast<std::uint32_t>(chunk_samples));
+  put_u64(payload, rec.ecg.size());
+  io::append_frame(out, payload);
+
+  const std::size_t total = rec.ecg.size();
+  for (std::size_t base = 0; base < total; base += chunk_samples) {
+    const std::size_t n = std::min(chunk_samples, total - base);
+    payload.clear();
+    put_u32(payload, static_cast<std::uint32_t>(n));
+    put_samples(payload, rec.ecg.samples().subspan(base, n));
+    put_samples(payload, rec.abp.samples().subspan(base, n));
+    put_peaks(payload, rec.r_peaks, base, n);
+    put_peaks(payload, rec.systolic_peaks, base, n);
+    io::append_frame(out, payload);
+  }
+  return out;
+}
+
+ArchiveReader::ArchiveReader(std::span<const std::uint8_t> bytes)
+    : frames_(bytes) {
+  const auto header = frames_.next();
+  if (!header || header->size() < sizeof(kMagic) + 4 + 8 + 4 + 8 ||
+      std::memcmp(header->data(), kMagic, sizeof(kMagic)) != 0) {
+    return;
+  }
+  Cursor c{header->data() + sizeof(kMagic), header->data() + header->size()};
+  user_id_ = static_cast<int>(c.u32());
+  rate_hz_ = std::bit_cast<double>(c.u64());
+  c.u32();  // chunk_samples: informational; chunks carry their own count
+  total_samples_ = c.u64();
+  valid_ = c.ok && rate_hz_ > 0.0;
+}
+
+bool ArchiveReader::next_chunk(std::vector<double>& ecg,
+                               std::vector<double>& abp,
+                               std::vector<std::size_t>& r_peaks,
+                               std::vector<std::size_t>& sys_peaks) {
+  ecg.clear();
+  abp.clear();
+  r_peaks.clear();
+  sys_peaks.clear();
+  if (!valid_) return false;
+  const auto frame = frames_.next();
+  if (!frame) {
+    torn_ = frames_.torn();
+    return false;
+  }
+  Cursor c{frame->data(), frame->data() + frame->size()};
+  const std::uint32_t n = c.u32();
+  const std::size_t base = samples_read_;
+  if (!c.ok || n == 0 || !get_samples(c, n, ecg) || !get_samples(c, n, abp) ||
+      !get_peaks(c, base, n, r_peaks) || !get_peaks(c, base, n, sys_peaks)) {
+    // A CRC-intact frame with malformed contents: treat like a torn tail.
+    ecg.clear();
+    abp.clear();
+    r_peaks.clear();
+    sys_peaks.clear();
+    valid_ = false;
+    torn_ = true;
+    return false;
+  }
+  samples_read_ += n;
+  return true;
+}
+
+physio::Record decode_archive(std::span<const std::uint8_t> bytes) {
+  ArchiveReader reader(bytes);
+  if (!reader.valid()) {
+    throw std::runtime_error("decode_archive: bad archive header");
+  }
+  physio::Record rec;
+  rec.user_id = reader.user_id();
+  rec.ecg = signal::Series(reader.rate_hz());
+  rec.abp = signal::Series(reader.rate_hz());
+  std::vector<double> ecg;
+  std::vector<double> abp;
+  std::vector<std::size_t> r;
+  std::vector<std::size_t> s;
+  while (reader.next_chunk(ecg, abp, r, s)) {
+    for (double x : ecg) rec.ecg.push_back(x);
+    for (double x : abp) rec.abp.push_back(x);
+    rec.r_peaks.insert(rec.r_peaks.end(), r.begin(), r.end());
+    rec.systolic_peaks.insert(rec.systolic_peaks.end(), s.begin(), s.end());
+  }
+  return rec;
+}
+
+}  // namespace sift::cohort

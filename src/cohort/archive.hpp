@@ -1,0 +1,82 @@
+// Compressed per-user signal archives — the at-rest form a cohort-scale
+// training corpus takes (one file per wearer, written once by ingestion,
+// streamed many times by the trainer).
+//
+// The format reuses the fleet's CRC-framed grammar (io/framed.hpp): one
+// header frame followed by chunk frames of ~4096 samples each, so a torn
+// tail truncates to the last intact chunk exactly like the WAL does.
+// Samples are compressed Gorilla-style — XOR of consecutive IEEE-754 bit
+// patterns, then only the significant low-order bytes of the XOR are
+// stored (neighbouring physiological samples share sign, exponent and the
+// top of the mantissa, so the XOR's high bytes are zero). The encoding is
+// LOSSLESS: decode returns the exact input doubles, which is what lets the
+// columnar cohort trainer produce bit-identical models to the in-memory
+// path. Peak annotations are delta-varint coded per chunk.
+//
+// Every chunk decodes independently (the XOR predecessor resets per
+// chunk), so a streaming reader holds one chunk of state, never the whole
+// record.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "io/framed.hpp"
+#include "physio/dataset.hpp"
+
+namespace sift::cohort {
+
+/// Default samples per chunk frame: ~11 s at 360 Hz, ~74 KB worst-case
+/// payload — far under io::kMaxFramePayload.
+inline constexpr std::size_t kDefaultChunkSamples = 4096;
+
+/// Serialises one record (both channels plus peak annotations) into a
+/// framed archive. ECG and ABP must be the same length.
+/// @throws std::invalid_argument on length mismatch or empty record.
+std::vector<std::uint8_t> encode_archive(
+    const physio::Record& rec, std::size_t chunk_samples = kDefaultChunkSamples);
+
+/// Streaming archive reader: hands back one decoded chunk at a time so the
+/// extractor never materialises the whole record. Peak indexes come back
+/// as absolute stream positions. Chunk buffers are caller-owned and reused
+/// (cleared, capacity kept), so steady-state reading allocates nothing.
+class ArchiveReader {
+ public:
+  /// Parses the header frame. valid() is false on a missing/corrupt
+  /// header; the bytes must outlive the reader.
+  explicit ArchiveReader(std::span<const std::uint8_t> bytes);
+
+  bool valid() const noexcept { return valid_; }
+  int user_id() const noexcept { return user_id_; }
+  double rate_hz() const noexcept { return rate_hz_; }
+  std::uint64_t total_samples() const noexcept { return total_samples_; }
+
+  /// Decodes the next chunk into the caller's buffers (cleared first).
+  /// Returns false at end of stream — including a torn tail, after which
+  /// torn() distinguishes clean EOF from truncation.
+  bool next_chunk(std::vector<double>& ecg, std::vector<double>& abp,
+                  std::vector<std::size_t>& r_peaks,
+                  std::vector<std::size_t>& sys_peaks);
+
+  /// True once the underlying frame stream ended on a truncated or
+  /// corrupt frame (the decoded prefix is still trustworthy).
+  bool torn() const noexcept { return torn_; }
+  std::size_t samples_read() const noexcept { return samples_read_; }
+
+ private:
+  io::FrameReader frames_;
+  bool valid_ = false;
+  bool torn_ = false;
+  int user_id_ = 0;
+  double rate_hz_ = 0.0;
+  std::uint64_t total_samples_ = 0;
+  std::size_t samples_read_ = 0;
+};
+
+/// Whole-record decode (tests and small tools; the trainer streams).
+/// @throws std::runtime_error on a missing/corrupt header.
+physio::Record decode_archive(std::span<const std::uint8_t> bytes);
+
+}  // namespace sift::cohort

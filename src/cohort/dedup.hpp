@@ -1,0 +1,67 @@
+// Content-hash deduplication of training windows.
+//
+// Real longitudinal archives repeat themselves: sensor freezes replay the
+// last buffer, transport retries back-fill the same segment twice, pipeline
+// restarts re-ingest overlap. Training on the duplicates wastes extraction
+// and SVM time without adding information, so the cohort trainer drops
+// them. A window's identity is its exact content — both channels' raw
+// IEEE-754 sample bytes plus the rebased peak indexes. The 64-bit content
+// hash (a splitmix64 mix chain over quantised samples) is only a bucket
+// key; every hash hit is verified by memcmp against the stored first
+// occurrence, so two windows deduplicate iff they are bit-identical and a
+// hash collision can never silently drop a unique window (it is counted
+// instead).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace sift::cohort {
+
+class WindowDedup {
+ public:
+  /// True when the window is new (the caller should train on it); false
+  /// when an identical window was already inserted. The first occurrence's
+  /// content bytes are retained for collision verification.
+  bool insert(std::span<const double> ecg, std::span<const double> abp,
+              std::span<const std::size_t> r_peaks,
+              std::span<const std::size_t> sys_peaks);
+
+  /// Drops all remembered windows (per-user scope) but keeps buffer
+  /// capacity for the next user.
+  void reset() {
+    table_.clear();
+    table_size_ = 0;
+    hits_ = 0;
+    collisions_ = 0;
+  }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  /// Distinct windows with equal hashes but different bytes — expected to
+  /// stay 0 in practice; a nonzero value is benign (the window trains).
+  std::uint64_t collisions() const noexcept { return collisions_; }
+  std::size_t unique_windows() const noexcept { return table_size_; }
+
+ private:
+  std::uint64_t hash_window(std::span<const double> ecg,
+                            std::span<const double> abp,
+                            std::span<const std::size_t> r_peaks,
+                            std::span<const std::size_t> sys_peaks) const;
+  void serialize_window(std::span<const double> ecg,
+                        std::span<const double> abp,
+                        std::span<const std::size_t> r_peaks,
+                        std::span<const std::size_t> sys_peaks,
+                        std::vector<std::uint8_t>& out) const;
+
+  std::unordered_map<std::uint64_t, std::vector<std::vector<std::uint8_t>>>
+      table_;
+  std::vector<std::uint8_t> scratch_;
+  std::size_t table_size_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace sift::cohort

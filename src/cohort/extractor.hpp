@@ -1,0 +1,106 @@
+// Streaming window extraction over archived signal chunks.
+//
+// The offline trainer must walk archives far larger than it wants resident
+// (a year of 360 Hz dual-channel doubles is ~45 GB/user at fleet scale),
+// so extraction is a push pipeline in the style of on-device feature
+// extractors: chunks of each channel are fed as they decode, every
+// complete (window, stride) position is emitted exactly once, and the
+// rolling buffers compact behind the last emitted window. The two channels
+// feed independently — that is what makes the substitution-attack positive
+// class free: stream the donor's ECG against the wearer's ABP and the
+// extractor produces exactly the windows core::train_user_model's
+// hybrid_record would (windows stop at the shorter channel, matching the
+// min-length truncation there).
+//
+// FeatureRowExtractor turns one emitted window into feature rows for any
+// of the paper's detector tiers, reusing portrait/count-matrix storage
+// across windows (the same WindowScratch discipline as the device hot
+// path). Feature values are bit-identical to core::extract_window_features
+// on the equivalent in-memory record.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/window_scratch.hpp"
+
+namespace sift::cohort {
+
+class StreamingWindowExtractor {
+ public:
+  struct Config {
+    std::size_t window_samples = 0;
+    std::size_t stride_samples = 0;
+  };
+
+  /// One complete window; peak indexes are window-relative, channels are
+  /// window_samples long. Spans are valid only during the call.
+  using WindowFn = std::function<void(
+      std::span<const double> ecg, std::span<const double> abp,
+      std::span<const std::size_t> r_peaks,
+      std::span<const std::size_t> sys_peaks)>;
+
+  /// Re-arms for a new stream, keeping buffer capacity.
+  /// @throws std::invalid_argument on a zero window or stride.
+  void reset(const Config& config);
+
+  /// Appends channel data. Peak indexes are absolute stream positions and
+  /// must arrive in ascending order.
+  void feed_ecg(std::span<const double> samples,
+                std::span<const std::size_t> r_peaks);
+  void feed_abp(std::span<const double> samples,
+                std::span<const std::size_t> sys_peaks);
+
+  /// Emits every window both channels now cover, then compacts the
+  /// buffers. Call after each feed (or batch of feeds).
+  void drain(const WindowFn& fn);
+
+  std::size_t windows_emitted() const noexcept { return windows_emitted_; }
+  /// Samples of the shorter channel so far (the walkable stream length).
+  std::size_t covered_samples() const noexcept;
+
+ private:
+  void compact();
+
+  Config config_;
+  std::size_t base_ = 0;        ///< absolute index of buffer sample 0
+  std::size_t next_start_ = 0;  ///< absolute start of the next window
+  std::size_t windows_emitted_ = 0;
+  std::vector<double> ecg_;
+  std::vector<double> abp_;
+  std::vector<std::size_t> r_peaks_;    ///< absolute, ascending
+  std::vector<std::size_t> sys_peaks_;  ///< absolute, ascending
+  std::vector<std::size_t> win_r_;      ///< window-relative scratch
+  std::vector<std::size_t> win_s_;
+};
+
+/// One window in, one feature row per requested tier out. Owns the
+/// portrait/count-matrix scratch; rebuilds them once per window and
+/// extracts any number of tiers from the same matrix, exactly like the
+/// detector's multi-tier hot path.
+class FeatureRowExtractor {
+ public:
+  FeatureRowExtractor(std::size_t grid_n, core::Arithmetic arithmetic)
+      : grid_n_(grid_n), arithmetic_(arithmetic) {}
+
+  /// Rebuilds the portrait and count matrix for one window.
+  void set_window(std::span<const double> ecg, std::span<const double> abp,
+                  std::span<const std::size_t> r_peaks,
+                  std::span<const std::size_t> sys_peaks,
+                  double sample_rate_hz);
+
+  /// Features of the current window for @p version. The returned span is
+  /// valid until the next features()/set_window() call.
+  std::span<const double> features(core::DetectorVersion version);
+
+ private:
+  std::size_t grid_n_;
+  core::Arithmetic arithmetic_;
+  core::WindowScratch scratch_;
+  core::FeatureVector row_;
+};
+
+}  // namespace sift::cohort

@@ -1,0 +1,61 @@
+// Sharded on-disk model store: the durable output of a cohort training run
+// and the model source a fleet gateway warm-loads from.
+//
+// Layout under one root directory:
+//
+//   root/manifest.txt            — "sift-model-manifest v1" + one user id
+//                                  per line (the registry warm-load list)
+//   root/shard_NN/uUUUUUU.<tier>.model
+//                                — io::model_file v2 artefacts, one per
+//                                  (user, detector tier)
+//
+// Sharding by user_id % shards keeps directories at fleet scale listable
+// (10k users / 16 shards = ~625 files each) and lets rsync/backup fan out.
+// Writes go through io::save_user_model (atomic tmp+rename), so a crashed
+// training run leaves whole-file artefacts only.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "fleet/model_registry.hpp"
+
+namespace sift::cohort {
+
+class ModelStore {
+ public:
+  /// @throws std::invalid_argument if shards == 0.
+  explicit ModelStore(std::string root, std::size_t shards = 16);
+
+  const std::string& root() const noexcept { return root_; }
+  std::size_t shards() const noexcept { return shards_; }
+
+  std::string shard_dir(int user_id) const;
+  std::string path_for(int user_id, core::DetectorVersion version) const;
+
+  /// Persists one trained model (creates the shard directory on demand).
+  /// Thread-safe: distinct (user, tier) pairs never collide on a path.
+  void save(const core::UserModel& model) const;
+
+  /// @throws std::runtime_error if the artefact is missing or corrupt.
+  core::UserModel load(int user_id, core::DetectorVersion version) const;
+
+  /// Registry adapter: a tiered provider that loads artefacts from this
+  /// store (throwing on a missing/corrupt file, which the registry's
+  /// breaker machinery absorbs).
+  fleet::TieredModelProvider provider() const;
+
+  /// Writes/reads the warm-load manifest. read_manifest returns an empty
+  /// list when the manifest is missing.
+  void write_manifest(std::span<const int> user_ids) const;
+  std::vector<int> read_manifest() const;
+
+ private:
+  std::string root_;
+  std::size_t shards_;
+};
+
+}  // namespace sift::cohort

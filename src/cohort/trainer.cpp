@@ -1,0 +1,364 @@
+#include "cohort/trainer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <thread>
+
+#include "cohort/archive.hpp"
+#include "cohort/dedup.hpp"
+#include "cohort/extractor.hpp"
+#include "cohort/feature_store.hpp"
+#include "ml/svm.hpp"
+
+namespace sift::cohort {
+namespace {
+
+constexpr core::DetectorVersion kTiers[] = {core::DetectorVersion::kOriginal,
+                                            core::DetectorVersion::kSimplified,
+                                            core::DetectorVersion::kReduced};
+constexpr std::size_t kTierCount = 3;
+
+std::size_t to_samples(double seconds, double rate_hz) {
+  return static_cast<std::size_t>(seconds * rate_hz + 0.5);
+}
+
+/// Everything one worker reuses across users. Capacity warms up on the
+/// first user; steady-state training then stays allocation-light.
+struct WorkerScratch {
+  explicit WorkerScratch(const CohortConfig& config)
+      : rows(config.sift.grid_n, config.sift.arithmetic) {}
+
+  StreamingWindowExtractor extractor;
+  FeatureRowExtractor rows;
+  WindowDedup dedup;
+  FeatureStore stores[kTierCount];
+  std::vector<int> labels;
+  std::vector<std::uint32_t> sel;
+  std::vector<std::uint32_t> pos_idx;
+  std::vector<double> xmat;
+  // Archive chunk staging.
+  std::vector<double> ecg;
+  std::vector<double> abp;
+  std::vector<std::size_t> r_peaks;
+  std::vector<std::size_t> sys_peaks;
+  // Second set for the wearer's side of a hybrid stream.
+  std::vector<double> ecg2;
+  std::vector<double> abp2;
+  std::vector<std::size_t> r_peaks2;
+  std::vector<std::size_t> sys_peaks2;
+};
+
+std::shared_ptr<const std::vector<std::uint8_t>> fetch(
+    const ArchiveSource& source, int user_id) {
+  auto bytes = source(user_id);
+  if (!bytes) {
+    throw std::runtime_error("CohortTrainer: no archive for user " +
+                             std::to_string(user_id));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+CohortTrainer::CohortTrainer(ArchiveSource source, CohortConfig config)
+    : source_(std::move(source)), config_(std::move(config)) {
+  if (!source_) {
+    throw std::invalid_argument("CohortTrainer: null archive source");
+  }
+  if (config_.workers == 0) {
+    throw std::invalid_argument("CohortTrainer: workers must be positive");
+  }
+  if (config_.sift.augment_attack_positives) {
+    throw std::invalid_argument(
+        "CohortTrainer: augment_attack_positives is not supported by the "
+        "columnar pipeline");
+  }
+}
+
+CohortStats CohortTrainer::train(std::span<const int> user_ids,
+                                 const ModelStore& store) {
+  CohortStats stats = run(user_ids, &store);
+  std::vector<int> sorted(user_ids.begin(), user_ids.end());
+  std::sort(sorted.begin(), sorted.end());
+  store.write_manifest(sorted);
+  return stats;
+}
+
+CohortStats CohortTrainer::extract_only(std::span<const int> user_ids) {
+  return run(user_ids, nullptr);
+}
+
+CohortStats CohortTrainer::run(std::span<const int> user_ids,
+                               const ModelStore* store) {
+  const std::size_t n_users = user_ids.size();
+
+  // One user's full pipeline. Appends this user's stat row and counter
+  // deltas to the worker-local stats.
+  const auto train_one = [&](std::size_t index, WorkerScratch& s,
+                             CohortStats& out) {
+    const int uid = user_ids[index];
+    const auto wearer_bytes = fetch(source_, uid);
+    ArchiveReader wearer(*wearer_bytes);
+    if (!wearer.valid()) {
+      throw std::runtime_error("CohortTrainer: corrupt archive for user " +
+                               std::to_string(uid));
+    }
+    const double rate = wearer.rate_hz();
+    const std::size_t window = to_samples(config_.sift.window_s, rate);
+    const std::size_t stride = to_samples(config_.sift.train_stride_s, rate);
+    if (window == 0 || stride == 0 || wearer.total_samples() < window) {
+      throw std::invalid_argument(
+          "CohortTrainer: record shorter than window for user " +
+          std::to_string(uid));
+    }
+
+    s.dedup.reset();
+    for (std::size_t t = 0; t < kTierCount; ++t) {
+      s.stores[t].reset(core::feature_count(kTiers[t]));
+    }
+
+    std::uint64_t windows_walked = 0;
+    const StreamingWindowExtractor::WindowFn consume =
+        [&](std::span<const double> ecg, std::span<const double> abp,
+            std::span<const std::size_t> r, std::span<const std::size_t> sp) {
+          ++windows_walked;
+          if (config_.dedup && !s.dedup.insert(ecg, abp, r, sp)) return;
+          s.rows.set_window(ecg, abp, r, sp, rate);
+          for (std::size_t t = 0; t < kTierCount; ++t) {
+            s.stores[t].push_row(s.rows.features(kTiers[t]));
+          }
+        };
+
+    // Negative class: the wearer's own stream.
+    s.extractor.reset({window, stride});
+    while (wearer.next_chunk(s.ecg, s.abp, s.r_peaks, s.sys_peaks)) {
+      s.extractor.feed_ecg(s.ecg, s.r_peaks);
+      s.extractor.feed_abp(s.abp, s.sys_peaks);
+      s.extractor.drain(consume);
+    }
+    const std::size_t n_negative = s.stores[0].rows();
+    if (n_negative == 0) {
+      throw std::invalid_argument(
+          "CohortTrainer: record shorter than window for user " +
+          std::to_string(uid));
+    }
+
+    // Positive class: each donor's ECG zipped against the wearer's ABP,
+    // donors in cyclic order after the wearer (all others when
+    // donors_per_user == 0 — the golden 12-user protocol).
+    const std::size_t donor_count =
+        config_.donors_per_user == 0
+            ? n_users - 1
+            : std::min(config_.donors_per_user, n_users - 1);
+    if (donor_count == 0) {
+      throw std::invalid_argument(
+          "CohortTrainer: need at least one donor (cohort of one?)");
+    }
+    // donors_per_user == 0 pools every other member in ascending position
+    // order — the order core::train_user_model's golden protocol uses —
+    // while a bounded donor count takes the members cyclically after the
+    // wearer. Positive windows pool in donor order, so this ordering is
+    // part of the bit-identity contract.
+    for (std::size_t k = 1; k <= donor_count; ++k) {
+      const std::size_t donor_pos = config_.donors_per_user == 0
+                                        ? (k <= index ? k - 1 : k)
+                                        : (index + k) % n_users;
+      const int donor_id = user_ids[donor_pos];
+      const auto donor_bytes = fetch(source_, donor_id);
+      ArchiveReader donor(*donor_bytes);
+      ArchiveReader wearer_abp(*wearer_bytes);
+      if (!donor.valid() || !wearer_abp.valid() ||
+          donor.rate_hz() != rate) {
+        throw std::runtime_error("CohortTrainer: bad donor archive " +
+                                 std::to_string(donor_id));
+      }
+      s.extractor.reset({window, stride});
+      bool more_donor = true;
+      bool more_wearer = true;
+      while (more_donor || more_wearer) {
+        if (more_donor) {
+          more_donor = donor.next_chunk(s.ecg, s.abp, s.r_peaks, s.sys_peaks);
+          if (more_donor) s.extractor.feed_ecg(s.ecg, s.r_peaks);
+        }
+        if (more_wearer) {
+          more_wearer =
+              wearer_abp.next_chunk(s.ecg2, s.abp2, s.r_peaks2, s.sys_peaks2);
+          if (more_wearer) s.extractor.feed_abp(s.abp2, s.sys_peaks2);
+        }
+        s.extractor.drain(consume);
+      }
+    }
+    const std::size_t n_positive = s.stores[0].rows() - n_negative;
+
+    UserTrainStat stat;
+    stat.user_id = uid;
+    stat.negatives = static_cast<std::uint32_t>(n_negative);
+    stat.dedup_hits = static_cast<std::uint32_t>(s.dedup.hits());
+
+    if (store == nullptr) {
+      // Extraction-only pass: report the raw (unbalanced) positive count.
+      stat.positives = static_cast<std::uint32_t>(n_positive);
+    } else {
+      if (n_positive == 0) {
+        throw std::invalid_argument("CohortTrainer: donors too short for user " +
+                                    std::to_string(uid));
+      }
+      // Class balancing, reproducing core::train_user_model exactly: a
+      // fresh generator seeded with config.seed shuffles the (empty)
+      // augmented pool — zero draws — then the positive pool, which is
+      // truncated to the negative count. Shuffling an index vector of the
+      // same length consumes the identical draw sequence, so the kept
+      // positives and their order match the AoS path bit for bit.
+      std::mt19937_64 rng(config_.sift.seed);
+      s.pos_idx.resize(n_positive);
+      std::iota(s.pos_idx.begin(), s.pos_idx.end(), 0u);
+      std::shuffle(s.pos_idx.begin(), s.pos_idx.end(), rng);
+      if (s.pos_idx.size() > n_negative) s.pos_idx.resize(n_negative);
+
+      s.sel.clear();
+      s.labels.clear();
+      for (std::size_t i = 0; i < n_negative; ++i) {
+        s.sel.push_back(static_cast<std::uint32_t>(i));
+        s.labels.push_back(-1);
+      }
+      for (std::uint32_t p : s.pos_idx) {
+        s.sel.push_back(static_cast<std::uint32_t>(n_negative) + p);
+        s.labels.push_back(+1);
+      }
+      stat.positives = static_cast<std::uint32_t>(s.pos_idx.size());
+
+      // Per tier: columnar scaler fit, gather-standardise into a row-major
+      // matrix, DCD on the matrix. The selection is tier-independent (the
+      // AoS path re-seeds its generator per tier over equally sized pools).
+      for (std::size_t t = 0; t < kTierCount; ++t) {
+        const std::size_t d = core::feature_count(kTiers[t]);
+        core::UserModel model;
+        model.user_id = uid;
+        model.config = config_.sift;
+        model.config.version = kTiers[t];
+        model.scaler.fit_columns(s.stores[t].column_pointers(), s.sel);
+        s.xmat.resize(s.sel.size() * d);
+        model.scaler.transform_columns_into(s.stores[t].column_pointers(),
+                                            s.sel, s.xmat);
+        model.svm = ml::DcdTrainer{}.train_matrix(s.xmat, d, s.labels,
+                                                  config_.sift.svm);
+        store->save(model);
+        ++out.models_written;
+      }
+    }
+
+    ++out.users_trained;
+    out.windows_extracted += windows_walked;
+    out.dedup_hits += s.dedup.hits();
+    out.hash_collisions += s.dedup.collisions();
+    out.rows_stored += s.stores[0].rows();
+    out.per_user.push_back(stat);
+  };
+
+  const std::size_t n_workers =
+      n_users == 0 ? 1 : std::min(config_.workers, n_users);
+  struct WorkerOut {
+    CohortStats stats;
+    std::exception_ptr error;
+  };
+  std::vector<WorkerOut> outs(n_workers);
+  std::atomic<std::size_t> next{0};
+
+  const auto work = [&](std::size_t w) {
+    WorkerScratch scratch(config_);
+    try {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n_users) break;
+        train_one(i, scratch, outs[w].stats);
+      }
+    } catch (...) {
+      outs[w].error = std::current_exception();
+    }
+  };
+
+  if (n_workers == 1) {
+    work(0);
+  } else {
+    std::vector<std::jthread> threads;
+    threads.reserve(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w) threads.emplace_back(work, w);
+  }
+
+  for (const WorkerOut& o : outs) {
+    if (o.error) std::rethrow_exception(o.error);
+  }
+
+  // Deterministic merge: per-worker shards concatenate, then sort by user
+  // id — the result is independent of which worker claimed which user.
+  CohortStats total;
+  for (WorkerOut& o : outs) {
+    total.users_trained += o.stats.users_trained;
+    total.windows_extracted += o.stats.windows_extracted;
+    total.dedup_hits += o.stats.dedup_hits;
+    total.hash_collisions += o.stats.hash_collisions;
+    total.rows_stored += o.stats.rows_stored;
+    total.models_written += o.stats.models_written;
+    total.per_user.insert(total.per_user.end(), o.stats.per_user.begin(),
+                          o.stats.per_user.end());
+  }
+  std::sort(total.per_user.begin(), total.per_user.end(),
+            [](const UserTrainStat& a, const UserTrainStat& b) {
+              return a.user_id < b.user_id;
+            });
+  return total;
+}
+
+CachingArchiveSource::CachingArchiveSource(Generator generate,
+                                           std::size_t capacity)
+    : generate_(std::move(generate)), capacity_(capacity) {
+  if (!generate_ || capacity_ == 0) {
+    throw std::invalid_argument(
+        "CachingArchiveSource: need a generator and positive capacity");
+  }
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> CachingArchiveSource::get(
+    int user_id) {
+  {
+    std::lock_guard lock(mu_);
+    if (const auto it = index_.find(user_id); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return it->second->second;
+    }
+    ++misses_;
+  }
+  // Generate outside the lock so other workers keep hitting the cache; a
+  // racing miss on the same user does redundant work, nothing worse.
+  auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
+      generate_(user_id));
+  std::lock_guard lock(mu_);
+  if (const auto it = index_.find(user_id); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  lru_.emplace_front(user_id, bytes);
+  index_[user_id] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return bytes;
+}
+
+std::uint64_t CachingArchiveSource::hits() const {
+  std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::uint64_t CachingArchiveSource::misses() const {
+  std::lock_guard lock(mu_);
+  return misses_;
+}
+
+}  // namespace sift::cohort

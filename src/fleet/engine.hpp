@@ -204,6 +204,9 @@ class FleetEngine {
   const FleetConfig& config() const noexcept { return config_; }
   const SessionTable& sessions() const noexcept { return table_; }
   const ModelRegistry& models() const noexcept { return registry_; }
+  /// Mutable registry access for bulk operations (manifest warm-load
+  /// before traffic starts); per-packet acquisition stays internal.
+  ModelRegistry& models() noexcept { return registry_; }
   MetricsRegistry& metrics() noexcept { return metrics_; }
 
   std::uint64_t windows_classified() const noexcept {

@@ -104,6 +104,26 @@ ModelRegistry::Lease ModelRegistry::try_acquire(int user_id,
   return acquire_locked(user_id, static_cast<int>(version));
 }
 
+std::size_t ModelRegistry::warm_load(
+    std::span<const int> user_ids,
+    std::optional<core::DetectorVersion> version) {
+  // 64 acquires per lock acquisition: large enough to amortise the lock,
+  // small enough that foreground try_acquire traffic never waits long.
+  constexpr std::size_t kBatch = 64;
+  const int tier =
+      version ? static_cast<int>(*version) : kDefaultTier;
+  std::size_t loaded = 0;
+  for (std::size_t base = 0; base < user_ids.size(); base += kBatch) {
+    const std::size_t end = std::min(base + kBatch, user_ids.size());
+    std::lock_guard lock(mu_);
+    if (version && !tiered_provider_) return loaded;
+    for (std::size_t i = base; i < end; ++i) {
+      if (acquire_locked(user_ids[i], tier).model) ++loaded;
+    }
+  }
+  return loaded;
+}
+
 std::shared_ptr<const core::UserModel> ModelRegistry::acquire(int user_id) {
   const Lease lease = try_acquire(user_id);
   if (!lease.model) {

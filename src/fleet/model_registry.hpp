@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 
 #include "core/trainer.hpp"
@@ -83,6 +84,16 @@ class ModelRegistry {
   /// is; the tier overload requires a TieredModelProvider.
   Lease try_acquire(int user_id);
   Lease try_acquire(int user_id, core::DetectorVersion version);
+
+  /// Bulk pre-load after a cohort training run: walks @p user_ids through
+  /// the normal acquire machinery (so breakers still guard bad artefacts)
+  /// in bounded lock batches — concurrent try_acquire traffic interleaves
+  /// between batches instead of stalling for the whole load. Ids beyond
+  /// the LRU capacity simply evict earlier ones; warm-load in ascending id
+  /// order leaves the highest ids resident. Returns how many ids loaded
+  /// successfully. Requires a TieredModelProvider when @p version is set.
+  std::size_t warm_load(std::span<const int> user_ids,
+                        std::optional<core::DetectorVersion> version = {});
 
   /// True when construction supplied a TieredModelProvider, i.e. the
   /// degradation ladder has artefacts to step onto.

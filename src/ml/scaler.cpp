@@ -28,6 +28,44 @@ void StandardScaler::fit(const Dataset& data) {
   }
 }
 
+void StandardScaler::fit_columns(std::span<const double* const> columns,
+                                 std::span<const std::uint32_t> sel) {
+  if (columns.empty()) {
+    throw std::invalid_argument("StandardScaler::fit_columns: no columns");
+  }
+  if (sel.empty()) {
+    throw std::invalid_argument("StandardScaler::fit_columns: empty selection");
+  }
+  const std::size_t d = columns.size();
+  mean_.assign(d, 0.0);
+  scale_.assign(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    const simd::MeanVar mv =
+        simd::active().masked_mean_var(columns[j], sel.data(), sel.size());
+    mean_[j] = mv.mean;
+    double s = std::sqrt(mv.variance);
+    if (s <= 0.0) s = 1.0;
+    scale_[j] = s;
+  }
+}
+
+void StandardScaler::transform_columns_into(
+    std::span<const double* const> columns, std::span<const std::uint32_t> sel,
+    std::span<double> out) const {
+  if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
+  if (columns.size() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: dimension mismatch");
+  }
+  if (out.size() != sel.size() * columns.size()) {
+    throw std::invalid_argument("StandardScaler: output span size mismatch");
+  }
+  const std::size_t d = columns.size();
+  for (std::size_t j = 0; j < d; ++j) {
+    simd::active().gather_scale_shift(columns[j], sel.data(), sel.size(),
+                                      mean_[j], scale_[j], out.data() + j, d);
+  }
+}
+
 void StandardScaler::transform_into(std::span<const double> x,
                                     std::span<double> out) const {
   if (!fitted()) throw std::logic_error("StandardScaler: not fitted");

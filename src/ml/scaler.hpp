@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,24 @@ class StandardScaler {
   /// transform leaves them centred at 0.
   /// @throws std::invalid_argument on empty/ragged data.
   void fit(const Dataset& data);
+
+  /// Columnar twin of fit for the cohort trainer: columns[j] is a
+  /// contiguous feature column and sel lists the selected row indices.
+  /// Bit-identical to fit on the equivalent row-major Dataset — the masked
+  /// kernel accumulates in selection order exactly as fit accumulates in
+  /// row order, and the SD is sqrt of the same ss/n double.
+  /// @throws std::invalid_argument on empty columns or empty selection.
+  void fit_columns(std::span<const double* const> columns,
+                   std::span<const std::uint32_t> sel);
+
+  /// Gathers the selected rows of every column, standardises each value,
+  /// and writes a row-major sel.size() x columns.size() matrix into out
+  /// (row i holds selected row sel[i]). Bit-identical to transform_into on
+  /// each gathered row. Same exceptions as transform_into, plus
+  /// std::invalid_argument if out.size() != sel.size() * columns.size().
+  void transform_columns_into(std::span<const double* const> columns,
+                              std::span<const std::uint32_t> sel,
+                              std::span<double> out) const;
 
   /// @throws std::logic_error if not fitted; std::invalid_argument on a
   /// dimension mismatch.

@@ -33,6 +33,65 @@ void validate(const Dataset& data) {
   }
 }
 
+// The one DCD implementation, abstracted only over how a row and its
+// label are fetched. Both public entry points (Dataset and row-major
+// matrix) instantiate this with accessors that return the same spans, so
+// the floating-point statement sequence — and therefore the model bytes —
+// is pinned in one place.
+template <typename RowFn, typename LabelFn>
+LinearSvmModel dcd_train_core(std::size_t n, std::size_t d, RowFn row,
+                              LabelFn label, const TrainConfig& cfg) {
+  // The bias is folded in as an augmented constant feature of value 1;
+  // w_aug[d] becomes the model bias on extraction.
+  std::vector<double> w(d + 1, 0.0);
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> qii(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const double> x = row(i);
+    qii[i] = simd::dot(x, x) + 1.0;
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937_64 rng(cfg.seed);
+
+  for (std::size_t epoch = 0; epoch < cfg.max_iterations; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double max_pg = 0.0;
+    for (std::size_t i : order) {
+      const std::span<const double> x = row(i);
+      const double yi = label(i);
+      // Augmented constant feature w[d] seeds the accumulation; the dot
+      // over the first d coordinates runs on the SIMD kernel.
+      const double wx = w[d] + simd::dot(std::span(w).first(d), x);
+      const double g = yi * wx - 1.0;
+
+      double pg = g;  // projected gradient
+      if (alpha[i] <= 0.0) {
+        pg = std::min(g, 0.0);
+      } else if (alpha[i] >= cfg.c) {
+        pg = std::max(g, 0.0);
+      }
+      max_pg = std::max(max_pg, std::abs(pg));
+      if (std::abs(pg) < 1e-12) continue;
+
+      const double old = alpha[i];
+      alpha[i] = std::clamp(old - g / qii[i], 0.0, cfg.c);
+      const double delta = (alpha[i] - old) * yi;
+      if (delta == 0.0) continue;
+      simd::axpy(delta, x, std::span(w).first(d));
+      w[d] += delta;
+    }
+    if (max_pg < cfg.tolerance) break;
+  }
+
+  LinearSvmModel model;
+  model.b = w[d];
+  w.pop_back();
+  model.w = std::move(w);
+  return model;
+}
+
 }  // namespace
 
 double LinearSvmModel::decision_value(std::span<const double> x) const {
@@ -128,55 +187,41 @@ LinearSvmModel DcdTrainer::train(const Dataset& data,
   validate(data);
   const std::size_t n = data.size();
   const std::size_t d = data.front().x.size();
+  return dcd_train_core(
+      n, d,
+      [&data](std::size_t i) { return std::span<const double>(data[i].x); },
+      [&data](std::size_t i) { return static_cast<double>(data[i].y); }, cfg);
+}
 
-  // The bias is folded in as an augmented constant feature of value 1;
-  // w_aug[d] becomes the model bias on extraction.
-  std::vector<double> w(d + 1, 0.0);
-  std::vector<double> alpha(n, 0.0);
-  std::vector<double> qii(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    qii[i] = dot(data[i].x, data[i].x) + 1.0;
+LinearSvmModel DcdTrainer::train_matrix(std::span<const double> x,
+                                        std::size_t d,
+                                        std::span<const int> labels,
+                                        const TrainConfig& cfg) const {
+  if (d == 0 || labels.empty()) {
+    throw std::invalid_argument("DcdTrainer::train_matrix: empty data");
   }
-
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::mt19937_64 rng(cfg.seed);
-
-  for (std::size_t epoch = 0; epoch < cfg.max_iterations; ++epoch) {
-    std::shuffle(order.begin(), order.end(), rng);
-    double max_pg = 0.0;
-    for (std::size_t i : order) {
-      const auto& x = data[i].x;
-      const double yi = data[i].y;
-      // Augmented constant feature w[d] seeds the accumulation; the dot
-      // over the first d coordinates runs on the SIMD kernel.
-      const double wx = w[d] + simd::dot(std::span(w).first(d), x);
-      const double g = yi * wx - 1.0;
-
-      double pg = g;  // projected gradient
-      if (alpha[i] <= 0.0) {
-        pg = std::min(g, 0.0);
-      } else if (alpha[i] >= cfg.c) {
-        pg = std::max(g, 0.0);
-      }
-      max_pg = std::max(max_pg, std::abs(pg));
-      if (std::abs(pg) < 1e-12) continue;
-
-      const double old = alpha[i];
-      alpha[i] = std::clamp(old - g / qii[i], 0.0, cfg.c);
-      const double delta = (alpha[i] - old) * yi;
-      if (delta == 0.0) continue;
-      simd::axpy(delta, x, std::span(w).first(d));
-      w[d] += delta;
+  if (x.size() != labels.size() * d) {
+    throw std::invalid_argument(
+        "DcdTrainer::train_matrix: matrix/label size mismatch");
+  }
+  bool has_pos = false;
+  bool has_neg = false;
+  for (int y : labels) {
+    if (y == +1) {
+      has_pos = true;
+    } else if (y == -1) {
+      has_neg = true;
+    } else {
+      throw std::invalid_argument("SVM: labels must be +1 or -1");
     }
-    if (max_pg < cfg.tolerance) break;
   }
-
-  LinearSvmModel model;
-  model.b = w[d];
-  w.pop_back();
-  model.w = std::move(w);
-  return model;
+  if (!has_pos || !has_neg) {
+    throw std::invalid_argument("SVM: training data needs both classes");
+  }
+  return dcd_train_core(
+      labels.size(), d,
+      [x, d](std::size_t i) { return x.subspan(i * d, d); },
+      [labels](std::size_t i) { return static_cast<double>(labels[i]); }, cfg);
 }
 
 }  // namespace sift::ml

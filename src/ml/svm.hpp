@@ -72,6 +72,16 @@ class DcdTrainer final : public SvmTrainer {
  public:
   LinearSvmModel train(const Dataset& data,
                        const TrainConfig& cfg) const override;
+
+  /// Row-major matrix variant for the columnar cohort trainer: x holds
+  /// n_rows rows of d contiguous doubles, labels[i] in {-1, +1}. Shares
+  /// the exact statement sequence with train via one templated core, so
+  /// the returned model is bit-identical to train on the equivalent
+  /// Dataset. Same exceptions as train, plus std::invalid_argument if
+  /// x.size() != labels.size() * d.
+  LinearSvmModel train_matrix(std::span<const double> x, std::size_t d,
+                              std::span<const int> labels,
+                              const TrainConfig& cfg) const;
 };
 
 }  // namespace sift::ml

@@ -39,4 +39,18 @@ std::vector<Record> generate_cohort_records(
     const std::vector<UserProfile>& cohort, double duration_s,
     double rate_hz = kDefaultRateHz, std::uint64_t salt = 0);
 
+/// Overwrites a fraction of @p rec's stride-aligned windows with bit-exact
+/// copies of its first window (samples and peak annotations), modelling the
+/// repeated segments a real archive accumulates — sensor freezes, retries,
+/// back-filled gaps. Destinations are stride-aligned, pairwise at least
+/// @p window_samples apart, and never overlap the source window, so each
+/// injected copy yields exactly one content-identical extracted window —
+/// the cohort dedup tests rely on that exact count. Deterministic for a
+/// fixed seed. Returns the number of windows actually injected (at most
+/// floor(fraction * window count); fewer when the record is too short to
+/// host enough disjoint destinations).
+std::size_t inject_duplicate_windows(Record& rec, std::size_t window_samples,
+                                     std::size_t stride_samples,
+                                     double fraction, std::uint64_t seed);
+
 }  // namespace sift::physio

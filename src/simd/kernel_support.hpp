@@ -85,4 +85,37 @@ inline void moving_window_integral_impl(const double* x, std::size_t window,
   }
 }
 
+/// Masked (selection-indexed) mean/variance, the second genuinely
+/// sequential kernel: the columnar trainer uses it to reproduce
+/// ml::StandardScaler::fit, whose per-dimension accumulator is a plain
+/// sequential sum over rows in dataset order. A blocked 4-lane version
+/// would reassociate that sum and the columnar model would no longer be
+/// byte-identical to the AoS one — so every dispatch level points here.
+/// (The idx-gathered loads would defeat vector load units regardless.)
+inline MeanVar masked_mean_var_impl(const double* col, const std::uint32_t* idx,
+                                    std::size_t n) noexcept {
+  if (n == 0) return {};
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += col[idx[i]];
+  const double mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = col[idx[i]] - mean;
+    ss += d * d;
+  }
+  return {mean, ss / static_cast<double>(n)};
+}
+
+/// Scalar gather + affine + strided scatter; the SSE2/NEON tables share it
+/// (strided stores leave nothing to vectorise below AVX2's gathers). Each
+/// element is one subtract and one divide, so any level is bit-identical.
+inline void gather_scale_shift_impl(const double* col, const std::uint32_t* idx,
+                                    std::size_t n, double shift, double scale,
+                                    double* out,
+                                    std::size_t out_stride) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i * out_stride] = (col[idx[i]] - shift) / scale;
+  }
+}
+
 }  // namespace sift::simd::detail

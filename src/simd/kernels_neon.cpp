@@ -205,6 +205,8 @@ const Kernels& neon_kernels() noexcept {
       detail::moving_window_integral_impl,
       scalar_kernels().hist2d,
       scalar_kernels().column_averages,
+      detail::masked_mean_var_impl,
+      detail::gather_scale_shift_impl,
   };
   return table;
 }

@@ -161,6 +161,8 @@ const Kernels& scalar_kernels() noexcept {
       detail::moving_window_integral_impl,
       hist2d_scalar,
       column_averages_scalar,
+      detail::masked_mean_var_impl,
+      detail::gather_scale_shift_impl,
   };
   return table;
 }

@@ -255,6 +255,8 @@ const Kernels& sse2_kernels() noexcept {
       detail::moving_window_integral_impl,
       hist2d_sse2,
       column_averages_sse2,
+      detail::masked_mean_var_impl,
+      detail::gather_scale_shift_impl,
   };
   return table;
 }

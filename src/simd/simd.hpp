@@ -116,6 +116,22 @@ struct Kernels {
   /// Integer accumulation is exact, so every level matches bit-for-bit.
   void (*column_averages)(const std::uint32_t* cells, std::size_t n,
                           double* out);
+  /// Mean and population variance of col[idx[0..n)] — the columnar scaler
+  /// fit over a training-set selection. Plain sequential two-pass at every
+  /// level BY DESIGN (see kernel_support.hpp): the accumulation order must
+  /// match the row-at-a-time scaler fit so columnar training reproduces the
+  /// AoS model bit-for-bit, and the gathered loads defeat vector loads
+  /// anyway.
+  MeanVar (*masked_mean_var)(const double* col, const std::uint32_t* idx,
+                             std::size_t n);
+  /// out[i * out_stride] = (col[idx[i]] - shift) / scale — gathers a
+  /// training-set selection down a stored feature column, applies the
+  /// scaler affine, and scatters into one column of a row-major training
+  /// matrix. Elementwise (one subtract + one divide per element), so every
+  /// level is bit-identical; AVX2 uses hardware gathers.
+  void (*gather_scale_shift)(const double* col, const std::uint32_t* idx,
+                             std::size_t n, double shift, double scale,
+                             double* out, std::size_t out_stride);
 };
 
 /// Kernel table for a specific level. @p level must be in
@@ -177,6 +193,19 @@ inline void moving_window_integral(std::span<const double> x,
                                    std::size_t window, std::span<double> out) {
   assert(x.size() == out.size());
   active().moving_window_integral(x.data(), window, out.data(), x.size());
+}
+
+inline MeanVar masked_mean_var(std::span<const double> col,
+                               std::span<const std::uint32_t> idx) {
+  return active().masked_mean_var(col.data(), idx.data(), idx.size());
+}
+
+inline void gather_scale_shift(std::span<const double> col,
+                               std::span<const std::uint32_t> idx, double shift,
+                               double scale, double* out,
+                               std::size_t out_stride) {
+  active().gather_scale_shift(col.data(), idx.data(), idx.size(), shift, scale,
+                              out, out_stride);
 }
 
 }  // namespace sift::simd

@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <numeric>
+#include <random>
 #include <span>
 #include <string>
 #include <thread>
@@ -407,6 +409,125 @@ TEST(ModelRegistry, TieredProviderCachesPerTier) {
   EXPECT_EQ(calls, 2) << "distinct cache entries per tier";
   registry.try_acquire(3, core::DetectorVersion::kReduced);
   EXPECT_EQ(calls, 2) << "tier hit served from cache";
+}
+
+TEST(ModelRegistry, WarmLoadFillsUpToCapacityAndCountsSuccesses) {
+  std::atomic<int> loads{0};
+  ModelRegistry registry(
+      TieredModelProvider([&](int user_id, core::DetectorVersion) {
+        ++loads;
+        if (user_id % 100 == 99) {  // 1% bad artefacts
+          return std::shared_ptr<const core::UserModel>{};
+        }
+        auto m = std::make_shared<core::UserModel>();
+        m->user_id = user_id;
+        return std::shared_ptr<const core::UserModel>(std::move(m));
+      }),
+      /*capacity=*/512);
+  std::vector<int> ids(1000);
+  std::iota(ids.begin(), ids.end(), 0);
+  const std::size_t loaded =
+      registry.warm_load(ids, core::DetectorVersion::kOriginal);
+  EXPECT_EQ(loaded, 990u);
+  EXPECT_EQ(registry.resident(), 512u) << "capacity bounds residency";
+  // Ascending warm-load leaves the tail resident: the last ids hit.
+  const auto before = registry.hits();
+  ASSERT_NE(registry.try_acquire(998, core::DetectorVersion::kOriginal).model,
+            nullptr);
+  EXPECT_EQ(registry.hits(), before + 1);
+  EXPECT_EQ(loads.load(), 1000) << "one provider call per id";
+}
+
+TEST(ModelRegistry, WarmLoadTierRequiresTieredProvider) {
+  ModelRegistry registry(
+      [](int) { return std::make_shared<const core::UserModel>(); }, 4);
+  const std::vector<int> ids = {1, 2, 3};
+  EXPECT_EQ(registry.warm_load(ids, core::DetectorVersion::kOriginal), 0u);
+  EXPECT_EQ(registry.warm_load(ids), 3u) << "default tier works untiered";
+}
+
+// 10k-user cohort scale: bulk warm-load, then LRU churn from concurrent
+// readers mixing hits (resident tail) and misses (evicted head) while a
+// writer thread keeps warm-loading — exercises eviction under contention.
+TEST(ModelRegistry, TenThousandUserChurnUnderConcurrentAccess) {
+  constexpr int kUsers = 10000;
+  constexpr std::size_t kCapacity = 2048;
+  std::atomic<int> loads{0};
+  ModelRegistry registry(
+      TieredModelProvider([&](int user_id, core::DetectorVersion) {
+        ++loads;
+        auto m = std::make_shared<core::UserModel>();
+        m->user_id = user_id;
+        return std::shared_ptr<const core::UserModel>(std::move(m));
+      }),
+      kCapacity);
+
+  std::vector<int> ids(kUsers);
+  std::iota(ids.begin(), ids.end(), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(registry.warm_load(ids, core::DetectorVersion::kReduced),
+            static_cast<std::size_t>(kUsers));
+  const auto warm_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_EQ(registry.resident(), kCapacity);
+  EXPECT_LT(warm_ms, 5000) << "bulk warm-load must stay cheap";
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> acquired{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(t));
+      std::uniform_int_distribution<int> pick(0, kUsers - 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto lease =
+            registry.try_acquire(pick(rng), core::DetectorVersion::kReduced);
+        ASSERT_NE(lease.model, nullptr);
+        ++acquired;
+      }
+    });
+  }
+  std::thread warmer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      registry.warm_load(std::span(ids).subspan(0, 256),
+                         core::DetectorVersion::kReduced);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  warmer.join();
+
+  EXPECT_GT(acquired.load(), 0u);
+  EXPECT_EQ(registry.resident(), kCapacity) << "LRU bound holds under churn";
+  EXPECT_GT(registry.evictions(), 0u);
+  EXPECT_EQ(registry.open_breakers(), 0u);
+}
+
+TEST(ModelRegistry, LookupHitPathDoesNotAllocate) {
+  ModelRegistry registry(
+      TieredModelProvider([&](int user_id, core::DetectorVersion) {
+        auto m = std::make_shared<core::UserModel>();
+        m->user_id = user_id;
+        return std::shared_ptr<const core::UserModel>(std::move(m));
+      }),
+      64);
+  // Warm every key this test touches (including the breaker map entries).
+  for (int id = 0; id < 32; ++id) {
+    ASSERT_NE(registry.try_acquire(id, core::DetectorVersion::kReduced).model,
+              nullptr);
+  }
+  sift::testing::AllocGuard guard;
+  for (int round = 0; round < 100; ++round) {
+    for (int id = 0; id < 32; ++id) {
+      const auto lease =
+          registry.try_acquire(id, core::DetectorVersion::kReduced);
+      ASSERT_NE(lease.model, nullptr);
+    }
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "a cache hit must not allocate (LRU splice + shared_ptr copy only)";
 }
 
 // --- session table ----------------------------------------------------------

@@ -291,6 +291,87 @@ TEST_P(SimdLevelTest, ColumnAveragesMatchesScalarExactly) {
   }
 }
 
+TEST_P(SimdLevelTest, MaskedMeanVarMatchesScalarBitwise) {
+  std::mt19937 rng(33);
+  for (std::size_t col_n : {8u, 64u, 255u}) {
+    const auto col = random_vector(col_n, 40 + static_cast<std::uint32_t>(col_n));
+    for (std::size_t sel_n : {0u, 1u, 3u, 4u, 7u, 33u, 200u}) {
+      // Duplicate and out-of-order indices are legal; the kernel must walk
+      // them in selection order, not column order.
+      std::uniform_int_distribution<std::uint32_t> pick(
+          0, static_cast<std::uint32_t>(col_n - 1));
+      std::vector<std::uint32_t> idx(sel_n);
+      for (auto& i : idx) i = pick(rng);
+      const auto got = k().masked_mean_var(col.data(), idx.data(), sel_n);
+      const auto want = ref().masked_mean_var(col.data(), idx.data(), sel_n);
+      EXPECT_TRUE(BitEq(got.mean, want.mean)) << "sel_n=" << sel_n;
+      EXPECT_TRUE(BitEq(got.variance, want.variance)) << "sel_n=" << sel_n;
+      if (sel_n == 0) {
+        EXPECT_TRUE(BitEq(got.mean, 0.0));
+        EXPECT_TRUE(BitEq(got.variance, 0.0));
+      }
+    }
+  }
+}
+
+TEST_P(SimdLevelTest, MaskedMeanVarMatchesRowOrderScalerFit) {
+  // The columnar trainer relies on this kernel reproducing the exact
+  // accumulator sequence of ml::StandardScaler::fit: a plain sequential
+  // sum over selected rows, then a plain sequential sum of squared
+  // deviations. Pin that here so a future "optimised" kernel cannot
+  // silently break model bit-identity.
+  const auto col = random_vector(100, 44);
+  std::vector<std::uint32_t> idx = {17, 3, 3, 99, 0, 42, 7, 56, 88, 21, 5};
+  double sum = 0.0;
+  for (auto i : idx) sum += col[i];
+  const double mean = sum / static_cast<double>(idx.size());
+  double ss = 0.0;
+  for (auto i : idx) {
+    const double d = col[i] - mean;
+    ss += d * d;
+  }
+  const auto got = k().masked_mean_var(col.data(), idx.data(), idx.size());
+  EXPECT_TRUE(BitEq(got.mean, mean));
+  EXPECT_TRUE(BitEq(got.variance, ss / static_cast<double>(idx.size())));
+}
+
+TEST_P(SimdLevelTest, GatherScaleShiftMatchesScalarBitwise) {
+  std::mt19937 rng(55);
+  const auto col = adversarial_vector(301, 56);
+  std::uniform_int_distribution<std::uint32_t> pick(
+      0, static_cast<std::uint32_t>(col.size() - 1));
+  for (std::size_t n : kSizes) {
+    std::vector<std::uint32_t> idx(n);
+    for (auto& i : idx) i = pick(rng);
+    for (std::size_t stride : {1u, 3u, 9u}) {
+      std::vector<double> got(n * stride + 1, -7.0);
+      std::vector<double> want(n * stride + 1, -7.0);
+      k().gather_scale_shift(col.data(), idx.data(), n, 0.25, 1.75,
+                             got.data(), stride);
+      ref().gather_scale_shift(col.data(), idx.data(), n, 0.25, 1.75,
+                               want.data(), stride);
+      EXPECT_TRUE(BitEq(got, want)) << "n=" << n << " stride=" << stride;
+      // Strided scatter must leave the gaps untouched.
+      for (std::size_t i = 0; i + 1 < got.size(); ++i) {
+        if (i % stride != 0 || i / stride >= n) {
+          ASSERT_TRUE(BitEq(got[i], -7.0)) << "clobbered gap at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SimdLevelTest, GatherScaleShiftMatchesElementwiseFormula) {
+  const auto col = random_vector(64, 57);
+  std::vector<std::uint32_t> idx = {63, 0, 31, 31, 2, 17};
+  std::vector<double> got(idx.size(), 0.0);
+  k().gather_scale_shift(col.data(), idx.data(), idx.size(), 1.5, 0.5,
+                         got.data(), 1);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_TRUE(BitEq(got[i], (col[idx[i]] - 1.5) / 0.5)) << "i=" << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllLevels, SimdLevelTest,
     ::testing::ValuesIn(std::vector<Level>(

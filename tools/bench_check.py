@@ -5,7 +5,11 @@ Usage:
     bench_check.py --baseline BENCH_baseline.json [--tolerance 0.25]
                    [--fleet fleet_now.json] [--fleet-tolerance 0.35]
                    [--scaling scaling_now.json]
-                   pipe_run1.json [pipe_run2.json ...]
+                   [--cohort cohort_now.json] [--cohort-tolerance 0.5]
+                   [pipe_run1.json pipe_run2.json ...]
+
+The pipeline runs are optional: a job that only exercises the offline
+cohort path can pass --cohort alone and skip the pipeline gate.
 
 Three gates, each exits 1 on failure:
 
@@ -19,9 +23,26 @@ Three gates, each exits 1 on failure:
      (default 35% — the engine multiplexes worker threads over whatever
      cores the runner has, so it needs more headroom than the
      single-threaded pipeline) of the baseline's `fleet.windows_per_sec`.
-     The batched/durable/net fleet numbers stay advisory.
+     `batched_speedup` must stay >= --batch-floor (default 1.0) minus
+     --batch-noise (default 0.08): the snapshot measures it from
+     interleaved unbatched/batched reps, which centres a neutral host
+     (e.g. a 1-core runner, where lock amortisation has nothing to
+     amortise) tightly on 1.0 with a few percent of jitter — the noise
+     band admits that jitter while still failing a genuine batching
+     regression like the phantom 0.85 a one-shot A/B once reported. The
+     durable/net fleet numbers stay advisory.
 
-  3. Scaling (--scaling): the bench_fleet --scaling curve must be
+  3. Cohort (--cohort): the bench_cohort --json snapshot. The workload is
+     seed-deterministic, so the structural counters (users, windows,
+     dedup_hits, unique_rows, models_written, hash_collisions) must match
+     the baseline's `cohort` section EXACTLY — any drift means the
+     archive codec, window walk, dedup, or training protocol changed
+     behaviour, which the bit-identity tests should have caught first.
+     The two rates (windows_per_sec, users_per_sec) gate at
+     --cohort-tolerance (default 50%: the offline pipeline is
+     synthesis-heavy and runner speeds vary widely).
+
+  4. Scaling (--scaling): the bench_fleet --scaling curve must be
      monotone within --fleet-tolerance — each point's windows/sec must be
      at least (1 - tolerance) x the previous point's. More cores must
      never make the fleet meaningfully slower; a contended lock on the
@@ -62,46 +83,60 @@ def main():
     parser.add_argument("--fleet-tolerance", type=float, default=0.35,
                         help="allowed fractional fleet windows_per_sec drop, "
                              "also the scaling monotonicity slack")
+    parser.add_argument("--batch-floor", type=float, default=1.0,
+                        help="minimum fleet batched_speedup (batching must "
+                             "never slow the engine down)")
+    parser.add_argument("--batch-noise", type=float, default=0.08,
+                        help="measurement jitter allowed below --batch-floor "
+                             "before the batching gate fails")
+    parser.add_argument("--cohort", default=None,
+                        help="bench_cohort --json snapshot (gated)")
+    parser.add_argument("--cohort-tolerance", type=float, default=0.5,
+                        help="allowed fractional cohort rate drop")
     parser.add_argument("--scaling", default=None,
                         help="bench_fleet --scaling snapshot "
                              "(monotonicity gated)")
-    parser.add_argument("runs", nargs="+",
-                        help="bench_pipeline --json snapshots")
+    parser.add_argument("runs", nargs="*",
+                        help="bench_pipeline --json snapshots (omit to gate "
+                             "only --fleet/--cohort/--scaling)")
     args = parser.parse_args()
 
     failures = []
 
     baseline = load(args.baseline)
-    base_pipe = baseline["pipeline"]
-    base_wps = float(base_pipe["windows_per_sec"])
 
-    runs = [load(p) for p in args.runs]
-    rates = [float(r["windows_per_sec"]) for r in runs]
-    median_wps = statistics.median(rates)
-    floor = base_wps * (1.0 - args.tolerance)
+    if args.runs:
+        base_pipe = baseline["pipeline"]
+        base_wps = float(base_pipe["windows_per_sec"])
 
-    print(f"pipeline windows_per_sec: runs {[round(r) for r in rates]} "
-          f"-> median {median_wps:.0f}")
-    print(f"  baseline {base_wps:.0f}, floor {floor:.0f} "
-          f"(-{args.tolerance:.0%}), delta {fmt_delta(median_wps, base_wps)}")
-    if median_wps < floor:
-        failures.append(
-            f"pipeline windows_per_sec regressed more than "
-            f"{args.tolerance:.0%}: {median_wps:.0f} < {floor:.0f}")
+        runs = [load(p) for p in args.runs]
+        rates = [float(r["windows_per_sec"]) for r in runs]
+        median_wps = statistics.median(rates)
+        floor = base_wps * (1.0 - args.tolerance)
 
-    for key in ("p50_us", "p99_us", "allocs_per_window"):
-        if key in base_pipe and key in runs[0]:
-            cur = statistics.median(float(r[key]) for r in runs)
-            print(f"  advisory {key}: {cur:.3f} "
-                  f"(baseline {float(base_pipe[key]):.3f})")
+        print(f"pipeline windows_per_sec: runs {[round(r) for r in rates]} "
+              f"-> median {median_wps:.0f}")
+        print(f"  baseline {base_wps:.0f}, floor {floor:.0f} "
+              f"(-{args.tolerance:.0%}), "
+              f"delta {fmt_delta(median_wps, base_wps)}")
+        if median_wps < floor:
+            failures.append(
+                f"pipeline windows_per_sec regressed more than "
+                f"{args.tolerance:.0%}: {median_wps:.0f} < {floor:.0f}")
 
-    # Pipeline determinism rides along for free: every snapshot reports the
-    # checksum of its decision-value stream, which must not drift.
-    checksums = {r.get("checksum") for r in runs}
-    base_checksum = base_pipe.get("checksum")
-    if base_checksum is not None and checksums != {base_checksum}:
-        failures.append(f"decision-value checksum drifted: "
-                        f"{sorted(checksums)} != {base_checksum}")
+        for key in ("p50_us", "p99_us", "allocs_per_window"):
+            if key in base_pipe and key in runs[0]:
+                cur = statistics.median(float(r[key]) for r in runs)
+                print(f"  advisory {key}: {cur:.3f} "
+                      f"(baseline {float(base_pipe[key]):.3f})")
+
+        # Pipeline determinism rides along for free: every snapshot reports
+        # the checksum of its decision-value stream, which must not drift.
+        checksums = {r.get("checksum") for r in runs}
+        base_checksum = base_pipe.get("checksum")
+        if base_checksum is not None and checksums != {base_checksum}:
+            failures.append(f"decision-value checksum drifted: "
+                            f"{sorted(checksums)} != {base_checksum}")
 
     if args.fleet:
         fleet = load(args.fleet)
@@ -119,8 +154,20 @@ def main():
                     f"fleet windows_per_sec regressed more than "
                     f"{args.fleet_tolerance:.0%}: "
                     f"{fleet_wps:.0f} < {fleet_floor:.0f}")
+        speedup = float(fleet.get("batched_speedup", 0.0))
+        if speedup > 0.0:
+            batch_min = args.batch_floor - args.batch_noise
+            print(f"fleet batched_speedup: {speedup:.3f} "
+                  f"(floor {args.batch_floor:.2f} - "
+                  f"noise {args.batch_noise:.2f} = {batch_min:.2f})")
+            if speedup < batch_min:
+                failures.append(
+                    f"batching slowed the engine: batched_speedup "
+                    f"{speedup:.3f} < {batch_min:.2f} "
+                    f"(floor {args.batch_floor:.2f} minus "
+                    f"{args.batch_noise:.2f} noise)")
         for key in ("windows_per_sec_batched", "windows_per_sec_durable",
-                    "batched_speedup", "net_windows_per_sec",
+                    "net_windows_per_sec",
                     "net_packets_per_sec", "net_resume_packets_per_sec",
                     "net_shim_disabled_packets_per_sec"):
             if key in fleet:
@@ -129,6 +176,38 @@ def main():
                         f"{fmt_delta(float(fleet[key]), base_val)})"
                         if base_val > 0 else "")
                 print(f"  advisory fleet {key}: {float(fleet[key]):.1f}{note}")
+
+    if args.cohort:
+        cohort = load(args.cohort)
+        base_cohort = baseline.get("cohort", {})
+        for key in ("users", "windows", "dedup_hits", "unique_rows",
+                    "models_written", "hash_collisions"):
+            if key in base_cohort and key in cohort:
+                cur = int(cohort[key])
+                base = int(base_cohort[key])
+                mark = "" if cur == base else "  <-- DRIFT"
+                print(f"cohort {key}: {cur} (baseline {base}){mark}")
+                if cur != base:
+                    failures.append(
+                        f"cohort {key} drifted from the deterministic "
+                        f"baseline: {cur} != {base}")
+        for key in ("windows_per_sec", "users_per_sec"):
+            base_val = float(base_cohort.get(key, 0.0))
+            cur = float(cohort.get(key, 0.0))
+            if base_val > 0.0:
+                cohort_floor = base_val * (1.0 - args.cohort_tolerance)
+                print(f"cohort {key}: {cur:.1f} "
+                      f"(baseline {base_val:.1f}, floor {cohort_floor:.1f}, "
+                      f"delta {fmt_delta(cur, base_val)})")
+                if cur < cohort_floor:
+                    failures.append(
+                        f"cohort {key} regressed more than "
+                        f"{args.cohort_tolerance:.0%}: "
+                        f"{cur:.1f} < {cohort_floor:.1f}")
+        for key in ("dedup_ratio", "peak_rss_mb", "extract_seconds",
+                    "train_seconds"):
+            if key in cohort:
+                print(f"  advisory cohort {key}: {float(cohort[key]):.3f}")
 
     if args.scaling:
         scaling = load(args.scaling)

@@ -4,6 +4,12 @@
 // provisioning server feeding Amulets) would:
 //
 //   siftctl cohort [n] [seed]                    list the synthetic cohort
+//   siftctl cohort gen [opts]             synthesise per-user compressed
+//                                         signal archives into a directory
+//   siftctl cohort extract [opts]         stream archives through the
+//                                         window walk + dedup (no training)
+//   siftctl cohort train [opts]           full offline pipeline: archives
+//                                         in, sharded model store out
 //   siftctl synth <user> <seconds> <out.csv>     generate a coupled trace
 //   siftctl peaks <trace.csv>                    run-time peak detection
 //   siftctl train <wearer.csv> <donor.csv>... -o <model.txt> [-v VERSION]
@@ -25,6 +31,7 @@
 //                                         verdict journal
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -40,6 +47,9 @@
 #include <vector>
 
 #include "amulet/amulet_c_check.hpp"
+#include "cohort/archive.hpp"
+#include "cohort/model_store.hpp"
+#include "cohort/trainer.hpp"
 #include "amulet/app_codegen.hpp"
 #include "amulet/profiler.hpp"
 #include "attack/attack.hpp"
@@ -69,6 +79,14 @@ int usage() {
   std::fprintf(stderr,
                "usage: siftctl <command> [args]\n"
                "  cohort [n] [seed]\n"
+               "  cohort gen --out DIR [--users N] [--seconds S]\n"
+               "        [--seed S] [--dup-frac F]\n"
+               "        write per-user compressed archives uNNNNNN.arc\n"
+               "  cohort extract --archives DIR [--workers N] [--donors K]\n"
+               "        stream + window walk + dedup, print counters\n"
+               "  cohort train --archives DIR --store DIR [--workers N]\n"
+               "        [--donors K]  train all three tiers per user into\n"
+               "        a sharded model store + warm-load manifest\n"
                "  synth <user-index> <seconds> <out.csv> [seed] [salt]\n"
                "  peaks <trace.csv>\n"
                "  train <wearer.csv> <donor.csv>... -o <model.txt>"
@@ -102,6 +120,10 @@ int usage() {
                "        [--checkpoint-interval MS]  cadence (default 500)\n"
                "        [--recover]      restore DIR's newest checkpoint and\n"
                "                         resume the replay past its cursors\n"
+               "        [--model-store DIR]  serve detection models from a\n"
+               "                         `cohort train` store (manifest\n"
+               "                         warm-load; sessions map onto the\n"
+               "                         manifest round-robin)\n"
                "  serve --listen ADDR   network ingest gateway (ADDR is\n"
                "                         unix:PATH or tcp:HOST:PORT; port 0\n"
                "                         picks an ephemeral port)\n"
@@ -119,6 +141,9 @@ int usage() {
                "        [--accept-burst N]  accepts per listener wakeup\n"
                "        [--checkpoint-dir DIR] [--checkpoint-interval MS]\n"
                "        [--recover]\n"
+               "        [--model-store DIR]  skip in-process training and\n"
+               "                         serve models from a `cohort train`\n"
+               "                         store (manifest warm-load)\n"
                "        SIGTERM/SIGINT drain gracefully and print a final\n"
                "        metrics snapshot on stdout\n"
                "  drive --connect ADDR  closed-loop load driver\n"
@@ -147,7 +172,205 @@ core::DetectorVersion parse_version(const std::string& s) {
   throw std::runtime_error("unknown version '" + s + "'");
 }
 
+std::string archive_name(int user_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "u%06d.arc", user_id);
+  return buf;
+}
+
+/// User ids present in an archive directory (uNNNNNN.arc), ascending.
+std::vector<int> list_archive_ids(const std::string& dir) {
+  std::vector<int> ids;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 5 || name.front() != 'u' ||
+        name.substr(name.size() - 4) != ".arc") {
+      continue;
+    }
+    ids.push_back(std::stoi(name.substr(1, name.size() - 5)));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+int cmd_cohort_gen(std::span<const std::string> args) {
+  std::string out_dir;
+  std::size_t users = 256;
+  double seconds = 24.0;
+  std::uint64_t seed = 2017;
+  double dup_frac = 0.0;
+  for (std::size_t i = 0; i + 1 < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    const std::string& value = args[i + 1];
+    if (flag == "--out") {
+      out_dir = value;
+    } else if (flag == "--users") {
+      users = std::stoul(value);
+    } else if (flag == "--seconds") {
+      seconds = std::stod(value);
+    } else if (flag == "--seed") {
+      seed = std::stoull(value);
+    } else if (flag == "--dup-frac") {
+      dup_frac = std::stod(value);
+    } else {
+      return usage();
+    }
+  }
+  if (out_dir.empty() || users == 0) return usage();
+  std::filesystem::create_directories(out_dir);
+
+  const core::SiftConfig sift_config;
+  const auto window_samples = static_cast<std::size_t>(
+      std::lround(sift_config.window_s * physio::kDefaultRateHz));
+  const auto stride_samples = static_cast<std::size_t>(
+      std::lround(sift_config.train_stride_s * physio::kDefaultRateHz));
+
+  const auto profiles = physio::synthetic_cohort(users, seed);
+  std::uint64_t archive_bytes = 0;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t duplicates = 0;
+  for (std::size_t u = 0; u < users; ++u) {
+    physio::Record record = physio::generate_record(
+        profiles[u], seconds, physio::kDefaultRateHz, /*salt=*/u);
+    if (dup_frac > 0.0) {
+      duplicates += physio::inject_duplicate_windows(
+          record, window_samples, stride_samples, dup_frac,
+          seed ^ static_cast<std::uint64_t>(u));
+    }
+    const auto bytes =
+        cohort::encode_archive(record, cohort::kDefaultChunkSamples);
+    raw_bytes += record.ecg.size() * 2 * sizeof(double);
+    archive_bytes += bytes.size();
+    io::write_file_atomic(
+        out_dir + "/" + archive_name(static_cast<int>(u)), bytes);
+  }
+  std::printf(
+      "cohort gen: %zu archives x %.0f s -> %s (%.1f MB, %.2fx vs raw "
+      "samples, %llu duplicate windows injected)\n",
+      users, seconds, out_dir.c_str(),
+      static_cast<double>(archive_bytes) / 1.0e6,
+      archive_bytes > 0
+          ? static_cast<double>(raw_bytes) /
+                static_cast<double>(archive_bytes)
+          : 0.0,
+      static_cast<unsigned long long>(duplicates));
+  return 0;
+}
+
+/// Shared flag parsing + pipeline setup for `cohort extract` / `cohort
+/// train`: archives come from a directory written by `cohort gen` (or a
+/// real provisioning pipeline), behind a small LRU that absorbs the donor
+/// pattern's re-reads.
+struct CohortRunArgs {
+  std::string archives_dir;
+  std::string store_dir;  // train only
+  cohort::CohortConfig config;
+};
+
+std::optional<CohortRunArgs> parse_cohort_run(
+    std::span<const std::string> args, bool wants_store) {
+  CohortRunArgs out;
+  for (std::size_t i = 0; i + 1 < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    const std::string& value = args[i + 1];
+    if (flag == "--archives") {
+      out.archives_dir = value;
+    } else if (flag == "--store" && wants_store) {
+      out.store_dir = value;
+    } else if (flag == "--workers") {
+      out.config.workers = std::max<std::size_t>(1, std::stoul(value));
+    } else if (flag == "--donors") {
+      out.config.donors_per_user = std::stoul(value);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (out.archives_dir.empty() || (wants_store && out.store_dir.empty())) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+void print_cohort_stats(const cohort::CohortStats& stats, double elapsed_s) {
+  std::printf(
+      "  %llu windows walked, %llu duplicate(s) dropped (%llu hash "
+      "collision(s) kept), %llu unique rows, %.0f windows/s\n",
+      static_cast<unsigned long long>(stats.windows_extracted),
+      static_cast<unsigned long long>(stats.dedup_hits),
+      static_cast<unsigned long long>(stats.hash_collisions),
+      static_cast<unsigned long long>(stats.rows_stored),
+      elapsed_s > 0.0
+          ? static_cast<double>(stats.windows_extracted) / elapsed_s
+          : 0.0);
+}
+
+int cmd_cohort_extract(std::span<const std::string> args) {
+  const auto run = parse_cohort_run(args, /*wants_store=*/false);
+  if (!run) return usage();
+  const auto ids = list_archive_ids(run->archives_dir);
+  if (ids.empty()) {
+    std::fprintf(stderr, "cohort extract: no uNNNNNN.arc files in %s\n",
+                 run->archives_dir.c_str());
+    return 1;
+  }
+  cohort::CachingArchiveSource archives(
+      [dir = run->archives_dir](int user_id) {
+        return io::read_file_bytes(dir + "/" + archive_name(user_id));
+      },
+      std::max<std::size_t>(
+          16, run->config.workers * (run->config.donors_per_user + 2)));
+  cohort::CohortTrainer trainer(archives.as_source(), run->config);
+  const auto start = std::chrono::steady_clock::now();
+  const auto stats = trainer.extract_only(ids);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("cohort extract: %zu users over %zu worker(s) in %.2f s\n",
+              ids.size(), run->config.workers, secs);
+  print_cohort_stats(stats, secs);
+  return 0;
+}
+
+int cmd_cohort_train(std::span<const std::string> args) {
+  const auto run = parse_cohort_run(args, /*wants_store=*/true);
+  if (!run) return usage();
+  const auto ids = list_archive_ids(run->archives_dir);
+  if (ids.empty()) {
+    std::fprintf(stderr, "cohort train: no uNNNNNN.arc files in %s\n",
+                 run->archives_dir.c_str());
+    return 1;
+  }
+  cohort::CachingArchiveSource archives(
+      [dir = run->archives_dir](int user_id) {
+        return io::read_file_bytes(dir + "/" + archive_name(user_id));
+      },
+      std::max<std::size_t>(
+          16, run->config.workers * (run->config.donors_per_user + 2)));
+  cohort::CohortTrainer trainer(archives.as_source(), run->config);
+  const cohort::ModelStore store(run->store_dir);
+  const auto start = std::chrono::steady_clock::now();
+  const auto stats = trainer.train(ids, store);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf(
+      "cohort train: %llu users -> %llu models in %s (%zu shards, "
+      "%.1f users/s over %zu worker(s))\n",
+      static_cast<unsigned long long>(stats.users_trained),
+      static_cast<unsigned long long>(stats.models_written),
+      run->store_dir.c_str(), store.shards(),
+      secs > 0.0 ? static_cast<double>(stats.users_trained) / secs : 0.0,
+      run->config.workers);
+  print_cohort_stats(stats, secs);
+  return 0;
+}
+
 int cmd_cohort(std::span<const std::string> args) {
+  if (!args.empty()) {
+    if (args[0] == "gen") return cmd_cohort_gen(args.subspan(1));
+    if (args[0] == "extract") return cmd_cohort_extract(args.subspan(1));
+    if (args[0] == "train") return cmd_cohort_train(args.subspan(1));
+  }
   const std::size_t n = args.size() > 0 ? std::stoul(args[0]) : 12;
   const std::uint64_t seed = args.size() > 1 ? std::stoull(args[1]) : 2017;
   std::printf("%-4s %-12s %6s %8s %8s %8s\n", "id", "name", "age", "HR",
@@ -373,6 +596,7 @@ int cmd_fleet(std::span<const std::string> args) {
   bool chaos = false;
   std::uint64_t chaos_seed = 1;
   std::string checkpoint_dir;
+  std::string model_store_dir;
   std::size_t checkpoint_interval_ms = 500;
   bool recover = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -410,6 +634,8 @@ int cmd_fleet(std::span<const std::string> args) {
       checkpoint_dir = value;
     } else if (flag == "--checkpoint-interval") {
       checkpoint_interval_ms = std::stoul(value);
+    } else if (flag == "--model-store") {
+      model_store_dir = value;
     } else if (flag == "--policy") {
       if (value == "block") {
         config.backpressure = fleet::BackpressurePolicy::kBlock;
@@ -424,6 +650,31 @@ int cmd_fleet(std::span<const std::string> args) {
   }
   config.model_cache_capacity = std::max<std::size_t>(1, replay.distinct_users);
   replay.train_all_tiers = chaos;  // chaos exercises the degradation ladder
+
+  // Detection models from a cohort-trained store: sessions map onto the
+  // manifest round-robin. The fixture is then only the packet synthesiser,
+  // so its own (unused) model training is cut to the minimum the build
+  // path accepts.
+  std::optional<cohort::ModelStore> model_store;
+  std::vector<int> manifest;
+  fleet::TieredModelProvider store_provider;
+  if (!model_store_dir.empty()) {
+    model_store.emplace(model_store_dir);
+    manifest = model_store->read_manifest();
+    if (manifest.empty()) {
+      std::fprintf(stderr, "fleet: no manifest in %s (run siftctl cohort "
+                   "train first)\n", model_store_dir.c_str());
+      return 1;
+    }
+    config.model_cache_capacity = manifest.size();
+    store_provider = [inner = model_store->provider(),
+                      ids = manifest](int user_id,
+                                      core::DetectorVersion version) {
+      return inner(ids[static_cast<std::size_t>(user_id) % ids.size()],
+                   version);
+    };
+    replay.train_seconds = 12.0;
+  }
 
   std::fprintf(stderr,
                "fleet: training %zu model(s)%s, synthesising %zu session(s) "
@@ -471,13 +722,29 @@ int cmd_fleet(std::span<const std::string> args) {
   }
 
   std::optional<fleet::FleetEngine> engine_holder;
-  if (chaos) {
+  if (store_provider) {
+    engine_holder.emplace(chaos ? injector->wrap_provider(store_provider)
+                                : store_provider,
+                          config);
+  } else if (chaos) {
     engine_holder.emplace(injector->wrap_provider(fixture.provider_tiered()),
                           config);
   } else {
     engine_holder.emplace(fixture.provider(), config);
   }
   fleet::FleetEngine& engine = *engine_holder;
+
+  if (model_store) {
+    const auto warm_start = std::chrono::steady_clock::now();
+    const std::size_t warm =
+        engine.models().warm_load(manifest, core::DetectorVersion::kOriginal);
+    std::fprintf(
+        stderr, "fleet: warm-loaded %zu/%zu model(s) from %s in %.0f ms\n",
+        warm, manifest.size(), model_store_dir.c_str(),
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - warm_start)
+            .count());
+  }
 
   fleet::durable::RecoveryResult recovered;
   if (recover) {
@@ -594,6 +861,7 @@ int cmd_serve(std::span<const std::string> args) {
   fleet::FleetConfig config;
   net::NetServerConfig net_config;
   std::string checkpoint_dir;
+  std::string model_store_dir;
   std::size_t checkpoint_interval_ms = 500;
   bool recover = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -638,6 +906,8 @@ int cmd_serve(std::span<const std::string> args) {
       checkpoint_dir = value;
     } else if (flag == "--checkpoint-interval") {
       checkpoint_interval_ms = std::stoul(value);
+    } else if (flag == "--model-store") {
+      model_store_dir = value;
     } else if (flag == "--policy") {
       if (value == "block") {
         config.backpressure = fleet::BackpressurePolicy::kBlock;
@@ -655,9 +925,35 @@ int cmd_serve(std::span<const std::string> args) {
   config.model_cache_capacity =
       std::max<std::size_t>(1, replay.distinct_users);
 
-  std::fprintf(stderr, "serve: training %zu model(s) (%.0f s each)...\n",
-               replay.distinct_users, replay.train_seconds);
-  const auto fixture = fleet::ReplayFixture::build_models_only(replay);
+  // With a model store the gateway trains nothing: models come off disk
+  // through the registry (manifest warm-load below), which is what lets a
+  // 10k-user gateway start in well under a second.
+  std::optional<cohort::ModelStore> model_store;
+  std::vector<int> manifest;
+  fleet::TieredModelProvider store_provider;
+  std::optional<fleet::ReplayFixture> fixture;
+  if (!model_store_dir.empty()) {
+    model_store.emplace(model_store_dir);
+    manifest = model_store->read_manifest();
+    if (manifest.empty()) {
+      std::fprintf(stderr, "serve: no manifest in %s (run siftctl cohort "
+                   "train first)\n", model_store_dir.c_str());
+      return 1;
+    }
+    config.model_cache_capacity = manifest.size();
+    store_provider = [inner = model_store->provider(),
+                      ids = manifest](int user_id,
+                                      core::DetectorVersion version) {
+      return inner(ids[static_cast<std::size_t>(user_id) % ids.size()],
+                   version);
+    };
+    std::fprintf(stderr, "serve: %zu model(s) from store %s\n",
+                 manifest.size(), model_store_dir.c_str());
+  } else {
+    std::fprintf(stderr, "serve: training %zu model(s) (%.0f s each)...\n",
+                 replay.distinct_users, replay.train_seconds);
+    fixture.emplace(fleet::ReplayFixture::build_models_only(replay));
+  }
 
   std::optional<fleet::durable::Durability> durability;
   if (!checkpoint_dir.empty()) {
@@ -674,7 +970,25 @@ int cmd_serve(std::span<const std::string> args) {
   // teardown contract.
   net::PacketPool pool;
   config.packet_return = pool.returner();
-  fleet::FleetEngine engine(fixture.provider(), config);
+  std::optional<fleet::FleetEngine> engine_holder;
+  if (store_provider) {
+    engine_holder.emplace(store_provider, config);
+  } else {
+    engine_holder.emplace(fixture->provider(), config);
+  }
+  fleet::FleetEngine& engine = *engine_holder;
+
+  if (model_store) {
+    const auto warm_start = std::chrono::steady_clock::now();
+    const std::size_t warm =
+        engine.models().warm_load(manifest, core::DetectorVersion::kOriginal);
+    std::fprintf(
+        stderr, "serve: warm-loaded %zu/%zu model(s) in %.0f ms\n", warm,
+        manifest.size(),
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - warm_start)
+            .count());
+  }
 
   if (recover) {
     const auto recovered = durability->recover_into(engine);
